@@ -1,0 +1,1 @@
+examples/bgp_disagree.ml: Component Fmt Fvn List Logic Ndlog Printf Spp

@@ -1,0 +1,1 @@
+examples/count_to_infinity.ml: Array Dist Fmt List Ndlog Netsim

@@ -1,0 +1,1 @@
+examples/metarouting_compose.mli:

@@ -1,0 +1,1 @@
+examples/provenance_why.mli:

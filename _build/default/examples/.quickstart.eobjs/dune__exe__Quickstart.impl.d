@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dist Fmt Fvn List Logic Ndlog Netsim

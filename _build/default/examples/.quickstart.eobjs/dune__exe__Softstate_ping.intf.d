@@ -1,0 +1,1 @@
+examples/softstate_ping.mli:

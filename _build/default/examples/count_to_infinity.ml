@@ -1,0 +1,76 @@
+(* Count-to-infinity in the distance-vector protocol (Section 3.1: the
+   FVN methodology exhibits "the presence of count-to-infinity loops in
+   the distance-vector protocol").
+
+   Three views of the same defect:
+   1. Declarative: the distance-vector NDlog program (no path vector,
+      no cycle check) has no finite fixpoint on a cyclic topology — the
+      evaluator's round bound trips instead of converging, while the
+      path-vector program on the same topology converges.
+   2. Operational: the distance-vector state machine over the network
+      simulator counts to infinity after a link failure partitions the
+      network (stale routes bounce between the survivors).
+   3. Repaired: a hop-count bound restores convergence — the standard
+      RIP-style mitigation.
+
+   Run with:  dune exec examples/count_to_infinity.exe *)
+
+let section title = Fmt.pr "@.=== %s ===@." title
+
+let () =
+  section "1. Declarative view: no finite fixpoint on a cycle";
+  Fmt.pr "%s@." Ndlog.Programs.distance_vector_src;
+  let dv =
+    Ndlog.Programs.with_links
+      (Ndlog.Programs.distance_vector ())
+      (Ndlog.Programs.ring_links 3)
+  in
+  let o = Ndlog.Eval.run_exn ~max_rounds:50 dv in
+  Fmt.pr
+    "distance-vector on a 3-ring: converged=%b after %d rounds (%d cost \
+     tuples and growing)@."
+    o.Ndlog.Eval.converged o.Ndlog.Eval.rounds
+    (Ndlog.Store.cardinal "cost" o.Ndlog.Eval.db);
+  let pv =
+    Ndlog.Programs.with_links
+      (Ndlog.Programs.path_vector ())
+      (Ndlog.Programs.ring_links 3)
+  in
+  let o = Ndlog.Eval.run_exn pv in
+  Fmt.pr "path-vector on the same ring: converged=%b after %d rounds@."
+    o.Ndlog.Eval.converged o.Ndlog.Eval.rounds;
+
+  section "2. Operational view: failure triggers the bounce";
+  let topo = Netsim.Topology.line 3 in
+  let proto = Dist.Dv.create ~infinity_threshold:32 ~period:5.0 topo in
+  Dist.Dv.fail_link_at proto ~time:20.0 "n0" "n1";
+  let report = Dist.Dv.run proto ~until:2000.0 ~max_events:100_000 in
+  Fmt.pr
+    "line n0-n1-n2, n0<->n1 fails at t=20: counted to infinity=%b, max \
+     metric seen=%d, %d advertisements@."
+    report.Dist.Dv.counted_to_infinity report.Dist.Dv.max_cost_seen
+    report.Dist.Dv.total_advertisements;
+  Fmt.pr "n2's route to n0 after the storm: %a@."
+    Fmt.(option ~none:(any "withdrawn") int)
+    (Dist.Dv.route_cost proto "n2" "n0");
+
+  section "2b. Control: no failure, no divergence";
+  let topo = Netsim.Topology.line 3 in
+  let proto = Dist.Dv.create ~infinity_threshold:32 ~period:5.0 topo in
+  let report = Dist.Dv.run proto ~until:100.0 ~max_events:100_000 in
+  Fmt.pr "stable run: counted to infinity=%b, max metric %d@."
+    report.Dist.Dv.counted_to_infinity report.Dist.Dv.max_cost_seen;
+
+  section "3. Repair: a hop bound restores a finite fixpoint";
+  let bounded =
+    Ndlog.Programs.with_links
+      (Ndlog.Programs.bounded_distance_vector ~max_hops:8)
+      (Ndlog.Programs.ring_links 3)
+  in
+  let o = Ndlog.Eval.run_exn bounded in
+  Fmt.pr "bounded distance-vector on the 3-ring: converged=%b in %d rounds@."
+    o.Ndlog.Eval.converged o.Ndlog.Eval.rounds;
+  Ndlog.Store.tuples "bestCost" o.Ndlog.Eval.db
+  |> List.iter (fun t ->
+         Fmt.pr "  bestCost %a -> %a = %a@." Ndlog.Value.pp t.(0) Ndlog.Value.pp
+           t.(1) Ndlog.Value.pp t.(2))

@@ -1,0 +1,1 @@
+lib/algebra/axioms.ml: Fmt List Routing_algebra

@@ -1,0 +1,1 @@
+lib/algebra/axioms.mli: Fmt Routing_algebra

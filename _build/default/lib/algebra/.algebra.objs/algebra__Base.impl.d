@@ -1,0 +1,1 @@
+lib/algebra/base.ml: Fmt List Routing_algebra

@@ -1,0 +1,1 @@
+lib/algebra/base.mli: Fmt Routing_algebra

@@ -1,0 +1,1 @@
+lib/algebra/compose.ml: Base Either Fmt List Printf Routing_algebra

@@ -1,0 +1,1 @@
+lib/algebra/compose.mli: Base Either Routing_algebra

@@ -1,0 +1,1 @@
+lib/algebra/routing_algebra.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/algebra/routing_algebra.mli: Fmt

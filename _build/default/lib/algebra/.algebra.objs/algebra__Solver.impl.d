@@ -1,0 +1,1 @@
+lib/algebra/solver.ml: List Map Printf Routing_algebra String

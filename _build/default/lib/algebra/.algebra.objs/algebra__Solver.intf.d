@@ -1,0 +1,1 @@
+lib/algebra/solver.mli: Map Routing_algebra String

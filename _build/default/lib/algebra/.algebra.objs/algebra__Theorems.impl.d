@@ -1,0 +1,1 @@
+lib/algebra/theorems.ml: Axioms Compose Fmt Routing_algebra

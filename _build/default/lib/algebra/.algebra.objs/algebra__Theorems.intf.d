@@ -1,0 +1,1 @@
+lib/algebra/theorems.mli: Fmt Routing_algebra

@@ -1,0 +1,224 @@
+(* The four metarouting axioms as executable proof obligations.
+
+   Each check evaluates the axiom exhaustively over the algebra's sample
+   enumerations and either discharges it or returns a concrete
+   counterexample (rendered with the algebra's printers).  This is the
+   FVN substitute for PVS's automatically discharged theory-
+   interpretation obligations (Section 3.3.2). *)
+
+open Routing_algebra
+
+type status =
+  | Discharged of int  (* number of instances checked *)
+  | Refuted of string  (* pretty-printed counterexample *)
+
+type axiom =
+  | Maximality
+  | Absorption
+  | Monotonicity
+  | Strict_monotonicity
+  | Isotonicity
+  | Strict_isotonicity  (* auxiliary: strict preference preserved *)
+
+let axiom_name = function
+  | Maximality -> "maximality"
+  | Absorption -> "absorption"
+  | Monotonicity -> "monotonicity"
+  | Strict_monotonicity -> "strict-monotonicity"
+  | Isotonicity -> "isotonicity"
+  | Strict_isotonicity -> "strict-isotonicity"
+
+let all_axioms =
+  [
+    Maximality;
+    Absorption;
+    Monotonicity;
+    Strict_monotonicity;
+    Isotonicity;
+    Strict_isotonicity;
+  ]
+
+(* phi is the unique least-preferred signature. *)
+let check_maximality (a : ('s, 'l) t) : status =
+  let bad =
+    List.find_opt (fun s -> a.pref s a.prohibited > 0) a.sig_samples
+  in
+  match bad with
+  | None -> Discharged (List.length a.sig_samples)
+  | Some s ->
+    Refuted (Fmt.str "%a is less preferred than phi" a.pp_sig s)
+
+(* phi absorbs label application. *)
+let check_absorption (a : ('s, 'l) t) : status =
+  let bad =
+    List.find_opt (fun l -> a.apply l a.prohibited <> a.prohibited) a.label_samples
+  in
+  match bad with
+  | None -> Discharged (List.length a.label_samples)
+  | Some l ->
+    Refuted (Fmt.str "%a (+) phi <> phi" a.pp_label l)
+
+(* Paths get no better as they grow: s <= l (+) s. *)
+let check_monotonicity (a : ('s, 'l) t) : status =
+  let count = ref 0 in
+  let bad = ref None in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun s ->
+          incr count;
+          if a.pref s (a.apply l s) > 0 then
+            if !bad = None then bad := Some (l, s))
+        a.sig_samples)
+    a.label_samples;
+  match !bad with
+  | None -> Discharged !count
+  | Some (l, s) ->
+    Refuted
+      (Fmt.str "%a (+) %a is preferred to %a" a.pp_label l a.pp_sig s a.pp_sig
+         s)
+
+(* Strictly worse, except from phi (which stays phi by absorption). *)
+let check_strict_monotonicity (a : ('s, 'l) t) : status =
+  let count = ref 0 in
+  let bad = ref None in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun s ->
+          if not (is_prohibited a s) then begin
+            incr count;
+            if a.pref s (a.apply l s) >= 0 then
+              if !bad = None then bad := Some (l, s)
+          end)
+        a.sig_samples)
+    a.label_samples;
+  match !bad with
+  | None -> Discharged !count
+  | Some (l, s) ->
+    Refuted
+      (Fmt.str "%a (+) %a is not strictly worse than %a" a.pp_label l a.pp_sig
+         s a.pp_sig s)
+
+(* Preference is preserved by label application. *)
+let check_isotonicity (a : ('s, 'l) t) : status =
+  let count = ref 0 in
+  let bad = ref None in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun s1 ->
+          List.iter
+            (fun s2 ->
+              incr count;
+              if
+                a.pref s1 s2 <= 0
+                && a.pref (a.apply l s1) (a.apply l s2) > 0
+              then if !bad = None then bad := Some (l, s1, s2))
+            a.sig_samples)
+        a.sig_samples)
+    a.label_samples;
+  match !bad with
+  | None -> Discharged !count
+  | Some (l, s1, s2) ->
+    Refuted
+      (Fmt.str "%a <= %a but %a (+) %a > %a (+) %a" a.pp_sig s1 a.pp_sig s2
+         a.pp_label l a.pp_sig s1 a.pp_label l a.pp_sig s2)
+
+(* Strict preference is preserved by label application (needed as a
+   side condition for lexical-product isotonicity). *)
+let check_strict_isotonicity (a : ('s, 'l) t) : status =
+  let count = ref 0 in
+  let bad = ref None in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun s1 ->
+          List.iter
+            (fun s2 ->
+              incr count;
+              if
+                a.pref s1 s2 < 0
+                && a.pref (a.apply l s1) (a.apply l s2) >= 0
+              then if !bad = None then bad := Some (l, s1, s2))
+            a.sig_samples)
+        a.sig_samples)
+    a.label_samples;
+  match !bad with
+  | None -> Discharged !count
+  | Some (l, s1, s2) ->
+    Refuted
+      (Fmt.str "%a < %a but %a (+) %a >= %a (+) %a" a.pp_sig s1 a.pp_sig s2
+         a.pp_label l a.pp_sig s1 a.pp_label l a.pp_sig s2)
+
+(* The preference relation itself must be a total preorder on the
+   samples (reflexive, transitive, total).  Not one of the four paper
+   axioms but a well-formedness obligation PVS would impose via typing. *)
+let check_preorder (a : ('s, 'l) t) : status =
+  let ss = a.sig_samples in
+  let bad = ref None in
+  let count = ref 0 in
+  List.iter
+    (fun x ->
+      incr count;
+      if a.pref x x <> 0 then if !bad = None then bad := Some "not reflexive")
+    ss;
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          incr count;
+          if a.pref x y < 0 && a.pref y x < 0 then
+            if !bad = None then bad := Some "asymmetry violated";
+          List.iter
+            (fun z ->
+              incr count;
+              if a.pref x y <= 0 && a.pref y z <= 0 && a.pref x z > 0 then
+                if !bad = None then bad := Some "not transitive")
+            ss)
+        ss)
+    ss;
+  match !bad with None -> Discharged !count | Some msg -> Refuted msg
+
+let check (a : ('s, 'l) t) = function
+  | Maximality -> check_maximality a
+  | Absorption -> check_absorption a
+  | Monotonicity -> check_monotonicity a
+  | Strict_monotonicity -> check_strict_monotonicity a
+  | Isotonicity -> check_isotonicity a
+  | Strict_isotonicity -> check_strict_isotonicity a
+
+type report = {
+  algebra : string;
+  results : (axiom * status) list;
+  preorder : status;
+}
+
+let check_all (a : ('s, 'l) t) : report =
+  {
+    algebra = a.name;
+    results = List.map (fun ax -> (ax, check a ax)) all_axioms;
+    preorder = check_preorder a;
+  }
+
+let check_packed (Packed a) = check_all a
+
+let holds report axiom =
+  match List.assoc_opt axiom report.results with
+  | Some (Discharged _) -> true
+  | _ -> false
+
+(* Convergence guarantee per metarouting: monotone + isotone. *)
+let well_behaved report =
+  holds report Monotonicity && holds report Isotonicity
+
+let pp_status ppf = function
+  | Discharged n -> Fmt.pf ppf "discharged (%d instances)" n
+  | Refuted msg -> Fmt.pf ppf "REFUTED: %s" msg
+
+let pp_report ppf r =
+  Fmt.pf ppf "algebra %s:@." r.algebra;
+  Fmt.pf ppf "  %-20s %a@." "preorder" pp_status r.preorder;
+  List.iter
+    (fun (ax, st) -> Fmt.pf ppf "  %-20s %a@." (axiom_name ax) pp_status st)
+    r.results

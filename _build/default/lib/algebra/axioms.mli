@@ -1,0 +1,47 @@
+(** The metarouting axioms as executable proof obligations.
+
+    Each check evaluates an axiom exhaustively over the algebra's sample
+    enumerations and either discharges it (with the instance count) or
+    returns a pretty-printed counterexample — the FVN replacement for
+    PVS automatically discharging theory-interpretation obligations
+    (Section 3.3.2 of the paper). *)
+
+type status =
+  | Discharged of int  (** instances checked *)
+  | Refuted of string  (** a concrete counterexample *)
+
+(** The paper's four axioms plus two auxiliary obligations used by the
+    composition theorems. *)
+type axiom =
+  | Maximality  (** [phi] is least preferred *)
+  | Absorption  (** [l (+) phi = phi] *)
+  | Monotonicity  (** [s <= l (+) s]: paths get no better as they grow *)
+  | Strict_monotonicity  (** strictly worse, except from [phi] *)
+  | Isotonicity  (** preference is preserved by label application *)
+  | Strict_isotonicity  (** strict preference is preserved *)
+
+val axiom_name : axiom -> string
+val all_axioms : axiom list
+
+val check : ('s, 'l) Routing_algebra.t -> axiom -> status
+
+val check_preorder : ('s, 'l) Routing_algebra.t -> status
+(** Well-formedness: [pref] is reflexive, transitive, and antisymmetric
+    as a preorder on the samples (PVS would impose this via typing). *)
+
+type report = {
+  algebra : string;
+  results : (axiom * status) list;
+  preorder : status;
+}
+
+val check_all : ('s, 'l) Routing_algebra.t -> report
+val check_packed : Routing_algebra.packed -> report
+val holds : report -> axiom -> bool
+
+val well_behaved : report -> bool
+(** Monotone and isotone: metarouting's convergence-with-optimality
+    guarantee. *)
+
+val pp_status : status Fmt.t
+val pp_report : report Fmt.t

@@ -1,0 +1,105 @@
+(* Base (atomic) routing algebras, the building blocks of Section 3.3:
+   metarouting "provides instances of base algebras for adding link
+   costs (addA) during path concatenation, and for specifying local
+   preferences (lpA) used in route selection", plus the other classics
+   (hop count, widest path / bandwidth, reliability).
+
+   Signatures with a distinguished unreachable element use the [ext]
+   type below; [Inf] plays phi for cost-like algebras. *)
+
+type cost = Fin of int | Inf
+
+let pp_cost ppf = function
+  | Fin n -> Fmt.int ppf n
+  | Inf -> Fmt.string ppf "inf"
+
+let compare_cost a b =
+  match a, b with
+  | Fin x, Fin y -> compare x y
+  | Fin _, Inf -> -1
+  | Inf, Fin _ -> 1
+  | Inf, Inf -> 0
+
+(* addA: additive link costs; smaller is better; phi = Inf. *)
+let add_cost ?(sig_samples = [ 0; 1; 2; 3; 5; 10 ])
+    ?(label_samples = [ 0; 1; 2; 7 ]) () :
+    (cost, int) Routing_algebra.t =
+  Routing_algebra.make ~name:"addA"
+    ~pref:compare_cost
+    ~apply:(fun l s -> match s with Inf -> Inf | Fin c -> Fin (c + l))
+    ~prohibited:Inf ~origin:(Fin 0)
+    ~sig_samples:(List.map (fun c -> Fin c) sig_samples)
+    ~label_samples ~pp_sig:pp_cost ~pp_label:Fmt.int ()
+
+(* Strict variant: positive labels only, so growing strictly worsens. *)
+let add_cost_strict ?(sig_samples = [ 0; 1; 2; 3; 5; 10 ])
+    ?(label_samples = [ 1; 2; 7 ]) () : (cost, int) Routing_algebra.t =
+  { (add_cost ~sig_samples ~label_samples ()) with name = "addA+" }
+
+(* hopA: hop count = addA whose labels are ignored (every link counts
+   one hop).  Labels are integers so hopA plugs into the same graphs as
+   the cost algebras. *)
+let hop_count () : (cost, int) Routing_algebra.t =
+  Routing_algebra.make ~name:"hopA" ~pref:compare_cost
+    ~apply:(fun _ s -> match s with Inf -> Inf | Fin c -> Fin (c + 1))
+    ~prohibited:Inf ~origin:(Fin 0)
+    ~sig_samples:[ Fin 0; Fin 1; Fin 2; Fin 5 ]
+    ~label_samples:[ 1 ] ~pp_sig:pp_cost ~pp_label:Fmt.int ()
+
+(* lpA: local preference.  The label *replaces* the signature
+   (labelApply(l, s) = l, as in the paper's LP snippet); smaller values
+   are preferred (prefRel(s1,s2) = s1 <= s2).  Deliberately NOT
+   monotone: a link can assign a better preference than the path had —
+   the canonical example of a useful algebra outside the idealized
+   model (Section 4.1 discusses exactly this gap). *)
+let local_pref ?(prohibited = 4) ?(sig_samples = [ 0; 1; 2; 3 ])
+    ?(label_samples = [ 0; 1; 2; 3 ]) () : (int, int) Routing_algebra.t =
+  Routing_algebra.make ~name:"lpA"
+    ~pref:(fun s1 s2 -> compare s1 s2)
+    ~apply:(fun l s -> if s = prohibited then prohibited else l)
+    ~prohibited ~origin:0 ~sig_samples ~label_samples ~pp_sig:Fmt.int
+    ~pp_label:Fmt.int ()
+
+(* bandA: widest path.  Signature = available bandwidth, larger
+   preferred; a link caps the bandwidth; phi = 0. *)
+let bandwidth ?(sig_samples = [ 0; 1; 10; 100; 1000 ])
+    ?(label_samples = [ 1; 10; 100; 1000 ]) () :
+    (int, int) Routing_algebra.t =
+  Routing_algebra.make ~name:"bandA"
+    ~pref:(fun s1 s2 -> compare s2 s1)
+    ~apply:(fun l s -> min l s)
+    ~prohibited:0 ~origin:1000 ~sig_samples ~label_samples ~pp_sig:Fmt.int
+    ~pp_label:Fmt.int ()
+
+(* relA: reliability in per-mille; multiplicative; larger preferred;
+   phi = 0. *)
+let reliability ?(sig_samples = [ 0; 250; 500; 900; 1000 ])
+    ?(label_samples = [ 500; 900; 990; 1000 ]) () :
+    (int, int) Routing_algebra.t =
+  Routing_algebra.make ~name:"relA"
+    ~pref:(fun s1 s2 -> compare s2 s1)
+    ~apply:(fun l s -> l * s / 1000)
+    ~prohibited:0 ~origin:1000 ~sig_samples ~label_samples ~pp_sig:Fmt.int
+    ~pp_label:Fmt.int ()
+
+(* trivA: the one-point algebra (unit for compositions). *)
+let trivial () : (cost, unit) Routing_algebra.t =
+  Routing_algebra.make ~name:"trivA"
+    ~pref:compare_cost
+    ~apply:(fun () s -> s)
+    ~prohibited:Inf ~origin:(Fin 0) ~sig_samples:[ Fin 0 ]
+    ~label_samples:[ () ] ~pp_sig:pp_cost
+    ~pp_label:(fun ppf () -> Fmt.string ppf "-")
+    ()
+
+(* The catalogue used by experiments E4/E5. *)
+let all () : Routing_algebra.packed list =
+  [
+    Routing_algebra.pack (add_cost ());
+    Routing_algebra.pack (add_cost_strict ());
+    Routing_algebra.pack (hop_count ());
+    Routing_algebra.pack (local_pref ());
+    Routing_algebra.pack (bandwidth ());
+    Routing_algebra.pack (reliability ());
+    Routing_algebra.pack (trivial ());
+  ]

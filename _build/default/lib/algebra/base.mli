@@ -1,0 +1,51 @@
+(** Base (atomic) routing algebras (Section 3.3.1: metarouting "provides
+    instances of base algebras for adding link costs (addA) during path
+    concatenation, and for specifying local preferences (lpA) used in
+    route selection"), plus the other classics. *)
+
+(** Cost-like signatures: finite metric or unreachable ([Inf] = phi). *)
+type cost = Fin of int | Inf
+
+val pp_cost : cost Fmt.t
+val compare_cost : cost -> cost -> int
+
+val add_cost :
+  ?sig_samples:int list -> ?label_samples:int list -> unit ->
+  (cost, int) Routing_algebra.t
+(** [addA]: additive link costs, smaller preferred.  Monotone and
+    isotone but (with the default zero label) not strictly monotone. *)
+
+val add_cost_strict :
+  ?sig_samples:int list -> ?label_samples:int list -> unit ->
+  (cost, int) Routing_algebra.t
+(** [addA+]: positive labels only — strictly monotone and strictly
+    isotone. *)
+
+val hop_count : unit -> (cost, int) Routing_algebra.t
+(** [hopA]: every link counts one hop (labels ignored). *)
+
+val local_pref :
+  ?prohibited:int -> ?sig_samples:int list -> ?label_samples:int list -> unit ->
+  (int, int) Routing_algebra.t
+(** [lpA]: the label {e replaces} the signature
+    ([labelApply(l,s) = l], the paper's LP snippet); smaller values
+    preferred ([prefRel(s1,s2) = s1 <= s2]); default [prohibitPath = 4]
+    as in the paper.  Deliberately {e not} monotone: the canonical
+    useful algebra outside the idealized model (Section 4.1). *)
+
+val bandwidth :
+  ?sig_samples:int list -> ?label_samples:int list -> unit ->
+  (int, int) Routing_algebra.t
+(** [bandA]: widest path; a link caps the bandwidth; larger preferred;
+    [phi = 0].  Monotone and isotone, neither strictly. *)
+
+val reliability :
+  ?sig_samples:int list -> ?label_samples:int list -> unit ->
+  (int, int) Routing_algebra.t
+(** [relA]: multiplicative reliability in per-mille; larger preferred. *)
+
+val trivial : unit -> (cost, unit) Routing_algebra.t
+(** [trivA]: the one-point algebra. *)
+
+val all : unit -> Routing_algebra.packed list
+(** The catalogue iterated by experiments E4/E5. *)

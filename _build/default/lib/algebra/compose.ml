@@ -1,0 +1,119 @@
+(* Composition operators over routing algebras (Section 3.3.1:
+   "composition operators such as the lexical product operator that
+   models lexicographical comparisons of multiple attributes in route
+   selection").
+
+   All composites inherit sample enumerations from their components (as
+   cartesian products), so their proof obligations are discharged by the
+   same {!Axioms} checkers — the analogue of PVS discharging the
+   composite theory's TCCs. *)
+
+open Routing_algebra
+
+let cartesian xs ys =
+  List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+(* Lexical product: compare on A first, tie-break on B.  A signature is
+   prohibited as soon as either component is prohibited; [apply]
+   normalizes such pairs to the canonical prohibited element so that
+   absorption survives composition. *)
+let lex_product ?name (a : ('sa, 'la) t) (b : ('sb, 'lb) t) :
+    ('sa * 'sb, 'la * 'lb) t =
+  let prohibited = (a.prohibited, b.prohibited) in
+  let normalize (sa, sb) =
+    if sa = a.prohibited || sb = b.prohibited then prohibited else (sa, sb)
+  in
+  let pref p q =
+    let x1, y1 = normalize p and x2, y2 = normalize q in
+    let c = a.pref x1 x2 in
+    if c <> 0 then c else b.pref y1 y2
+  in
+  let apply (la, lb) s =
+    let sa, sb = normalize s in
+    if (sa, sb) = prohibited then prohibited
+    else normalize (a.apply la sa, b.apply lb sb)
+  in
+  let nm =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "lexProduct[%s, %s]" a.name b.name
+  in
+  (* The composite signature space is (Sigma_a \ phi) x (Sigma_b \ phi)
+     plus the canonical prohibited pair: mixed pairs are not
+     signatures (normalization maps them to phi). *)
+  let live xs phi = List.filter (fun s -> s <> phi) xs in
+  make ~name:nm ~pref ~apply ~prohibited ~origin:(a.origin, b.origin)
+    ~sig_samples:
+      (cartesian (live a.sig_samples a.prohibited) (live b.sig_samples b.prohibited))
+    ~label_samples:(cartesian a.label_samples b.label_samples)
+    ~pp_sig:(fun ppf (x, y) -> Fmt.pf ppf "(%a, %a)" a.pp_sig x b.pp_sig y)
+    ~pp_label:(fun ppf (x, y) -> Fmt.pf ppf "(%a, %a)" a.pp_label x b.pp_label y)
+    ()
+
+(* Scale: multiply every additive label by a positive constant (an
+   algebra homomorphism on addA-like label structures). *)
+let scale_labels ?name ~(factor : int) (a : ('s, int) t) : ('s, int) t =
+  let nm =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "scale[%d](%s)" factor a.name
+  in
+  {
+    a with
+    name = nm;
+    apply = (fun l s -> a.apply (factor * l) s);
+    label_samples = a.label_samples;
+  }
+
+(* Label restriction: keep only labels satisfying a predicate.  This is
+   how policy subsets are carved out of a bigger algebra; axioms can
+   only become easier to satisfy. *)
+let restrict_labels ?name ~(keep : 'l -> bool) (a : ('s, 'l) t) : ('s, 'l) t =
+  let nm = match name with Some n -> n | None -> a.name ^ "|restricted" in
+  { a with name = nm; label_samples = List.filter keep a.label_samples }
+
+(* Disjoint union of label sets over a common signature: either
+   component's labels may be applied (models protocols with several
+   link types). *)
+let label_union ?name (a : ('s, 'la) t) (b : ('s, 'lb) t) :
+    ('s, ('la, 'lb) Either.t) t =
+  let nm =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "union[%s, %s]" a.name b.name
+  in
+  if a.prohibited <> b.prohibited then
+    invalid_arg "label_union: components must share the signature structure";
+  make ~name:nm ~pref:a.pref
+    ~apply:(fun l s ->
+      match l with Either.Left la -> a.apply la s | Either.Right lb -> b.apply lb s)
+    ~prohibited:a.prohibited ~origin:a.origin
+    ~sig_samples:(a.sig_samples @ b.sig_samples)
+    ~label_samples:
+      (List.map Either.left a.label_samples
+      @ List.map Either.right b.label_samples)
+    ~pp_sig:a.pp_sig
+    ~pp_label:(fun ppf -> function
+      | Either.Left l -> a.pp_label ppf l
+      | Either.Right l -> b.pp_label ppf l)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* The paper's running example (Section 3.3.2):
+
+     BGPSystem: THEORY = lexProduct[LP, RC]
+
+   Local preference first, route cost as the tie breaker. *)
+let bgp_system () =
+  lex_product ~name:"BGPSystem" (Base.local_pref ()) (Base.add_cost ())
+
+(* A well-behaved variant: strict cost under a constant (link-assigned)
+   local preference policy that never raises preference — restricting
+   lpA's labels to a single value makes it monotone, the kind of relaxed
+   design FVN's checker lets one explore (Section 4.1). *)
+let safe_bgp_system () =
+  let lp_const =
+    restrict_labels ~name:"lpA|const" ~keep:(fun l -> l = 1)
+      (Base.local_pref ~sig_samples:[ 1 ] ())
+  in
+  lex_product ~name:"SafeBGPSystem" lp_const (Base.add_cost_strict ())

@@ -1,0 +1,50 @@
+(** Composition operators over routing algebras (Section 3.3.1:
+    "composition operators such as the lexical product operator that
+    models lexicographical comparisons of multiple attributes in route
+    selection").
+
+    Composites inherit sample enumerations from their components, so
+    their obligations are discharged by the same {!Axioms} checkers —
+    the analogue of PVS discharging a composite theory's TCCs. *)
+
+val cartesian : 'a list -> 'b list -> ('a * 'b) list
+
+val lex_product :
+  ?name:string ->
+  ('sa, 'la) Routing_algebra.t ->
+  ('sb, 'lb) Routing_algebra.t ->
+  ('sa * 'sb, 'la * 'lb) Routing_algebra.t
+(** Lexical product: compare on A, tie-break on B.  The composite's
+    signature space is [(Sigma_a \ phi) x (Sigma_b \ phi)] plus the
+    canonical prohibited pair; mixed-prohibited pairs normalize to
+    [phi] (so absorption survives composition). *)
+
+val scale_labels :
+  ?name:string -> factor:int -> ('s, int) Routing_algebra.t ->
+  ('s, int) Routing_algebra.t
+(** Multiply every (integer) label by a positive constant. *)
+
+val restrict_labels :
+  ?name:string -> keep:('l -> bool) -> ('s, 'l) Routing_algebra.t ->
+  ('s, 'l) Routing_algebra.t
+(** Keep only the labels satisfying a predicate (policy subsets); axioms
+    can only become easier to satisfy. *)
+
+val label_union :
+  ?name:string ->
+  ('s, 'la) Routing_algebra.t ->
+  ('s, 'lb) Routing_algebra.t ->
+  ('s, ('la, 'lb) Either.t) Routing_algebra.t
+(** Disjoint union of label sets over a shared signature structure
+    (protocols with several link types).
+    @raise Invalid_argument when the prohibited elements differ. *)
+
+val bgp_system : unit -> (int * Base.cost, int * int) Routing_algebra.t
+(** The paper's running example: [BGPSystem: THEORY = lexProduct[LP, RC]]
+    — local preference first, route cost as tie breaker.  Inherits
+    lpA's monotonicity refutation. *)
+
+val safe_bgp_system : unit -> (int * Base.cost, int * int) Routing_algebra.t
+(** A restricted, provably convergent variant (constant local
+    preference, strict costs): the kind of relaxed design the paper's
+    Section 4.1 wants FVN to explore. *)

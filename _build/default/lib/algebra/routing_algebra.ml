@@ -1,0 +1,69 @@
+(* Abstract routing algebras (metarouting, Griffin & Sobrinho; Section
+   3.3 of the paper).
+
+   An algebra A = (Sigma, pref, L, apply, O, phi):
+
+   - [sig_samples] / [label_samples] make the algebra *checkable*: the
+     four semantic axioms (maximality, absorption, monotonicity,
+     isotonicity) are discharged by exhaustive evaluation over these
+     finite enumerations.  This replaces PVS's theory-interpretation
+     proof obligations (the paper: "the proof obligations are
+     automatically discharged"): instantiating an algebra here and
+     running {!Axioms.check_all} plays the role of instantiating the
+     [routeAlgebra] theory and letting the type checker discharge the
+     TCCs.  Samples must include [prohibited] and [origin] and be closed
+     enough to be representative; generators below enforce the first
+     two.
+
+   - [pref a b < 0] means [a] is strictly preferred to [b]; [= 0] means
+     equally preferred.  It must be a total preorder.
+
+   The record is polymorphic in the signature and label types so
+   composition operators are ordinary functions; [packed] hides the
+   types for heterogeneous tables (the E4/E5 experiment loops). *)
+
+type ('s, 'l) t = {
+  name : string;
+  pref : 's -> 's -> int;
+  apply : 'l -> 's -> 's;
+  prohibited : 's;
+  origin : 's;
+  sig_samples : 's list;
+  label_samples : 'l list;
+  pp_sig : 's Fmt.t;
+  pp_label : 'l Fmt.t;
+}
+
+type packed = Packed : ('s, 'l) t -> packed
+
+let pack a = Packed a
+
+let name (Packed a) = a.name
+
+(* Equality of signatures as used by the axioms: indistinguishable under
+   preference AND structurally equal.  The axioms only ever need
+   structural equality on [prohibited]. *)
+let is_prohibited a s = a.pref s a.prohibited = 0 && s = a.prohibited
+
+(* Convenience: build sample lists that always include the two
+   distinguished elements. *)
+let with_distinguished a samples =
+  let add x l = if List.mem x l then l else x :: l in
+  add a.prohibited (add a.origin samples)
+
+let make ~name ~pref ~apply ~prohibited ~origin ~sig_samples ~label_samples
+    ~pp_sig ~pp_label () =
+  let a =
+    {
+      name;
+      pref;
+      apply;
+      prohibited;
+      origin;
+      sig_samples;
+      label_samples;
+      pp_sig;
+      pp_label;
+    }
+  in
+  { a with sig_samples = with_distinguished a sig_samples }

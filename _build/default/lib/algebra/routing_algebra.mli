@@ -1,0 +1,53 @@
+(** Abstract routing algebras (metarouting; Section 3.3 of the paper).
+
+    An algebra [A = (Sigma, pref, L, apply, O, phi)] models a routing
+    protocol's path signatures and policies:
+
+    - [pref a b < 0] means [a] is strictly preferred ([= 0]: tied); it
+      must be a total preorder ({!Axioms.check_preorder});
+    - [apply l s] is label application [l (+) s] (path extension);
+    - [prohibited] is [phi], the unusable path;
+    - [origin] is the signature of an originated route;
+    - [sig_samples]/[label_samples] are finite enumerations over which
+      the four semantic axioms are discharged by exhaustive evaluation —
+      the FVN substitute for PVS's theory-interpretation proof
+      obligations ("the proof obligations are automatically
+      discharged"). *)
+
+type ('s, 'l) t = {
+  name : string;
+  pref : 's -> 's -> int;
+  apply : 'l -> 's -> 's;
+  prohibited : 's;
+  origin : 's;
+  sig_samples : 's list;
+  label_samples : 'l list;
+  pp_sig : 's Fmt.t;
+  pp_label : 'l Fmt.t;
+}
+
+(** Existential wrapper for heterogeneous catalogues. *)
+type packed = Packed : ('s, 'l) t -> packed
+
+val pack : ('s, 'l) t -> packed
+val name : packed -> string
+
+val is_prohibited : ('s, 'l) t -> 's -> bool
+(** Structurally equal to [phi] and preference-tied with it. *)
+
+val with_distinguished : ('s, 'l) t -> 's list -> 's list
+(** Ensure [prohibited] and [origin] are among the samples. *)
+
+val make :
+  name:string ->
+  pref:('s -> 's -> int) ->
+  apply:('l -> 's -> 's) ->
+  prohibited:'s ->
+  origin:'s ->
+  sig_samples:'s list ->
+  label_samples:'l list ->
+  pp_sig:'s Fmt.t ->
+  pp_label:'l Fmt.t ->
+  unit ->
+  ('s, 'l) t
+(** Builder; adds the distinguished elements to [sig_samples]. *)

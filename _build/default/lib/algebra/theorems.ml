@@ -1,0 +1,83 @@
+(* Metarouting composition theorems, checked.
+
+   The classic lexical-product preservation results (Gao/Griffin/
+   Sobrinho) relate the composite's monotonicity to side conditions on
+   the components:
+
+     M(A (x) B)   <==  SM(A)  \/  (M(A) /\ M(B))
+     SM(A (x) B)  <==  SM(A)  \/  (M(A) /\ SM(B))
+     I(A (x) B)   <==  SI(A) /\ I(A) /\ I(B)
+
+   where SI is strict isotonicity (strict preference preserved by label
+   application): when A breaks a tie strictly the B components are
+   irrelevant, and when A ties, I(B) carries the comparison.
+
+   [lex_preservation] evaluates both sides on concrete algebras: the
+   side conditions via the component reports, the conclusion by directly
+   checking the composite.  A sound prediction never claims the
+   conclusion when the direct check refutes it; experiment E5 prints the
+   table and the test suite asserts soundness for the whole catalogue. *)
+
+open Routing_algebra
+
+type prediction = {
+  composite : string;
+  (* side-condition verdicts *)
+  a_monotone : bool;
+  a_strictly_monotone : bool;
+  b_monotone : bool;
+  b_strictly_monotone : bool;
+  a_isotone : bool;
+  b_isotone : bool;
+  (* predicted by the theorems *)
+  predicts_monotone : bool;
+  predicts_strictly_monotone : bool;
+  predicts_isotone : bool;
+  (* measured on the composite *)
+  composite_monotone : bool;
+  composite_strictly_monotone : bool;
+  composite_isotone : bool;
+}
+
+(* A prediction is sound when every predicted property is actually
+   observed (predictions are sufficient conditions, not necessary). *)
+let sound p =
+  (not p.predicts_monotone || p.composite_monotone)
+  && (not p.predicts_strictly_monotone || p.composite_strictly_monotone)
+  && (not p.predicts_isotone || p.composite_isotone)
+
+let lex_preservation (a : ('sa, 'la) t) (b : ('sb, 'lb) t) : prediction =
+  let ra = Axioms.check_all a and rb = Axioms.check_all b in
+  let composite = Compose.lex_product a b in
+  let rc = Axioms.check_all composite in
+  let h rep ax = Axioms.holds rep ax in
+  let am = h ra Axioms.Monotonicity and asm = h ra Axioms.Strict_monotonicity in
+  let bm = h rb Axioms.Monotonicity and bsm = h rb Axioms.Strict_monotonicity in
+  let ai = h ra Axioms.Isotonicity and bi = h rb Axioms.Isotonicity in
+  let asi = h ra Axioms.Strict_isotonicity in
+  {
+    composite = composite.name;
+    a_monotone = am;
+    a_strictly_monotone = asm;
+    b_monotone = bm;
+    b_strictly_monotone = bsm;
+    a_isotone = ai;
+    b_isotone = bi;
+    predicts_monotone = asm || (am && bm);
+    predicts_strictly_monotone = asm || (am && bsm);
+    predicts_isotone = ai && bi && asi;
+    composite_monotone = h rc Axioms.Monotonicity;
+    composite_strictly_monotone = h rc Axioms.Strict_monotonicity;
+    composite_isotone = h rc Axioms.Isotonicity;
+  }
+
+let pp_prediction ppf p =
+  let b ppf v = Fmt.string ppf (if v then "yes" else "no") in
+  Fmt.pf ppf
+    "%s: M(A)=%a SM(A)=%a M(B)=%a SM(B)=%a | predict M=%a SM=%a I=%a | \
+     actual M=%a SM=%a I=%a | %s"
+    p.composite b p.a_monotone b p.a_strictly_monotone b p.b_monotone b
+    p.b_strictly_monotone b p.predicts_monotone b p.predicts_strictly_monotone
+    b p.predicts_isotone b p.composite_monotone b
+    p.composite_strictly_monotone b p.composite_isotone
+    (if sound p then "sound" else "UNSOUND")

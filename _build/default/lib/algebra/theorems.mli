@@ -1,0 +1,42 @@
+(** Metarouting composition theorems, checked on concrete algebras.
+
+    The lexical-product preservation results:
+
+    {v
+M(A (x) B)   <==  SM(A)  \/  (M(A) /\ M(B))
+SM(A (x) B)  <==  SM(A)  \/  (M(A) /\ SM(B))
+I(A (x) B)   <==  SI(A) /\ I(A) /\ I(B)
+    v}
+
+    [lex_preservation] evaluates both sides: side conditions from the
+    component axiom reports, the conclusion by directly checking the
+    composite.  Experiment E5 prints the table; the tests assert
+    soundness (no predicted property is ever refuted by the direct
+    check) over the whole catalogue. *)
+
+type prediction = {
+  composite : string;
+  a_monotone : bool;
+  a_strictly_monotone : bool;
+  b_monotone : bool;
+  b_strictly_monotone : bool;
+  a_isotone : bool;
+  b_isotone : bool;
+  predicts_monotone : bool;
+  predicts_strictly_monotone : bool;
+  predicts_isotone : bool;
+  composite_monotone : bool;
+  composite_strictly_monotone : bool;
+  composite_isotone : bool;
+}
+
+val sound : prediction -> bool
+(** Every predicted property was confirmed (predictions are sufficient
+    conditions, not necessary ones). *)
+
+val lex_preservation :
+  ('sa, 'la) Routing_algebra.t ->
+  ('sb, 'lb) Routing_algebra.t ->
+  prediction
+
+val pp_prediction : prediction Fmt.t

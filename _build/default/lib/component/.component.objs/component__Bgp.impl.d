@@ -1,0 +1,1 @@
+lib/component/bgp.ml: Array Hashtbl List Logic Map Model Ndlog Option Printf Random Result Spp

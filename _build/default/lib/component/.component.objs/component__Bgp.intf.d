@@ -1,0 +1,1 @@
+lib/component/bgp.mli: Logic Map Model Ndlog Spp

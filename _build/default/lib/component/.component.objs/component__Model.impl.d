@@ -1,0 +1,1 @@
+lib/component/model.ml: Fmt List Logic Ndlog String

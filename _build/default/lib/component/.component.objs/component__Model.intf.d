@@ -1,0 +1,1 @@
+lib/component/model.mli: Fmt Logic Ndlog

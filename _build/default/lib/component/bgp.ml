@@ -1,0 +1,548 @@
+(* The component-based BGP model of Figure 2, made executable.
+
+   The decomposition follows the paper exactly:
+
+     activeAS   -- the trigger: which AS advertises to which neighbour
+                   at this iteration (an input relation);
+     pt         -- peer transformation, itself composed of
+                     export  (apply export policy filters),
+                     pvt     (the path-vector transformation: prepend
+                              the receiver, reject loops, count hops),
+                     import  (apply import policies: assign local
+                              preference, reject unknown peers);
+     bestRoute  -- route selection: lowest local preference first
+                   (the paper's LP convention), then lowest cost, then
+                   a deterministic path tie-break.
+
+   Each component is an atomic {!Model} component, so the NDlog program
+   (arc 3) and the logical theory (arc 2/4) are generated, not hand
+   written.  One protocol iteration ("AS U recomputes the best route
+   and exports to neighbors at the next time iteration") evaluates the
+   generated program; the time loop and the adj-RIB-in replacement --
+   the only non-monotonic state update, which stratified Datalog cannot
+   express -- live in OCaml ([run]), mirroring the paper's explicit
+   iteration index T.
+
+   The Disagree configuration reproduces the paper's §3.2.2 experiment:
+   "delayed convergence in the presence of policy conflicts". *)
+
+module Ast = Ndlog.Ast
+module Store = Ndlog.Store
+module V = Ndlog.Value
+
+(* ------------------------------------------------------------------ *)
+(* Configurations. *)
+
+type config = {
+  ases : string list;
+  neighbors : (string * string) list;  (* duplex adjacency *)
+  originations : (string * string) list;  (* AS originates destination *)
+  (* (u, w, lp): U accepts routes from W at local preference lp;
+     absent pairs are filtered by import. *)
+  import_pref : (string * string * int) list;
+  (* (w, u, d): W does not export destination d to U. *)
+  export_deny : (string * string * string) list;
+}
+
+let duplex pairs =
+  List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) pairs
+
+(* The paper's Disagree scenario: AS 1 and AS 2 each prefer the route
+   through the other (lp 0) over their direct route to the origin AS 0
+   (lp 1).  Lower lp wins, per the paper's LP algebra. *)
+let disagree : config =
+  {
+    ases = [ "as0"; "as1"; "as2" ];
+    neighbors = duplex [ ("as0", "as1"); ("as0", "as2"); ("as1", "as2") ];
+    originations = [ ("as0", "d0") ];
+    import_pref =
+      [
+        ("as1", "as0", 1);
+        ("as2", "as0", 1);
+        ("as1", "as2", 0);
+        ("as2", "as1", 0);
+        ("as0", "as1", 1);
+        ("as0", "as2", 1);
+      ];
+    export_deny = [];
+  }
+
+(* The conflict-free variant: direct routes preferred. *)
+let agree : config =
+  {
+    disagree with
+    import_pref =
+      [
+        ("as1", "as0", 0);
+        ("as2", "as0", 0);
+        ("as1", "as2", 1);
+        ("as2", "as1", 1);
+        ("as0", "as1", 0);
+        ("as0", "as2", 0);
+      ];
+  }
+
+(* A shortest-path-like configuration on a chain of [k] ASes with the
+   origin at as0 (used for scaling runs). *)
+let chain k : config =
+  let as_ i = Printf.sprintf "as%d" i in
+  {
+    ases = List.init k as_;
+    neighbors = duplex (List.init (k - 1) (fun i -> (as_ i, as_ (i + 1))));
+    originations = [ (as_ 0, "d0") ];
+    import_pref =
+      List.concat
+        (List.init (k - 1) (fun i ->
+             [ (as_ i, as_ (i + 1), 1); (as_ (i + 1), as_ i, 1) ]));
+    export_deny = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The component model (Figure 2). *)
+
+let v x = Ast.Var x
+let atom = Ast.atom
+
+let selection_components : Model.t =
+  let candidate_rib =
+    Model.atomic ~name:"candidateRib"
+      ~inputs:[ atom ~loc:0 "ribIn" [ v "U"; v "W"; v "D"; v "P"; v "LP"; v "C" ] ]
+      ~output:
+        (Ast.head ~loc:0 "candidate"
+           [
+             Ast.Plain (v "U"); Ast.Plain (v "D"); Ast.Plain (v "P");
+             Ast.Plain (v "LP"); Ast.Plain (v "C");
+           ])
+      ()
+  in
+  let candidate_origin =
+    Model.atomic ~name:"candidateOrigin"
+      ~inputs:[ atom ~loc:0 "origination" [ v "U"; v "D" ] ]
+      ~constraints:
+        [
+          Ast.Assign ("P", Ast.call "f_cons" [ v "U"; Ast.call "f_empty" [] ]);
+          Ast.Assign ("LP", Ast.cint 0);
+          Ast.Assign ("C", Ast.cint 0);
+        ]
+      ~output:
+        (Ast.head ~loc:0 "candidate"
+           [
+             Ast.Plain (v "U"); Ast.Plain (v "D"); Ast.Plain (v "P");
+             Ast.Plain (v "LP"); Ast.Plain (v "C");
+           ])
+      ()
+  in
+  let best_lp =
+    Model.atomic ~name:"bestLp"
+      ~inputs:
+        [ atom ~loc:0 "candidate" [ v "U"; v "D"; v "P"; v "LP"; v "C" ] ]
+      ~output:
+        (Ast.head ~loc:0 "bestLp"
+           [ Ast.Plain (v "U"); Ast.Plain (v "D"); Ast.Agg (Ast.Min, "LP") ])
+      ()
+  in
+  let best_cost =
+    Model.atomic ~name:"bestCost"
+      ~inputs:
+        [
+          atom ~loc:0 "candidate" [ v "U"; v "D"; v "P"; v "LP"; v "C" ];
+          atom ~loc:0 "bestLp" [ v "U"; v "D"; v "LP" ];
+        ]
+      ~output:
+        (Ast.head ~loc:0 "bestCost"
+           [ Ast.Plain (v "U"); Ast.Plain (v "D"); Ast.Agg (Ast.Min, "C") ])
+      ()
+  in
+  let best_path =
+    Model.atomic ~name:"bestPathTie"
+      ~inputs:
+        [
+          atom ~loc:0 "candidate" [ v "U"; v "D"; v "P"; v "LP"; v "C" ];
+          atom ~loc:0 "bestLp" [ v "U"; v "D"; v "LP" ];
+          atom ~loc:0 "bestCost" [ v "U"; v "D"; v "C" ];
+        ]
+      ~output:
+        (Ast.head ~loc:0 "bestPathTie"
+           [ Ast.Plain (v "U"); Ast.Plain (v "D"); Ast.Agg (Ast.Min, "P") ])
+      ()
+  in
+  let best_route =
+    Model.atomic ~name:"bestRoute"
+      ~inputs:
+        [
+          atom ~loc:0 "candidate" [ v "U"; v "D"; v "P"; v "LP"; v "C" ];
+          atom ~loc:0 "bestLp" [ v "U"; v "D"; v "LP" ];
+          atom ~loc:0 "bestCost" [ v "U"; v "D"; v "C" ];
+          atom ~loc:0 "bestPathTie" [ v "U"; v "D"; v "P" ];
+        ]
+      ~output:
+        (Ast.head ~loc:0 "bestRoute"
+           [
+             Ast.Plain (v "U"); Ast.Plain (v "D"); Ast.Plain (v "P");
+             Ast.Plain (v "LP"); Ast.Plain (v "C");
+           ])
+      ()
+  in
+  Model.composite "bestRouteSelection"
+    [ candidate_rib; candidate_origin; best_lp; best_cost; best_path; best_route ]
+
+let pt_components : Model.t =
+  let export =
+    Model.atomic ~name:"export"
+      ~inputs:
+        [
+          atom ~loc:0 "activeAS" [ v "W"; v "U" ];
+          atom ~loc:0 "bestRoute" [ v "W"; v "D"; v "P"; v "LP"; v "C" ];
+        ]
+      ~constraints:
+        [ Ast.Neg (atom ~loc:0 "exportDeny" [ v "W"; v "U"; v "D" ]) ]
+      ~output:
+        (Ast.head ~loc:0 "exported"
+           [
+             Ast.Plain (v "W"); Ast.Plain (v "U"); Ast.Plain (v "D");
+             Ast.Plain (v "P"); Ast.Plain (v "C");
+           ])
+      ()
+  in
+  let pvt =
+    Model.atomic ~name:"pvt"
+      ~inputs:
+        [ atom ~loc:0 "exported" [ v "W"; v "U"; v "D"; v "P"; v "C" ] ]
+      ~constraints:
+        [
+          Ast.Cond
+            (Ast.Eq, Ast.call "f_inPath" [ v "P"; v "U" ], Ast.cbool false);
+          Ast.Assign ("P2", Ast.call "f_concatPath" [ v "U"; v "P" ]);
+          Ast.Assign ("C2", Ast.Binop (Ast.Add, v "C", Ast.cint 1));
+        ]
+      ~output:
+        (Ast.head ~loc:1 "advertised"
+           [
+             Ast.Plain (v "W"); Ast.Plain (v "U"); Ast.Plain (v "D");
+             Ast.Plain (v "P2"); Ast.Plain (v "C2");
+           ])
+      ()
+  in
+  let import =
+    Model.atomic ~name:"import"
+      ~inputs:
+        [
+          atom ~loc:1 "advertised" [ v "W"; v "U"; v "D"; v "P"; v "C" ];
+          atom ~loc:0 "importPref" [ v "U"; v "W"; v "LP" ];
+        ]
+      ~output:
+        (Ast.head ~loc:0 "imported"
+           [
+             Ast.Plain (v "U"); Ast.Plain (v "W"); Ast.Plain (v "D");
+             Ast.Plain (v "P"); Ast.Plain (v "LP"); Ast.Plain (v "C");
+           ])
+      ()
+  in
+  Model.composite "pt" [ export; pvt; import ]
+
+(* The full Figure-2 model. *)
+let model : Model.t = Model.composite "bgp" [ selection_components; pt_components ]
+
+(* The generated NDlog program (arc 3). *)
+let program () : Ast.program = Model.to_ndlog model
+
+(* The generated logical specification (arc 2/4). *)
+let theory () : Logic.Theory.t = Model.to_theory model
+
+(* ------------------------------------------------------------------ *)
+(* Facts. *)
+
+type route = {
+  path : string list;
+  lp : int;
+  cost : int;
+}
+
+(* adj-RIB-in entries: (receiving AS, advertising neighbour,
+   destination) -> route. *)
+module Rib = Map.Make (struct
+  type t = string * string * string
+
+  let compare = compare
+end)
+
+type rib = route Rib.t
+
+let path_value p = V.List (List.map (fun a -> V.Addr a) p)
+
+let path_of_value pv = List.map V.as_addr (V.as_list pv)
+
+let config_facts (c : config) : Ast.fact list =
+  List.map (fun (u, d) -> Ast.fact ~loc:0 "origination" [ V.Addr u; V.Addr d ]) c.originations
+  @ List.map
+      (fun (u, w, lp) ->
+        Ast.fact ~loc:0 "importPref" [ V.Addr u; V.Addr w; V.Int lp ])
+      c.import_pref
+  @ List.map
+      (fun (w, u, d) ->
+        Ast.fact ~loc:0 "exportDeny" [ V.Addr w; V.Addr u; V.Addr d ])
+      c.export_deny
+
+let active_facts (active : (string * string) list) : Ast.fact list =
+  List.map
+    (fun (w, u) -> Ast.fact ~loc:0 "activeAS" [ V.Addr w; V.Addr u ])
+    active
+
+let rib_facts (rib : rib) : Ast.fact list =
+  Rib.fold
+    (fun (u, w, d) r acc ->
+      Ast.fact ~loc:0 "ribIn"
+        [ V.Addr u; V.Addr w; V.Addr d; path_value r.path; V.Int r.lp; V.Int r.cost ]
+      :: acc)
+    rib []
+
+(* ------------------------------------------------------------------ *)
+(* One protocol iteration: evaluate the generated program, then apply
+   the adj-RIB-in replacement for the pairs that were active. *)
+
+type step_result = {
+  new_rib : rib;
+  best : (string * string * route) list;  (* AS, dest, selected route *)
+  derivations : int;
+}
+
+let decode_best db =
+  Store.tuples "bestRoute" db
+  |> List.map (fun t ->
+         ( V.as_addr t.(0),
+           V.as_addr t.(1),
+           { path = path_of_value t.(2); lp = V.as_int t.(3); cost = V.as_int t.(4) }
+         ))
+
+let step (c : config) ~(active : (string * string) list) (rib : rib) :
+    step_result =
+  let prog =
+    { (program ()) with
+      Ast.facts = config_facts c @ active_facts active @ rib_facts rib }
+  in
+  let outcome = Ndlog.Eval.run_exn prog in
+  let db = outcome.Ndlog.Eval.db in
+  (* Imported routes of this round. *)
+  let imported =
+    Store.tuples "imported" db
+    |> List.map (fun t ->
+           ( (V.as_addr t.(0), V.as_addr t.(1), V.as_addr t.(2)),
+             {
+               path = path_of_value t.(3);
+               lp = V.as_int t.(4);
+               cost = V.as_int t.(5);
+             } ))
+  in
+  (* Replacement semantics: an active pair (w -> u) refreshes all of
+     u's entries from w — entries not re-advertised are withdrawn. *)
+  let new_rib =
+    Rib.filter
+      (fun (u, w, _) _ -> not (List.mem (w, u) active))
+      rib
+  in
+  let new_rib =
+    List.fold_left (fun m (k, r) -> Rib.add k r m) new_rib imported
+  in
+  { new_rib; best = decode_best db; derivations = outcome.Ndlog.Eval.derivations }
+
+(* ------------------------------------------------------------------ *)
+(* The time loop (the paper's T index). *)
+
+type schedule =
+  | Sync  (* every adjacency advertises every round *)
+  | Pair_round_robin  (* one directed adjacency per round *)
+  | Pair_random of int  (* one random directed adjacency per round, seeded *)
+  | Subset_random of int
+      (* each adjacency is independently active with probability 1/2:
+         conflicting ASes can still act simultaneously (and oscillate
+         for a while), but asymmetric rounds eventually break the tie —
+         the regime where the paper's delayed convergence is visible *)
+
+type outcome = {
+  converged : bool;
+  oscillated : bool;
+  rounds : int;
+  flaps : int;  (* best-route changes after the first selection *)
+  cycle_length : int option;
+  final_best : (string * string * route) list;
+  total_derivations : int;
+}
+
+let run ?(max_rounds = 200) (c : config) ~(schedule : schedule) : outcome =
+  let pairs = c.neighbors in
+  let rng =
+    match schedule with
+    | Pair_random seed | Subset_random seed ->
+      Some (Random.State.make [| seed |])
+    | Sync | Pair_round_robin -> None
+  in
+  let active_for round =
+    match schedule with
+    | Sync -> pairs
+    | Pair_round_robin -> [ List.nth pairs (round mod List.length pairs) ]
+    | Pair_random _ ->
+      let st = Option.get rng in
+      [ List.nth pairs (Random.State.int st (List.length pairs)) ]
+    | Subset_random _ ->
+      (* High activation probability: rounds are nearly synchronous, so
+         conflicting ASes usually move together (sustaining the
+         oscillation) and only occasional asymmetry resolves it. *)
+      let st = Option.get rng in
+      let chosen =
+        List.filter (fun _ -> Random.State.float st 1.0 < 0.85) pairs
+      in
+      if chosen = [] then [ List.nth pairs (Random.State.int st (List.length pairs)) ]
+      else chosen
+  in
+  let seen = Hashtbl.create 64 in
+  let rib_key rib = Rib.bindings rib in
+  (* Schedule phase: only round-robin runs are phase-sensitive; a state
+     revisit only proves oscillation at the same phase. *)
+  let phase round =
+    match schedule with
+    | Pair_round_robin -> round mod max 1 (List.length pairs)
+    | Sync | Pair_random _ | Subset_random _ -> 0
+  in
+  (* A quiet round under a partial schedule does not prove global
+     stability; probe with a full synchronous step. *)
+  let globally_stable rib =
+    let probe = step c ~active:pairs rib in
+    Rib.equal ( = ) probe.new_rib rib
+  in
+  let rec go round rib best flaps derivs =
+    if round >= max_rounds then
+      {
+        converged = false;
+        oscillated = false;
+        rounds = round;
+        flaps;
+        cycle_length = None;
+        final_best = best;
+        total_derivations = derivs;
+      }
+    else
+      let r = step c ~active:(active_for round) rib in
+      let flaps =
+        if round = 0 then flaps
+        else if r.best <> best then flaps + 1
+        else flaps
+      in
+      let derivs = derivs + r.derivations in
+      if
+        Rib.equal ( = ) r.new_rib rib
+        && r.best = best && round > 0
+        && globally_stable r.new_rib
+      then
+        {
+          converged = true;
+          oscillated = false;
+          rounds = round;
+          flaps;
+          cycle_length = None;
+          final_best = r.best;
+          total_derivations = derivs;
+        }
+      else begin
+        let key = (rib_key r.new_rib, phase round) in
+        match Hashtbl.find_opt seen key with
+        | Some prev when rng = None ->
+          {
+            converged = false;
+            oscillated = true;
+            rounds = round;
+            flaps;
+            cycle_length = Some (round - prev);
+            final_best = r.best;
+            total_derivations = derivs;
+          }
+        | _ ->
+          Hashtbl.replace seen key round;
+          go (round + 1) r.new_rib r.best flaps derivs
+      end
+  in
+  go 0 Rib.empty [] 0 0
+
+(* ------------------------------------------------------------------ *)
+(* From policy configuration to the Stable Paths Problem.
+
+   A config induces an SPP instance per destination: the originating AS
+   is the SPP origin (node 0); every other AS's permitted paths are the
+   simple paths to the origin whose first hop it imports (an
+   import_pref entry exists) and along which every AS re-exports (no
+   export_deny), ranked exactly as bestRoute ranks candidates (local
+   preference of the import, then hop count, then the path itself).
+
+   The conversion lets the SPP machinery classify a configuration
+   *before* running it: a unique solution means safety, multiple
+   solutions a Disagree-style wedge, none a Bad-Gadget-style
+   divergence. *)
+
+let to_spp (c : config) ~(dest : string) : (Spp.Instance.t * string array, string) result =
+  match List.find_opt (fun (_, d) -> d = dest) c.originations with
+  | None -> Error ("no AS originates " ^ dest)
+  | Some (origin_as, _) ->
+    (* Node numbering: origin is 0. *)
+    let others = List.filter (fun a -> a <> origin_as) c.ases in
+    let names = Array.of_list (origin_as :: others) in
+    let index_of a =
+      let rec go i = if names.(i) = a then i else go (i + 1) in
+      go 0
+    in
+    let neighbors_of u =
+      List.filter_map (fun (w, v) -> if w = u then Some v else None) c.neighbors
+    in
+    let imports u w =
+      List.exists (fun (u', w', _) -> u' = u && w' = w) c.import_pref
+    in
+    let lp_of u w =
+      match
+        List.find_opt (fun (u', w', _) -> u' = u && w' = w) c.import_pref
+      with
+      | Some (_, _, lp) -> lp
+      | None -> max_int
+    in
+    let exports w u =
+      not (List.exists (fun (w', u', d) -> w' = w && u' = u && d = dest) c.export_deny)
+    in
+    (* All simple AS paths from [u] to the origin obeying the policies. *)
+    let rec paths_from u visited : string list list =
+      if u = origin_as then [ [ origin_as ] ]
+      else
+        List.concat_map
+          (fun w ->
+            if List.mem w visited then []
+            else if not (imports u w) then []
+            else if not (exports w u) then []
+            else
+              List.map (fun rest -> u :: rest) (paths_from w (w :: visited)))
+          (neighbors_of u)
+    in
+    let rank_key u (p : string list) =
+      match p with
+      | _ :: next :: _ -> (lp_of u next, List.length p, p)
+      | _ -> (max_int, max_int, p)
+    in
+    let permitted =
+      List.map
+        (fun u ->
+          paths_from u [ u ]
+          |> List.sort (fun a b -> compare (rank_key u a) (rank_key u b))
+          |> List.map (fun p -> List.map index_of p))
+        others
+    in
+    (match Spp.Instance.make ~n:(List.length c.ases) permitted with
+    | inst -> Ok (inst, names)
+    | exception Spp.Instance.Ill_formed m -> Error m)
+
+(* Classify a configuration's stable-routing structure for one
+   destination. *)
+let classify (c : config) ~dest : (Spp.Solver.classification, string) result =
+  Result.map (fun (inst, _) -> Spp.Solver.classify inst) (to_spp c ~dest)
+
+(* Convergence-delay profile over random activation schedules: the E3
+   dispersion measurement. *)
+let convergence_profile ?(runs = 20) ?(max_rounds = 400)
+    ?(schedule = fun seed -> Subset_random seed) (c : config) =
+  List.init runs (fun seed ->
+      let o = run ~max_rounds c ~schedule:(schedule seed) in
+      (o.converged, o.rounds, o.flaps))

@@ -1,0 +1,134 @@
+(** The component-based BGP model of the paper's Figure 2, made
+    executable.
+
+    The decomposition follows the paper: [activeAS] (the trigger:
+    which AS advertises to which neighbour this iteration), [pt] —
+    itself [export] (policy filters), [pvt] (the path-vector
+    transformation: prepend the receiver, reject loops, count hops),
+    and [import] (assign local preference, reject unknown peers) — and
+    [bestRoute] (selection: lowest local preference, then lowest cost,
+    then a deterministic path tie-break).
+
+    Each piece is an atomic {!Model} component, so the NDlog program
+    (arc 3) and logical theory (arcs 2/4) are generated, not hand
+    written.  One protocol iteration evaluates the generated program;
+    the time loop and the adj-RIB-in replacement (the only
+    non-monotonic state update, which stratified Datalog cannot
+    express) live in OCaml, mirroring the paper's explicit iteration
+    index T. *)
+
+(** A policy configuration. *)
+type config = {
+  ases : string list;
+  neighbors : (string * string) list;  (** directed adjacency *)
+  originations : (string * string) list;  (** AS originates destination *)
+  import_pref : (string * string * int) list;
+      (** (u, w, lp): U accepts routes from W at local preference lp;
+          absent pairs are filtered by import *)
+  export_deny : (string * string * string) list;
+      (** (w, u, d): W does not export destination d to U *)
+}
+
+val duplex : (string * string) list -> (string * string) list
+
+val disagree : config
+(** The paper's Disagree scenario: AS 1 and AS 2 each prefer the route
+    through the other (lp 0) over their direct route to the origin
+    AS 0 (lp 1); lower lp wins, per the paper's LP algebra. *)
+
+val agree : config
+(** The conflict-free variant: direct routes preferred. *)
+
+val chain : int -> config
+(** A chain of ASes with the origin at [as0] (scaling runs). *)
+
+(** {1 The model and its translations} *)
+
+val model : Model.t
+(** The full Figure-2 component tree. *)
+
+val program : unit -> Ndlog.Ast.program
+(** The generated NDlog program (arc 3); stratified and localized. *)
+
+val theory : unit -> Logic.Theory.t
+(** The generated logical specification (arcs 2/4). *)
+
+(** {1 Execution} *)
+
+type route = {
+  path : string list;
+  lp : int;
+  cost : int;
+}
+
+(** adj-RIB-in: (receiving AS, advertising neighbour, destination) ->
+    route. *)
+module Rib : Map.S with type key = string * string * string
+
+type rib = route Rib.t
+
+val config_facts : config -> Ndlog.Ast.fact list
+val active_facts : (string * string) list -> Ndlog.Ast.fact list
+val rib_facts : rib -> Ndlog.Ast.fact list
+
+type step_result = {
+  new_rib : rib;
+  best : (string * string * route) list;  (** AS, dest, selected route *)
+  derivations : int;
+}
+
+val step : config -> active:(string * string) list -> rib -> step_result
+(** One protocol iteration: evaluate the generated program, then apply
+    adj-RIB-in replacement for the active pairs (entries not
+    re-advertised are withdrawn). *)
+
+(** Activation schedules. *)
+type schedule =
+  | Sync  (** every adjacency advertises every round *)
+  | Pair_round_robin  (** one directed adjacency per round *)
+  | Pair_random of int  (** one random adjacency per round, seeded *)
+  | Subset_random of int
+      (** each adjacency active with probability 0.85: near-synchronous
+          rounds sustain the Disagree oscillation until an asymmetric
+          round resolves it — the regime of the paper's delayed
+          convergence *)
+
+type outcome = {
+  converged : bool;
+      (** global stability, verified with a full synchronous probe *)
+  oscillated : bool;
+      (** a deterministic schedule revisited a state: provable cycle *)
+  rounds : int;
+  flaps : int;  (** best-route changes after the first selection *)
+  cycle_length : int option;
+  final_best : (string * string * route) list;
+  total_derivations : int;
+}
+
+val run : ?max_rounds:int -> config -> schedule:schedule -> outcome
+
+(** {1 Formal classification via the Stable Paths Problem} *)
+
+val to_spp :
+  config -> dest:string -> (Spp.Instance.t * string array, string) result
+(** The SPP instance a configuration induces for one destination: the
+    originating AS is node 0 (the returned array maps SPP node numbers
+    back to AS names); permitted paths are the policy-compliant simple
+    paths, ranked as [bestRoute] ranks candidates (import local
+    preference, then hop count, then the path).  Errors when no AS
+    originates [dest]. *)
+
+val classify :
+  config -> dest:string -> (Spp.Solver.classification, string) result
+(** Classify a configuration before running it: [Unique] means safe,
+    [Multiple] a Disagree-style wedge (outcome depends on timing),
+    [Unsolvable] guaranteed divergence. *)
+
+val convergence_profile :
+  ?runs:int ->
+  ?max_rounds:int ->
+  ?schedule:(int -> schedule) ->
+  config ->
+  (bool * int * int) list
+(** (converged, rounds, flaps) per seed; default schedule
+    [Subset_random]. *)

@@ -1,0 +1,144 @@
+(* Component-based network models (Section 3.2).
+
+   A protocol is decomposed into components, each of which "takes as
+   input received routes, performs internal transformation based on the
+   component specifications, and produces the output routes".
+
+   An atomic component [t] with inputs [I], output [O] and constraints
+   [CT(I,O)] corresponds to
+
+     PVS:    t(I,O): INDUCTIVE bool = CT(I,O)
+     NDlog:  t_out(O) :- t_in(I), CT(I,O)
+
+   We represent a component's interface in NDlog vocabulary directly:
+   inputs are atoms (predicate + argument variables), the output is a
+   head, and the constraints are rule-body literals.  The two paper
+   translations then fall out:
+
+   - [to_ndlog]: arc 3 — each component contributes one rule per
+     output; wiring connects one component's output predicate to
+     another's input predicate (Figure 3's [tc]);
+   - [to_theory]: arc 2/4 — the generated rules run through
+     {!Logic.Completion}, giving the inductive definitions used for
+     verification.
+
+   Because both artefacts derive from the same component record, the
+   translation is property-preserving by construction: the theory IS the
+   completion of the implementation. *)
+
+module Ast = Ndlog.Ast
+
+type atomic = {
+  comp_name : string;
+  (* Input atoms read by the component (the [t_in(I)] predicates). *)
+  inputs : Ast.atom list;
+  (* The produced output (the [t_out(O)] head). *)
+  output : Ast.head;
+  (* Additional constraints and assignments CT(I,O). *)
+  constraints : Ast.lit list;
+}
+
+type t =
+  | Atomic of atomic
+  | Composite of composite
+
+and composite = {
+  comp_label : string;
+  parts : t list;
+}
+
+let atomic ?(constraints = []) ~name ~inputs ~output () =
+  Atomic { comp_name = name; inputs; output; constraints }
+
+let composite label parts = Composite { comp_label = label; parts }
+
+let name = function
+  | Atomic a -> a.comp_name
+  | Composite c -> c.comp_label
+
+let rec atoms_of = function
+  | Atomic a -> [ a ]
+  | Composite c -> List.concat_map atoms_of c.parts
+
+(* The NDlog rule of one atomic component. *)
+let rule_of_atomic (a : atomic) : Ast.rule =
+  {
+    Ast.rule_name = Some a.comp_name;
+    head = a.output;
+    body = List.map (fun at -> Ast.Pos at) a.inputs @ a.constraints;
+  }
+
+(* Arc 3: generate the NDlog program for a component model.  [decls]
+   materializes every predicate mentioned; [facts] seed the inputs. *)
+let to_ndlog ?(facts = []) (c : t) : Ast.program =
+  let rules = List.map rule_of_atomic (atoms_of c) in
+  let preds =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun (r : Ast.rule) ->
+           (r.Ast.head.Ast.head_pred :: Ast.body_preds r.Ast.body))
+         rules
+      @ List.map (fun (f : Ast.fact) -> f.Ast.fact_pred) facts)
+  in
+  {
+    Ast.decls = List.map (fun p -> Ast.decl p) preds;
+    facts;
+    rules;
+  }
+
+(* Arc 2/4: the logical specification — the completion of the generated
+   program (each component becomes an inductive definition, exactly the
+   paper's [t(I,O): INDUCTIVE bool = CT(I,O)]). *)
+let to_theory (c : t) : Logic.Theory.t =
+  Logic.Completion.theory_of_program (to_ndlog c)
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness checks: wiring must connect outputs to inputs with
+   matching arities, and generated rules must pass the NDlog analyses. *)
+
+type error =
+  | Dangling_input of string * string  (* component, predicate *)
+  | Bad_program of string
+
+let pp_error ppf = function
+  | Dangling_input (c, p) ->
+    Fmt.pf ppf "component %s reads %s, which no component produces and no \
+                fact seeds" c p
+  | Bad_program msg -> Fmt.pf ppf "generated program is ill-formed: %s" msg
+
+let check ?(facts = []) (c : t) : (unit, error) result =
+  let atomics = atoms_of c in
+  let produced =
+    List.map (fun a -> a.output.Ast.head_pred) atomics
+    @ List.map (fun (f : Ast.fact) -> f.Ast.fact_pred) facts
+  in
+  let dangling =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun (at : Ast.atom) ->
+            if List.mem at.Ast.pred produced then None
+            else Some (a.comp_name, at.Ast.pred))
+          a.inputs)
+      atomics
+  in
+  match dangling with
+  | (c', p) :: _ -> Error (Dangling_input (c', p))
+  | [] -> (
+    match Ndlog.Analysis.analyze (to_ndlog ~facts c) with
+    | Ok _ -> Ok ()
+    | Error e -> Error (Bad_program (Fmt.str "%a" Ndlog.Analysis.pp_error e)))
+
+let pp ppf c =
+  let rec go indent c =
+    let pad = String.make indent ' ' in
+    match c with
+    | Atomic a ->
+      Fmt.pf ppf "%s%s: %a <- %a@." pad a.comp_name Ast.pp_head a.output
+        Fmt.(list ~sep:(any ", ") Ast.pp_atom)
+        a.inputs
+    | Composite comp ->
+      Fmt.pf ppf "%s%s:@." pad comp.comp_label;
+      List.iter (go (indent + 2)) comp.parts
+  in
+  go 0 c

@@ -1,0 +1,71 @@
+(** Component-based network models (Section 3.2 of the paper).
+
+    An atomic component [t] with inputs [I], output [O] and constraints
+    [CT(I,O)] corresponds to
+
+    {v
+PVS:    t(I,O): INDUCTIVE bool = CT(I,O)
+NDlog:  t_out(O) :- t_in(I), CT(I,O)
+    v}
+
+    Interfaces are expressed in NDlog vocabulary (inputs are atoms, the
+    output a head, constraints body literals), so both paper
+    translations derive from the same record: {!to_ndlog} (arc 3) and
+    {!to_theory} (arcs 2/4).  The translation is property-preserving by
+    construction — the theory {e is} the completion of the
+    implementation. *)
+
+type atomic = {
+  comp_name : string;
+  inputs : Ndlog.Ast.atom list;  (** the [t_in(I)] predicates *)
+  output : Ndlog.Ast.head;  (** the [t_out(O)] head *)
+  constraints : Ndlog.Ast.lit list;  (** [CT(I,O)] *)
+}
+
+type t =
+  | Atomic of atomic
+  | Composite of composite
+
+and composite = {
+  comp_label : string;
+  parts : t list;
+}
+
+val atomic :
+  ?constraints:Ndlog.Ast.lit list ->
+  name:string ->
+  inputs:Ndlog.Ast.atom list ->
+  output:Ndlog.Ast.head ->
+  unit ->
+  t
+
+val composite : string -> t list -> t
+val name : t -> string
+
+val atoms_of : t -> atomic list
+(** All atomic components, in tree order. *)
+
+val rule_of_atomic : atomic -> Ndlog.Ast.rule
+(** The [t_out(O) :- t_in(I), CT(I,O)] rule. *)
+
+val to_ndlog : ?facts:Ndlog.Ast.fact list -> t -> Ndlog.Ast.program
+(** Arc 3: one rule per atomic component, declarations for every
+    predicate, seeded with [facts].  Wiring is by predicate name: one
+    component's output feeds another's identically named input
+    (Figure 3's [tc]). *)
+
+val to_theory : t -> Logic.Theory.t
+(** Arcs 2/4: the completion of the generated program — each component
+    becomes an inductive definition. *)
+
+type error =
+  | Dangling_input of string * string
+      (** (component, predicate): an input nobody produces or seeds *)
+  | Bad_program of string  (** the generated NDlog fails analysis *)
+
+val pp_error : error Fmt.t
+
+val check : ?facts:Ndlog.Ast.fact list -> t -> (unit, error) result
+(** Wiring and static-analysis well-formedness. *)
+
+val pp : t Fmt.t

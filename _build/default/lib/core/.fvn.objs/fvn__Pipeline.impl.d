@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Component Dist Fmt List Logic Mcheck Ndlog Netsim Props

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Component Dist Fmt Logic Mcheck Ndlog Netsim Props

@@ -1,0 +1,1 @@
+lib/core/props.ml: Fmt List Logic Printf String

@@ -1,0 +1,88 @@
+(* A small property language for protocol specifications.
+
+   Properties are named first-order conjectures about a program's
+   predicates.  The builders below construct the classes the paper
+   verifies: route optimality (the [bestPathStrong] theorem of §3.1),
+   aggregate membership, implications between predicates, and absence
+   of tuples satisfying a condition. *)
+
+module F = Logic.Formula
+module T = Logic.Term
+
+type t = {
+  prop_name : string;
+  formula : F.t;
+}
+
+let make name formula = { prop_name = name; formula }
+
+let vars = List.map T.var
+
+(* The paper's bestPathStrong, generalized over predicate names:
+
+     best(S,D,P,C) => NOT (EXISTS P2 C2: path(S,D,P2,C2) AND C2 < C) *)
+let route_optimality ?(best = "bestPath") ?(paths = "path")
+    ?(name = "bestPathStrong") () =
+  let s = T.var "S" and d = T.var "D" and p = T.var "P" and c = T.var "C" in
+  let p2 = T.var "P2" and c2 = T.var "C2" in
+  make name
+    (F.all_list [ "S"; "D"; "P"; "C" ]
+       (F.imp
+          (F.atom best [ s; d; p; c ])
+          (F.neg
+             (F.ex_list [ "P2"; "C2" ]
+                (F.conj [ F.atom paths [ s; d; p2; c2 ]; F.lt c2 c ])))))
+
+(* Every aggregate result is witnessed by a member:
+     bestCost(S,D,C) => EXISTS P: path(S,D,P,C) *)
+let aggregate_membership ?(agg = "bestPathCost") ?(paths = "path")
+    ?(name = "bestCostMembership") () =
+  let s = T.var "S" and d = T.var "D" and c = T.var "C" in
+  make name
+    (F.all_list [ "S"; "D"; "C" ]
+       (F.imp
+          (F.atom agg [ s; d; c ])
+          (F.ex "P" (F.atom paths [ s; d; T.var "P"; c ]))))
+
+(* Generic implication between two predicates over shared variables:
+     p(xs) => q(ys)  where xs, ys are drawn from the given variables. *)
+let implication ~name ~(antecedent : string * string list)
+    ~(consequent : string * string list) () =
+  let p, xs = antecedent and q, ys = consequent in
+  let univ = List.sort_uniq String.compare (xs @ ys) in
+  make name
+    (F.all_list univ (F.imp (F.atom p (vars xs)) (F.atom q (vars ys))))
+
+(* One-hop routes exist: link(S,D,C) => path(S,D,f_init(S,D),C). *)
+let one_hop_paths ?(link = "link") ?(paths = "path") ?(name = "oneHopPath") ()
+    =
+  let s = T.var "S" and d = T.var "D" and c = T.var "C" in
+  make name
+    (F.all_list [ "S"; "D"; "C" ]
+       (F.imp
+          (F.atom link [ s; d; c ])
+          (F.atom paths [ s; d; T.Fn ("f_init", [ s; d ]); c ])))
+
+(* Aggregate functionality: at most one best cost per pair. *)
+let aggregate_functional ?(agg = "bestPathCost") ?(name = "bestCostFunctional")
+    () =
+  let s = T.var "S" and d = T.var "D" in
+  let c = T.var "C" and c' = T.var "C'" in
+  make name
+    (F.all_list [ "S"; "D"; "C"; "C'" ]
+       (F.imp
+          (F.conj [ F.atom agg [ s; d; c ]; F.atom agg [ s; d; c' ] ])
+          (F.eq c c')))
+
+(* Parse a property from concrete formula syntax ({!Logic.Fparser}). *)
+let of_string name src : (t, string) result =
+  match Logic.Fparser.parse src with
+  | Ok f -> Ok (make name f)
+  | Error e -> Error e
+
+let of_string_exn name src =
+  match of_string name src with
+  | Ok p -> p
+  | Error e -> invalid_arg (Printf.sprintf "Props.of_string %s: %s" name e)
+
+let pp ppf p = Fmt.pf ppf "%s: %a" p.prop_name F.pp p.formula

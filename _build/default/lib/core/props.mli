@@ -1,0 +1,44 @@
+(** A small property language for protocol specifications: named
+    first-order conjectures over a program's predicates, covering the
+    classes the paper verifies. *)
+
+type t = {
+  prop_name : string;
+  formula : Logic.Formula.t;
+}
+
+val make : string -> Logic.Formula.t -> t
+
+val route_optimality :
+  ?best:string -> ?paths:string -> ?name:string -> unit -> t
+(** The paper's [bestPathStrong] (Section 3.1), generalized over
+    predicate names:
+    [best(S,D,P,C) => NOT (EXISTS P2 C2: paths(S,D,P2,C2) AND C2 < C)]. *)
+
+val aggregate_membership :
+  ?agg:string -> ?paths:string -> ?name:string -> unit -> t
+(** Every aggregate result is witnessed:
+    [agg(S,D,C) => EXISTS P: paths(S,D,P,C)]. *)
+
+val implication :
+  name:string ->
+  antecedent:string * string list ->
+  consequent:string * string list ->
+  unit ->
+  t
+(** [p(xs) => q(ys)], universally closed over the shared variables. *)
+
+val one_hop_paths : ?link:string -> ?paths:string -> ?name:string -> unit -> t
+(** [link(S,D,C) => paths(S,D,f_init(S,D),C)]. *)
+
+val aggregate_functional : ?agg:string -> ?name:string -> unit -> t
+(** At most one aggregate result per group. *)
+
+val of_string : string -> string -> (t, string) result
+(** [of_string name src] parses a property from concrete formula syntax
+    (see {!Logic.Fparser}). *)
+
+val of_string_exn : string -> string -> t
+(** @raise Invalid_argument on parse errors. *)
+
+val pp : t Fmt.t

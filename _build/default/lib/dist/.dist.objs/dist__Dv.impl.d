@@ -1,0 +1,1 @@
+lib/dist/dv.ml: List Map Netsim Option String

@@ -1,0 +1,1 @@
+lib/dist/dv.mli: Netsim

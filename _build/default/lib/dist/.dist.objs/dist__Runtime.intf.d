@@ -1,0 +1,1 @@
+lib/dist/runtime.mli: Ndlog Netsim

@@ -1,0 +1,343 @@
+(* Distributed NDlog execution (the P2 substitute, arc 7 of Figure 1).
+
+   Every simulator node runs the same localized program over its own
+   tuple store.  Execution is pipelined semi-naive through compiled
+   dataflow strands (the Click execution model, {!Ndlog.Plan}):
+   inserting a tuple runs the strands triggered by its predicate with
+   the new tuple as the delta; derived heads located at the executing
+   node recurse locally, heads located elsewhere become network
+   messages.
+
+   Aggregate strata are maintained as local views: whenever the local
+   store changes, aggregate rules (and the local rules downstream of
+   them) are recomputed from scratch and their relations replaced, so
+   non-monotonic updates (a better best-path displacing a worse one)
+   are handled by view refresh rather than by distributed deletion.
+   View tuples located at other nodes are shipped as inserts; remote
+   view deletion is not supported (none of the paper's programs need
+   it), and [check] rejects programs that would require it.
+
+   Prerequisite: the program must be localized ({!Ndlog.Localize}) —
+   every rule body reads a single location. *)
+
+module Ast = Ndlog.Ast
+module Store = Ndlog.Store
+module Eval = Ndlog.Eval
+module Env = Ndlog.Env
+module Analysis = Ndlog.Analysis
+module Value = Ndlog.Value
+module Softstate = Ndlog.Softstate
+
+type msg = {
+  pred : string;
+  tuple : Store.Tuple.t;
+}
+
+type node_state = {
+  name : string;
+  mutable store : Store.t;
+  mutable expiry : Softstate.Expiry.t;
+  mutable inserts : int;  (* local tuple insertions *)
+}
+
+type t = {
+  program : Ast.program;
+  info : Analysis.info;
+  sim : msg Netsim.Sim.t;
+  nodes : (string, node_state) Hashtbl.t;
+  (* Predicates computed as refreshed views (aggregate strata and their
+     local downstream). *)
+  view_preds : string list;
+  view_program : Ast.program;  (* the rules that define the views *)
+  (* Compiled dataflow strands of the pipelined rules, indexed by their
+     trigger (delta) predicate: the Click execution model. *)
+  strands : (string, Ndlog.Plan.strand list) Hashtbl.t;
+  mutable refresh_pending : bool;
+}
+
+exception Not_localized of string
+
+(* Location value of a tuple for a located predicate. *)
+let tuple_location (a : int option) (tuple : Store.Tuple.t) : string option =
+  match a with
+  | Some i when i < Array.length tuple -> Some (Value.as_addr tuple.(i))
+  | _ -> None
+
+(* The location index declared for each predicate, from rule heads and
+   facts. *)
+let loc_index_map (p : Ast.program) : (string, int) Hashtbl.t =
+  let m = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ast.rule) ->
+      match r.head.Ast.head_loc with
+      | Some i -> Hashtbl.replace m r.head.Ast.head_pred i
+      | None -> ())
+    p.rules;
+  List.iter
+    (fun (f : Ast.fact) ->
+      match f.Ast.fact_loc with
+      | Some i -> Hashtbl.replace m f.Ast.fact_pred i
+      | None -> ())
+    p.facts;
+  List.iter
+    (fun (r : Ast.rule) ->
+      List.iter
+        (fun (a : Ast.atom) ->
+          match a.Ast.loc with
+          | Some i -> Hashtbl.replace m a.Ast.pred i
+          | None -> ())
+        (Ast.body_atoms r.body))
+    p.rules;
+  m
+
+(* Split the program: aggregate rules and every rule transitively
+   depending on an aggregate head become "view" rules, refreshed from
+   scratch; everything else is pipelined. *)
+let split_views (p : Ast.program) : string list * Ast.program * Ast.program =
+  let agg_heads =
+    List.filter_map
+      (fun (r : Ast.rule) ->
+        if Ast.has_aggregate r.head then Some r.head.Ast.head_pred else None)
+      p.rules
+  in
+  let rec saturate views =
+    let more =
+      List.filter_map
+        (fun (r : Ast.rule) ->
+          let head = r.head.Ast.head_pred in
+          if List.mem head views then None
+          else if List.exists (fun q -> List.mem q views) (Ast.body_preds r.body)
+          then Some head
+          else None)
+        p.rules
+    in
+    if more = [] then views else saturate (List.sort_uniq String.compare (views @ more))
+  in
+  let views = saturate (List.sort_uniq String.compare agg_heads) in
+  let view_rules, pipeline_rules =
+    List.partition
+      (fun (r : Ast.rule) -> List.mem r.head.Ast.head_pred views)
+      p.rules
+  in
+  ( views,
+    { p with Ast.rules = view_rules; facts = [] },
+    { p with Ast.rules = pipeline_rules } )
+
+let rec create ?(seed = 42) (topo : Netsim.Topology.t) (program : Ast.program) : t =
+  (match Ndlog.Localize.check_localized program with
+  | Ok () -> ()
+  | Error e -> raise (Not_localized (Fmt.str "%a" Ndlog.Localize.pp_error e)));
+  let info = Analysis.analyze_exn program in
+  let sim = Netsim.Sim.create ~seed topo in
+  let nodes = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace nodes n
+        {
+          name = n;
+          store = Store.empty;
+          expiry = Softstate.Expiry.create program.Ast.decls;
+          inserts = 0;
+        })
+    (Netsim.Topology.nodes topo);
+  let view_preds, view_program, pipeline_program = split_views program in
+  let strands = Hashtbl.create 32 in
+  List.iter
+    (fun (st : Ndlog.Plan.strand) ->
+      match st.Ndlog.Plan.delta_pred with
+      | Some pred ->
+        Hashtbl.replace strands pred
+          (st
+          :: (match Hashtbl.find_opt strands pred with
+             | Some l -> l
+             | None -> []))
+      | None -> ())
+    (Ndlog.Plan.compile_program pipeline_program);
+  (* Restore program order within each trigger's strand list. *)
+  let strands' = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun pred l -> Hashtbl.replace strands' pred (List.rev l))
+    strands;
+  let t =
+    {
+      program = pipeline_program;
+      info;
+      sim;
+      nodes;
+      view_preds;
+      view_program;
+      strands = strands';
+      refresh_pending = false;
+    }
+  in
+  (* Wire the message handler: a received tuple is inserted locally. *)
+  List.iter
+    (fun n ->
+      Netsim.Sim.set_handler sim n (fun _sim ~self ~src:_ m ->
+          insert t self m.pred m.tuple))
+    (Netsim.Topology.nodes topo);
+  t
+
+and node t name =
+  match Hashtbl.find_opt t.nodes name with
+  | Some n -> n
+  | None -> invalid_arg ("Dist.Runtime: unknown node " ^ name)
+
+(* Route a derived head tuple: insert locally or ship. *)
+and emit t (self : string) (loc : int option) pred tuple =
+  match tuple_location loc tuple with
+  | Some owner when owner <> self ->
+    ignore (Netsim.Sim.send t.sim ~src:self ~dst:owner { pred; tuple })
+  | _ -> insert t self pred tuple
+
+(* Pipelined semi-naive: react to one freshly inserted tuple by running
+   the strands triggered by its predicate (the Click execution model;
+   strand execution is differentially tested against [Eval.body_envs]
+   in the plan test suite). *)
+and propagate t (self : string) pred (tuple : Store.Tuple.t) =
+  let ns = node t self in
+  match Hashtbl.find_opt t.strands pred with
+  | None -> ()
+  | Some strands ->
+    List.iter
+      (fun (st : Ndlog.Plan.strand) ->
+        let head = st.Ndlog.Plan.strand_rule.Ast.head in
+        List.iter
+          (fun ht -> emit t self head.Ast.head_loc head.Ast.head_pred ht)
+          (Ndlog.Plan.execute ns.store ~delta_tuple:tuple st))
+      strands
+
+and insert t (self : string) pred (tuple : Store.Tuple.t) =
+  let ns = node t self in
+  let now = Netsim.Sim.now t.sim in
+  (* Refresh the soft-state lease even when the tuple is known. *)
+  ns.expiry <- Softstate.Expiry.insert ns.expiry ~now pred tuple;
+  if Softstate.Expiry.is_soft ns.expiry pred then schedule_expiry t self;
+  if not (Store.mem pred tuple ns.store) then begin
+    ns.store <- Store.add pred tuple ns.store;
+    ns.inserts <- ns.inserts + 1;
+    propagate t self pred tuple;
+    if t.view_preds <> [] then request_refresh t
+  end
+
+(* Schedule a sweep at the node's next soft-state deadline. *)
+and schedule_expiry t self =
+  let ns = node t self in
+  match Softstate.Expiry.next_deadline ns.expiry with
+  | None -> ()
+  | Some deadline ->
+    let delay = max 0.0 (deadline -. Netsim.Sim.now t.sim) +. 1e-9 in
+    Netsim.Sim.schedule t.sim ~delay (fun () -> sweep t self)
+
+and sweep t self =
+  let ns = node t self in
+  let now = Netsim.Sim.now t.sim in
+  let store', expiry' = Softstate.Expiry.sweep ns.expiry ~now ns.store in
+  if not (Store.equal store' ns.store) then begin
+    ns.store <- store';
+    ns.expiry <- expiry';
+    if t.view_preds <> [] then request_refresh t
+  end
+  else ns.expiry <- expiry'
+
+(* View refresh is batched through a zero-delay event so that a burst of
+   insertions triggers one recomputation. *)
+and request_refresh t =
+  if not t.refresh_pending then begin
+    t.refresh_pending <- true;
+    Netsim.Sim.schedule t.sim ~delay:0.0 (fun () ->
+        t.refresh_pending <- false;
+        refresh_views t)
+  end
+
+and refresh_views t =
+  Hashtbl.iter
+    (fun self ns ->
+      (* Recompute views from the non-view part of the local store. *)
+      let base =
+        Store.restrict
+          (List.filter
+             (fun p -> not (List.mem p t.view_preds))
+             (Store.preds ns.store))
+          ns.store
+      in
+      (* Evaluate view rules against the base store. *)
+      let info = t.info in
+      let result = Eval.seminaive t.view_program info base in
+      let fresh = result.Eval.db in
+      (* Replace local view relations; ship remote view tuples. *)
+      let locs = loc_index_map t.view_program in
+      List.iter
+        (fun pred ->
+          let new_rel = Store.relation pred fresh in
+          let old_rel = Store.relation pred ns.store in
+          let local_new =
+            Store.Tset.filter
+              (fun tuple ->
+                match tuple_location (Hashtbl.find_opt locs pred) tuple with
+                | Some owner -> owner = self
+                | None -> true)
+              new_rel
+          in
+          let remote_new =
+            Store.Tset.filter
+              (fun tuple ->
+                match tuple_location (Hashtbl.find_opt locs pred) tuple with
+                | Some owner -> owner <> self
+                | None -> false)
+              new_rel
+          in
+          if not (Store.Tset.equal local_new old_rel) then
+            ns.store <- Store.set_relation pred local_new ns.store;
+          Store.Tset.iter
+            (fun tuple ->
+              ignore
+                (Netsim.Sim.send t.sim ~src:self
+                   ~dst:(Option.get (tuple_location (Hashtbl.find_opt locs pred) tuple))
+                   { pred; tuple }))
+            remote_new)
+        t.view_preds)
+    t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Driving a run. *)
+
+(* Load the program's facts into their owning nodes (at time zero, via
+   zero-delay self events so ordering is deterministic). *)
+let load_facts t =
+  List.iter
+    (fun (f : Ast.fact) ->
+      let tuple = Array.of_list f.Ast.fact_args in
+      match tuple_location f.Ast.fact_loc tuple with
+      | Some owner ->
+        Netsim.Sim.schedule t.sim ~delay:0.0 (fun () ->
+            insert t owner f.Ast.fact_pred tuple)
+      | None ->
+        (* Unlocated facts are broadcast to every node. *)
+        Hashtbl.iter
+          (fun owner _ ->
+            Netsim.Sim.schedule t.sim ~delay:0.0 (fun () ->
+                insert t owner f.Ast.fact_pred tuple))
+          t.nodes)
+    t.program.Ast.facts
+
+type run_report = {
+  stats : Netsim.Sim.stats;
+  total_inserts : int;
+}
+
+let run ?(until = infinity) ?(max_events = 1_000_000) t =
+  let stats = Netsim.Sim.run ~until ~max_events t.sim in
+  let total_inserts =
+    Hashtbl.fold (fun _ ns acc -> acc + ns.inserts) t.nodes 0
+  in
+  { stats; total_inserts }
+
+(* The union of all node stores: the global database the distributed
+   execution computed; comparable against the centralized evaluator. *)
+let global_store t =
+  Hashtbl.fold (fun _ ns acc -> Store.union ns.store acc) t.nodes Store.empty
+
+let node_store t name = (node t name).store
+
+let simulator t = t.sim

@@ -1,0 +1,54 @@
+(** Distributed NDlog execution (the P2 substitute; arc 7 of the
+    paper's Figure 1).
+
+    Every simulator node runs the same {e localized} program
+    ({!Ndlog.Localize}) over its own tuple store.  Execution is
+    pipelined semi-naive: inserting a tuple triggers the rules reading
+    its predicate with the new tuple as the delta; derived heads
+    located at the executing node recurse locally, heads located
+    elsewhere become network messages.
+
+    Aggregate strata are maintained as locally refreshed views, so
+    non-monotonic updates (a better best-path displacing a worse one)
+    are handled by replacement rather than distributed deletion; view
+    tuples located at other nodes ship as inserts.  Soft-state tuples
+    expire per their [materialize] lifetimes, with leases refreshed on
+    re-insertion. *)
+
+(** A tuple on the wire. *)
+type msg = {
+  pred : string;
+  tuple : Ndlog.Store.Tuple.t;
+}
+
+type t
+
+exception Not_localized of string
+
+val create : ?seed:int -> Netsim.Topology.t -> Ndlog.Ast.program -> t
+(** @raise Not_localized when some rule body spans locations (run
+    {!Ndlog.Localize.rewrite_program} first).
+    @raise Invalid_argument on analysis failure. *)
+
+val load_facts : t -> unit
+(** Schedule the program's facts for insertion at their owning nodes at
+    time zero (unlocated facts broadcast). *)
+
+val insert : t -> string -> string -> Ndlog.Store.Tuple.t -> unit
+(** [insert t node pred tuple]: immediate local insertion (also the
+    message handler). *)
+
+type run_report = {
+  stats : Netsim.Sim.stats;
+  total_inserts : int;  (** local tuple insertions across all nodes *)
+}
+
+val run : ?until:float -> ?max_events:int -> t -> run_report
+
+val global_store : t -> Ndlog.Store.t
+(** Union of all node stores: the global database the distributed
+    execution computed (comparable against the centralized
+    evaluator). *)
+
+val node_store : t -> string -> Ndlog.Store.t
+val simulator : t -> msg Netsim.Sim.t

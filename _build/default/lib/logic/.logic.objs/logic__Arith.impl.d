@@ -1,0 +1,1 @@
+lib/logic/arith.ml: Formula List Map Ndlog Term

@@ -1,0 +1,1 @@
+lib/logic/certify.ml: Arith Array Checker Completion Fmt Formula List Ndlog Proof Sequent Term Theory

@@ -1,0 +1,1 @@
+lib/logic/certify.mli: Formula Ndlog Proof Theory

@@ -1,0 +1,1 @@
+lib/logic/checker.ml: Arith Fmt Formula List Ndlog Printf Proof Result Sequent String Term Theory Translate

@@ -1,0 +1,1 @@
+lib/logic/checker.mli: Fmt Proof Sequent Theory

@@ -1,0 +1,1 @@
+lib/logic/completion.ml: Array Fmt Formula List Ndlog Printf String Term Theory Translate

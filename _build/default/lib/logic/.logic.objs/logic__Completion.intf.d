@@ -1,0 +1,1 @@
+lib/logic/completion.mli: Formula Ndlog Term Theory

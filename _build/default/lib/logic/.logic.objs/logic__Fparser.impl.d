@@ -1,0 +1,1 @@
+lib/logic/fparser.ml: Buffer Formula List Ndlog Printf String Term

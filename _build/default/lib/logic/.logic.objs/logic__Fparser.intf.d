@@ -1,0 +1,1 @@
+lib/logic/fparser.mli: Formula

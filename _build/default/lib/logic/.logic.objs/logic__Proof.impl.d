@@ -1,0 +1,1 @@
+lib/logic/proof.ml: Fmt Formula List String Term

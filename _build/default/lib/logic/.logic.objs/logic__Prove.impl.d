@@ -1,0 +1,1 @@
+lib/logic/prove.ml: Arith Checker Fmt Formula List Option Proof Sequent Sys Term Theory

@@ -1,0 +1,1 @@
+lib/logic/prove.mli: Formula Proof Sequent Theory

@@ -1,0 +1,1 @@
+lib/logic/sequent.ml: Fmt Formula List Printf Term

@@ -1,0 +1,1 @@
+lib/logic/tactic.ml: Arith Checker Fmt Formula List Proof Prove Sequent Term Theory

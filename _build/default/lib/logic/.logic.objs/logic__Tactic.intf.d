@@ -1,0 +1,1 @@
+lib/logic/tactic.mli: Formula Proof Sequent Term Theory

@@ -1,0 +1,1 @@
+lib/logic/term.ml: Fmt List Map Ndlog Option Set String

@@ -1,0 +1,1 @@
+lib/logic/term.mli: Fmt Map Ndlog Set String

@@ -1,0 +1,1 @@
+lib/logic/theory.ml: Fmt Formula List Ndlog Printf

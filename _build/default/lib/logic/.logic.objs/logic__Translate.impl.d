@@ -1,0 +1,1 @@
+lib/logic/translate.ml: Formula List Ndlog Term

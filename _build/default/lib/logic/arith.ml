@@ -1,0 +1,137 @@
+(* Linear integer arithmetic decision procedure (the [arith] proof rule).
+
+   Decides unsatisfiability of a conjunction of literals of the form
+   [t1 = t2], [t1 < t2], [t1 <= t2] and their negations, where terms are
+   linear combinations of integer constants and atomic terms
+   (uninterpreted terms are treated as opaque integer-valued variables).
+
+   Method: normalize every literal to [e >= 0]; integer-strengthen strict
+   inequalities ([a < b] becomes [b - a - 1 >= 0]); run Fourier–Motzkin
+   elimination over the rationals.  Rational unsatisfiability implies
+   integer unsatisfiability, so the procedure is sound (and incomplete:
+   integrality-only contradictions such as [2x = 1] are not detected).
+
+   The rule presumes all compared terms denote integers; the theory
+   layer only emits comparisons on metric (cost) positions, which are
+   integers throughout this code base. *)
+
+module Tmap = Map.Make (Term)
+
+(* A constraint: sum of coeff * atom + const >= 0. *)
+type linexp = {
+  coeffs : int Tmap.t;
+  const : int;
+}
+
+let lzero = { coeffs = Tmap.empty; const = 0 }
+let lconst n = { coeffs = Tmap.empty; const = n }
+
+let ladd a b =
+  {
+    coeffs =
+      Tmap.union (fun _ x y -> if x + y = 0 then None else Some (x + y)) a.coeffs b.coeffs
+    |> Tmap.filter (fun _ c -> c <> 0);
+    const = a.const + b.const;
+  }
+
+let lscale k e =
+  if k = 0 then lzero
+  else { coeffs = Tmap.map (fun c -> c * k) e.coeffs; const = e.const * k }
+
+let lsub a b = ladd a (lscale (-1) b)
+
+let latom t = { coeffs = Tmap.singleton t 1; const = 0 }
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let normalize e =
+  let g =
+    Tmap.fold (fun _ c acc -> gcd acc c) e.coeffs (abs e.const)
+  in
+  if g <= 1 then e
+  else
+    (* Dividing a ">= 0" constraint by a positive g preserves it for the
+       rational relaxation; round the constant down (sound: weaker). *)
+    {
+      coeffs = Tmap.map (fun c -> c / g) e.coeffs;
+      const =
+        (if e.const >= 0 then e.const / g
+         else -(((-e.const) + g - 1) / g));
+    }
+
+(* Linearize a term.  Non-linear or uninterpreted subterms become atoms. *)
+let rec linearize (t : Term.t) : linexp =
+  match t with
+  | Term.Cst (Ndlog.Value.Int n) -> lconst n
+  | Term.Fn ("+", [ a; b ]) -> ladd (linearize a) (linearize b)
+  | Term.Fn ("-", [ a; b ]) -> lsub (linearize a) (linearize b)
+  | Term.Fn ("*", [ Term.Cst (Ndlog.Value.Int k); a ]) -> lscale k (linearize a)
+  | Term.Fn ("*", [ a; Term.Cst (Ndlog.Value.Int k) ]) -> lscale k (linearize a)
+  | _ -> latom t
+
+(* Translate a literal to zero or more [e >= 0] constraints.  Literals the
+   procedure cannot use (uninterpreted atoms, disequalities) contribute
+   nothing: dropping constraints is sound for unsatisfiability. *)
+let rec constraints_of (f : Formula.t) : linexp list =
+  match f with
+  | Formula.Le (a, b) -> [ lsub (linearize b) (linearize a) ]
+  | Formula.Lt (a, b) -> [ ladd (lsub (linearize b) (linearize a)) (lconst (-1)) ]
+  | Formula.Eq (a, b) ->
+    let d = lsub (linearize a) (linearize b) in
+    [ d; lscale (-1) d ]
+  | Formula.Not (Formula.Le (a, b)) -> constraints_of (Formula.Lt (b, a))
+  | Formula.Not (Formula.Lt (a, b)) -> constraints_of (Formula.Le (b, a))
+  | Formula.Not (Formula.Not g) -> constraints_of g
+  | _ -> []
+
+(* Fourier–Motzkin: eliminate atoms one by one; unsat iff a constant
+   constraint with negative constant appears. *)
+let rec fm (cs : linexp list) : bool =
+  (* Check ground contradictions first. *)
+  if List.exists (fun e -> Tmap.is_empty e.coeffs && e.const < 0) cs then true
+  else
+    let with_vars = List.filter (fun e -> not (Tmap.is_empty e.coeffs)) cs in
+    match with_vars with
+    | [] -> false
+    | e :: _ ->
+      let x, _ = Tmap.choose e.coeffs in
+      let coeff_of e = match Tmap.find_opt x e.coeffs with Some c -> c | None -> 0 in
+      let pos = List.filter (fun e -> coeff_of e > 0) cs in
+      let negs = List.filter (fun e -> coeff_of e < 0) cs in
+      let rest = List.filter (fun e -> coeff_of e = 0) cs in
+      let combined =
+        List.concat_map
+          (fun p ->
+            let a = coeff_of p in
+            List.map
+              (fun n ->
+                let b = -coeff_of n in
+                normalize (ladd (lscale b p) (lscale a n)))
+              negs)
+          pos
+      in
+      (* Size guard: FM can blow up; cap the working set.  Giving up is
+         sound (we simply fail to prove unsat). *)
+      let next = rest @ combined in
+      if List.length next > 4000 then false else fm next
+
+(* [unsat literals] decides whether the conjunction of literals is
+   unsatisfiable over the integers (sound, incomplete). *)
+let unsat (literals : Formula.t list) : bool =
+  let cs = List.concat_map constraints_of literals in
+  fm (List.map normalize cs)
+
+(* [entails hyps goal]: the hypotheses entail an arithmetic goal when
+   hyps plus the goal's negation are unsatisfiable. *)
+let entails (hyps : Formula.t list) (goal : Formula.t) : bool =
+  match goal with
+  | Formula.Eq (a, b) ->
+    (* The negation of an equality is a disjunction (a < b or b < a),
+       which Fourier–Motzkin cannot take conjunctively: refute each
+       disjunct separately. *)
+    unsat (Formula.Lt (a, b) :: hyps) && unsat (Formula.Lt (b, a) :: hyps)
+  | Formula.Le _ | Formula.Lt _
+  | Formula.Not (Formula.Le _ | Formula.Lt _ | Formula.Eq _) ->
+    unsat (Formula.Not goal :: hyps)
+  | Formula.Fls -> unsat hyps
+  | _ -> false

@@ -1,0 +1,25 @@
+(** Linear integer arithmetic: the kernel's [arith] decision procedure.
+
+    Decides unsatisfiability of conjunctions of literals [t1 = t2],
+    [t1 < t2], [t1 <= t2] (and their negations) where terms are linear
+    combinations of integer constants and atomic terms (uninterpreted
+    subterms are treated as opaque integer variables).
+
+    Method: normalize to [e >= 0] constraints, integer-strengthen strict
+    inequalities ([a < b] becomes [b - a - 1 >= 0]), run Fourier–Motzkin
+    elimination over the rationals.  Rational unsatisfiability implies
+    integer unsatisfiability, so the procedure is sound; it is
+    incomplete (integrality-only contradictions such as [2x = 1] are
+    missed), and it presumes compared terms denote integers. *)
+
+val unsat : Formula.t list -> bool
+(** Is the conjunction of literals unsatisfiable over the integers?
+    Unusable literals (uninterpreted atoms, disequalities) are dropped,
+    which is sound for unsatisfiability. *)
+
+val entails : Formula.t list -> Formula.t -> bool
+(** [entails hyps goal]: do the hypotheses entail an arithmetic goal?
+    Equality goals are proved as two strict-inequality refutations
+    (their negation is a disjunction, which Fourier–Motzkin cannot take
+    conjunctively).  Goals outside the arithmetic fragment return
+    [false]. *)

@@ -1,0 +1,189 @@
+(* Certified provenance: compile an operational derivation tree
+   ({!Ndlog.Provenance}) into a kernel-checked proof that the derived
+   ground atom follows from the program's logical specification plus its
+   base facts.
+
+   This is the executable form of the paper's soundness footnote ("the
+   equivalence of NDlog's proof-theoretic semantics and operational
+   semantics"): every tuple the engine derives can be turned into a
+   sequent-calculus proof that the kernel accepts.
+
+   Scope: positive, non-aggregate derivation steps (negated premises
+   would require closed-world axioms, and aggregates have no iff
+   definition); use it on the recursive core of a program (paths,
+   reachability), which is where provenance matters. *)
+
+module Prov = Ndlog.Provenance
+module Ast = Ndlog.Ast
+
+type certificate = {
+  cert_theory : Theory.t;  (* completion + base-fact axioms *)
+  cert_goal : Formula.t;  (* the ground atom *)
+  cert_proof : Proof.t;
+  cert_checked : bool;
+}
+
+let ground_atom pred (tuple : Ndlog.Store.Tuple.t) =
+  Formula.Atom (pred, Array.to_list (Array.map (fun v -> Term.Cst v) tuple))
+
+exception Unsupported of string
+
+(* Find the axiom naming a given ground fact. *)
+let fact_axiom thy (goal : Formula.t) : string =
+  match
+    List.find_opt
+      (fun (e : Theory.entry) -> Formula.equal e.Theory.formula goal)
+      thy.Theory.entries
+  with
+  | Some e -> e.Theory.name
+  | None -> raise (Unsupported (Fmt.str "no fact axiom for %a" Formula.pp goal))
+
+(* Index of [rule] among the non-aggregate rules defining its head (the
+   completion lists disjuncts in this order). *)
+let disjunct_index (program : Ast.program) (rule : Ast.rule) : int * int =
+  let pred = rule.Ast.head.Ast.head_pred in
+  let plain =
+    List.filter
+      (fun (r : Ast.rule) ->
+        r.Ast.head.Ast.head_pred = pred && not (Ast.has_aggregate r.Ast.head))
+      program.Ast.rules
+  in
+  let rec find i = function
+    | [] -> raise (Unsupported ("rule not found for " ^ pred))
+    | r :: rest -> if r == rule || r = rule then (i, List.length plain) else find (i + 1) rest
+  in
+  find 0 plain
+
+(* Prove a ground formula, delegating atoms to [prove_atom]. *)
+let rec prove_ground prove_atom (f : Formula.t) : Proof.t =
+  match f with
+  | Formula.Tru -> Proof.TrueR
+  | Formula.And (a, b) ->
+    Proof.AndR (prove_ground prove_atom a, prove_ground prove_atom b)
+  | Formula.Atom (p, args) ->
+    let values =
+      List.map
+        (fun t ->
+          match Term.eval t with
+          | Some v -> v
+          | None ->
+            raise (Unsupported (Fmt.str "non-ground atom argument %a" Term.pp t)))
+        args
+    in
+    prove_atom p (Array.of_list values)
+  | Formula.Eq _ | Formula.Lt _ | Formula.Le _ | Formula.Not _ -> (
+    match Formula.ground_decide f with
+    | Some true -> Proof.Eval
+    | _ ->
+      if Arith.entails [] f then Proof.Arith
+      else raise (Unsupported (Fmt.str "cannot discharge %a" Formula.pp f)))
+  | _ -> raise (Unsupported (Fmt.str "unexpected formula %a" Formula.pp f))
+
+(* Prove disjunct [i] of a left-folded Or tree of [n] disjuncts. *)
+let rec prove_disjunct_at prove_one (f : Formula.t) i n : Proof.t =
+  if n = 1 then prove_one f
+  else
+    match f with
+    | Formula.Or (left, last) ->
+      if i = n - 1 then Proof.OrR2 (prove_one last)
+      else Proof.OrR1 (prove_disjunct_at prove_one left i (n - 1))
+    | _ -> raise (Unsupported "completion disjunction shape mismatch")
+
+let certify (program : Ast.program) (derivation : Prov.derivation) :
+    (certificate, string) result =
+  let thy =
+    Theory.merge
+      (Completion.theory_of_program program)
+      (Completion.theory_of_store (Ndlog.Store.of_facts program.Ast.facts))
+  in
+  let rec proof_of (d : Prov.derivation) : Proof.t =
+    match d with
+    | Prov.Fact (p, t) ->
+      let goal = ground_atom p t in
+      Proof.AxiomR (fact_axiom thy goal, Proof.Assumption)
+    | Prov.Step s ->
+      if s.Prov.neg_checks <> [] then
+        raise (Unsupported "negated premises are not certifiable");
+      if Ast.has_aggregate s.Prov.rule.Ast.head then
+        raise (Unsupported "aggregate steps are not certifiable");
+      let pred, tuple = s.Prov.conclusion in
+      let entry =
+        match Theory.definition_of pred thy with
+        | Some e -> e
+        | None -> raise (Unsupported ("no definition for " ^ pred))
+      in
+      let ts = Array.to_list (Array.map (fun v -> Term.Cst v) tuple) in
+      (* Instantiate the definition with the tuple. *)
+      let rec instantiate cur ts wrap =
+        match cur, ts with
+        | Formula.All (x, body), t :: rest ->
+          instantiate (Formula.subst1 x t body) rest (fun p ->
+              wrap (Proof.AllL (cur, t, p)))
+        | Formula.Iff (lhs, rhs), [] -> (wrap, Formula.Iff (lhs, rhs), rhs)
+        | _ -> raise (Unsupported "definition shape mismatch")
+      in
+      let chain, iff_inst, rhs = instantiate entry.Theory.formula ts (fun p -> p) in
+      let rhs_to_p =
+        match iff_inst with
+        | Formula.Iff (a, b) -> Formula.Imp (b, a)
+        | _ -> assert false
+      in
+      (* Prove the rhs disjunct corresponding to the step's rule. *)
+      let i, n = disjunct_index program s.Prov.rule in
+      let env = Ndlog.Env.of_list s.Prov.binding in
+      let prove_atom p t =
+        (* find the matching premise derivation *)
+        match
+          List.find_opt
+            (fun d ->
+              let p', t' = Prov.conclusion d in
+              p' = p && Ndlog.Store.Tuple.equal t' t)
+            s.Prov.premises
+        with
+        | Some d -> proof_of d
+        | None ->
+          raise
+            (Unsupported
+               (Fmt.str "missing premise %s%a" p Ndlog.Store.Tuple.pp t))
+      in
+      let rec prove_one (f : Formula.t) : Proof.t =
+        (* peel existentials with witnesses from the binding *)
+        match f with
+        | Formula.Ex (x, body) ->
+          let w =
+            match Ndlog.Env.find_opt x env with
+            | Some v -> Term.Cst v
+            | None ->
+              raise (Unsupported ("no witness for existential " ^ x))
+          in
+          Proof.ExR (w, prove_one (Formula.subst1 x w body))
+        | f -> prove_ground prove_atom f
+      in
+      let rhs_proof = prove_disjunct_at prove_one rhs i n in
+      Proof.AxiomR
+        ( entry.Theory.name,
+          chain
+            (Proof.IffL
+               (iff_inst, Proof.ImpL (rhs_to_p, rhs_proof, Proof.Assumption)))
+        )
+  in
+  match proof_of derivation with
+  | exception Unsupported msg -> Error msg
+  | proof -> (
+    let pred, tuple = Prov.conclusion derivation in
+    let goal = ground_atom pred tuple in
+    match Checker.check thy (Sequent.make goal) proof with
+    | Ok () ->
+      Ok { cert_theory = thy; cert_goal = goal; cert_proof = proof; cert_checked = true }
+    | Error e ->
+      Error (Fmt.str "kernel rejected the certificate: %a" Checker.pp_error e))
+
+(* One-call convenience: evaluate, explain, certify. *)
+let certify_tuple (program : Ast.program) pred tuple :
+    (certificate, string) result =
+  match Ndlog.Eval.run program with
+  | Error e -> Error (Fmt.str "%a" Ndlog.Analysis.pp_error e)
+  | Ok o -> (
+    match Ndlog.Provenance.explain program o.Ndlog.Eval.db pred tuple with
+    | Error e -> Error e
+    | Ok d -> certify program d)

@@ -1,0 +1,36 @@
+(** Certified provenance: compile an operational derivation tree
+    ({!Ndlog.Provenance}) into a kernel-checked proof that the derived
+    ground atom follows from the program's completion plus its base
+    facts.
+
+    This is the executable form of the paper's soundness footnote ("the
+    equivalence of NDlog's proof-theoretic semantics and operational
+    semantics"): every tuple the engine derives can be turned into a
+    sequent-calculus proof that the kernel accepts.
+
+    Scope: positive, non-aggregate derivation steps.  Negated premises
+    would need closed-world axioms, and aggregates have no iff
+    definition; both produce a descriptive error. *)
+
+type certificate = {
+  cert_theory : Theory.t;  (** completion + base-fact axioms *)
+  cert_goal : Formula.t;  (** the ground atom *)
+  cert_proof : Proof.t;
+  cert_checked : bool;  (** always true in returned certificates *)
+}
+
+val ground_atom : string -> Ndlog.Store.Tuple.t -> Formula.t
+
+val certify :
+  Ndlog.Ast.program ->
+  Ndlog.Provenance.derivation ->
+  (certificate, string) result
+(** Compile a derivation into a checked proof. *)
+
+val certify_tuple :
+  Ndlog.Ast.program ->
+  string ->
+  Ndlog.Store.Tuple.t ->
+  (certificate, string) result
+(** One call: evaluate the program, explain the tuple, certify the
+    derivation. *)

@@ -1,0 +1,280 @@
+(* The proof checker: the trusted kernel.
+
+   [check thy sequent proof] re-validates every inference in [proof]
+   against the sequent calculus below.  Anything the prover produces is
+   only believed after this function accepts it.  The semantic leaves
+   are [Arith] (linear integer arithmetic over hypothesis literals) and
+   [Eval] (ground evaluation of interpreted symbols); both are decision
+   procedures in the PVS tradition. *)
+
+type error = {
+  rule : string;
+  sequent : Sequent.t;
+  reason : string;
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "rule %s failed (%s) on sequent:@.%a" e.rule e.reason Sequent.pp
+    e.sequent
+
+exception Check_failed of error
+
+let fail rule sequent reason = raise (Check_failed { rule; sequent; reason })
+
+(* Fresh-constant side condition for eigenvariable rules. *)
+let require_fresh rule s c =
+  if Term.Sset.mem c (Sequent.constants s) then
+    fail rule s (Printf.sprintf "constant %s is not fresh" c)
+
+let skolem c = Term.Fn (c, [])
+
+(* Subgoals of fixpoint induction on [pred] for the sequent's goal
+   [forall xs. pred(xs) => Phi]; shared between the kernel rule and the
+   [induct] tactic so both construct identical sequents.  Sound because
+   NDlog predicates denote the least fixpoint of their rules: any
+   property closed under every rule holds of every derivable tuple. *)
+let induction_subgoals (thy : Theory.t) (s : Sequent.t) (pred : string) :
+    (Sequent.t list, string) result =
+  match Theory.inductive_of pred thy with
+  | None -> Error (pred ^ " is not an inductive predicate")
+  | Some ind -> (
+    let rec peel n acc f =
+      if n = 0 then (List.rev acc, f)
+      else
+        match f with
+        | Formula.All (x, b) -> peel (n - 1) (x :: acc) b
+        | _ -> (List.rev acc, f)
+    in
+    let xs, body = peel ind.Theory.ind_arity [] s.goal in
+    if List.length xs <> ind.Theory.ind_arity then
+      Error "goal does not quantify over the predicate's arity"
+    else if List.length (List.sort_uniq String.compare xs) <> List.length xs
+    then Error "duplicate bound variables in the goal"
+    else
+      match body with
+      | Formula.Imp (Formula.Atom (p, args), phi)
+        when p = pred
+             && List.for_all2 (fun a x -> Term.equal a (Term.Var x)) args xs
+        -> (
+        let phi_at ts =
+          Formula.apply_subst (Term.subst_of_list (List.combine xs ts)) phi
+        in
+        try
+          Ok
+            (List.map
+               (fun (rule : Ndlog.Ast.rule) ->
+                 if Ndlog.Ast.has_aggregate rule.Ndlog.Ast.head then
+                   failwith "aggregate rules do not admit induction";
+                 (* Skolemize the rule's variables, fresh for the sequent. *)
+                 let used = ref (Sequent.constants s) in
+                 let sigma =
+                   Term.Sset.fold
+                     (fun v acc ->
+                       let rec pick i =
+                         let c =
+                           if i = 0 then v else Printf.sprintf "%s_%d" v i
+                         in
+                         if Term.Sset.mem c !used then pick (i + 1)
+                         else begin
+                           used := Term.Sset.add c !used;
+                           c
+                         end
+                       in
+                       Term.Smap.add v (Term.Fn (pick 0, [])) acc)
+                     (Ndlog.Ast.rule_vars rule) Term.Smap.empty
+                 in
+                 let inst f = Formula.apply_subst sigma f in
+                 let body_hyps =
+                   List.map
+                     (fun l -> inst (Translate.formula_of_lit l))
+                     rule.Ndlog.Ast.body
+                 in
+                 let ih_hyps =
+                   List.filter_map
+                     (function
+                       | Ndlog.Ast.Pos a when a.Ndlog.Ast.pred = pred ->
+                         Some
+                           (phi_at
+                              (List.map
+                                 (fun e ->
+                                   Term.apply_subst sigma
+                                     (Translate.term_of_expr e))
+                                 a.Ndlog.Ast.args))
+                       | _ -> None)
+                     rule.Ndlog.Ast.body
+                 in
+                 let head_ts =
+                   List.map (Term.apply_subst sigma)
+                     (Translate.head_terms rule.Ndlog.Ast.head)
+                 in
+                 List.fold_left
+                   (fun sq h -> Sequent.add_hyp h sq)
+                   (Sequent.set_goal (phi_at head_ts) s)
+                   (body_hyps @ ih_hyps))
+               ind.Theory.ind_rules)
+        with Failure m -> Error m)
+      | _ ->
+        Error
+          "goal must have the shape: forall xs. pred(xs) => Phi (with bare \
+           variable arguments)")
+
+let rec check_rec (thy : Theory.t) (s : Sequent.t) (p : Proof.t) : unit =
+  match p with
+  | Proof.Assumption ->
+    if not (Sequent.has_hyp s.goal s) then
+      fail "assumption" s "goal is not among the hypotheses"
+  | Proof.TrueR -> (
+    match s.goal with
+    | Formula.Tru -> ()
+    | _ -> fail "trueR" s "goal is not true")
+  | Proof.FalseL ->
+    if not (Sequent.has_hyp Formula.Fls s) then
+      fail "falseL" s "false is not among the hypotheses"
+  | Proof.Arith ->
+    if not (Arith.entails s.hyps s.goal) then
+      fail "arith" s "linear arithmetic cannot close this sequent"
+  | Proof.Eval -> (
+    match Formula.ground_decide s.goal with
+    | Some true -> ()
+    | Some false -> fail "eval" s "goal evaluates to false"
+    | None -> fail "eval" s "goal is not ground-decidable")
+  | Proof.EvalL f -> (
+    if not (Sequent.has_hyp f s) then fail "evalL" s "no such hypothesis"
+    else
+      match Formula.ground_decide f with
+      | Some false -> ()
+      | Some true -> fail "evalL" s "hypothesis evaluates to true"
+      | None -> fail "evalL" s "hypothesis is not ground-decidable")
+  | Proof.AndR (pa, pb) -> (
+    match s.goal with
+    | Formula.And (a, b) ->
+      check_rec thy (Sequent.set_goal a s) pa;
+      check_rec thy (Sequent.set_goal b s) pb
+    | _ -> fail "andR" s "goal is not a conjunction")
+  | Proof.OrR1 q -> (
+    match s.goal with
+    | Formula.Or (a, _) -> check_rec thy (Sequent.set_goal a s) q
+    | _ -> fail "orR1" s "goal is not a disjunction")
+  | Proof.OrR2 q -> (
+    match s.goal with
+    | Formula.Or (_, b) -> check_rec thy (Sequent.set_goal b s) q
+    | _ -> fail "orR2" s "goal is not a disjunction")
+  | Proof.ImpR q -> (
+    match s.goal with
+    | Formula.Imp (a, b) ->
+      check_rec thy (Sequent.add_hyp a (Sequent.set_goal b s)) q
+    | _ -> fail "impR" s "goal is not an implication")
+  | Proof.IffR (pa, pb) -> (
+    match s.goal with
+    | Formula.Iff (a, b) ->
+      check_rec thy (Sequent.set_goal (Formula.Imp (a, b)) s) pa;
+      check_rec thy (Sequent.set_goal (Formula.Imp (b, a)) s) pb
+    | _ -> fail "iffR" s "goal is not an iff")
+  | Proof.NotR q -> (
+    match s.goal with
+    | Formula.Not a ->
+      check_rec thy (Sequent.add_hyp a (Sequent.set_goal Formula.Fls s)) q
+    | _ -> fail "notR" s "goal is not a negation")
+  | Proof.AllR (c, q) -> (
+    match s.goal with
+    | Formula.All (x, body) ->
+      require_fresh "allR" s c;
+      check_rec thy (Sequent.set_goal (Formula.subst1 x (skolem c) body) s) q
+    | _ -> fail "allR" s "goal is not universally quantified")
+  | Proof.ExR (w, q) -> (
+    match s.goal with
+    | Formula.Ex (x, body) ->
+      check_rec thy (Sequent.set_goal (Formula.subst1 x w body) s) q
+    | _ -> fail "exR" s "goal is not existentially quantified")
+  | Proof.AndL (f, q) -> (
+    if not (Sequent.has_hyp f s) then fail "andL" s "no such hypothesis"
+    else
+      match f with
+      | Formula.And (a, b) ->
+        check_rec thy
+          (Sequent.add_hyp a (Sequent.add_hyp b (Sequent.remove_hyp f s)))
+          q
+      | _ -> fail "andL" s "hypothesis is not a conjunction")
+  | Proof.OrL (f, pa, pb) -> (
+    if not (Sequent.has_hyp f s) then fail "orL" s "no such hypothesis"
+    else
+      match f with
+      | Formula.Or (a, b) ->
+        let s' = Sequent.remove_hyp f s in
+        check_rec thy (Sequent.add_hyp a s') pa;
+        check_rec thy (Sequent.add_hyp b s') pb
+      | _ -> fail "orL" s "hypothesis is not a disjunction")
+  | Proof.ImpL (f, pant, pcont) -> (
+    if not (Sequent.has_hyp f s) then fail "impL" s "no such hypothesis"
+    else
+      match f with
+      | Formula.Imp (a, b) ->
+        check_rec thy (Sequent.set_goal a s) pant;
+        check_rec thy (Sequent.add_hyp b s) pcont
+      | _ -> fail "impL" s "hypothesis is not an implication")
+  | Proof.IffL (f, q) -> (
+    if not (Sequent.has_hyp f s) then fail "iffL" s "no such hypothesis"
+    else
+      match f with
+      | Formula.Iff (a, b) ->
+        let s' =
+          Sequent.add_hyp (Formula.Imp (a, b))
+            (Sequent.add_hyp (Formula.Imp (b, a)) (Sequent.remove_hyp f s))
+        in
+        check_rec thy s' q
+      | _ -> fail "iffL" s "hypothesis is not an iff")
+  | Proof.NotL (f, q) -> (
+    if not (Sequent.has_hyp f s) then fail "notL" s "no such hypothesis"
+    else
+      match f with
+      | Formula.Not a ->
+        check_rec thy
+          (Sequent.add_hyp
+             (Formula.Imp (a, Formula.Fls))
+             (Sequent.remove_hyp f s))
+          q
+      | _ -> fail "notL" s "hypothesis is not a negation")
+  | Proof.AllL (f, w, q) -> (
+    if not (Sequent.has_hyp f s) then fail "allL" s "no such hypothesis"
+    else
+      match f with
+      | Formula.All (x, body) ->
+        check_rec thy (Sequent.add_hyp (Formula.subst1 x w body) s) q
+      | _ -> fail "allL" s "hypothesis is not universally quantified")
+  | Proof.ExL (f, c, q) -> (
+    if not (Sequent.has_hyp f s) then fail "exL" s "no such hypothesis"
+    else
+      match f with
+      | Formula.Ex (x, body) ->
+        require_fresh "exL" s c;
+        check_rec thy
+          (Sequent.add_hyp
+             (Formula.subst1 x (skolem c) body)
+             (Sequent.remove_hyp f s))
+          q
+      | _ -> fail "exL" s "hypothesis is not existentially quantified")
+  | Proof.AxiomR (name, q) -> (
+    match Theory.find name thy with
+    | Some entry -> check_rec thy (Sequent.add_hyp entry.Theory.formula s) q
+    | None -> fail "axiom" s (Printf.sprintf "no axiom named %s" name))
+  | Proof.Cut (f, pf, q) ->
+    check_rec thy (Sequent.set_goal f s) pf;
+    check_rec thy (Sequent.add_hyp f s) q
+  | Proof.Induct (pred, subs) -> check_induct thy s pred subs
+
+and check_induct thy (s : Sequent.t) pred subs =
+  match induction_subgoals thy s pred with
+  | Error msg -> fail "induct" s msg
+  | Ok subgoals ->
+    if List.length subs <> List.length subgoals then
+      fail "induct" s
+        (Printf.sprintf "expected %d subproofs (one per rule), got %d"
+           (List.length subgoals) (List.length subs));
+    List.iter2 (fun sq sub -> check_rec thy sq sub) subgoals subs
+
+let check thy sequent proof : (unit, error) result =
+  match check_rec thy sequent proof with
+  | () -> Ok ()
+  | exception Check_failed e -> Error e
+
+let is_valid thy sequent proof = Result.is_ok (check thy sequent proof)

@@ -1,0 +1,32 @@
+(** The proof checker: the trusted kernel.
+
+    [check thy sequent proof] re-validates every inference of [proof]
+    against the sequent calculus.  Nothing the prover or tactic layer
+    produces is believed until this function accepts it.  The semantic
+    leaves are [Arith] ({!Arith.entails}) and [Eval]
+    ({!Formula.ground_decide}) — decision procedures in the PVS
+    tradition — plus the fixpoint-induction rule, which consults the
+    theory's inductive registrations. *)
+
+type error = {
+  rule : string;
+  sequent : Sequent.t;
+  reason : string;
+}
+
+val pp_error : error Fmt.t
+
+exception Check_failed of error
+
+val induction_subgoals :
+  Theory.t -> Sequent.t -> string -> (Sequent.t list, string) result
+(** Subgoals of fixpoint induction on a predicate, for a goal of shape
+    [forall xs. pred(xs) => Phi]: one per defining rule, hypothesizing
+    the (skolemized) rule body plus the induction hypothesis for
+    recursive body atoms.  Shared between the kernel rule and the
+    [induct] tactic so both construct identical sequents. *)
+
+val check : Theory.t -> Sequent.t -> Proof.t -> (unit, error) result
+(** Validate a proof of a sequent. *)
+
+val is_valid : Theory.t -> Sequent.t -> Proof.t -> bool

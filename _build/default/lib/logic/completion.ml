@@ -1,0 +1,259 @@
+(* Arc 4 of the paper (Figure 1): automatic compilation of NDlog
+   programs into logical specifications.
+
+   Following the proof-theoretic semantics of Datalog, the set of rules
+   defining a predicate becomes an inductively defined predicate — the
+   iff-completion (the paper shows the PVS [INDUCTIVE bool] for [path]):
+
+     path(S,D,P,C) <=> (link(S,D,C) /\ P = f_init(S,D))
+                    \/ (exists C1 C2 P2 Z. link(S,Z,C1) /\ ...)
+
+   Aggregate rules (min / max heads) are not first-order definable as an
+   iff; they instead generate the characteristic axioms the paper's
+   route-optimality proof rests on:
+
+   - lower/upper bound: the aggregate result bounds every group member;
+   - membership: the result is achieved by some member;
+   - totality: a non-empty group has an aggregate result;
+   - functionality: at most one result per group.
+
+   Location specifiers are erased: verification concerns the global
+   fixpoint semantics, which localization preserves (tested in
+   [test_dist.ml]). *)
+
+module Ast = Ndlog.Ast
+
+let term_of_expr = Translate.term_of_expr
+let formula_of_lit = Translate.formula_of_lit
+
+let body_formula (body : Ast.lit list) : Formula.t =
+  Formula.conj (List.map formula_of_lit body)
+
+(* Canonical head variables for a predicate of arity n. *)
+let head_vars n = List.init n (fun i -> Printf.sprintf "A%d" i)
+
+module Sset = Term.Sset
+
+(* One disjunct of the completion for a non-aggregate rule: rename rule
+   variables so that bare-variable head arguments coincide with the
+   canonical head variables, then existentially close the rest. *)
+let rule_disjunct (hvars : string list) (r : Ast.rule) : Formula.t =
+  let args =
+    List.map
+      (function
+        | Ast.Plain e -> e
+        | Ast.Agg _ -> invalid_arg "rule_disjunct: aggregate head")
+      r.Ast.head.Ast.head_args
+  in
+  (* First pass: rename distinct bare-variable arguments to head vars. *)
+  let rename, eqs =
+    List.fold_left2
+      (fun (rename, eqs) hv arg ->
+        match arg with
+        | Ast.Var x when not (Term.Smap.mem x rename) ->
+          (Term.Smap.add x (Term.Var hv) rename, eqs)
+        | e -> (rename, Formula.Eq (Term.Var hv, term_of_expr e) :: eqs))
+      (Term.Smap.empty, []) hvars args
+  in
+  let body = Formula.apply_subst rename (body_formula r.Ast.body) in
+  let constraints =
+    List.map (Formula.apply_subst rename) (List.rev eqs)
+  in
+  let full = Formula.conj ((body :: constraints) |> List.filter (fun f -> f <> Formula.Tru)) in
+  let full = if Formula.equal full Formula.Tru then Formula.Tru else full in
+  (* Existentially quantify remaining free variables (rule locals). *)
+  let free = Formula.fv full in
+  let locals =
+    Sset.elements (Sset.diff free (Sset.of_list hvars))
+  in
+  Formula.ex_list locals full
+
+(* The iff-completion of predicate [pred] from its non-aggregate rules. *)
+let completion_of_pred pred arity (rules : Ast.rule list) : Formula.t =
+  let hvars = head_vars arity in
+  let lhs = Formula.Atom (pred, List.map (fun v -> Term.Var v) hvars) in
+  let rhs = Formula.disj (List.map (rule_disjunct hvars) rules) in
+  Formula.all_list hvars (Formula.Iff (lhs, rhs))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate axioms. *)
+
+(* For rule [q(K1..Km, agg<C>) :- body]: the "group key" is the plain
+   head arguments, the aggregate column is C. *)
+type agg_info = {
+  agg_pred : string;
+  agg : Ast.agg;
+  key_args : Ast.expr list;
+  agg_var : string;
+  agg_index : int;
+  body : Ast.lit list;
+}
+
+let agg_info_of_rule (r : Ast.rule) : agg_info option =
+  let head = r.Ast.head in
+  let rec find i = function
+    | [] -> None
+    | Ast.Agg (a, x) :: _ -> Some (i, a, x)
+    | Ast.Plain _ :: rest -> find (i + 1) rest
+  in
+  match find 0 head.Ast.head_args with
+  | None -> None
+  | Some (i, a, x) ->
+    let keys =
+      List.filter_map
+        (function Ast.Plain e -> Some e | Ast.Agg _ -> None)
+        head.Ast.head_args
+    in
+    Some
+      {
+        agg_pred = head.Ast.head_pred;
+        agg = a;
+        key_args = keys;
+        agg_var = x;
+        agg_index = i;
+        body = r.Ast.body;
+      }
+
+(* Rebuild the full head argument list with [v] in the aggregate slot. *)
+let head_args_with info (keys : Term.t list) (v : Term.t) : Term.t list =
+  let rec insert i = function
+    | rest when i = info.agg_index -> v :: rest
+    | [] -> [ v ]
+    | k :: rest -> k :: insert (i + 1) rest
+  in
+  insert 0 keys
+
+(* Axioms for one aggregate rule.  Key variables are canonicalized like
+   rule_disjunct; body variables stay as is (they are fresh wrt K/V). *)
+let aggregate_axioms (info : agg_info) : (string * Formula.t) list =
+  let n_keys = List.length info.key_args in
+  let kvars = List.init n_keys (fun i -> Printf.sprintf "K%d" i) in
+  let vvar = "V" in
+  (* Rename body so key positions use K-variables; constrain complex key
+     arguments with equalities. *)
+  let rename, eqs =
+    List.fold_left2
+      (fun (rename, eqs) kv arg ->
+        match arg with
+        | Ast.Var x when not (Term.Smap.mem x rename) ->
+          (Term.Smap.add x (Term.Var kv) rename, eqs)
+        | e -> (rename, Formula.Eq (Term.Var kv, term_of_expr e) :: eqs))
+      (Term.Smap.empty, []) kvars info.key_args
+  in
+  let body =
+    Formula.conj
+      (List.map (Formula.apply_subst rename) (List.map formula_of_lit info.body)
+      @ List.rev_map (Formula.apply_subst rename) eqs)
+  in
+  let agg_term = Term.apply_subst rename (Term.Var info.agg_var) in
+  let kterms = List.map (fun v -> Term.Var v) kvars in
+  let q args = Formula.Atom (info.agg_pred, args) in
+  let q_v = q (head_args_with info kterms (Term.Var vvar)) in
+  let body_vars =
+    Sset.elements
+      (Sset.diff (Formula.fv body) (Sset.of_list (vvar :: kvars)))
+  in
+  let all_body f = Formula.all_list body_vars f in
+  let ex_body f = Formula.ex_list body_vars f in
+  let bound_axiom cmp =
+    (* forall K V bodyvars. q(K,V) /\ body => cmp(V, aggvar) *)
+    Formula.all_list (kvars @ [ vvar ])
+      (all_body
+         (Formula.imp
+            (Formula.And (q_v, body))
+            (cmp (Term.Var vvar) agg_term)))
+  in
+  let membership =
+    (* forall K V. q(K,V) => exists bodyvars. body[agg := V].  When the
+       aggregated column is a bare variable, substituting it directly
+       keeps the axiom equation-free, which the prover exploits; the
+       general form falls back to an explicit equality. *)
+    match agg_term with
+    | Term.Var av ->
+      let body_m = Formula.subst1 av (Term.Var vvar) body in
+      let mvars = List.filter (fun v -> v <> av) body_vars in
+      Formula.all_list (kvars @ [ vvar ])
+        (Formula.imp q_v (Formula.ex_list mvars body_m))
+    | _ ->
+      Formula.all_list (kvars @ [ vvar ])
+        (Formula.imp q_v
+           (ex_body (Formula.And (body, Formula.Eq (agg_term, Term.Var vvar)))))
+  in
+  let totality =
+    (* forall K bodyvars. body => exists V. q(K,V) *)
+    Formula.all_list kvars
+      (all_body
+         (Formula.imp body (Formula.Ex (vvar, q_v))))
+  in
+  let functional =
+    let v2 = "V'" in
+    let q_v2 = q (head_args_with info kterms (Term.Var v2)) in
+    Formula.all_list
+      (kvars @ [ vvar; v2 ])
+      (Formula.imp (Formula.And (q_v, q_v2)) (Formula.Eq (Term.Var vvar, Term.Var v2)))
+  in
+  let base = [
+    (info.agg_pred ^ "_mem", membership);
+    (info.agg_pred ^ "_tot", totality);
+    (info.agg_pred ^ "_fun", functional);
+  ]
+  in
+  match info.agg with
+  | Ast.Min -> (info.agg_pred ^ "_lb", bound_axiom Formula.le) :: base
+  | Ast.Max -> (info.agg_pred ^ "_ub", bound_axiom Formula.ge) :: base
+  | Ast.Count | Ast.Sum -> base
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program translation. *)
+
+let theory_of_program ?(name_prefix = "") (p : Ast.program) : Theory.t =
+  let arities =
+    match Ndlog.Analysis.schema p with
+    | Ok m -> m
+    | Error e ->
+      invalid_arg (Fmt.str "Completion: bad program: %a" Ndlog.Analysis.pp_error e)
+  in
+  let derived =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Ast.rule) -> r.Ast.head.Ast.head_pred) p.Ast.rules)
+  in
+  List.fold_left
+    (fun thy pred ->
+      let rules =
+        List.filter (fun (r : Ast.rule) -> r.Ast.head.Ast.head_pred = pred) p.Ast.rules
+      in
+      let agg_rules, plain_rules =
+        List.partition (fun (r : Ast.rule) -> Ast.has_aggregate r.Ast.head) rules
+      in
+      let thy =
+        if plain_rules = [] then thy
+        else
+          let arity = Ndlog.Analysis.Smap.find pred arities in
+          Theory.add_definition ~pred
+            (name_prefix ^ pred ^ "_def")
+            (completion_of_pred pred arity plain_rules)
+            thy
+          |> Theory.add_inductive ~pred ~arity ~rules:plain_rules
+      in
+      List.fold_left
+        (fun thy (r : Ast.rule) ->
+          match agg_info_of_rule r with
+          | None -> thy
+          | Some info ->
+            List.fold_left
+              (fun thy (nm, f) -> Theory.add (name_prefix ^ nm) f thy)
+              thy (aggregate_axioms info))
+        thy agg_rules)
+    Theory.empty derived
+
+(* Ground facts of a database as axioms, for instance-level proofs. *)
+let theory_of_store ?(name_prefix = "fact") (db : Ndlog.Store.t) : Theory.t =
+  let i = ref 0 in
+  List.fold_left
+    (fun thy (pred, tuple) ->
+      incr i;
+      Theory.add
+        (Printf.sprintf "%s_%d" name_prefix !i)
+        (Formula.Atom (pred, Array.to_list (Array.map (fun v -> Term.Cst v) tuple)))
+        thy)
+    Theory.empty (Ndlog.Store.to_list db)

@@ -1,0 +1,51 @@
+(** Arc 4 of the paper (Figure 1): automatic compilation of NDlog
+    programs into logical specifications.
+
+    Following the proof-theoretic semantics of Datalog, the rule set of
+    each predicate becomes an inductively defined predicate — the
+    iff-completion (the PVS [INDUCTIVE bool] the paper shows for
+    [path]).  Aggregate rules are not first-order definable as an iff;
+    they generate the characteristic axioms the paper's
+    route-optimality proof rests on (bound, membership, totality,
+    functionality).  Location specifiers are erased: verification
+    concerns the global fixpoint semantics, which localization
+    preserves. *)
+
+val term_of_expr : Ndlog.Ast.expr -> Term.t
+val formula_of_lit : Ndlog.Ast.lit -> Formula.t
+
+val body_formula : Ndlog.Ast.lit list -> Formula.t
+(** Conjunction of the body literals' formulas. *)
+
+val completion_of_pred : string -> int -> Ndlog.Ast.rule list -> Formula.t
+(** [completion_of_pred pred arity rules] is
+    [forall A0..An. pred(A0..An) <=> D1 \/ ... \/ Dk] where each [Di]
+    existentially closes rule [i]'s body over its local variables. *)
+
+(** Decomposition of an aggregate rule. *)
+type agg_info = {
+  agg_pred : string;
+  agg : Ndlog.Ast.agg;
+  key_args : Ndlog.Ast.expr list;  (** the plain (group-by) head args *)
+  agg_var : string;  (** the aggregated body variable *)
+  agg_index : int;  (** position of the aggregate in the head *)
+  body : Ndlog.Ast.lit list;
+}
+
+val agg_info_of_rule : Ndlog.Ast.rule -> agg_info option
+
+val aggregate_axioms : agg_info -> (string * Formula.t) list
+(** Named axioms for one aggregate rule:
+    [<pred>_lb]/[<pred>_ub] (the min/max bound), [<pred>_mem]
+    (membership: the result is achieved by some row), [<pred>_tot]
+    (totality), [<pred>_fun] (functionality). *)
+
+val theory_of_program : ?name_prefix:string -> Ndlog.Ast.program -> Theory.t
+(** The full translation: one [Definition] ([<pred>_def]) plus an
+    inductive registration per derived predicate, and the aggregate
+    axioms per aggregate rule.
+    @raise Invalid_argument on ill-formed programs. *)
+
+val theory_of_store : ?name_prefix:string -> Ndlog.Store.t -> Theory.t
+(** Ground facts as axioms ([fact_1], [fact_2], ...) for instance-level
+    proofs (see {!Certify}). *)

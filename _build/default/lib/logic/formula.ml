@@ -1,0 +1,164 @@
+(* First-order formulas with equality and integer comparisons.
+
+   Comparisons are normalized at construction: only [Lt] and [Le] exist
+   ([a > b] is stored as [b < a]).  Negation, implication, etc. are all
+   primitive so that proof rules stay syntax-directed. *)
+
+type t =
+  | Atom of string * Term.t list
+  | Eq of Term.t * Term.t
+  | Lt of Term.t * Term.t
+  | Le of Term.t * Term.t
+  | Tru
+  | Fls
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | All of string * t
+  | Ex of string * t
+
+(* Terms contain only comparable payloads (strings, Value.t), so the
+   polymorphic comparison is a sound total order here. *)
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+(* Smart constructors. *)
+let atom p args = Atom (p, args)
+let eq a b = Eq (a, b)
+let lt a b = Lt (a, b)
+let le a b = Le (a, b)
+let gt a b = Lt (b, a)
+let ge a b = Le (b, a)
+let neg f = Not f
+
+let conj = function [] -> Tru | f :: fs -> List.fold_left (fun a b -> And (a, b)) f fs
+let disj = function [] -> Fls | f :: fs -> List.fold_left (fun a b -> Or (a, b)) f fs
+
+let imp a b = Imp (a, b)
+let iff a b = Iff (a, b)
+let all x f = All (x, f)
+let ex x f = Ex (x, f)
+let all_list xs f = List.fold_right (fun x g -> All (x, g)) xs f
+let ex_list xs f = List.fold_right (fun x g -> Ex (x, g)) xs f
+
+module Sset = Term.Sset
+
+let rec free_vars acc = function
+  | Atom (_, args) -> List.fold_left Term.free_vars acc args
+  | Eq (a, b) | Lt (a, b) | Le (a, b) ->
+    Term.free_vars (Term.free_vars acc a) b
+  | Tru | Fls -> acc
+  | Not f -> free_vars acc f
+  | And (a, b) | Or (a, b) | Imp (a, b) | Iff (a, b) ->
+    free_vars (free_vars acc a) b
+  | All (x, f) | Ex (x, f) -> Sset.union acc (Sset.remove x (free_vars Sset.empty f))
+
+let fv f = free_vars Sset.empty f
+let is_closed f = Sset.is_empty (fv f)
+
+(* Capture-avoiding substitution.  Bound variables clashing with the
+   substitution's range are renamed. *)
+let freshen =
+  let counter = ref 0 in
+  fun x ->
+    incr counter;
+    Printf.sprintf "%s'%d" x !counter
+
+let rec apply_subst (s : Term.subst) (f : t) : t =
+  match f with
+  | Atom (p, args) -> Atom (p, List.map (Term.apply_subst s) args)
+  | Eq (a, b) -> Eq (Term.apply_subst s a, Term.apply_subst s b)
+  | Lt (a, b) -> Lt (Term.apply_subst s a, Term.apply_subst s b)
+  | Le (a, b) -> Le (Term.apply_subst s a, Term.apply_subst s b)
+  | Tru -> Tru
+  | Fls -> Fls
+  | Not g -> Not (apply_subst s g)
+  | And (a, b) -> And (apply_subst s a, apply_subst s b)
+  | Or (a, b) -> Or (apply_subst s a, apply_subst s b)
+  | Imp (a, b) -> Imp (apply_subst s a, apply_subst s b)
+  | Iff (a, b) -> Iff (apply_subst s a, apply_subst s b)
+  | All (x, g) -> quantified s (fun x g -> All (x, g)) x g
+  | Ex (x, g) -> quantified s (fun x g -> Ex (x, g)) x g
+
+and quantified s rebuild x g =
+  (* Remove the bound variable from the substitution. *)
+  let s = Term.Smap.remove x s in
+  if Term.Smap.is_empty s then rebuild x g
+  else
+    (* Rename if some substituted term captures x. *)
+    let range_vars =
+      Term.Smap.fold (fun _ t acc -> Sset.union acc (Term.vars t)) s Sset.empty
+    in
+    if Sset.mem x range_vars then begin
+      let x' = freshen x in
+      let g' = apply_subst (Term.Smap.singleton x (Term.Var x')) g in
+      rebuild x' (apply_subst s g')
+    end
+    else rebuild x (apply_subst s g)
+
+let subst1 x t f = apply_subst (Term.Smap.singleton x t) f
+
+(* All terms occurring in a formula (instantiation candidates). *)
+let rec terms acc = function
+  | Atom (_, args) -> List.fold_left (fun acc t -> Term.subterms acc t) acc args
+  | Eq (a, b) | Lt (a, b) | Le (a, b) ->
+    Term.subterms (Term.subterms acc a) b
+  | Tru | Fls -> acc
+  | Not f -> terms acc f
+  | And (a, b) | Or (a, b) | Imp (a, b) | Iff (a, b) -> terms (terms acc a) b
+  | All (_, f) | Ex (_, f) -> terms acc f
+
+(* ------------------------------------------------------------------ *)
+(* Ground evaluation: decide a closed, quantifier-free formula whose
+   atoms are all interpreted (equality and comparisons over computable
+   terms).  Returns None if any part is uninterpreted. *)
+
+let rec ground_decide : t -> bool option = function
+  | Tru -> Some true
+  | Fls -> Some false
+  | Eq (a, b) -> (
+    match Term.eval a, Term.eval b with
+    | Some x, Some y -> Some (Ndlog.Value.equal x y)
+    | _ -> None)
+  | Lt (a, b) -> (
+    match Term.eval a, Term.eval b with
+    | Some x, Some y -> Some (Ndlog.Value.compare x y < 0)
+    | _ -> None)
+  | Le (a, b) -> (
+    match Term.eval a, Term.eval b with
+    | Some x, Some y -> Some (Ndlog.Value.compare x y <= 0)
+    | _ -> None)
+  | Not f -> Option.map not (ground_decide f)
+  | And (a, b) -> lift2 ( && ) a b
+  | Or (a, b) -> lift2 ( || ) a b
+  | Imp (a, b) -> lift2 (fun x y -> (not x) || y) a b
+  | Iff (a, b) -> lift2 ( = ) a b
+  | Atom _ | All _ | Ex _ -> None
+
+and lift2 op a b =
+  match ground_decide a, ground_decide b with
+  | Some x, Some y -> Some (op x y)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+
+let rec pp ppf = function
+  | Atom (p, []) -> Fmt.string ppf p
+  | Atom (p, args) ->
+    Fmt.pf ppf "%s(%a)" p Fmt.(list ~sep:(any ", ") Term.pp) args
+  | Eq (a, b) -> Fmt.pf ppf "%a = %a" Term.pp a Term.pp b
+  | Lt (a, b) -> Fmt.pf ppf "%a < %a" Term.pp a Term.pp b
+  | Le (a, b) -> Fmt.pf ppf "%a <= %a" Term.pp a Term.pp b
+  | Tru -> Fmt.string ppf "true"
+  | Fls -> Fmt.string ppf "false"
+  | Not f -> Fmt.pf ppf "~(%a)" pp f
+  | And (a, b) -> Fmt.pf ppf "(%a /\\ %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a \\/ %a)" pp a pp b
+  | Imp (a, b) -> Fmt.pf ppf "(%a => %a)" pp a pp b
+  | Iff (a, b) -> Fmt.pf ppf "(%a <=> %a)" pp a pp b
+  | All (x, f) -> Fmt.pf ppf "(forall %s. %a)" x pp f
+  | Ex (x, f) -> Fmt.pf ppf "(exists %s. %a)" x pp f
+
+let to_string f = Fmt.str "%a" pp f

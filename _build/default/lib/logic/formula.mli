@@ -1,0 +1,72 @@
+(** First-order formulas with equality and integer comparisons.
+
+    Comparisons are normalized at construction ([a > b] is stored as
+    [b < a]); all connectives are primitive so proof rules stay
+    syntax-directed. *)
+
+type t =
+  | Atom of string * Term.t list
+  | Eq of Term.t * Term.t
+  | Lt of Term.t * Term.t
+  | Le of Term.t * Term.t
+  | Tru
+  | Fls
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | All of string * t
+  | Ex of string * t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** {1 Smart constructors} *)
+
+val atom : string -> Term.t list -> t
+val eq : Term.t -> Term.t -> t
+val lt : Term.t -> Term.t -> t
+val le : Term.t -> Term.t -> t
+val gt : Term.t -> Term.t -> t
+val ge : Term.t -> Term.t -> t
+val neg : t -> t
+
+val conj : t list -> t
+(** Left-folded conjunction; [conj \[\] = Tru]. *)
+
+val disj : t list -> t
+(** Left-folded disjunction; [disj \[\] = Fls]. *)
+
+val imp : t -> t -> t
+val iff : t -> t -> t
+val all : string -> t -> t
+val ex : string -> t -> t
+val all_list : string list -> t -> t
+val ex_list : string list -> t -> t
+
+(** {1 Variables and substitution} *)
+
+module Sset = Term.Sset
+
+val free_vars : Sset.t -> t -> Sset.t
+val fv : t -> Sset.t
+val is_closed : t -> bool
+
+val apply_subst : Term.subst -> t -> t
+(** Capture-avoiding: clashing binders are renamed. *)
+
+val subst1 : string -> Term.t -> t -> t
+
+val terms : Term.t list -> t -> Term.t list
+(** All terms occurring in the formula (instantiation candidates),
+    accumulated. *)
+
+val ground_decide : t -> bool option
+(** Decide a closed, quantifier-free formula whose atoms are all
+    interpreted (equality/comparisons over computable terms); [None]
+    when any part is uninterpreted.  One of the kernel's two decision
+    procedures. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,316 @@
+(* A parser for first-order formulas, so properties can be stated as
+   text (the fvnc CLI's [--goal], test fixtures, documentation).
+
+   Syntax (precedence low to high: iff, imp, or, and, not):
+
+     formula ::= forall idents . formula
+               | exists idents . formula
+               | iff
+     iff     ::= imp [ <=> iff ]
+     imp     ::= or  [ => imp ]             (right associative)
+     or      ::= and { OR and }             (OR is backslash-slash)
+     and     ::= not { AND not }            (AND is slash-backslash)
+     not     ::= ~ not | true | false | ( formula )
+               | pred ( terms ) | term cmp term
+     cmp     ::= = | != | < | <= | > | >=
+     term    ::= sum;  sum ::= prod { (+|-) prod }
+     prod    ::= prim { * prim }
+     prim    ::= INT | STRING | ident [ ( terms ) ] | ( term )
+
+   Identifier interpretation: names bound by an enclosing quantifier are
+   variables; other capitalized names are free variables; lowercase
+   names are constants (0-ary functions) or function/predicate
+   applications. *)
+
+exception Parse_error of string
+
+type token =
+  | ID of string
+  | INT of int
+  | STR of string
+  | LP
+  | RP
+  | COMMA
+  | DOT
+  | TILDE
+  | AND
+  | OR
+  | IMP
+  | IFF
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | EOF
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (LP :: acc)
+      | ')' -> go (i + 1) (RP :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | '.' -> go (i + 1) (DOT :: acc)
+      | '~' -> go (i + 1) (TILDE :: acc)
+      | '+' -> go (i + 1) (PLUS :: acc)
+      | '-' -> go (i + 1) (MINUS :: acc)
+      | '*' -> go (i + 1) (STAR :: acc)
+      | '/' when i + 1 < n && src.[i + 1] = '\\' -> go (i + 2) (AND :: acc)
+      | '\\' when i + 1 < n && src.[i + 1] = '/' -> go (i + 2) (OR :: acc)
+      | '=' when i + 1 < n && src.[i + 1] = '>' -> go (i + 2) (IMP :: acc)
+      | '=' -> go (i + 1) (EQ :: acc)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (NE :: acc)
+      | '<' when i + 2 < n && src.[i + 1] = '=' && src.[i + 2] = '>' ->
+        go (i + 3) (IFF :: acc)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (LE :: acc)
+      | '<' -> go (i + 1) (LT :: acc)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (GE :: acc)
+      | '>' -> go (i + 1) (GT :: acc)
+      | '"' ->
+        let j = ref (i + 1) in
+        let buf = Buffer.create 8 in
+        while !j < n && src.[!j] <> '"' do
+          Buffer.add_char buf src.[!j];
+          incr j
+        done;
+        if !j >= n then raise (Parse_error "unterminated string");
+        go (!j + 1) (STR (Buffer.contents buf) :: acc)
+      | '0' .. '9' ->
+        let j = ref i in
+        while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do
+          incr j
+        done;
+        go !j (INT (int_of_string (String.sub src i (!j - i))) :: acc)
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let j = ref i in
+        while
+          !j < n
+          && (match src.[!j] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        go !j (ID (String.sub src i (!j - i)) :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0 []
+
+type state = {
+  mutable toks : token list;
+  mutable bound : string list;  (* quantified names in scope *)
+}
+
+let peek st = match st.toks with t :: _ -> t | [] -> EOF
+
+let next st =
+  match st.toks with
+  | t :: rest ->
+    st.toks <- rest;
+    t
+  | [] -> EOF
+
+let expect st t what =
+  let got = next st in
+  if got <> t then raise (Parse_error ("expected " ^ what))
+
+let is_capitalized s =
+  String.length s > 0 && match s.[0] with 'A' .. 'Z' -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Terms. *)
+
+let rec parse_term st : Term.t =
+  let lhs = parse_prod st in
+  match peek st with
+  | PLUS ->
+    ignore (next st);
+    Term.Fn ("+", [ lhs; parse_term st ])
+  | MINUS ->
+    ignore (next st);
+    Term.Fn ("-", [ lhs; parse_term st ])
+  | _ -> lhs
+
+and parse_prod st : Term.t =
+  let lhs = parse_prim st in
+  match peek st with
+  | STAR ->
+    ignore (next st);
+    Term.Fn ("*", [ lhs; parse_prod st ])
+  | _ -> lhs
+
+and parse_prim st : Term.t =
+  match next st with
+  | INT n -> Term.int n
+  | STR s -> Term.Cst (Ndlog.Value.Str s)
+  | LP ->
+    let t = parse_term st in
+    expect st RP "')'";
+    t
+  | ID name -> (
+    match peek st with
+    | LP ->
+      ignore (next st);
+      let args = parse_term_args st in
+      Term.Fn (name, args)
+    | _ ->
+      if List.mem name st.bound || is_capitalized name then Term.Var name
+      else Term.Fn (name, []))
+  | _ -> raise (Parse_error "expected a term")
+
+and parse_term_args st : Term.t list =
+  match peek st with
+  | RP ->
+    ignore (next st);
+    []
+  | _ ->
+    let rec go acc =
+      let t = parse_term st in
+      match next st with
+      | COMMA -> go (t :: acc)
+      | RP -> List.rev (t :: acc)
+      | _ -> raise (Parse_error "expected ',' or ')'")
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Formulas. *)
+
+let cmp_formula op a b : Formula.t =
+  match op with
+  | EQ -> Formula.Eq (a, b)
+  | NE -> Formula.Not (Formula.Eq (a, b))
+  | LT -> Formula.Lt (a, b)
+  | LE -> Formula.Le (a, b)
+  | GT -> Formula.Lt (b, a)
+  | GE -> Formula.Le (b, a)
+  | _ -> assert false
+
+let rec parse_formula st : Formula.t =
+  match peek st with
+  | ID "forall" -> parse_quant st (fun x f -> Formula.All (x, f))
+  | ID "exists" -> parse_quant st (fun x f -> Formula.Ex (x, f))
+  | _ -> parse_iff st
+
+and parse_quant st rebuild : Formula.t =
+  ignore (next st);
+  let rec idents acc =
+    match peek st with
+    | ID x when x <> "forall" && x <> "exists" ->
+      ignore (next st);
+      idents (x :: acc)
+    | DOT ->
+      ignore (next st);
+      List.rev acc
+    | _ -> raise (Parse_error "expected identifiers then '.'")
+  in
+  let xs = idents [] in
+  if xs = [] then raise (Parse_error "quantifier binds no variables");
+  let saved = st.bound in
+  st.bound <- xs @ st.bound;
+  let body = parse_formula st in
+  st.bound <- saved;
+  List.fold_right rebuild xs body
+
+and parse_iff st : Formula.t =
+  let lhs = parse_imp st in
+  match peek st with
+  | IFF ->
+    ignore (next st);
+    Formula.Iff (lhs, parse_iff st)
+  | _ -> lhs
+
+and parse_imp st : Formula.t =
+  let lhs = parse_or st in
+  match peek st with
+  | IMP ->
+    ignore (next st);
+    Formula.Imp (lhs, parse_imp st)
+  | _ -> lhs
+
+and parse_or st : Formula.t =
+  let lhs = parse_and st in
+  match peek st with
+  | OR ->
+    ignore (next st);
+    Formula.Or (lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st : Formula.t =
+  let lhs = parse_not st in
+  match peek st with
+  | AND ->
+    ignore (next st);
+    Formula.And (lhs, parse_and st)
+  | _ -> lhs
+
+and parse_not st : Formula.t =
+  match peek st with
+  | TILDE ->
+    ignore (next st);
+    Formula.Not (parse_not st)
+  | ID "true" ->
+    ignore (next st);
+    Formula.Tru
+  | ID "false" ->
+    ignore (next st);
+    Formula.Fls
+  | ID ("forall" | "exists") -> parse_formula st
+  | LP ->
+    (* Could be a parenthesized formula or a parenthesized term followed
+       by a comparison; try formula first by lookahead on the closing
+       context.  We parse as formula and fall back to term-comparison on
+       failure. *)
+    parse_paren_or_cmp st
+  | _ -> parse_atom_or_cmp st
+
+and parse_paren_or_cmp st : Formula.t =
+  let saved_toks = st.toks and saved_bound = st.bound in
+  (try
+     ignore (next st);
+     let f = parse_formula st in
+     expect st RP "')'";
+     f
+   with Parse_error _ ->
+     st.toks <- saved_toks;
+     st.bound <- saved_bound;
+     parse_atom_or_cmp st)
+
+and parse_atom_or_cmp st : Formula.t =
+  (* An atom [pred(args)] (or a propositional constant [pred]), or
+     [term cmp term].  Parse a term first: applications like
+     [f_size(P)] may be interpreted functions inside a comparison; a
+     lowercase application or name with no comparison following is an
+     atom. *)
+  let lhs = parse_term st in
+  match peek st with
+  | EQ | NE | LT | LE | GT | GE ->
+    let op = next st in
+    let rhs = parse_term st in
+    cmp_formula op lhs rhs
+  | _ -> (
+    match lhs with
+    | Term.Fn (name, args) when not (is_capitalized name) ->
+      Formula.Atom (name, args)
+    | _ -> raise (Parse_error "expected a comparison after term"))
+
+let parse (src : string) : (Formula.t, string) result =
+  match
+    let st = { toks = tokenize src; bound = [] } in
+    let f = parse_formula st in
+    expect st EOF "end of input";
+    f
+  with
+  | f -> Ok f
+  | exception Parse_error msg -> Error msg
+
+let parse_exn src =
+  match parse src with Ok f -> f | Error e -> raise (Parse_error e)

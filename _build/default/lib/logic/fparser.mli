@@ -1,0 +1,24 @@
+(** A parser for first-order formulas, so properties can be stated as
+    text (the [fvnc prove --goal] flag, fixtures, documentation).
+
+    Syntax, low to high precedence: [<=>], [=>] (right-assoc), [\/],
+    [/\], [~]; quantifiers are ["forall X Y. f"] / ["exists X. f"];
+    atoms are [pred(t1,...,tn)]; comparisons [=], [!=], [<], [<=], [>],
+    [>=]; terms use [+], [-], [*], integers, strings, and function
+    applications.
+
+    Identifier interpretation: names bound by an enclosing quantifier
+    are variables; other capitalized names are free variables; lowercase
+    names are constants or applications.
+
+    Example — the paper's route-optimality theorem:
+
+    {v
+forall S D P C. bestPath(S,D,P,C) =>
+  ~(exists P2 C2. path(S,D,P2,C2) /\ C2 < C)
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> (Formula.t, string) result
+val parse_exn : string -> Formula.t

@@ -1,0 +1,142 @@
+(* Proof objects: explicit sequent-calculus derivations.
+
+   The prover *constructs* these trees; {!Checker} independently
+   re-validates every node, so the trusted core is the checker plus the
+   two semantic leaf rules ([Arith], [Eval]).  This mirrors the paper's
+   division of labour: proof search may be heuristic, but nothing counts
+   as verified until the kernel has accepted the derivation. *)
+
+type t =
+  (* Leaves. *)
+  | Assumption  (* the goal appears among the hypotheses *)
+  | TrueR  (* goal is [true] *)
+  | FalseL  (* [false] appears among the hypotheses *)
+  | Arith  (* hypotheses entail the goal by linear integer arithmetic *)
+  | Eval  (* the goal is closed and evaluates to [true] *)
+  | EvalL of Formula.t  (* the hypothesis is closed and evaluates to [false] *)
+  (* Right rules (on the goal). *)
+  | AndR of t * t
+  | OrR1 of t
+  | OrR2 of t
+  | ImpR of t
+  | IffR of t * t
+  | NotR of t
+  | AllR of string * t  (* eigenvariable (fresh constant name) *)
+  | ExR of Term.t * t  (* witness *)
+  (* Left rules (on a hypothesis, selected by formula value). *)
+  | AndL of Formula.t * t
+  | OrL of Formula.t * t * t
+  | ImpL of Formula.t * t * t  (* prove antecedent / use consequent *)
+  | IffL of Formula.t * t  (* replace with the two implications *)
+  | NotL of Formula.t * t  (* replace [~A] with [A => false] *)
+  | AllL of Formula.t * Term.t * t  (* add an instance *)
+  | ExL of Formula.t * string * t  (* skolemize with a fresh constant *)
+  (* Structural. *)
+  | AxiomR of string * t  (* bring a named theory axiom into scope *)
+  | Cut of Formula.t * t * t
+  (* Fixpoint induction over an inductively defined predicate: the goal
+     must be [forall xs. pred(xs) => Phi(xs)]; one subproof per defining
+     rule establishes Phi for the rule's head assuming the rule body and
+     the induction hypothesis for recursive body atoms. *)
+  | Induct of string * t list
+
+(* Number of inference nodes: the "proof steps" measure reported by
+   experiment E1. *)
+let rec size = function
+  | Assumption | TrueR | FalseL | Arith | Eval | EvalL _ -> 1
+  | ImpR p | NotR p | AllR (_, p) | OrR1 p | OrR2 p -> 1 + size p
+  | ExR (_, p)
+  | AndL (_, p)
+  | IffL (_, p)
+  | NotL (_, p)
+  | AllL (_, _, p)
+  | ExL (_, _, p)
+  | AxiomR (_, p) ->
+    1 + size p
+  | AndR (a, b) | IffR (a, b) | OrL (_, a, b) | ImpL (_, a, b) | Cut (_, a, b)
+    ->
+    1 + size a + size b
+  | Induct (_, ps) -> List.fold_left (fun acc p -> acc + size p) 1 ps
+
+let rec depth = function
+  | Assumption | TrueR | FalseL | Arith | Eval | EvalL _ -> 1
+  | ImpR p | NotR p | AllR (_, p) | OrR1 p | OrR2 p -> 1 + depth p
+  | ExR (_, p)
+  | AndL (_, p)
+  | IffL (_, p)
+  | NotL (_, p)
+  | AllL (_, _, p)
+  | ExL (_, _, p)
+  | AxiomR (_, p) ->
+    1 + depth p
+  | AndR (a, b) | IffR (a, b) | OrL (_, a, b) | ImpL (_, a, b) | Cut (_, a, b)
+    ->
+    1 + max (depth a) (depth b)
+  | Induct (_, ps) -> 1 + List.fold_left (fun acc p -> max acc (depth p)) 0 ps
+
+let rule_name = function
+  | Assumption -> "assumption"
+  | TrueR -> "trueR"
+  | FalseL -> "falseL"
+  | Arith -> "arith"
+  | Eval -> "eval"
+  | EvalL _ -> "evalL"
+  | AndR _ -> "andR"
+  | OrR1 _ -> "orR1"
+  | OrR2 _ -> "orR2"
+  | ImpR _ -> "impR"
+  | IffR _ -> "iffR"
+  | NotR _ -> "notR"
+  | AllR _ -> "allR"
+  | ExR _ -> "exR"
+  | AndL _ -> "andL"
+  | OrL _ -> "orL"
+  | ImpL _ -> "impL"
+  | IffL _ -> "iffL"
+  | NotL _ -> "notL"
+  | AllL _ -> "allL"
+  | ExL _ -> "exL"
+  | AxiomR _ -> "axiom"
+  | Cut _ -> "cut"
+  | Induct _ -> "induct"
+
+let rec pp ?(indent = 0) ppf p =
+  let pad = String.make indent ' ' in
+  match p with
+  | Assumption | TrueR | FalseL | Arith | Eval ->
+    Fmt.pf ppf "%s%s@." pad (rule_name p)
+  | EvalL f -> Fmt.pf ppf "%sevalL %a@." pad Formula.pp f
+  | ImpR q | NotR q | OrR1 q | OrR2 q ->
+    Fmt.pf ppf "%s%s@." pad (rule_name p);
+    pp ~indent:(indent + 2) ppf q
+  | AllR (c, q) ->
+    Fmt.pf ppf "%sallR %s@." pad c;
+    pp ~indent:(indent + 2) ppf q
+  | ExR (t, q) ->
+    Fmt.pf ppf "%sexR %a@." pad Term.pp t;
+    pp ~indent:(indent + 2) ppf q
+  | AndL (f, q) | IffL (f, q) | NotL (f, q) ->
+    Fmt.pf ppf "%s%s %a@." pad (rule_name p) Formula.pp f;
+    pp ~indent:(indent + 2) ppf q
+  | AllL (f, t, q) ->
+    Fmt.pf ppf "%sallL %a with %a@." pad Formula.pp f Term.pp t;
+    pp ~indent:(indent + 2) ppf q
+  | ExL (f, c, q) ->
+    Fmt.pf ppf "%sexL %a as %s@." pad Formula.pp f c;
+    pp ~indent:(indent + 2) ppf q
+  | AxiomR (n, q) ->
+    Fmt.pf ppf "%saxiom %s@." pad n;
+    pp ~indent:(indent + 2) ppf q
+  | AndR (a, b) | IffR (a, b) ->
+    Fmt.pf ppf "%s%s@." pad (rule_name p);
+    pp ~indent:(indent + 2) ppf a;
+    pp ~indent:(indent + 2) ppf b
+  | OrL (f, a, b) | ImpL (f, a, b) | Cut (f, a, b) ->
+    Fmt.pf ppf "%s%s %a@." pad (rule_name p) Formula.pp f;
+    pp ~indent:(indent + 2) ppf a;
+    pp ~indent:(indent + 2) ppf b
+  | Induct (pred, ps) ->
+    Fmt.pf ppf "%sinduct %s@." pad pred;
+    List.iter (pp ~indent:(indent + 2) ppf) ps
+
+let pp ppf p = pp ~indent:0 ppf p

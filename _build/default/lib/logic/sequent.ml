@@ -1,0 +1,83 @@
+(* Sequents: a list of hypotheses and a single goal formula.
+
+   The prover manipulates sequents; the checker re-validates every
+   inference against the same representation.  Hypotheses are kept in a
+   list (most recent first); rules that consume a hypothesis identify it
+   by formula value, not by position, which keeps proofs robust under
+   hypothesis reordering. *)
+
+type t = {
+  hyps : Formula.t list;
+  goal : Formula.t;
+  (* Search-only bookkeeping: formulas already decomposed by a left
+     rule on this branch.  The checker ignores this field; the prover
+     uses it to stop forward chaining from re-deriving a hypothesis that
+     was already split (which would loop).  *)
+  processed : Formula.t list;
+}
+
+let make ?(hyps = []) goal = { hyps; goal; processed = [] }
+
+let mark_processed f s = { s with processed = f :: s.processed }
+let is_processed f s = List.exists (Formula.equal f) s.processed
+
+let has_hyp f s = List.exists (Formula.equal f) s.hyps
+
+(* Add a hypothesis unless already present (set semantics keeps forward
+   chaining terminating). *)
+let add_hyp f s = if has_hyp f s then s else { s with hyps = f :: s.hyps }
+
+let remove_hyp f s =
+  let rec drop = function
+    | [] -> []
+    | h :: rest -> if Formula.equal h f then rest else h :: drop rest
+  in
+  { s with hyps = drop s.hyps }
+
+let set_goal g s = { s with goal = g }
+
+(* Every constant symbol (0-ary function) occurring in the sequent; used
+   for eigenvariable freshness checks. *)
+let constants s =
+  let rec consts_of_term acc = function
+    | Term.Var _ | Term.Cst _ -> acc
+    | Term.Fn (f, []) -> Term.Sset.add f acc
+    | Term.Fn (_, args) -> List.fold_left consts_of_term acc args
+  in
+  let consts_of_formula acc f =
+    List.fold_left consts_of_term acc (Formula.terms [] f)
+  in
+  List.fold_left consts_of_formula
+    (consts_of_formula Term.Sset.empty s.goal)
+    s.hyps
+
+(* Deterministic skolem naming: the quantified variable's own name when
+   available, then [name_1], [name_2], ...  Determinism lets scripted
+   proofs refer to skolem constants by name. *)
+let fresh_const s base =
+  let used = constants s in
+  if not (Term.Sset.mem base used) then base
+  else
+    let rec go i =
+      let c = Printf.sprintf "%s_%d" base i in
+      if Term.Sset.mem c used then go (i + 1) else c
+    in
+    go 1
+
+(* Ground candidate terms occurring in the sequent, for quantifier
+   instantiation. *)
+let candidate_terms s =
+  let all =
+    List.fold_left
+      (fun acc f -> Formula.terms acc f)
+      (Formula.terms [] s.goal)
+      s.hyps
+  in
+  List.filter Term.is_ground all
+  |> List.sort_uniq Term.compare
+
+let pp ppf s =
+  List.iter (fun h -> Fmt.pf ppf "  %a@." Formula.pp h) (List.rev s.hyps);
+  Fmt.pf ppf "  |- %a" Formula.pp s.goal
+
+let to_string s = Fmt.str "%a" pp s

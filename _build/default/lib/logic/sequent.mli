@@ -1,0 +1,45 @@
+(** Sequents: hypotheses and a single goal formula.
+
+    The prover manipulates sequents; the checker re-validates every
+    inference against the same representation.  Rules that consume a
+    hypothesis identify it by formula value, not position, so proofs
+    are robust under hypothesis reordering. *)
+
+type t = {
+  hyps : Formula.t list;  (** most recent first *)
+  goal : Formula.t;
+  processed : Formula.t list;
+      (** search-only bookkeeping: formulas already decomposed by a left
+          rule on this branch; the checker ignores this field, the
+          prover uses it to keep forward chaining from re-deriving a
+          hypothesis it already split *)
+}
+
+val make : ?hyps:Formula.t list -> Formula.t -> t
+val mark_processed : Formula.t -> t -> t
+val is_processed : Formula.t -> t -> bool
+val has_hyp : Formula.t -> t -> bool
+
+val add_hyp : Formula.t -> t -> t
+(** Set semantics: adding a present hypothesis is a no-op. *)
+
+val remove_hyp : Formula.t -> t -> t
+(** Removes the first occurrence. *)
+
+val set_goal : Formula.t -> t -> t
+
+val constants : t -> Term.Sset.t
+(** Every constant symbol (0-ary function) in the sequent; the domain of
+    the eigenvariable freshness check. *)
+
+val fresh_const : t -> string -> string
+(** Deterministic skolem naming: the base name when unused, else
+    [base_1], [base_2], ...  Determinism lets scripted proofs refer to
+    skolem constants by name. *)
+
+val candidate_terms : t -> Term.t list
+(** Ground terms occurring in the sequent, deduplicated: the prover's
+    quantifier-instantiation candidates. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

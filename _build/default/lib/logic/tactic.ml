@@ -1,0 +1,335 @@
+(* Scripted (interactive-style) proof construction, in the LCF goal /
+   tactic tradition.  This is the interface the paper's Section 3.1
+   exercises: the designer states a theorem and advances the proof with
+   a handful of prover commands ("built-in commands are available to
+   mechanically advance the proof"); the E1 experiment replays the
+   route-optimality proof as such a script and reports its step count.
+
+   A [tactic] maps one goal sequent to subgoals plus a justification
+   rebuilding a proof of the original goal from subproofs.  [run]
+   applies a script to a conjecture and returns the kernel-checked
+   proof. *)
+
+type goalstate = {
+  theory : Theory.t;
+  goals : Sequent.t list;
+  (* Rebuilds the whole proof from one subproof per remaining goal. *)
+  justify : Proof.t list -> Proof.t;
+}
+
+type tactic = Theory.t -> Sequent.t -> (Sequent.t list * (Proof.t list -> Proof.t)) option
+
+exception Tactic_failed of string
+
+let fail msg = raise (Tactic_failed msg)
+
+let initial theory goal =
+  {
+    theory;
+    goals = [ Sequent.make goal ];
+    justify = (function [ p ] -> p | _ -> fail "justify arity");
+  }
+
+(* Apply a tactic to the first open goal. *)
+let by (name : string) (t : tactic) (gs : goalstate) : goalstate =
+  match gs.goals with
+  | [] -> fail (name ^ ": no goals left")
+  | g :: rest -> (
+    match t gs.theory g with
+    | None -> fail (Fmt.str "%s: not applicable to@.%a" name Sequent.pp g)
+    | Some (subgoals, justify1) ->
+      let n = List.length subgoals in
+      {
+        gs with
+        goals = subgoals @ rest;
+        justify =
+          (fun proofs ->
+            let rec split i acc = function
+              | ps when i = 0 -> (List.rev acc, ps)
+              | p :: ps -> split (i - 1) (p :: acc) ps
+              | [] -> fail "justify underflow"
+            in
+            let mine, others = split n [] proofs in
+            gs.justify (justify1 mine :: others));
+      })
+
+let qed (gs : goalstate) : Proof.t =
+  match gs.goals with
+  | [] -> gs.justify []
+  | g :: _ -> fail (Fmt.str "qed: open goal remains:@.%a" Sequent.pp g)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive tactics. *)
+
+let one sub k = Some ([ sub ], function [ p ] -> k p | _ -> fail "arity")
+
+let closed proof = Some ([], fun _ -> proof)
+
+(* skosimp*: repeatedly apply non-branching invertible rules on both
+   sides (intro, skolemize, flatten conjunctions/negations). *)
+let skosimp : tactic =
+ fun _thy s ->
+  let rec step (s : Sequent.t) (k : Proof.t -> Proof.t) progressed =
+    match s.Sequent.goal with
+    | Formula.Imp (a, b) ->
+      step
+        (Sequent.add_hyp a (Sequent.set_goal b s))
+        (fun p -> k (Proof.ImpR p))
+        true
+    | Formula.Not a ->
+      step
+        (Sequent.add_hyp a (Sequent.set_goal Formula.Fls s))
+        (fun p -> k (Proof.NotR p))
+        true
+    | Formula.All (x, body) ->
+      let c = Sequent.fresh_const s x in
+      step
+        (Sequent.set_goal (Formula.subst1 x (Term.Fn (c, [])) body) s)
+        (fun p -> k (Proof.AllR (c, p)))
+        true
+    | _ -> left s k progressed
+  and left s k progressed =
+    let pick =
+      List.find_opt
+        (function
+          | Formula.And _ | Formula.Ex _ | Formula.Not _ -> true
+          | _ -> false)
+        s.Sequent.hyps
+    in
+    match pick with
+    | Some (Formula.And (a, b) as f) ->
+      step
+        (Sequent.add_hyp a (Sequent.add_hyp b (Sequent.remove_hyp f s)))
+        (fun p -> k (Proof.AndL (f, p)))
+        true
+    | Some (Formula.Ex (x, body) as f) ->
+      let c = Sequent.fresh_const s x in
+      step
+        (Sequent.add_hyp
+           (Formula.subst1 x (Term.Fn (c, [])) body)
+           (Sequent.remove_hyp f s))
+        (fun p -> k (Proof.ExL (f, c, p)))
+        true
+    | Some (Formula.Not a as f) ->
+      step
+        (Sequent.add_hyp (Formula.Imp (a, Formula.Fls)) (Sequent.remove_hyp f s))
+        (fun p -> k (Proof.NotL (f, p)))
+        true
+    | _ -> if progressed then Some (s, k) else None
+  in
+  match step s (fun p -> p) false with
+  | Some (s', k) -> one s' k
+  | None -> None
+
+(* split: And / Iff goals. *)
+let split : tactic =
+ fun _thy s ->
+  match s.Sequent.goal with
+  | Formula.And (a, b) ->
+    Some
+      ( [ Sequent.set_goal a s; Sequent.set_goal b s ],
+        function [ pa; pb ] -> Proof.AndR (pa, pb) | _ -> fail "arity" )
+  | Formula.Iff (a, b) ->
+    Some
+      ( [
+          Sequent.set_goal (Formula.Imp (a, b)) s;
+          Sequent.set_goal (Formula.Imp (b, a)) s;
+        ],
+        function [ pa; pb ] -> Proof.IffR (pa, pb) | _ -> fail "arity" )
+  | _ -> None
+
+(* case split on a disjunctive hypothesis *)
+let case_hyp (f : Formula.t) : tactic =
+ fun _thy s ->
+  match f with
+  | Formula.Or (a, b) when Sequent.has_hyp f s ->
+    let s' = Sequent.remove_hyp f s in
+    Some
+      ( [ Sequent.add_hyp a s'; Sequent.add_hyp b s' ],
+        function [ pa; pb ] -> Proof.OrL (f, pa, pb) | _ -> fail "arity" )
+  | _ -> None
+
+(* expand pred: unfold a defined predicate.  If the goal is the defined
+   atom, replace it by the definition's right-hand side; otherwise
+   unfold the first matching hypothesis atom, adding the instantiated
+   right-hand side as a hypothesis. *)
+let expand (pred : string) : tactic =
+ fun thy s ->
+  match Theory.definition_of pred thy with
+  | None -> None
+  | Some entry -> (
+    let instantiate ts =
+      let rec go cur ts wrap =
+        match cur, ts with
+        | Formula.All (x, body), t :: rest ->
+          go (Formula.subst1 x t body) rest (fun p -> wrap (Proof.AllL (cur, t, p)))
+        | Formula.Iff (lhs, rhs), [] -> Some (wrap, Formula.Iff (lhs, rhs), rhs)
+        | _ -> None
+      in
+      go entry.Theory.formula ts (fun p -> p)
+    in
+    match s.Sequent.goal with
+    | Formula.Atom (p, ts) when p = pred -> (
+      match instantiate ts with
+      | None -> None
+      | Some (chain, iff_inst, rhs) ->
+        let rhs_to_p =
+          match iff_inst with
+          | Formula.Iff (a, b) -> Formula.Imp (b, a)
+          | _ -> assert false
+        in
+        one (Sequent.set_goal rhs s) (fun prhs ->
+            Proof.AxiomR
+              ( entry.Theory.name,
+                chain (Proof.IffL (iff_inst, Proof.ImpL (rhs_to_p, prhs, Proof.Assumption)))
+              )))
+    | _ -> (
+      let hyp =
+        List.find_opt
+          (function Formula.Atom (p, _) -> p = pred | _ -> false)
+          s.Sequent.hyps
+      in
+      match hyp with
+      | Some (Formula.Atom (_, ts)) -> (
+        match instantiate ts with
+        | None -> None
+        | Some (chain, iff_inst, rhs) ->
+          let p_to_rhs =
+            match iff_inst with
+            | Formula.Iff (a, b) -> Formula.Imp (a, b)
+            | _ -> assert false
+          in
+          one (Sequent.add_hyp rhs s) (fun cont ->
+              Proof.AxiomR
+                ( entry.Theory.name,
+                  chain
+                    (Proof.IffL
+                       (iff_inst, Proof.ImpL (p_to_rhs, Proof.Assumption, cont)))
+                )))
+      | _ -> None))
+
+(* use name [t1; ...; tn]: instantiate a named axiom/lemma with the
+   given witnesses and add the instance as a hypothesis.  Antecedents of
+   Horn-shaped axioms are NOT discharged; the instance arrives whole.
+   (Use [forward] for automatic discharge.) *)
+let use (name : string) (witnesses : Term.t list) : tactic =
+ fun thy s ->
+  match Theory.find name thy with
+  | None -> None
+  | Some entry ->
+    let rec go cur ws wrap =
+      match cur, ws with
+      | Formula.All (x, body), w :: rest ->
+        go (Formula.subst1 x w body) rest (fun p -> wrap (Proof.AllL (cur, w, p)))
+      | _, [] -> Some (cur, wrap)
+      | _, _ :: _ -> None
+    in
+    (match go entry.Theory.formula witnesses (fun p -> p) with
+    | None -> None
+    | Some (inst, wrap) ->
+      one (Sequent.add_hyp inst s) (fun cont ->
+          Proof.AxiomR (entry.Theory.name, wrap cont)))
+
+(* modus: given hypothesis [a => b] whose antecedent can be discharged
+   automatically (assumption / evaluation / arithmetic, conjunct by
+   conjunct), add [b]. *)
+let modus (f : Formula.t) : tactic =
+ fun _thy s ->
+  match f with
+  | Formula.Imp (a, b) when Sequent.has_hyp f s ->
+    let rec prove_conj g =
+      match g with
+      | Formula.And (x, y) -> (
+        match prove_conj x, prove_conj y with
+        | Some px, Some py -> Some (Proof.AndR (px, py))
+        | _ -> None)
+      | Formula.Tru -> Some Proof.TrueR
+      | g ->
+        if Sequent.has_hyp g s then Some Proof.Assumption
+        else if Formula.ground_decide g = Some true then Some Proof.Eval
+        else if Arith.entails s.Sequent.hyps g then Some Proof.Arith
+        else None
+    in
+    (match prove_conj a with
+    | None -> None
+    | Some pa -> one (Sequent.add_hyp b s) (fun cont -> Proof.ImpL (f, pa, cont)))
+  | _ -> None
+
+(* inst: give a witness for an existential goal. *)
+let inst (w : Term.t) : tactic =
+ fun _thy s ->
+  match s.Sequent.goal with
+  | Formula.Ex (x, body) ->
+    one (Sequent.set_goal (Formula.subst1 x w body) s) (fun p -> Proof.ExR (w, p))
+  | _ -> None
+
+let assumption : tactic =
+ fun _thy s -> if Sequent.has_hyp s.Sequent.goal s then closed Proof.Assumption else None
+
+let arith : tactic =
+ fun _thy s -> if Arith.entails s.Sequent.hyps s.Sequent.goal then closed Proof.Arith else None
+
+let eval_tac : tactic =
+ fun _thy s ->
+  match Formula.ground_decide s.Sequent.goal with
+  | Some true -> closed Proof.Eval
+  | _ -> None
+
+(* induct pred: fixpoint induction over an inductively defined
+   predicate (goal shape: forall xs. pred(xs) => Phi); one subgoal per
+   defining rule, with the rule body and induction hypotheses as
+   hypotheses. *)
+let induct (pred : string) : tactic =
+ fun thy s ->
+  match Checker.induction_subgoals thy s pred with
+  | Error _ -> None
+  | Ok subgoals ->
+    Some (subgoals, fun proofs -> Proof.Induct (pred, proofs))
+
+(* grind: hand the goal to the automated prover. *)
+let grind ?(max_fuel = 6) : tactic =
+ fun thy s ->
+  let cfg = Prove.make_config thy in
+  let rec attempt fuel =
+    if fuel > max_fuel then None
+    else
+      match Prove.solve cfg s fuel with
+      | Some p -> Some p
+      | None -> attempt (fuel + 1)
+  in
+  match attempt 1 with Some p -> closed p | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Scripts. *)
+
+type step = string * tactic
+
+let script_step (name, t) gs = by name t gs
+
+type run_result = {
+  proof : Proof.t;
+  script_steps : int;
+  proof_size : int;
+  checked : bool;
+}
+
+(* Run a named script against a conjecture; the result is only returned
+   if the kernel accepts the assembled proof. *)
+let run (thy : Theory.t) (goal : Formula.t) (script : step list) :
+    (run_result, string) result =
+  match
+    let gs = List.fold_left (fun gs st -> script_step st gs) (initial thy goal) script in
+    qed gs
+  with
+  | exception Tactic_failed msg -> Error msg
+  | proof -> (
+    match Checker.check thy (Sequent.make goal) proof with
+    | Ok () ->
+      Ok
+        {
+          proof;
+          script_steps = List.length script;
+          proof_size = Proof.size proof;
+          checked = true;
+        }
+    | Error e -> Error (Fmt.str "kernel rejected scripted proof: %a" Checker.pp_error e))

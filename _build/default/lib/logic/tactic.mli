@@ -1,0 +1,89 @@
+(** Scripted (interactive-style) proof construction, in the LCF
+    goal/tactic tradition — the interface the paper's Section 3.1
+    exercises ("built-in commands are available to mechanically advance
+    the proof").  Experiment E1 replays the route-optimality proof as
+    such a script.
+
+    A tactic maps one goal sequent to subgoals plus a justification
+    rebuilding a proof from subproofs; {!run} applies a script and
+    returns the kernel-checked result. *)
+
+type goalstate = {
+  theory : Theory.t;
+  goals : Sequent.t list;
+  justify : Proof.t list -> Proof.t;
+}
+
+type tactic =
+  Theory.t -> Sequent.t -> (Sequent.t list * (Proof.t list -> Proof.t)) option
+(** [None] means "not applicable". *)
+
+exception Tactic_failed of string
+
+val initial : Theory.t -> Formula.t -> goalstate
+
+val by : string -> tactic -> goalstate -> goalstate
+(** Apply a tactic to the first open goal.
+    @raise Tactic_failed when it does not apply. *)
+
+val qed : goalstate -> Proof.t
+(** @raise Tactic_failed when goals remain open. *)
+
+(** {1 Primitive tactics} *)
+
+val skosimp : tactic
+(** PVS's [skosimp*]: repeatedly apply non-branching invertible rules on
+    both sides — intro, skolemize, flatten conjunctions and
+    negations.  Fails (returns [None]) when nothing applies. *)
+
+val split : tactic
+(** Split a conjunction or iff goal into two subgoals. *)
+
+val case_hyp : Formula.t -> tactic
+(** Case split on a disjunctive hypothesis. *)
+
+val expand : string -> tactic
+(** Unfold a defined predicate: a goal atom is replaced by the
+    definition's right-hand side; otherwise the first matching
+    hypothesis atom is unfolded (its instance added as a hypothesis). *)
+
+val use : string -> Term.t list -> tactic
+(** Instantiate a named axiom/lemma with the given witnesses and add the
+    instance as a hypothesis. *)
+
+val modus : Formula.t -> tactic
+(** Given a hypothesis [a => b] whose antecedent is dischargeable
+    automatically (assumption / evaluation / arithmetic, conjunct by
+    conjunct), add [b]. *)
+
+val inst : Term.t -> tactic
+(** Provide a witness for an existential goal. *)
+
+val induct : string -> tactic
+(** Fixpoint induction over an inductively defined predicate (goal
+    shape [forall xs. pred(xs) => Phi]); one subgoal per defining
+    rule.  Must run before [skosimp] strips the quantifiers. *)
+
+val assumption : tactic
+val arith : tactic
+val eval_tac : tactic
+
+val grind : ?max_fuel:int -> tactic
+(** Hand the goal to the automated prover ({!Prove.solve}). *)
+
+(** {1 Scripts} *)
+
+type step = string * tactic
+
+val script_step : step -> goalstate -> goalstate
+
+type run_result = {
+  proof : Proof.t;
+  script_steps : int;  (** interactive steps (the paper's "7") *)
+  proof_size : int;  (** kernel inferences *)
+  checked : bool;
+}
+
+val run : Theory.t -> Formula.t -> step list -> (run_result, string) result
+(** Run a script against a conjecture; the result is returned only if
+    the kernel accepts the assembled proof. *)

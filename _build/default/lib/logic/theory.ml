@@ -1,0 +1,125 @@
+(* Theories: named collections of axioms and predicate definitions.
+
+   A [Definition] entry is an iff-completion of a predicate (the PVS
+   "INDUCTIVE bool" of the paper): forall args, p(args) <=> rhs.  The
+   prover uses definitions for unfolding; plain axioms feed forward
+   chaining and instantiation. *)
+
+type kind =
+  | Definition of string  (* the defined predicate *)
+  | Axiom
+  | Lemma  (* a previously proven theorem, reusable as an axiom *)
+
+type entry = {
+  name : string;
+  formula : Formula.t;
+  kind : kind;
+}
+
+(* An inductively defined predicate: its name, arity, and the
+   (non-aggregate) NDlog rules defining it.  Registered by
+   {!Completion}; consumed by the kernel's fixpoint-induction rule. *)
+type inductive = {
+  ind_pred : string;
+  ind_arity : int;
+  ind_rules : Ndlog.Ast.rule list;
+}
+
+type t = {
+  entries : entry list;
+  inductives : inductive list;
+}
+
+let empty = { entries = []; inductives = [] }
+
+let add ?(kind = Axiom) name formula thy =
+  if not (Formula.is_closed formula) then
+    invalid_arg
+      (Fmt.str "Theory.add: %s has free variables: %a" name Formula.pp formula);
+  { thy with entries = thy.entries @ [ { name; formula; kind } ] }
+
+let add_definition ~pred name formula thy =
+  add ~kind:(Definition pred) name formula thy
+
+let find name thy = List.find_opt (fun e -> e.name = name) thy.entries
+
+let find_exn name thy =
+  match find name thy with
+  | Some e -> e
+  | None -> invalid_arg ("Theory.find_exn: no axiom named " ^ name)
+
+let definition_of pred thy =
+  List.find_opt
+    (fun e -> match e.kind with Definition p -> p = pred | _ -> false)
+    thy.entries
+
+let names thy = List.map (fun e -> e.name) thy.entries
+
+let add_inductive ~pred ~arity ~rules thy =
+  {
+    thy with
+    inductives =
+      thy.inductives @ [ { ind_pred = pred; ind_arity = arity; ind_rules = rules } ];
+  }
+
+let inductive_of pred thy =
+  List.find_opt (fun i -> i.ind_pred = pred) thy.inductives
+
+let merge a b =
+  { entries = a.entries @ b.entries; inductives = a.inductives @ b.inductives }
+
+(* ------------------------------------------------------------------ *)
+(* Horn view: flatten an axiom into (universals, antecedent literals,
+   consequent literal) when it has that shape; used by the prover's
+   forward-chaining engine.  Inner universal quantifiers to the right of
+   implications are lifted (classically valid prenexing for positive
+   positions). *)
+
+type clause = {
+  clause_name : string;
+  clause_vars : string list;
+  antecedents : Formula.t list;
+  consequent : Formula.t;
+}
+
+let rec split_conj = function
+  | Formula.And (a, b) -> split_conj a @ split_conj b
+  | Formula.Tru -> []
+  | f -> [ f ]
+
+let clause_of_formula name f : clause option =
+  let rec go vars antecedents = function
+    | Formula.All (x, body) -> go (x :: vars) antecedents body
+    | Formula.Imp (a, b) -> go vars (antecedents @ split_conj a) b
+    | (Formula.Atom _ | Formula.Eq _ | Formula.Lt _ | Formula.Le _ | Formula.Fls
+      | Formula.Ex _ | Formula.Or _ | Formula.Not _) as head ->
+      Some
+        {
+          clause_name = name;
+          clause_vars = List.rev vars;
+          antecedents;
+          consequent = head;
+        }
+    | _ -> None
+  in
+  go [] [] f
+
+let horn_clauses thy : clause list =
+  List.filter_map
+    (fun e ->
+      match e.kind with
+      | Definition _ -> None
+      | Axiom | Lemma -> clause_of_formula e.name e.formula)
+    thy.entries
+
+let pp_entry ppf e =
+  let k =
+    match e.kind with
+    | Definition p -> Printf.sprintf "def(%s)" p
+    | Axiom -> "axiom"
+    | Lemma -> "lemma"
+  in
+  Fmt.pf ppf "%-10s %s: %a" k e.name Formula.pp e.formula
+
+let pp ppf thy =
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) thy.entries

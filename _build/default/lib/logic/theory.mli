@@ -1,0 +1,79 @@
+(** Theories: named axioms, predicate definitions, and inductive
+    systems.
+
+    A [Definition] entry is an iff-completion of a predicate (the PVS
+    [INDUCTIVE bool] of the paper); the prover unfolds definitions.
+    Plain axioms feed forward chaining and instantiation.  Inductive
+    registrations carry the defining NDlog rules, consumed by the
+    kernel's fixpoint-induction rule. *)
+
+type kind =
+  | Definition of string  (** the defined predicate *)
+  | Axiom
+  | Lemma  (** a previously proven theorem, reusable as an axiom *)
+
+type entry = {
+  name : string;
+  formula : Formula.t;
+  kind : kind;
+}
+
+(** An inductively defined predicate: name, arity, and the
+    (non-aggregate) NDlog rules defining it. *)
+type inductive = {
+  ind_pred : string;
+  ind_arity : int;
+  ind_rules : Ndlog.Ast.rule list;
+}
+
+type t = {
+  entries : entry list;
+  inductives : inductive list;
+}
+
+val empty : t
+
+val add : ?kind:kind -> string -> Formula.t -> t -> t
+(** @raise Invalid_argument if the formula has free variables. *)
+
+val add_definition : pred:string -> string -> Formula.t -> t -> t
+val find : string -> t -> entry option
+
+val find_exn : string -> t -> entry
+(** @raise Invalid_argument when absent. *)
+
+val definition_of : string -> t -> entry option
+(** The [Definition] entry for a predicate, if any. *)
+
+val names : t -> string list
+val add_inductive : pred:string -> arity:int -> rules:Ndlog.Ast.rule list -> t -> t
+val inductive_of : string -> t -> inductive option
+val merge : t -> t -> t
+
+(** {1 Horn view}
+
+    Axioms flattened to [forall xs. A1 /\ ... /\ An => B] feed the
+    prover's forward-chaining engine.  Inner universal quantifiers to
+    the right of implications are lifted (classically valid prenexing
+    in positive positions). *)
+
+type clause = {
+  clause_name : string;
+  clause_vars : string list;
+  antecedents : Formula.t list;
+  consequent : Formula.t;
+}
+
+val split_conj : Formula.t -> Formula.t list
+
+val clause_of_formula : string -> Formula.t -> clause option
+(** [None] when the formula is not Horn-shaped.  Consequents may be
+    atoms, comparisons, [Fls], existentials, disjunctions, or
+    negations. *)
+
+val horn_clauses : t -> clause list
+(** Clauses of all [Axiom]/[Lemma] entries (definitions are used by
+    unfolding instead). *)
+
+val pp_entry : entry Fmt.t
+val pp : t Fmt.t

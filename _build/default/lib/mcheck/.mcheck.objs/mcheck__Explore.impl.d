@@ -1,0 +1,1 @@
+lib/mcheck/explore.ml: Array Fmt Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/mcheck/explore.mli: Fmt

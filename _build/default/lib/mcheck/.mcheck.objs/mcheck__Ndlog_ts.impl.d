@@ -1,0 +1,1 @@
+lib/mcheck/ndlog_ts.ml: Explore List Ndlog

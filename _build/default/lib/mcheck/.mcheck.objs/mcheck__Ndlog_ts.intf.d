@@ -1,0 +1,1 @@
+lib/mcheck/ndlog_ts.mli: Explore Ndlog

@@ -1,0 +1,1 @@
+lib/mcheck/soft_ts.ml: Explore Fmt List Ndlog Ndlog_ts

@@ -1,0 +1,1 @@
+lib/mcheck/soft_ts.mli: Explore Ndlog

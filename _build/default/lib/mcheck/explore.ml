@@ -1,0 +1,227 @@
+(* A small explicit-state model checker (Section 4.3 of the paper:
+   "leverage such transition system representation to directly interface
+   with model checkers").
+
+   Works over any transition system given as initial states plus a
+   successor function.  Provides:
+
+   - reachability statistics (states, transitions, depth);
+   - invariant (safety) checking with shortest counterexample traces;
+   - terminal-state collection (e.g. the stable assignments of an SPP);
+   - lasso search: a reachable cycle lying entirely inside a region
+     (e.g. the not-yet-converged states), which witnesses a possible
+     non-terminating execution — the oscillation detector used by E9.
+
+   States must be comparable with [compare] (pure data). *)
+
+type 'state system = {
+  initial : 'state list;
+  successors : 'state -> 'state list;
+  pp : 'state Fmt.t;
+}
+
+let make ?(pp = fun ppf _ -> Fmt.string ppf "<state>") ~initial ~successors ()
+    =
+  { initial; successors; pp }
+
+(* Visited-state table: a hashtable keyed by the structural hash, with
+   bucket lists compared by polymorphic equality (states are pure
+   data). *)
+module Table = struct
+  type 'state t = (int, ('state * int) list ref) Hashtbl.t
+  (* state -> visitation id *)
+
+  let create () : 'state t = Hashtbl.create 1024
+
+  let find (t : 'state t) s =
+    match Hashtbl.find_opt t (Hashtbl.hash s) with
+    | None -> None
+    | Some bucket ->
+      List.find_opt (fun (s', _) -> s' = s) !bucket |> Option.map snd
+
+  let add (t : 'state t) s id =
+    match Hashtbl.find_opt t (Hashtbl.hash s) with
+    | None -> Hashtbl.replace t (Hashtbl.hash s) (ref [ (s, id) ])
+    | Some bucket -> bucket := (s, id) :: !bucket
+
+  let mem t s = find t s <> None
+
+  let size t = Hashtbl.fold (fun _ b acc -> acc + List.length !b) t 0
+end
+
+type 'state stats = {
+  states : int;
+  transitions : int;
+  max_depth : int;
+  terminal : 'state list;  (* states with no successors *)
+  truncated : bool;  (* the state bound was hit *)
+}
+
+(* Breadth-first exploration. *)
+let explore ?(max_states = 100_000) (sys : 'state system) : 'state stats =
+  let visited = Table.create () in
+  let queue = Queue.create () in
+  let transitions = ref 0 in
+  let max_depth = ref 0 in
+  let terminal = ref [] in
+  let truncated = ref false in
+  let id = ref 0 in
+  List.iter
+    (fun s ->
+      if not (Table.mem visited s) then begin
+        Table.add visited s !id;
+        incr id;
+        Queue.push (s, 0) queue
+      end)
+    sys.initial;
+  while not (Queue.is_empty queue) do
+    let s, depth = Queue.pop queue in
+    max_depth := max !max_depth depth;
+    let succs = sys.successors s in
+    transitions := !transitions + List.length succs;
+    if succs = [] then terminal := s :: !terminal;
+    List.iter
+      (fun s' ->
+        if not (Table.mem visited s') then
+          if Table.size visited >= max_states then truncated := true
+          else begin
+            Table.add visited s' !id;
+            incr id;
+            Queue.push (s', depth + 1) queue
+          end)
+      succs
+  done;
+  {
+    states = Table.size visited;
+    transitions = !transitions;
+    max_depth = !max_depth;
+    terminal = List.rev !terminal;
+    truncated = !truncated;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking with counterexample. *)
+
+type 'state violation = {
+  trace : 'state list;  (* from an initial state to the violating one *)
+  violating : 'state;
+}
+
+let check_invariant ?(max_states = 100_000) (sys : 'state system)
+    (inv : 'state -> bool) : ('state stats, 'state violation) result =
+  (* BFS storing parent pointers for shortest counterexamples. *)
+  let visited = Table.create () in
+  let parents : (int * 'state) option array ref = ref (Array.make 1024 None) in
+  let store id v =
+    if id >= Array.length !parents then begin
+      let bigger = Array.make (2 * Array.length !parents) None in
+      Array.blit !parents 0 bigger 0 (Array.length !parents);
+      parents := bigger
+    end;
+    !parents.(id) <- v
+  in
+  let queue = Queue.create () in
+  let transitions = ref 0 in
+  let max_depth = ref 0 in
+  let terminal = ref [] in
+  let truncated = ref false in
+  let id = ref 0 in
+  let found = ref None in
+  let violated s sid =
+    found := Some (s, sid);
+    raise Exit
+  in
+  let rebuild sid s =
+    let rec go acc pid =
+      match !parents.(pid) with
+      | None -> acc
+      | Some (pid', ps) -> go (ps :: acc) pid'
+    in
+    go [ s ] sid
+  in
+  try
+    List.iter
+      (fun s ->
+        if not (Table.mem visited s) then begin
+          Table.add visited s !id;
+          store !id None;
+          if not (inv s) then violated s !id;
+          Queue.push (s, !id, 0) queue;
+          incr id
+        end)
+      sys.initial;
+    while not (Queue.is_empty queue) do
+      let s, sid, depth = Queue.pop queue in
+      max_depth := max !max_depth depth;
+      let succs = sys.successors s in
+      transitions := !transitions + List.length succs;
+      if succs = [] then terminal := s :: !terminal;
+      List.iter
+        (fun s' ->
+          if not (Table.mem visited s') then
+            if Table.size visited >= max_states then truncated := true
+            else begin
+              Table.add visited s' !id;
+              store !id (Some (sid, s));
+              if not (inv s') then violated s' !id;
+              Queue.push (s', !id, depth + 1) queue;
+              incr id
+            end)
+        succs
+    done;
+    Ok
+      {
+        states = Table.size visited;
+        transitions = !transitions;
+        max_depth = !max_depth;
+        terminal = List.rev !terminal;
+        truncated = !truncated;
+      }
+  with Exit -> (
+    match !found with
+    | Some (s, sid) -> Error { trace = rebuild sid s; violating = s }
+    | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Lasso detection. *)
+
+type 'state lasso = {
+  stem : 'state list;  (* from an initial state to the cycle entry *)
+  cycle : 'state list;  (* the cycle, starting and ending implicit *)
+}
+
+(* Find a reachable cycle whose states all satisfy [within] (default:
+   everything).  DFS with an explicit on-stack marker. *)
+let find_lasso ?(max_states = 100_000) ?(within = fun _ -> true)
+    (sys : 'state system) : 'state lasso option =
+  let visited = Table.create () in
+  let result = ref None in
+  let exception Found in
+  let rec dfs path_on_stack s =
+    if !result <> None then ()
+    else if not (within s) then ()
+    else if List.exists (fun s' -> s' = s) path_on_stack then begin
+      (* cycle: the portion of the stack up to s *)
+      let rec take acc = function
+        | [] -> acc
+        | x :: rest -> if x = s then x :: acc else take (x :: acc) rest
+      in
+      let cycle = take [] path_on_stack in
+      result := Some { stem = []; cycle };
+      raise Found
+    end
+    else if Table.mem visited s then ()
+    else begin
+      Table.add visited s 0;
+      if Table.size visited > max_states then ()
+      else List.iter (dfs (s :: path_on_stack)) (sys.successors s)
+    end
+  in
+  (try List.iter (dfs []) sys.initial with Found -> ());
+  !result
+
+(* Can the system run forever while avoiding [good] states?  True iff a
+   reachable cycle exists entirely within the bad region. *)
+let can_avoid ?(max_states = 100_000) (sys : 'state system)
+    ~(good : 'state -> bool) : 'state lasso option =
+  find_lasso ~max_states ~within:(fun s -> not (good s)) sys

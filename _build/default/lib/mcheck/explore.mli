@@ -1,0 +1,66 @@
+(** A small explicit-state model checker (the paper's Section 4.3:
+    "leverage such transition system representation to directly
+    interface with model checkers").
+
+    Works over any transition system given as initial states plus a
+    successor function; states must be pure data (hashed and compared
+    structurally). *)
+
+type 'state system = {
+  initial : 'state list;
+  successors : 'state -> 'state list;
+  pp : 'state Fmt.t;
+}
+
+val make :
+  ?pp:'state Fmt.t ->
+  initial:'state list ->
+  successors:('state -> 'state list) ->
+  unit ->
+  'state system
+
+(** Reachability statistics. *)
+type 'state stats = {
+  states : int;
+  transitions : int;
+  max_depth : int;
+  terminal : 'state list;  (** reachable states with no successors *)
+  truncated : bool;  (** the state bound was hit *)
+}
+
+val explore : ?max_states:int -> 'state system -> 'state stats
+(** Breadth-first exploration (default bound 100_000 states). *)
+
+(** An invariant violation with its shortest witness. *)
+type 'state violation = {
+  trace : 'state list;  (** from an initial state to the violation *)
+  violating : 'state;
+}
+
+val check_invariant :
+  ?max_states:int ->
+  'state system ->
+  ('state -> bool) ->
+  ('state stats, 'state violation) result
+(** Safety checking by BFS with parent pointers: counterexample traces
+    are shortest. *)
+
+(** A reachable cycle: witness of a possible non-terminating run. *)
+type 'state lasso = {
+  stem : 'state list;  (** may be empty (not reconstructed) *)
+  cycle : 'state list;
+}
+
+val find_lasso :
+  ?max_states:int ->
+  ?within:('state -> bool) ->
+  'state system ->
+  'state lasso option
+(** A reachable cycle whose states all satisfy [within] (DFS with an
+    on-stack marker). *)
+
+val can_avoid :
+  ?max_states:int -> 'state system -> good:('state -> bool) ->
+  'state lasso option
+(** Can the system run forever avoiding [good] states?  [Some lasso]
+    witnesses yes (the oscillation detector of experiment E9). *)

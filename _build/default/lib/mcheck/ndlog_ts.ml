@@ -1,0 +1,54 @@
+(* The transition-system (linear-logic flavoured) view of NDlog
+   execution, per Section 4.3: "view the declarative networking
+   specification as a set of transition rules that determine the updates
+   of the underlying routing tables".
+
+   A state is a database ({!Ndlog.Store.t}); a transition fires one rule
+   on one satisfying environment and inserts the (single) new head
+   tuple.  The resulting system feeds the {!Explore} checker: safety
+   invariants over table contents, divergence (for count-to-infinity,
+   the state space is infinite and exploration truncates at the bound —
+   truncation at ever-growing cost values is itself the symptom), and
+   terminal states (fixpoints). *)
+
+module Ast = Ndlog.Ast
+module Store = Ndlog.Store
+module Eval = Ndlog.Eval
+
+(* All single-tuple insertions enabled in [db]. *)
+let enabled_insertions (p : Ast.program) (db : Store.t) :
+    (string * Store.Tuple.t) list =
+  List.concat_map
+    (fun (r : Ast.rule) ->
+      if Ast.has_aggregate r.Ast.head then []
+      else
+        Eval.body_envs db r.Ast.body
+        |> List.filter_map (fun env ->
+               let t = Eval.head_tuple env r.Ast.head in
+               if Store.mem r.Ast.head.Ast.head_pred t db then None
+               else Some (r.Ast.head.Ast.head_pred, t)))
+    p.Ast.rules
+  |> List.sort_uniq compare
+
+let system (p : Ast.program) : Store.t Explore.system =
+  let initial = [ Store.of_facts p.Ast.facts ] in
+  let successors db =
+    List.map (fun (pred, t) -> Store.add pred t db) (enabled_insertions p db)
+  in
+  Explore.make ~pp:Store.pp ~initial ~successors ()
+
+(* A coarser system that fires all enabled insertions at once (one
+   successor per state): much smaller state space, same fixpoint. *)
+let batched_system (p : Ast.program) : Store.t Explore.system =
+  let initial = [ Store.of_facts p.Ast.facts ] in
+  let successors db =
+    match enabled_insertions p db with
+    | [] -> []
+    | ins -> [ List.fold_left (fun db (pred, t) -> Store.add pred t db) db ins ]
+  in
+  Explore.make ~pp:Store.pp ~initial ~successors ()
+
+(* Check a safety invariant over every reachable database. *)
+let check_table_invariant ?max_states (p : Ast.program)
+    (inv : Store.t -> bool) =
+  Explore.check_invariant ?max_states (batched_system p) inv

@@ -1,0 +1,27 @@
+(** The transition-system (linear-logic flavoured) view of NDlog
+    execution (Section 4.3: "view the declarative networking
+    specification as a set of transition rules that determine the
+    updates of the underlying routing tables").
+
+    States are databases; transitions insert rule consequences.
+    Count-to-infinity programs yield infinite state spaces, which
+    bounded exploration reports as truncation. *)
+
+val enabled_insertions :
+  Ndlog.Ast.program -> Ndlog.Store.t -> (string * Ndlog.Store.Tuple.t) list
+(** All single-tuple insertions enabled in a database (non-aggregate
+    rules), deduplicated. *)
+
+val system : Ndlog.Ast.program -> Ndlog.Store.t Explore.system
+(** Fine-grained: one successor per enabled insertion. *)
+
+val batched_system : Ndlog.Ast.program -> Ndlog.Store.t Explore.system
+(** One successor per state (all enabled insertions at once): a much
+    smaller space with the same terminal fixpoint. *)
+
+val check_table_invariant :
+  ?max_states:int ->
+  Ndlog.Ast.program ->
+  (Ndlog.Store.t -> bool) ->
+  (Ndlog.Store.t Explore.stats, Ndlog.Store.t Explore.violation) result
+(** Safety over every reachable database of the batched system. *)

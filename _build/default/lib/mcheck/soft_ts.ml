@@ -1,0 +1,103 @@
+(* Model checking soft-state protocols: the combination the paper's
+   Section 4 aims at — soft-state semantics (4.2) expressed as a
+   transition system (4.3) "to directly produce system models for model
+   checking tools".
+
+   A state couples a database with a discrete clock and the leases of
+   its soft tuples.  Transitions are:
+
+   - derivation: insert one enabled rule consequence (leased at
+     [clock + lifetime] when its predicate is soft);
+   - tick: advance the clock by one, drop expired tuples, apply the
+     environment's injections for the new instant (refreshes, new
+     pings, ...).
+
+   The clock is bounded by [horizon], so the state space is finite
+   whenever the value domain is.  Leases make expiry part of the state:
+   safety properties can now speak about time ("after refreshes stop,
+   liveness tuples eventually vanish in every execution"). *)
+
+module Ast = Ndlog.Ast
+module Store = Ndlog.Store
+
+type lease = (string * Store.Tuple.t) * int  (* tuple, expiry instant *)
+
+type state = {
+  clock : int;
+  db : Store.t;
+  leases : lease list;  (* sorted, canonical *)
+}
+
+let canonical_leases (l : lease list) : lease list = List.sort compare l
+
+let initial_state = { clock = 0; db = Store.empty; leases = [] }
+
+type config = {
+  program : Ast.program;
+  horizon : int;
+  (* External insertions that happen at a given instant. *)
+  inject : int -> (string * Store.Tuple.t) list;
+  lifetimes : (string * int) list;  (* soft predicates *)
+}
+
+let make_config ?(horizon = 10) ?(inject = fun _ -> []) (program : Ast.program)
+    : config =
+  let lifetimes =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        match d.Ast.decl_lifetime with
+        | Ast.Lifetime l -> Some (d.Ast.decl_pred, int_of_float l)
+        | Ast.Lifetime_forever -> None)
+      program.Ast.decls
+  in
+  { program; horizon; inject; lifetimes }
+
+let lifetime_of cfg pred = List.assoc_opt pred cfg.lifetimes
+
+(* Insert with lease bookkeeping; re-insertion refreshes. *)
+let insert cfg (s : state) pred tuple : state =
+  let db = Store.add pred tuple s.db in
+  match lifetime_of cfg pred with
+  | None -> { s with db }
+  | Some life ->
+    let key = (pred, tuple) in
+    let leases =
+      ((key, s.clock + life))
+      :: List.filter (fun (k, _) -> k <> key) s.leases
+    in
+    { s with db; leases = canonical_leases leases }
+
+(* The tick transition. *)
+let tick cfg (s : state) : state =
+  let clock = s.clock + 1 in
+  let dead, alive = List.partition (fun (_, d) -> d <= clock) s.leases in
+  let db =
+    List.fold_left (fun db ((p, t), _) -> Store.remove p t db) s.db dead
+  in
+  let s' = { clock; db; leases = canonical_leases alive } in
+  List.fold_left (fun s (p, t) -> insert cfg s p t) s' (cfg.inject clock)
+
+let system (cfg : config) : state Explore.system =
+  let initial =
+    [ List.fold_left
+        (fun s (p, t) -> insert cfg s p t)
+        initial_state
+        (cfg.inject 0) ]
+  in
+  let successors (s : state) : state list =
+    let derivations =
+      Ndlog_ts.enabled_insertions cfg.program s.db
+      |> List.map (fun (pred, tuple) -> insert cfg s pred tuple)
+    in
+    let ticks = if s.clock >= cfg.horizon then [] else [ tick cfg s ] in
+    derivations @ ticks
+  in
+  let pp ppf s =
+    Fmt.pf ppf "clock=%d@.%a" s.clock Store.pp s.db
+  in
+  Explore.make ~pp ~initial ~successors ()
+
+(* Check a clock-indexed safety property over all reachable states. *)
+let check ?(max_states = 100_000) (cfg : config)
+    (inv : state -> bool) =
+  Explore.check_invariant ~max_states (system cfg) inv

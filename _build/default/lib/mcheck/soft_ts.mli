@@ -1,0 +1,52 @@
+(** Model checking soft-state protocols: Sections 4.2 and 4.3 of the
+    paper combined — soft-state semantics expressed as a transition
+    system "to directly produce system models for model checking
+    tools".
+
+    States couple a database with a discrete clock and the leases of
+    soft tuples; transitions are single rule-consequence insertions and
+    clock ticks (which expire leases and apply the environment's
+    injections).  The clock horizon keeps the space finite, so safety
+    properties can quantify over time. *)
+
+type lease = (string * Ndlog.Store.Tuple.t) * int
+(** A leased tuple and its expiry instant. *)
+
+type state = {
+  clock : int;
+  db : Ndlog.Store.t;
+  leases : lease list;  (** sorted (canonical) *)
+}
+
+val initial_state : state
+
+type config = {
+  program : Ndlog.Ast.program;
+  horizon : int;  (** maximal clock value explored *)
+  inject : int -> (string * Ndlog.Store.Tuple.t) list;
+      (** external insertions occurring at each instant (refreshes,
+          pings, failures-as-silence) *)
+  lifetimes : (string * int) list;
+}
+
+val make_config :
+  ?horizon:int ->
+  ?inject:(int -> (string * Ndlog.Store.Tuple.t) list) ->
+  Ndlog.Ast.program ->
+  config
+(** Lifetimes come from the program's [materialize] declarations. *)
+
+val insert : config -> state -> string -> Ndlog.Store.Tuple.t -> state
+(** Insert with lease bookkeeping (re-insertion refreshes). *)
+
+val tick : config -> state -> state
+(** Advance the clock, expire leases, apply injections. *)
+
+val system : config -> state Explore.system
+
+val check :
+  ?max_states:int ->
+  config ->
+  (state -> bool) ->
+  (state Explore.stats, state Explore.violation) result
+(** Clock-indexed safety over all reachable states. *)

@@ -1,0 +1,1 @@
+lib/ndlog/analysis.ml: Ast Fmt Hashtbl List Map Result Set String

@@ -1,0 +1,1 @@
+lib/ndlog/analysis.mli: Ast Fmt Map Set String

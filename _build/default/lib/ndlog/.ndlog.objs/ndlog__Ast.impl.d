@@ -1,0 +1,1 @@
+lib/ndlog/ast.ml: Fmt List Set String Value

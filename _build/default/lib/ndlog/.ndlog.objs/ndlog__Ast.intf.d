@@ -1,0 +1,1 @@
+lib/ndlog/ast.mli: Fmt Set String Value

@@ -1,0 +1,1 @@
+lib/ndlog/env.ml: Array Ast Builtins List Map String Value

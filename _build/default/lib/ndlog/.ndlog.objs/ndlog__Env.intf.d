@@ -1,0 +1,1 @@
+lib/ndlog/env.mli: Ast Value

@@ -1,0 +1,1 @@
+lib/ndlog/eval.mli: Analysis Ast Env Store

@@ -1,0 +1,1 @@
+lib/ndlog/localize.ml: Analysis Ast Fmt List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/ndlog/localize.mli: Ast Fmt

@@ -1,0 +1,1 @@
+lib/ndlog/parser.ml: Ast Builtins Lexer List Option Printf Value

@@ -1,0 +1,1 @@
+lib/ndlog/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/ndlog/plan.mli: Ast Fmt Store

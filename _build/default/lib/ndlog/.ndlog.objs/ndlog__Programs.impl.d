@@ -1,0 +1,1 @@
+lib/ndlog/programs.ml: Ast List Parser Printf Random Value

@@ -1,0 +1,1 @@
+lib/ndlog/programs.mli: Ast

@@ -1,0 +1,1 @@
+lib/ndlog/provenance.ml: Array Ast Env Eval Fmt List Store String Value

@@ -1,0 +1,1 @@
+lib/ndlog/provenance.mli: Ast Fmt Store Value

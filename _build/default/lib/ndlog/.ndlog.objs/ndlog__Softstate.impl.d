@@ -1,0 +1,1 @@
+lib/ndlog/softstate.ml: Analysis Ast Eval List Map Printf Store String Value

@@ -1,0 +1,1 @@
+lib/ndlog/softstate.mli: Analysis Ast Eval Store

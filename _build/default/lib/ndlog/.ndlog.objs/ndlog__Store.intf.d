@@ -1,0 +1,1 @@
+lib/ndlog/store.mli: Ast Fmt Set Value

@@ -1,0 +1,1 @@
+lib/ndlog/value.ml: Fmt Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/ndlog/value.mli: Fmt

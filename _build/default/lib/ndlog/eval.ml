@@ -1,0 +1,304 @@
+(* Centralized bottom-up evaluation of NDlog programs.
+
+   Two evaluators over the same rule-application core:
+   - [naive]: re-derives everything from the full database each round;
+   - [seminaive]: classic delta iteration, per stratum.
+
+   Both respect the stratification computed by {!Analysis}: strata are
+   evaluated bottom-up; aggregate rules of a stratum run once at stratum
+   entry (their body predicates are strictly lower, hence complete);
+   remaining rules run to fixpoint.
+
+   Evaluation is guarded by [max_rounds]; a program that fails to reach a
+   fixpoint within the bound (e.g. distance-vector count-to-infinity) is
+   reported as not converged rather than looping forever. *)
+
+type outcome = {
+  db : Store.t;
+  rounds : int;  (* total fixpoint rounds across strata *)
+  derivations : int;  (* head tuples produced, counting duplicates *)
+  converged : bool;
+}
+
+exception Eval_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Rule application. *)
+
+(* Enumerate all satisfying environments for [body] against [db].
+   [delta] optionally replaces the relation read by the body literal at
+   the given index, implementing semi-naive evaluation. *)
+let body_envs (db : Store.t) ?delta (body : Ast.lit list) : Env.t list =
+  let rec go env idx lits acc =
+    match lits with
+    | [] -> env :: acc
+    | lit :: rest -> (
+      match lit with
+      | Ast.Pos a ->
+        let rel =
+          match delta with
+          | Some (j, d) when j = idx -> d
+          | _ -> Store.relation a.pred db
+        in
+        Store.Tset.fold
+          (fun tuple acc ->
+            match Env.match_args env a.args tuple with
+            | Some env' -> go env' (idx + 1) rest acc
+            | None -> acc)
+          rel acc
+      | Ast.Neg a ->
+        let tuple =
+          Array.of_list (List.map (Env.eval env) a.args)
+        in
+        if Store.mem a.pred tuple db then acc
+        else go env (idx + 1) rest acc
+      | Ast.Assign (x, e) -> (
+        let v = Env.eval env e in
+        match Env.find_opt x env with
+        | None -> go (Env.bind x v env) (idx + 1) rest acc
+        | Some v' -> if Value.equal v v' then go env (idx + 1) rest acc else acc)
+      | Ast.Cond (c, a, b) ->
+        if Env.eval_cmp c (Env.eval env a) (Env.eval env b) then
+          go env (idx + 1) rest acc
+        else acc)
+  in
+  go Env.empty 0 body []
+
+(* Instantiate a plain (aggregate-free) head under [env]. *)
+let head_tuple env (h : Ast.head) : Store.Tuple.t =
+  Array.of_list
+    (List.map
+       (function
+         | Ast.Plain e -> Env.eval env e
+         | Ast.Agg _ -> raise (Eval_error "aggregate head in plain context"))
+       h.head_args)
+
+(* Positions (body-literal indexes) whose positive atom's predicate is in
+   [rec_preds]; used to pick delta positions. *)
+let delta_positions rec_preds (body : Ast.lit list) : int list =
+  List.mapi (fun i lit -> (i, lit)) body
+  |> List.filter_map (fun (i, lit) ->
+         match lit with
+         | Ast.Pos a when List.mem a.Ast.pred rec_preds -> Some i
+         | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates. *)
+
+module Kmap = Map.Make (struct
+  type t = Value.t option list
+
+  let compare = Stdlib.compare
+end)
+
+let agg_fold (a : Ast.agg) (vs : Value.t list) : Value.t =
+  match a, vs with
+  | _, [] -> raise (Eval_error "aggregate over empty group")
+  | Ast.Min, v :: rest ->
+    List.fold_left (fun m v -> if Value.compare v m < 0 then v else m) v rest
+  | Ast.Max, v :: rest ->
+    List.fold_left (fun m v -> if Value.compare v m > 0 then v else m) v rest
+  | Ast.Count, vs -> Value.Int (List.length vs)
+  | Ast.Sum, vs ->
+    Value.Int (List.fold_left (fun acc v -> acc + Value.as_int v) 0 vs)
+
+(* Evaluate an aggregate rule against the full database: group satisfying
+   environments by the plain head arguments, fold the aggregate, emit one
+   tuple per group. *)
+let apply_agg_rule db (r : Ast.rule) : Store.Tuple.t list =
+  let envs = body_envs db r.body in
+  let groups =
+    List.fold_left
+      (fun groups env ->
+        let key =
+          List.map
+            (function
+              | Ast.Plain e -> Some (Env.eval env e)
+              | Ast.Agg _ -> None)
+            r.head.head_args
+        in
+        let aggvals =
+          List.filter_map
+            (function
+              | Ast.Plain _ -> None
+              | Ast.Agg (_, x) -> Some (Env.find x env))
+            r.head.head_args
+        in
+        Kmap.update key
+          (function
+            | None -> Some [ aggvals ]
+            | Some rows -> Some (aggvals :: rows))
+          groups)
+      Kmap.empty envs
+  in
+  Kmap.fold
+    (fun key rows acc ->
+      (* Recombine: plain positions from the key, aggregate positions
+         folded over the collected column. *)
+      let n_aggs = List.length (List.hd rows) in
+      let columns =
+        List.init n_aggs (fun i -> List.map (fun row -> List.nth row i) rows)
+      in
+      let rec build args key cols =
+        match args, key with
+        | [], [] -> []
+        | Ast.Plain _ :: args', Some v :: key' -> v :: build args' key' cols
+        | Ast.Agg (a, _) :: args', None :: key' -> (
+          match cols with
+          | col :: cols' -> agg_fold a col :: build args' key' cols'
+          | [] -> raise (Eval_error "aggregate column mismatch"))
+        | _ -> raise (Eval_error "aggregate head shape mismatch")
+      in
+      Array.of_list (build r.head.head_args key columns) :: acc)
+    groups []
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint drivers. *)
+
+let rules_of_stratum (p : Ast.program) stratum =
+  List.filter (fun (r : Ast.rule) -> List.mem r.head.head_pred stratum) p.rules
+
+let split_agg rules =
+  List.partition (fun (r : Ast.rule) -> Ast.has_aggregate r.head) rules
+
+(* Derived tuples of applying [rules] with optional per-position deltas
+   restricted to [rec_preds]. *)
+let apply_plain_rules db ?deltas ~rec_preds rules ~count =
+  List.fold_left
+    (fun acc (r : Ast.rule) ->
+      let produce envs =
+        List.fold_left
+          (fun acc env ->
+            incr count;
+            Store.add r.head.head_pred (head_tuple env r.head) acc)
+          acc envs
+      in
+      match deltas with
+      | None -> produce (body_envs db r.body)
+      | Some delta_db ->
+        let positions = delta_positions rec_preds r.body in
+        List.fold_left
+          (fun acc i ->
+            let pred =
+              match List.nth r.body i with
+              | Ast.Pos a -> a.Ast.pred
+              | _ -> assert false
+            in
+            let d = Store.relation pred delta_db in
+            if Store.Tset.is_empty d then acc
+            else
+              List.fold_left
+                (fun acc env ->
+                  incr count;
+                  Store.add r.head.head_pred (head_tuple env r.head) acc)
+                acc
+                (body_envs db ~delta:(i, d) r.body))
+          acc positions)
+    Store.empty rules
+
+(* Evaluate one stratum to fixpoint, semi-naively. *)
+let eval_stratum_seminaive db stratum (p : Ast.program) ~max_rounds ~rounds
+    ~count =
+  let rules = rules_of_stratum p stratum in
+  let agg_rules, plain_rules = split_agg rules in
+  (* Aggregate rules see only lower strata: run them once. *)
+  let db =
+    List.fold_left
+      (fun db r ->
+        List.fold_left
+          (fun db t ->
+            incr count;
+            Store.add r.Ast.head.Ast.head_pred t db)
+          db (apply_agg_rule db r))
+      db agg_rules
+  in
+  let rec_preds =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Ast.rule) -> r.head.head_pred) plain_rules)
+  in
+  (* Initial round: full evaluation of the stratum's plain rules. *)
+  let derived = apply_plain_rules db ~rec_preds plain_rules ~count in
+  let delta = Store.diff derived db in
+  let db = Store.union db delta in
+  incr rounds;
+  let rec loop db delta =
+    if Store.is_empty delta then (db, true)
+    else if !rounds >= max_rounds then (db, false)
+    else begin
+      incr rounds;
+      let derived =
+        apply_plain_rules db ~deltas:delta ~rec_preds plain_rules ~count
+      in
+      let delta' = Store.diff derived db in
+      loop (Store.union db delta') delta'
+    end
+  in
+  loop db delta
+
+(* Evaluate one stratum to fixpoint, naively (for differential testing
+   and the E7 bench). *)
+let eval_stratum_naive db stratum (p : Ast.program) ~max_rounds ~rounds ~count
+    =
+  let rules = rules_of_stratum p stratum in
+  let agg_rules, plain_rules = split_agg rules in
+  let db =
+    List.fold_left
+      (fun db r ->
+        List.fold_left
+          (fun db t ->
+            incr count;
+            Store.add r.Ast.head.Ast.head_pred t db)
+          db (apply_agg_rule db r))
+      db agg_rules
+  in
+  let rec loop db =
+    if !rounds >= max_rounds then (db, false)
+    else begin
+      incr rounds;
+      let derived = apply_plain_rules db ~rec_preds:[] plain_rules ~count in
+      let delta = Store.diff derived db in
+      if Store.is_empty delta then (db, true)
+      else loop (Store.union db delta)
+    end
+  in
+  loop db
+
+let eval_with stratum_eval ?(max_rounds = 10_000) (p : Ast.program)
+    (info : Analysis.info) (db : Store.t) : outcome =
+  let rounds = ref 0 and count = ref 0 in
+  let db, converged =
+    List.fold_left
+      (fun (db, ok) stratum ->
+        if not ok then (db, ok)
+        else stratum_eval db stratum p ~max_rounds ~rounds ~count)
+      (db, true) info.Analysis.strata
+  in
+  { db; rounds = !rounds; derivations = !count; converged }
+
+let seminaive ?max_rounds p info db =
+  eval_with eval_stratum_seminaive ?max_rounds p info db
+
+let naive ?max_rounds p info db = eval_with eval_stratum_naive ?max_rounds p info db
+
+(* Analyze and evaluate a self-contained program (facts included). *)
+let run ?max_rounds ?(extra_facts = []) (p : Ast.program) :
+    (outcome, Analysis.error) result =
+  match Analysis.analyze p with
+  | Error e -> Error e
+  | Ok info ->
+    let db = Store.of_facts (p.facts @ extra_facts) in
+    Ok (seminaive ?max_rounds p info db)
+
+let run_exn ?max_rounds ?extra_facts p =
+  match run ?max_rounds ?extra_facts p with
+  | Ok o -> o
+  | Error e -> invalid_arg (Fmt.str "NDlog evaluation failed: %a" Analysis.pp_error e)
+
+(* Convenience: parse source text and run it. *)
+let run_source ?max_rounds src : (outcome, string) result =
+  match Parser.parse_program src with
+  | Error e -> Error e
+  | Ok p -> (
+    match run ?max_rounds p with
+    | Ok o -> Ok o
+    | Error e -> Error (Fmt.str "%a" Analysis.pp_error e))

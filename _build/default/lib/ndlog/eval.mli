@@ -1,0 +1,61 @@
+(** Centralized bottom-up evaluation of NDlog programs.
+
+    Two evaluators share one rule-application core: {!naive} re-derives
+    everything from the full database each round; {!seminaive} performs
+    classic delta iteration.  Both respect stratification: strata are
+    evaluated bottom-up, aggregate rules of a stratum run once at
+    stratum entry (their inputs are complete), remaining rules run to
+    fixpoint.
+
+    Evaluation is bounded by [max_rounds]: a program with no finite
+    fixpoint (e.g. distance-vector count-to-infinity on a cycle) is
+    reported as not converged instead of looping. *)
+
+(** The result of an evaluation. *)
+type outcome = {
+  db : Store.t;  (** the database reached *)
+  rounds : int;  (** fixpoint rounds across all strata *)
+  derivations : int;  (** head tuples produced, counting duplicates *)
+  converged : bool;  (** false when [max_rounds] was hit *)
+}
+
+exception Eval_error of string
+
+val body_envs :
+  Store.t -> ?delta:int * Store.Tset.t -> Ast.lit list -> Env.t list
+(** All satisfying environments for a rule body against a database.
+    [delta] optionally replaces the relation read by the body literal at
+    the given index (semi-naive evaluation); exposed for the distributed
+    runtime and the plan compiler. *)
+
+val head_tuple : Env.t -> Ast.head -> Store.Tuple.t
+(** Instantiate an aggregate-free head under an environment. *)
+
+val apply_agg_rule : Store.t -> Ast.rule -> Store.Tuple.t list
+(** Evaluate an aggregate rule against the full database: group
+    satisfying environments by the plain head arguments and fold the
+    aggregate. *)
+
+val seminaive :
+  ?max_rounds:int -> Ast.program -> Analysis.info -> Store.t -> outcome
+(** Semi-naive (delta) evaluation from an initial database. *)
+
+val naive :
+  ?max_rounds:int -> Ast.program -> Analysis.info -> Store.t -> outcome
+(** Naive evaluation; same fixpoint as {!seminaive} (differentially
+    tested), used as the E7 baseline. *)
+
+val run :
+  ?max_rounds:int ->
+  ?extra_facts:Ast.fact list ->
+  Ast.program ->
+  (outcome, Analysis.error) result
+(** Analyze and evaluate a self-contained program (its facts plus
+    [extra_facts]). *)
+
+val run_exn :
+  ?max_rounds:int -> ?extra_facts:Ast.fact list -> Ast.program -> outcome
+(** @raise Invalid_argument on analysis failure. *)
+
+val run_source : ?max_rounds:int -> string -> (outcome, string) result
+(** Parse source text and run it. *)

@@ -1,0 +1,253 @@
+(* Hand-written lexer for NDlog concrete syntax.
+
+   Comments: [// ...] and [% ...] to end of line, and [/* ... */] blocks.
+   Identifiers starting with an uppercase letter are variables; all others
+   are predicate / function / constant names (disambiguated by the
+   parser). *)
+
+type token =
+  | IDENT of string  (* lowercase-initial identifier *)
+  | UIDENT of string  (* uppercase-initial identifier: a variable *)
+  | INT of int
+  | STRING of string
+  | AT
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | PERIOD
+  | COLONDASH
+  | EQ  (* = *)
+  | EQEQ  (* == *)
+  | NE  (* != *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | BANG
+  | EOF
+
+exception Lex_error of string * int  (* message, line *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable peeked : (token * int) option;
+}
+
+let create src = { src; pos = 0; line = 1; peeked = None }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let error t msg = raise (Lex_error (msg, t.line))
+
+let rec skip_ws t =
+  if t.pos >= String.length t.src then ()
+  else
+    match t.src.[t.pos] with
+    | ' ' | '\t' | '\r' ->
+      t.pos <- t.pos + 1;
+      skip_ws t
+    | '\n' ->
+      t.pos <- t.pos + 1;
+      t.line <- t.line + 1;
+      skip_ws t
+    | '%' ->
+      skip_line t;
+      skip_ws t
+    | '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+      skip_line t;
+      skip_ws t
+    | '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+      skip_block t;
+      skip_ws t
+    | _ -> ()
+
+and skip_line t =
+  while t.pos < String.length t.src && t.src.[t.pos] <> '\n' do
+    t.pos <- t.pos + 1
+  done
+
+and skip_block t =
+  t.pos <- t.pos + 2;
+  let rec go () =
+    if t.pos + 1 >= String.length t.src then error t "unterminated comment"
+    else if t.src.[t.pos] = '*' && t.src.[t.pos + 1] = '/' then
+      t.pos <- t.pos + 2
+    else begin
+      if t.src.[t.pos] = '\n' then t.line <- t.line + 1;
+      t.pos <- t.pos + 1;
+      go ()
+    end
+  in
+  go ()
+
+let lex_ident t =
+  let start = t.pos in
+  while t.pos < String.length t.src && is_ident_char t.src.[t.pos] do
+    t.pos <- t.pos + 1
+  done;
+  String.sub t.src start (t.pos - start)
+
+let lex_int t =
+  let start = t.pos in
+  while
+    t.pos < String.length t.src && t.src.[t.pos] >= '0' && t.src.[t.pos] <= '9'
+  do
+    t.pos <- t.pos + 1
+  done;
+  int_of_string (String.sub t.src start (t.pos - start))
+
+let lex_string t =
+  t.pos <- t.pos + 1;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if t.pos >= String.length t.src then error t "unterminated string"
+    else
+      match t.src.[t.pos] with
+      | '"' -> t.pos <- t.pos + 1
+      | '\\' when t.pos + 1 < String.length t.src ->
+        Buffer.add_char buf t.src.[t.pos + 1];
+        t.pos <- t.pos + 2;
+        go ()
+      | c ->
+        if c = '\n' then t.line <- t.line + 1;
+        Buffer.add_char buf c;
+        t.pos <- t.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let raw_next t : token =
+  skip_ws t;
+  if t.pos >= String.length t.src then EOF
+  else
+    let c = t.src.[t.pos] in
+    let two =
+      if t.pos + 1 < String.length t.src then Some t.src.[t.pos + 1] else None
+    in
+    match c with
+    | 'a' .. 'z' | '_' -> IDENT (lex_ident t)
+    | 'A' .. 'Z' -> UIDENT (lex_ident t)
+    | '0' .. '9' -> INT (lex_int t)
+    | '"' -> STRING (lex_string t)
+    | '@' ->
+      t.pos <- t.pos + 1;
+      AT
+    | '(' ->
+      t.pos <- t.pos + 1;
+      LPAREN
+    | ')' ->
+      t.pos <- t.pos + 1;
+      RPAREN
+    | '[' ->
+      t.pos <- t.pos + 1;
+      LBRACKET
+    | ']' ->
+      t.pos <- t.pos + 1;
+      RBRACKET
+    | ',' ->
+      t.pos <- t.pos + 1;
+      COMMA
+    | '.' ->
+      t.pos <- t.pos + 1;
+      PERIOD
+    | ':' when two = Some '-' ->
+      t.pos <- t.pos + 2;
+      COLONDASH
+    | '=' when two = Some '=' ->
+      t.pos <- t.pos + 2;
+      EQEQ
+    | '=' ->
+      t.pos <- t.pos + 1;
+      EQ
+    | '!' when two = Some '=' ->
+      t.pos <- t.pos + 2;
+      NE
+    | '!' ->
+      t.pos <- t.pos + 1;
+      BANG
+    | '<' when two = Some '=' ->
+      t.pos <- t.pos + 2;
+      LE
+    | '<' ->
+      t.pos <- t.pos + 1;
+      LT
+    | '>' when two = Some '=' ->
+      t.pos <- t.pos + 2;
+      GE
+    | '>' ->
+      t.pos <- t.pos + 1;
+      GT
+    | '+' ->
+      t.pos <- t.pos + 1;
+      PLUS
+    | '-' ->
+      t.pos <- t.pos + 1;
+      MINUS
+    | '*' ->
+      t.pos <- t.pos + 1;
+      STAR
+    | '/' ->
+      t.pos <- t.pos + 1;
+      SLASH
+    | _ -> error t (Printf.sprintf "unexpected character %C" c)
+
+let next t : token * int =
+  match t.peeked with
+  | Some (tok, line) ->
+    t.peeked <- None;
+    (tok, line)
+  | None ->
+    let tok = raw_next t in
+    (tok, t.line)
+
+let peek t : token =
+  match t.peeked with
+  | Some (tok, _) -> tok
+  | None ->
+    let tok = raw_next t in
+    t.peeked <- Some (tok, t.line);
+    tok
+
+let line t = match t.peeked with Some (_, l) -> l | None -> t.line
+
+let string_of_token = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | UIDENT s -> Printf.sprintf "variable %S" s
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | AT -> "'@'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | PERIOD -> "'.'"
+  | COLONDASH -> "':-'"
+  | EQ -> "'='"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"

@@ -1,0 +1,419 @@
+(* Recursive-descent parser for NDlog concrete syntax.
+
+   Grammar sketch (see the paper, Section 2.2, for examples):
+
+     program  ::= { decl | fact | rule }
+     decl     ::= "materialize" "(" pred "," lifetime ")" "."
+     rule     ::= [label] head ":-" lit { "," lit } "."
+     fact     ::= pred "(" ground-arg { "," ground-arg } ")" "."
+     head-arg ::= ["@"] expr | agg "<" VAR ">"
+     lit      ::= atom | "!" atom | VAR "=" expr | expr cmp expr
+
+   Lowercase identifiers that are not applied to arguments denote address
+   constants ([link(@a,b,1)] reads node names [a] and [b] as addresses);
+   [true] / [false] are booleans.  Identifiers applied to arguments are
+   builtin function calls when registered in {!Builtins} (conventionally
+   [f_]-prefixed), and atoms otherwise. *)
+
+exception Parse_error of string * int  (* message, line *)
+
+type t = { lx : Lexer.t }
+
+let error p msg = raise (Parse_error (msg, Lexer.line p.lx))
+
+let expect p tok =
+  let got, line = Lexer.next p.lx in
+  if got <> tok then
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected %s, got %s" (Lexer.string_of_token tok)
+             (Lexer.string_of_token got),
+           line ))
+
+let is_agg_name = function
+  | "min" | "max" | "count" | "sum" -> true
+  | _ -> false
+
+let agg_of_name = function
+  | "min" -> Ast.Min
+  | "max" -> Ast.Max
+  | "count" -> Ast.Count
+  | "sum" -> Ast.Sum
+  | s -> invalid_arg ("agg_of_name: " ^ s)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions. *)
+
+let rec parse_expr p : Ast.expr =
+  let lhs = parse_term p in
+  parse_expr_rest p lhs
+
+and parse_expr_rest p lhs =
+  match Lexer.peek p.lx with
+  | Lexer.PLUS ->
+    ignore (Lexer.next p.lx);
+    let rhs = parse_term p in
+    parse_expr_rest p (Ast.Binop (Ast.Add, lhs, rhs))
+  | Lexer.MINUS ->
+    ignore (Lexer.next p.lx);
+    let rhs = parse_term p in
+    parse_expr_rest p (Ast.Binop (Ast.Sub, lhs, rhs))
+  | _ -> lhs
+
+and parse_term p : Ast.expr =
+  let lhs = parse_factor p in
+  parse_term_rest p lhs
+
+and parse_term_rest p lhs =
+  match Lexer.peek p.lx with
+  | Lexer.STAR ->
+    ignore (Lexer.next p.lx);
+    let rhs = parse_factor p in
+    parse_term_rest p (Ast.Binop (Ast.Mul, lhs, rhs))
+  | Lexer.SLASH ->
+    ignore (Lexer.next p.lx);
+    let rhs = parse_factor p in
+    parse_term_rest p (Ast.Binop (Ast.Div, lhs, rhs))
+  | _ -> lhs
+
+and parse_factor p : Ast.expr =
+  match Lexer.next p.lx with
+  | Lexer.INT n, _ -> Ast.Const (Value.Int n)
+  | Lexer.MINUS, _ -> (
+    match Lexer.next p.lx with
+    | Lexer.INT n, _ -> Ast.Const (Value.Int (-n))
+    | tok, line ->
+      raise
+        (Parse_error
+           ("expected integer after '-', got " ^ Lexer.string_of_token tok, line)))
+  | Lexer.STRING s, _ -> Ast.Const (Value.Str s)
+  | Lexer.UIDENT x, _ -> Ast.Var x
+  | Lexer.IDENT name, _ -> parse_after_ident p name
+  | Lexer.LPAREN, _ ->
+    let e = parse_expr p in
+    expect p Lexer.RPAREN;
+    e
+  | Lexer.LBRACKET, _ -> parse_list_literal p
+  | tok, line ->
+    raise
+      (Parse_error
+         ("expected expression, got " ^ Lexer.string_of_token tok, line))
+
+(* An identifier inside an expression: builtin call, boolean, or address
+   constant. *)
+and parse_after_ident p name : Ast.expr =
+  match Lexer.peek p.lx with
+  | Lexer.LPAREN ->
+    if not (Builtins.is_builtin name) then
+      error p
+        (Printf.sprintf
+           "unknown function %S (atoms may not appear inside expressions)"
+           name)
+    else begin
+      ignore (Lexer.next p.lx);
+      let args = parse_expr_args p in
+      Ast.Call (name, args)
+    end
+  | _ -> (
+    match name with
+    | "true" -> Ast.Const (Value.Bool true)
+    | "false" -> Ast.Const (Value.Bool false)
+    | _ -> Ast.Const (Value.Addr name))
+
+and parse_expr_args p : Ast.expr list =
+  match Lexer.peek p.lx with
+  | Lexer.RPAREN ->
+    ignore (Lexer.next p.lx);
+    []
+  | _ ->
+    let rec go acc =
+      let e = parse_expr p in
+      match Lexer.next p.lx with
+      | Lexer.COMMA, _ -> go (e :: acc)
+      | Lexer.RPAREN, _ -> List.rev (e :: acc)
+      | tok, line ->
+        raise
+          (Parse_error
+             ("expected ',' or ')', got " ^ Lexer.string_of_token tok, line))
+    in
+    go []
+
+and parse_list_literal p : Ast.expr =
+  match Lexer.peek p.lx with
+  | Lexer.RBRACKET ->
+    ignore (Lexer.next p.lx);
+    Ast.Const (Value.List [])
+  | _ ->
+    let rec go acc =
+      let e = parse_expr p in
+      match Lexer.next p.lx with
+      | Lexer.COMMA, _ -> go (e :: acc)
+      | Lexer.RBRACKET, _ -> List.rev (e :: acc)
+      | tok, line ->
+        raise
+          (Parse_error
+             ("expected ',' or ']', got " ^ Lexer.string_of_token tok, line))
+    in
+    let elems = go [] in
+    let consts =
+      List.map
+        (function
+          | Ast.Const v -> v
+          | _ -> error p "list literals must contain constants")
+        elems
+    in
+    Ast.Const (Value.List consts)
+
+(* ------------------------------------------------------------------ *)
+(* Atoms and heads. *)
+
+(* Parses "(" [@]arg, ... ")" returning args and location index. *)
+let parse_atom_args p : Ast.expr list * int option =
+  expect p Lexer.LPAREN;
+  let loc = ref None in
+  let rec go i acc =
+    (match Lexer.peek p.lx with
+    | Lexer.AT ->
+      ignore (Lexer.next p.lx);
+      if !loc <> None then error p "multiple location specifiers in atom";
+      loc := Some i
+    | _ -> ());
+    let e = parse_expr p in
+    match Lexer.next p.lx with
+    | Lexer.COMMA, _ -> go (i + 1) (e :: acc)
+    | Lexer.RPAREN, _ -> List.rev (e :: acc)
+    | tok, line ->
+      raise
+        (Parse_error
+           ("expected ',' or ')', got " ^ Lexer.string_of_token tok, line))
+  in
+  let args = go 0 [] in
+  (args, !loc)
+
+let parse_atom p pred : Ast.atom =
+  let args, loc = parse_atom_args p in
+  { Ast.pred; loc; args }
+
+(* A head argument may be an aggregate: min<C>. *)
+let parse_head p pred : Ast.head =
+  expect p Lexer.LPAREN;
+  let loc = ref None in
+  let rec go i acc =
+    (match Lexer.peek p.lx with
+    | Lexer.AT ->
+      ignore (Lexer.next p.lx);
+      if !loc <> None then error p "multiple location specifiers in head";
+      loc := Some i
+    | _ -> ());
+    let arg =
+      match Lexer.peek p.lx with
+      | Lexer.IDENT name when is_agg_name name ->
+        ignore (Lexer.next p.lx);
+        expect p Lexer.LT;
+        let v =
+          match Lexer.next p.lx with
+          | Lexer.UIDENT x, _ -> x
+          | tok, line ->
+            raise
+              (Parse_error
+                 ( "expected variable in aggregate, got "
+                   ^ Lexer.string_of_token tok,
+                   line ))
+        in
+        expect p Lexer.GT;
+        Ast.Agg (agg_of_name name, v)
+      | _ -> Ast.Plain (parse_expr p)
+    in
+    match Lexer.next p.lx with
+    | Lexer.COMMA, _ -> go (i + 1) (arg :: acc)
+    | Lexer.RPAREN, _ -> List.rev (arg :: acc)
+    | tok, line ->
+      raise
+        (Parse_error
+           ("expected ',' or ')', got " ^ Lexer.string_of_token tok, line))
+  in
+  let args = go 0 [] in
+  { Ast.head_pred = pred; head_loc = !loc; head_args = args }
+
+(* ------------------------------------------------------------------ *)
+(* Body literals. *)
+
+let cmp_of_token = function
+  | Lexer.EQEQ -> Some Ast.Eq
+  | Lexer.NE -> Some Ast.Ne
+  | Lexer.LT -> Some Ast.Lt
+  | Lexer.LE -> Some Ast.Le
+  | Lexer.GT -> Some Ast.Gt
+  | Lexer.GE -> Some Ast.Ge
+  | _ -> None
+
+let parse_literal p : Ast.lit =
+  match Lexer.peek p.lx with
+  | Lexer.BANG ->
+    ignore (Lexer.next p.lx);
+    let pred =
+      match Lexer.next p.lx with
+      | Lexer.IDENT name, _ -> name
+      | tok, line ->
+        raise
+          (Parse_error
+             ( "expected predicate after '!', got " ^ Lexer.string_of_token tok,
+               line ))
+    in
+    Ast.Neg (parse_atom p pred)
+  | Lexer.IDENT name
+    when (not (Builtins.is_builtin name))
+         && name <> "true" && name <> "false" -> (
+    ignore (Lexer.next p.lx);
+    match Lexer.peek p.lx with
+    | Lexer.LPAREN -> Ast.Pos (parse_atom p name)
+    | _ -> (
+      (* Address constant starting a comparison literal. *)
+      let e1 = Ast.Const (Value.Addr name) in
+      match Lexer.next p.lx with
+      | tok, _ when cmp_of_token tok <> None ->
+        let c = Option.get (cmp_of_token tok) in
+        Ast.Cond (c, e1, parse_expr p)
+      | Lexer.EQ, _ -> Ast.Cond (Ast.Eq, e1, parse_expr p)
+      | tok, line ->
+        raise
+          (Parse_error
+             ("expected comparison, got " ^ Lexer.string_of_token tok, line))))
+  | _ -> (
+    let e1 = parse_expr p in
+    match Lexer.next p.lx with
+    | Lexer.EQ, _ -> (
+      let e2 = parse_expr p in
+      match e1 with
+      | Ast.Var x -> Ast.Assign (x, e2)
+      | _ -> Ast.Cond (Ast.Eq, e1, e2))
+    | tok, line -> (
+      match cmp_of_token tok with
+      | Some c -> Ast.Cond (c, e1, parse_expr p)
+      | None ->
+        raise
+          (Parse_error
+             ( "expected comparison or assignment, got "
+               ^ Lexer.string_of_token tok,
+               line ))))
+
+let parse_body p : Ast.lit list =
+  let rec go acc =
+    let l = parse_literal p in
+    match Lexer.next p.lx with
+    | Lexer.COMMA, _ -> go (l :: acc)
+    | Lexer.PERIOD, _ -> List.rev (l :: acc)
+    | tok, line ->
+      raise
+        (Parse_error
+           ("expected ',' or '.', got " ^ Lexer.string_of_token tok, line))
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Top-level items. *)
+
+let parse_lifetime p : Ast.lifetime =
+  match Lexer.next p.lx with
+  | Lexer.IDENT "infinity", _ -> Ast.Lifetime_forever
+  | Lexer.INT n, _ -> Ast.Lifetime (float_of_int n)
+  | tok, line ->
+    raise
+      (Parse_error
+         ( "expected lifetime (seconds or 'infinity'), got "
+           ^ Lexer.string_of_token tok,
+           line ))
+
+let parse_decl p : Ast.decl =
+  expect p Lexer.LPAREN;
+  let pred =
+    match Lexer.next p.lx with
+    | Lexer.IDENT name, _ -> name
+    | tok, line ->
+      raise
+        (Parse_error
+           ("expected predicate name, got " ^ Lexer.string_of_token tok, line))
+  in
+  expect p Lexer.COMMA;
+  let lt = parse_lifetime p in
+  expect p Lexer.RPAREN;
+  expect p Lexer.PERIOD;
+  { Ast.decl_pred = pred; decl_lifetime = lt }
+
+let ground_value p (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Const v -> v
+  | _ -> error p "facts must have constant arguments"
+
+(* A head atom has been parsed; decide fact vs rule by the next token. *)
+let parse_rule_or_fact p ?label pred :
+    [ `Rule of Ast.rule | `Fact of Ast.fact ] =
+  let head = parse_head p pred in
+  match Lexer.next p.lx with
+  | Lexer.PERIOD, _ ->
+    let args =
+      List.map
+        (function
+          | Ast.Plain e -> ground_value p e
+          | Ast.Agg _ -> error p "facts may not contain aggregates")
+        head.Ast.head_args
+    in
+    if label <> None then error p "facts may not carry rule labels";
+    `Fact { Ast.fact_pred = pred; fact_loc = head.Ast.head_loc; fact_args = args }
+  | Lexer.COLONDASH, _ ->
+    let body = parse_body p in
+    `Rule { Ast.rule_name = label; head; body }
+  | tok, line ->
+    raise
+      (Parse_error
+         ("expected '.' or ':-', got " ^ Lexer.string_of_token tok, line))
+
+let parse_item p : [ `Decl of Ast.decl | `Rule of Ast.rule | `Fact of Ast.fact ]
+    =
+  match Lexer.next p.lx with
+  | Lexer.IDENT "materialize", _ -> `Decl (parse_decl p)
+  | Lexer.IDENT name, _ -> (
+    match Lexer.peek p.lx with
+    | Lexer.LPAREN -> (
+      match parse_rule_or_fact p name with
+      | `Rule r -> `Rule r
+      | `Fact f -> `Fact f)
+    | Lexer.IDENT pred ->
+      (* [name] was a rule label. *)
+      ignore (Lexer.next p.lx);
+      (match parse_rule_or_fact p ~label:name pred with
+      | `Rule r -> `Rule r
+      | `Fact _ -> error p "facts may not carry rule labels")
+    | tok ->
+      error p ("expected '(' or predicate, got " ^ Lexer.string_of_token tok))
+  | tok, line ->
+    raise
+      (Parse_error
+         ("expected declaration, rule or fact, got " ^ Lexer.string_of_token tok,
+           line))
+
+let parse_program_exn src : Ast.program =
+  let p = { lx = Lexer.create src } in
+  let rec go decls facts rules =
+    match Lexer.peek p.lx with
+    | Lexer.EOF ->
+      {
+        Ast.decls = List.rev decls;
+        facts = List.rev facts;
+        rules = List.rev rules;
+      }
+    | _ -> (
+      match parse_item p with
+      | `Decl d -> go (d :: decls) facts rules
+      | `Fact f -> go decls (f :: facts) rules
+      | `Rule r -> go decls facts (r :: rules))
+  in
+  go [] [] []
+
+let parse_program src : (Ast.program, string) result =
+  match parse_program_exn src with
+  | p -> Ok p
+  | exception Parse_error (msg, line) ->
+    Error (Printf.sprintf "parse error at line %d: %s" line msg)
+  | exception Lexer.Lex_error (msg, line) ->
+    Error (Printf.sprintf "lexical error at line %d: %s" line msg)

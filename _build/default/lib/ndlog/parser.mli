@@ -1,0 +1,29 @@
+(** Recursive-descent parser for NDlog concrete syntax.
+
+    Grammar sketch (see the paper's Section 2.2 for examples):
+
+    {v
+program  ::= { decl | fact | rule }
+decl     ::= "materialize" "(" pred "," lifetime ")" "."
+rule     ::= [label] head ":-" lit { "," lit } "."
+fact     ::= pred "(" ground-arg { "," ground-arg } ")" "."
+head-arg ::= ["@"] expr | agg "<" VAR ">"
+lit      ::= atom | "!" atom | VAR "=" expr | expr cmp expr
+    v}
+
+    Identifiers starting with an uppercase letter are variables.
+    Lowercase identifiers applied to arguments are builtin calls when
+    registered in {!Builtins} and atoms otherwise; unapplied lowercase
+    identifiers are address constants ([link(@a,b,1)] reads [a], [b] as
+    addresses); [true]/[false] are booleans.  Comments: [// ...],
+    [% ...], and [/* ... */]. *)
+
+exception Parse_error of string * int
+(** Message and line number. *)
+
+val parse_program_exn : string -> Ast.program
+(** @raise Parse_error on syntax errors.
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_program : string -> (Ast.program, string) result
+(** Errors are rendered with their line number. *)

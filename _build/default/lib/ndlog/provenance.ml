@@ -1,0 +1,292 @@
+(* Provenance: derivation trees for derived tuples.
+
+   NDlog's semantics is proof-theoretic (the paper, footnote 1: "the
+   equivalence of NDlog's proof-theoretic semantics and operational
+   semantics guarantees that FVN is sound").  This module makes that
+   concrete: [explain] reconstructs, for any tuple in the fixpoint, a
+   derivation tree — which rule fired, under which variable binding,
+   from which premise tuples — down to base facts.
+
+   Derivations are checkable objects: [Logic.Certify] (in the logic
+   library) compiles a derivation into a kernel-checked proof of the
+   ground atom from the program's completion and the base facts. *)
+
+type derivation =
+  | Fact of string * Store.Tuple.t
+  | Step of step
+
+and step = {
+  rule : Ast.rule;
+  (* The full variable binding under which the rule fired. *)
+  binding : (string * Value.t) list;
+  (* Derivations of the positive body atoms, in body order. *)
+  premises : derivation list;
+  (* Negated atoms checked absent (recorded, not derived). *)
+  neg_checks : (string * Store.Tuple.t) list;
+  conclusion : string * Store.Tuple.t;
+}
+
+let conclusion = function
+  | Fact (p, t) -> (p, t)
+  | Step s -> s.conclusion
+
+exception Not_derivable of string * Store.Tuple.t
+
+(* ------------------------------------------------------------------ *)
+(* Search. *)
+
+(* [explain] works against the full fixpoint database [db] (so premise
+   membership checks are O(log n)) and the set of base facts.  Cycles
+   are impossible in a least-fixpoint database when the search insists
+   on strictly "smaller" premises; we enforce well-foundedness by
+   forbidding a (pred, tuple) from appearing twice on the current
+   search path. *)
+
+type config = {
+  program : Ast.program;
+  db : Store.t;  (* the fixpoint *)
+  base : Store.t;  (* the original facts *)
+  agg_preds : string list;
+}
+
+let make_config (program : Ast.program) (db : Store.t) : config =
+  let agg_preds =
+    List.filter_map
+      (fun (r : Ast.rule) ->
+        if Ast.has_aggregate r.Ast.head then Some r.Ast.head.Ast.head_pred
+        else None)
+      program.Ast.rules
+  in
+  {
+    program;
+    db;
+    base = Store.of_facts program.Ast.facts;
+    agg_preds;
+  }
+
+(* All rule bindings (environments) that derive exactly [tuple] via
+   [rule]: match the head against the tuple, then check the body in the
+   fixpoint. *)
+let rule_bindings cfg (rule : Ast.rule) (tuple : Store.Tuple.t) : Env.t list =
+  let head_args =
+    List.map
+      (function
+        | Ast.Plain e -> e
+        | Ast.Agg _ -> invalid_arg "rule_bindings: aggregate head")
+      rule.Ast.head.Ast.head_args
+  in
+  match Env.match_args Env.empty head_args tuple with
+  | None -> []
+  | Some env0 ->
+    (* Evaluate the body under the partial head binding. *)
+    Eval.body_envs cfg.db rule.Ast.body
+    |> List.filter_map (fun env ->
+           (* env must agree with env0 on shared variables, and the head
+              must evaluate to the tuple. *)
+           let compatible =
+             List.for_all
+               (fun (x, v) ->
+                 match Env.find_opt x env with
+                 | Some v' -> Value.equal v v'
+                 | None -> true)
+               (Env.bindings env0)
+           in
+           if not compatible then None
+           else
+             let merged =
+               List.fold_left
+                 (fun acc (x, v) -> Env.bind x v acc)
+                 env (Env.bindings env0)
+             in
+             let t' = Eval.head_tuple merged rule.Ast.head in
+             if Store.Tuple.equal t' tuple then Some merged else None)
+
+let rec explain_path cfg (path : (string * Store.Tuple.t) list) pred tuple :
+    derivation =
+  if Store.mem pred tuple cfg.base then Fact (pred, tuple)
+  else if List.exists (fun (p, t) -> p = pred && Store.Tuple.equal t tuple) path
+  then raise (Not_derivable (pred, tuple))
+  else if List.mem pred cfg.agg_preds then explain_aggregate cfg path pred tuple
+  else begin
+    let path = (pred, tuple) :: path in
+    let candidates =
+      List.filter
+        (fun (r : Ast.rule) ->
+          r.Ast.head.Ast.head_pred = pred && not (Ast.has_aggregate r.Ast.head))
+        cfg.program.Ast.rules
+    in
+    let rec try_rules = function
+      | [] -> raise (Not_derivable (pred, tuple))
+      | rule :: rest -> (
+        let rec try_bindings = function
+          | [] -> try_rules rest
+          | env :: more -> (
+            match step_of cfg path rule env pred tuple with
+            | Some d -> d
+            | None -> try_bindings more)
+        in
+        try_bindings (rule_bindings cfg rule tuple))
+    in
+    try_rules candidates
+  end
+
+and step_of cfg path (rule : Ast.rule) env pred tuple : derivation option =
+  try
+    let premises =
+      List.filter_map
+        (function
+          | Ast.Pos (a : Ast.atom) ->
+            let t = Array.of_list (List.map (Env.eval env) a.Ast.args) in
+            Some (explain_path cfg path a.Ast.pred t)
+          | Ast.Neg _ | Ast.Assign _ | Ast.Cond _ -> None)
+        rule.Ast.body
+    in
+    let neg_checks =
+      List.filter_map
+        (function
+          | Ast.Neg (a : Ast.atom) ->
+            Some (a.Ast.pred, Array.of_list (List.map (Env.eval env) a.Ast.args))
+          | _ -> None)
+        rule.Ast.body
+    in
+    Some
+      (Step
+         {
+           rule;
+           binding = Env.bindings env;
+           premises;
+           neg_checks;
+           conclusion = (pred, tuple);
+         })
+  with Not_derivable _ -> None
+
+(* An aggregate tuple's provenance: the rule, plus the derivation of the
+   witness row achieving the aggregate (for min/max) or of every
+   contributing row (count/sum). *)
+and explain_aggregate cfg path pred tuple : derivation =
+  let path = (pred, tuple) :: path in
+  let rules =
+    List.filter
+      (fun (r : Ast.rule) ->
+        r.Ast.head.Ast.head_pred = pred && Ast.has_aggregate r.Ast.head)
+      cfg.program.Ast.rules
+  in
+  let rec try_rules = function
+    | [] -> raise (Not_derivable (pred, tuple))
+    | (rule : Ast.rule) :: rest -> (
+      (* Find body environments whose group key matches the tuple. *)
+      let envs = Eval.body_envs cfg.db rule.Ast.body in
+      let witnesses =
+        List.filter
+          (fun env ->
+            (* plain head args must match the tuple's key columns *)
+            List.for_all2
+              (fun arg v ->
+                match arg with
+                | Ast.Plain e -> Value.equal (Env.eval env e) v
+                | Ast.Agg _ -> true)
+              rule.Ast.head.Ast.head_args (Array.to_list tuple))
+          envs
+      in
+      (* For min/max the witness is a row achieving the value. *)
+      let achieving =
+        List.filter
+          (fun env ->
+            List.for_all2
+              (fun arg v ->
+                match arg with
+                | Ast.Plain _ -> true
+                | Ast.Agg ((Ast.Min | Ast.Max), x) ->
+                  Value.equal (Env.find x env) v
+                | Ast.Agg (_, _) -> true)
+              rule.Ast.head.Ast.head_args (Array.to_list tuple))
+          witnesses
+      in
+      let chosen =
+        match achieving with e :: _ -> Some e | [] -> None
+      in
+      match chosen with
+      | None -> try_rules rest
+      | Some env -> (
+        match step_of cfg path rule env pred tuple with
+        | Some d -> d
+        | None -> try_rules rest))
+  in
+  try_rules rules
+
+let explain ?config (program : Ast.program) (db : Store.t) pred tuple :
+    (derivation, string) result =
+  let cfg = match config with Some c -> c | None -> make_config program db in
+  if not (Store.mem pred tuple db) then
+    Error (Fmt.str "%s%a is not in the database" pred Store.Tuple.pp tuple)
+  else
+    match explain_path cfg [] pred tuple with
+    | d -> Ok d
+    | exception Not_derivable (p, t) ->
+      Error (Fmt.str "no derivation found for %s%a" p Store.Tuple.pp t)
+
+(* ------------------------------------------------------------------ *)
+(* Inspection. *)
+
+let rec size = function
+  | Fact _ -> 1
+  | Step s -> 1 + List.fold_left (fun acc d -> acc + size d) 0 s.premises
+
+let rec depth = function
+  | Fact _ -> 1
+  | Step s -> 1 + List.fold_left (fun acc d -> max acc (depth d)) 0 s.premises
+
+(* Every (pred, tuple) consequence in the tree, leaves first. *)
+let rec conclusions acc = function
+  | Fact (p, t) -> (p, t) :: acc
+  | Step s ->
+    s.conclusion :: List.fold_left conclusions acc s.premises
+
+(* A derivation is locally sound when every step's conclusion follows
+   from its premises under the recorded binding (re-checked against the
+   rule, independently of the search). *)
+let rec validate cfg = function
+  | Fact (p, t) -> Store.mem p t cfg.base
+  | Step s ->
+    let env = Env.of_list s.binding in
+    let head_ok =
+      (not (Ast.has_aggregate s.rule.Ast.head))
+      && Store.Tuple.equal
+           (Eval.head_tuple env s.rule.Ast.head)
+           (snd s.conclusion)
+      || Ast.has_aggregate s.rule.Ast.head
+    in
+    let body_ok =
+      List.for_all
+        (function
+          | Ast.Pos (a : Ast.atom) ->
+            let t = Array.of_list (List.map (Env.eval env) a.Ast.args) in
+            List.exists
+              (fun d ->
+                let p', t' = conclusion d in
+                p' = a.Ast.pred && Store.Tuple.equal t' t)
+              s.premises
+          | Ast.Neg (a : Ast.atom) ->
+            let t = Array.of_list (List.map (Env.eval env) a.Ast.args) in
+            not (Store.mem a.Ast.pred t cfg.db)
+          | Ast.Assign (x, e) -> Value.equal (Env.find x env) (Env.eval env e)
+          | Ast.Cond (c, a, b) ->
+            Env.eval_cmp c (Env.eval env a) (Env.eval env b))
+        s.rule.Ast.body
+    in
+    head_ok && body_ok && List.for_all (validate cfg) s.premises
+
+let rec pp ?(indent = 0) ppf d =
+  let pad = String.make indent ' ' in
+  match d with
+  | Fact (p, t) -> Fmt.pf ppf "%sfact %s%a@." pad p Store.Tuple.pp t
+  | Step s ->
+    let p, t = s.conclusion in
+    Fmt.pf ppf "%s%s%a  [rule %s]@." pad p Store.Tuple.pp t
+      (match s.rule.Ast.rule_name with Some n -> n | None -> "?");
+    List.iter (pp ~indent:(indent + 2) ppf) s.premises;
+    List.iter
+      (fun (np, nt) -> Fmt.pf ppf "%s  absent %s%a@." pad np Store.Tuple.pp nt)
+      s.neg_checks
+
+let pp ppf d = pp ~indent:0 ppf d

@@ -1,0 +1,62 @@
+(** Provenance: derivation trees for derived tuples.
+
+    NDlog's semantics is proof-theoretic (the paper's footnote 1: "the
+    equivalence of NDlog's proof-theoretic semantics and operational
+    semantics guarantees that FVN is sound").  [explain] reconstructs,
+    for any tuple in a fixpoint database, a derivation tree: which rule
+    fired, under which binding, from which premise tuples, down to base
+    facts.  [Logic.Certify] compiles such trees into kernel-checked
+    proofs. *)
+
+(** A derivation: a base fact, or one rule application. *)
+type derivation =
+  | Fact of string * Store.Tuple.t
+  | Step of step
+
+and step = {
+  rule : Ast.rule;
+  binding : (string * Value.t) list;
+      (** the full variable binding under which the rule fired *)
+  premises : derivation list;
+      (** derivations of the positive body atoms, in body order *)
+  neg_checks : (string * Store.Tuple.t) list;
+      (** negated atoms checked absent (recorded, not derived) *)
+  conclusion : string * Store.Tuple.t;
+}
+
+val conclusion : derivation -> string * Store.Tuple.t
+
+exception Not_derivable of string * Store.Tuple.t
+
+type config
+
+val make_config : Ast.program -> Store.t -> config
+(** Precompute search state for repeated explanations against the same
+    fixpoint database. *)
+
+val explain :
+  ?config:config ->
+  Ast.program ->
+  Store.t ->
+  string ->
+  Store.Tuple.t ->
+  (derivation, string) result
+(** [explain program fixpoint pred tuple] finds a well-founded
+    derivation of [tuple].  For aggregate tuples the derivation records
+    the witness row achieving the aggregate.  Errors when the tuple is
+    not in the database or (pathologically) no derivation is found. *)
+
+val size : derivation -> int
+(** Number of nodes. *)
+
+val depth : derivation -> int
+
+val conclusions : (string * Store.Tuple.t) list -> derivation -> (string * Store.Tuple.t) list
+(** All conclusions in the tree, accumulated onto the first argument. *)
+
+val validate : config -> derivation -> bool
+(** Re-check every step independently of the search: the recorded
+    binding must satisfy the rule body, premises must conclude the
+    body atoms, negative checks must hold in the fixpoint. *)
+
+val pp : derivation Fmt.t

@@ -1,0 +1,132 @@
+(* Ground-tuple storage: a database mapping predicate names to sets of
+   tuples.  Tuples are arrays of values compared lexicographically, so a
+   store is a deterministic, canonical representation of a database
+   state (used directly as model-checker state). *)
+
+module Tuple = struct
+  type t = Value.t array
+
+  let compare (a : t) (b : t) =
+    let la = Array.length a and lb = Array.length b in
+    let c = Stdlib.compare la lb in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i >= la then 0
+        else
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+  let equal a b = compare a b = 0
+
+  let pp ppf (t : t) =
+    Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ",") Value.pp) t
+
+  let hash (t : t) =
+    Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+end
+
+module Tset = Set.Make (Tuple)
+module Smap = Map.Make (String)
+
+type t = Tset.t Smap.t
+
+let empty : t = Smap.empty
+
+let relation pred (db : t) : Tset.t =
+  match Smap.find_opt pred db with Some s -> s | None -> Tset.empty
+
+let tuples pred (db : t) : Tuple.t list = Tset.elements (relation pred db)
+
+let mem pred tuple (db : t) = Tset.mem tuple (relation pred db)
+
+let add pred tuple (db : t) : t =
+  Smap.update pred
+    (function
+      | None -> Some (Tset.singleton tuple)
+      | Some s -> Some (Tset.add tuple s))
+    db
+
+let remove pred tuple (db : t) : t =
+  Smap.update pred
+    (function
+      | None -> None
+      | Some s ->
+        let s' = Tset.remove tuple s in
+        if Tset.is_empty s' then None else Some s')
+    db
+
+let add_list pred ts db = List.fold_left (fun db t -> add pred t db) db ts
+
+let set_relation pred s (db : t) : t =
+  if Tset.is_empty s then Smap.remove pred db else Smap.add pred s db
+
+let preds (db : t) = List.map fst (Smap.bindings db)
+
+let cardinal pred db = Tset.cardinal (relation pred db)
+
+let total_tuples (db : t) =
+  Smap.fold (fun _ s acc -> acc + Tset.cardinal s) db 0
+
+(* Union of two databases; used to merge deltas. *)
+let union (a : t) (b : t) : t =
+  Smap.union (fun _ x y -> Some (Tset.union x y)) a b
+
+(* Tuples of [b] not already in [a], per predicate. *)
+let diff (b : t) (a : t) : t =
+  Smap.filter_map
+    (fun pred s ->
+      let s' = Tset.diff s (relation pred a) in
+      if Tset.is_empty s' then None else Some s')
+    b
+
+let is_empty (db : t) = Smap.for_all (fun _ s -> Tset.is_empty s) db
+
+let equal (a : t) (b : t) =
+  Smap.equal Tset.equal
+    (Smap.filter (fun _ s -> not (Tset.is_empty s)) a)
+    (Smap.filter (fun _ s -> not (Tset.is_empty s)) b)
+
+let compare (a : t) (b : t) =
+  Smap.compare Tset.compare
+    (Smap.filter (fun _ s -> not (Tset.is_empty s)) a)
+    (Smap.filter (fun _ s -> not (Tset.is_empty s)) b)
+
+let of_facts (facts : Ast.fact list) : t =
+  List.fold_left
+    (fun db (f : Ast.fact) -> add f.Ast.fact_pred (Array.of_list f.Ast.fact_args) db)
+    empty facts
+
+let fold_rel pred f (db : t) acc = Tset.fold f (relation pred db) acc
+
+let iter_rel pred f (db : t) = Tset.iter f (relation pred db)
+
+let pp ppf (db : t) =
+  Smap.iter
+    (fun pred s ->
+      Tset.iter (fun t -> Fmt.pf ppf "%s%a@." pred Tuple.pp t) s)
+    db
+
+let to_string db = Fmt.str "%a" pp db
+
+(* Restrict a database to the given predicates. *)
+let restrict preds (db : t) : t =
+  Smap.filter (fun p _ -> List.mem p preds) db
+
+(* All tuples as (pred, tuple) pairs, deterministically ordered. *)
+let to_list (db : t) : (string * Tuple.t) list =
+  Smap.fold
+    (fun pred s acc -> Tset.fold (fun t acc -> (pred, t) :: acc) s acc)
+    db []
+  |> List.rev
+
+let hash (db : t) =
+  Smap.fold
+    (fun pred s acc ->
+      Tset.fold
+        (fun t acc -> (acc * 31) + Tuple.hash t)
+        s
+        ((acc * 31) + Hashtbl.hash pred))
+    db 11

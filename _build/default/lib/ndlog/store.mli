@@ -1,0 +1,69 @@
+(** Ground-tuple storage: a persistent database mapping predicate names
+    to sets of tuples.  Stores are canonical values — two databases with
+    the same contents are structurally equal — which lets the model
+    checker use them directly as states. *)
+
+(** Tuples: value arrays compared lexicographically (length first). *)
+module Tuple : sig
+  type t = Value.t array
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : t Fmt.t
+end
+
+(** Sets of tuples. *)
+module Tset : Set.S with type elt = Tuple.t
+
+type t
+(** A database. *)
+
+val empty : t
+
+val relation : string -> t -> Tset.t
+(** The tuple set of a predicate (empty when absent). *)
+
+val tuples : string -> t -> Tuple.t list
+(** The tuples of a predicate, in canonical order. *)
+
+val mem : string -> Tuple.t -> t -> bool
+val add : string -> Tuple.t -> t -> t
+val remove : string -> Tuple.t -> t -> t
+val add_list : string -> Tuple.t list -> t -> t
+
+val set_relation : string -> Tset.t -> t -> t
+(** Replace a predicate's relation wholesale (used by view refresh). *)
+
+val preds : t -> string list
+(** Predicates with at least one tuple, sorted. *)
+
+val cardinal : string -> t -> int
+val total_tuples : t -> int
+
+val union : t -> t -> t
+(** Per-predicate set union. *)
+
+val diff : t -> t -> t
+(** [diff b a]: the tuples of [b] not in [a] (the delta). *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** Content equality (empty relations are irrelevant). *)
+
+val compare : t -> t -> int
+val hash : t -> int
+
+val of_facts : Ast.fact list -> t
+
+val restrict : string list -> t -> t
+(** Keep only the given predicates. *)
+
+val to_list : t -> (string * Tuple.t) list
+(** All tuples as [(pred, tuple)] pairs, deterministically ordered. *)
+
+val fold_rel : string -> (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_rel : string -> (Tuple.t -> unit) -> t -> unit
+val pp : t Fmt.t
+val to_string : t -> string

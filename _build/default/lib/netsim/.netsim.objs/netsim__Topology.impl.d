@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Fmt Hashtbl List Printf Random Stdlib

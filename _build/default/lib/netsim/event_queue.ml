@@ -1,0 +1,61 @@
+(* A deterministic discrete-event queue.
+
+   Events are ordered by (time, sequence number): ties in simulated time
+   are broken by insertion order, which makes whole simulations
+   reproducible run to run.  Implemented as a size-balanced leftist
+   heap. *)
+
+type 'a t = {
+  mutable heap : 'a node;
+  mutable seq : int;
+  mutable size : int;
+}
+
+and 'a node =
+  | Leaf
+  | Node of 'a node * key * 'a * 'a node * int  (* left, key, payload, right, rank *)
+
+and key = {
+  time : float;
+  tie : int;
+}
+
+let key_le a b = a.time < b.time || (a.time = b.time && a.tie <= b.tie)
+
+let rank = function Leaf -> 0 | Node (_, _, _, _, r) -> r
+
+let rec merge a b =
+  match a, b with
+  | Leaf, t | t, Leaf -> t
+  | Node (la, ka, va, ra, _), Node (_, kb, _, _, _) ->
+    if key_le ka kb then
+      let merged = merge ra b in
+      if rank la >= rank merged then Node (la, ka, va, merged, rank merged + 1)
+      else Node (merged, ka, va, la, rank la + 1)
+    else merge b a
+
+let create () = { heap = Leaf; seq = 0; size = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let push q ~time v =
+  let k = { time; tie = q.seq } in
+  q.seq <- q.seq + 1;
+  q.size <- q.size + 1;
+  q.heap <- merge q.heap (Node (Leaf, k, v, Leaf, 1))
+
+let pop q =
+  match q.heap with
+  | Leaf -> None
+  | Node (l, k, v, r, _) ->
+    q.heap <- merge l r;
+    q.size <- q.size - 1;
+    Some (k.time, v)
+
+let peek_time q =
+  match q.heap with Leaf -> None | Node (_, k, _, _, _) -> Some k.time
+
+let clear q =
+  q.heap <- Leaf;
+  q.size <- 0

@@ -1,0 +1,20 @@
+(** A deterministic discrete-event queue.
+
+    Events are ordered by (time, insertion sequence): ties in simulated
+    time are broken FIFO, which makes whole simulations reproducible
+    run to run. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** The earliest event, removed. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event, without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,147 @@
+(* The discrete-event network simulator.
+
+   A simulation couples a {!Topology} with an {!Event_queue}.  Nodes
+   register a message handler; [send] enqueues a delivery after the
+   link's propagation delay (messages on down links are dropped and
+   counted).  [schedule] posts arbitrary timed callbacks (timers, link
+   failures, protocol ticks).  [run] processes events in deterministic
+   order until quiescence, a time horizon, or an event budget — the
+   event budget is how non-converging protocols (count-to-infinity) are
+   detected rather than looped on forever. *)
+
+type 'msg event =
+  | Deliver of { src : string; dst : string; msg : 'msg }
+  | Callback of (unit -> unit)
+
+type 'msg t = {
+  topo : Topology.t;
+  queue : 'msg event Event_queue.t;
+  handlers : (string, 'msg t -> self:string -> src:string -> 'msg -> unit) Hashtbl.t;
+  mutable now : float;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable sent : int;
+  mutable processed : int;
+  mutable trace : (float * string) list;  (* reversed *)
+  mutable tracing : bool;
+  rng : Random.State.t;
+}
+
+let create ?(seed = 42) topo =
+  {
+    topo;
+    queue = Event_queue.create ();
+    handlers = Hashtbl.create 16;
+    now = 0.0;
+    delivered = 0;
+    dropped = 0;
+    sent = 0;
+    processed = 0;
+    trace = [];
+    tracing = false;
+    rng = Random.State.make [| seed |];
+  }
+
+let now t = t.now
+let topology t = t.topo
+let rng t = t.rng
+
+let set_tracing t b = t.tracing <- b
+
+let record t fmt =
+  Format.kasprintf
+    (fun s -> if t.tracing then t.trace <- (t.now, s) :: t.trace)
+    fmt
+
+let trace t = List.rev t.trace
+
+let set_handler t node h = Hashtbl.replace t.handlers node h
+
+(* Send [msg] from [src] to [dst].  Returns false (and counts a drop)
+   when there is no live link. *)
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  match Topology.link t.topo src dst with
+  | Some l when l.Topology.up ->
+    if l.Topology.loss > 0.0 && Random.State.float t.rng 1.0 < l.Topology.loss
+    then begin
+      t.dropped <- t.dropped + 1;
+      record t "loss %s->%s" src dst;
+      false
+    end
+    else begin
+      Event_queue.push t.queue ~time:(t.now +. l.Topology.delay)
+        (Deliver { src; dst; msg });
+      true
+    end
+  | Some _ | None ->
+    t.dropped <- t.dropped + 1;
+    record t "drop %s->%s" src dst;
+    false
+
+(* Deliver without requiring a link (control-plane style injection). *)
+let inject t ~delay ~src ~dst msg =
+  Event_queue.push t.queue ~time:(t.now +. delay) (Deliver { src; dst; msg })
+
+let schedule t ~delay f =
+  Event_queue.push t.queue ~time:(t.now +. delay) (Callback f)
+
+let at t ~time f =
+  Event_queue.push t.queue ~time:(max time t.now) (Callback f)
+
+type stats = {
+  final_time : float;
+  events : int;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  quiesced : bool;  (* the event queue drained before any limit hit *)
+}
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    t.now <- time;
+    t.processed <- t.processed + 1;
+    (match ev with
+    | Deliver { src; dst; msg } -> (
+      t.delivered <- t.delivered + 1;
+      match Hashtbl.find_opt t.handlers dst with
+      | Some h -> h t ~self:dst ~src msg
+      | None -> record t "no handler at %s" dst)
+    | Callback f -> f ());
+    true
+
+let run ?(until = infinity) ?(max_events = 1_000_000) t =
+  let start_processed = t.processed in
+  let rec loop () =
+    if t.processed - start_processed >= max_events then false
+    else
+      match Event_queue.peek_time t.queue with
+      | None -> true
+      | Some time when time > until -> false
+      | Some _ ->
+        ignore (step t);
+        loop ()
+  in
+  let quiesced = loop () in
+  {
+    final_time = t.now;
+    events = t.processed - start_processed;
+    messages_sent = t.sent;
+    messages_delivered = t.delivered;
+    messages_dropped = t.dropped;
+    quiesced;
+  }
+
+(* Failure injection helpers: schedule a duplex link going down/up. *)
+let fail_link_at t ~time a b =
+  at t ~time (fun () ->
+      record t "link %s<->%s down" a b;
+      Topology.fail_duplex t.topo a b)
+
+let restore_link_at t ~time a b =
+  at t ~time (fun () ->
+      record t "link %s<->%s up" a b;
+      Topology.restore_duplex t.topo a b)

@@ -1,0 +1,123 @@
+(* Network topologies: named nodes and directed links with per-link
+   delay, metric cost, and an up/down flag (for failure injection).
+
+   Topologies are mutable: the simulator flips link state during a run
+   to model churn.  All generators produce symmetric graphs (both
+   directions present) with deterministic structure. *)
+
+type link = {
+  src : string;
+  dst : string;
+  delay : float;
+  cost : int;
+  loss : float;  (* probability a message on this link is lost *)
+  mutable up : bool;
+}
+
+type t = {
+  mutable nodes : string list;
+  links : (string * string, link) Hashtbl.t;
+}
+
+let create () = { nodes = []; links = Hashtbl.create 64 }
+
+let add_node t n = if not (List.mem n t.nodes) then t.nodes <- t.nodes @ [ n ]
+
+let add_link ?(delay = 1.0) ?(cost = 1) ?(loss = 0.0) t src dst =
+  add_node t src;
+  add_node t dst;
+  Hashtbl.replace t.links (src, dst) { src; dst; delay; cost; loss; up = true }
+
+let add_duplex ?delay ?cost ?loss t a b =
+  add_link ?delay ?cost ?loss t a b;
+  add_link ?delay ?cost ?loss t b a
+
+let link t src dst = Hashtbl.find_opt t.links (src, dst)
+
+let link_up t src dst =
+  match link t src dst with Some l -> l.up | None -> false
+
+let set_link_state t src dst up =
+  match link t src dst with
+  | Some l -> l.up <- up
+  | None -> ()
+
+let fail_duplex t a b =
+  set_link_state t a b false;
+  set_link_state t b a false
+
+let restore_duplex t a b =
+  set_link_state t a b true;
+  set_link_state t b a true
+
+let nodes t = t.nodes
+
+let links t =
+  Hashtbl.fold (fun _ l acc -> l :: acc) t.links []
+  |> List.sort (fun a b -> Stdlib.compare (a.src, a.dst) (b.src, b.dst))
+
+let up_links t = List.filter (fun l -> l.up) (links t)
+
+let neighbors t n =
+  List.filter_map
+    (fun l -> if l.src = n && l.up then Some l.dst else None)
+    (links t)
+
+(* ------------------------------------------------------------------ *)
+(* Generators (node names n0, n1, ...). *)
+
+let node i = Printf.sprintf "n%d" i
+
+let line ?(delay = 1.0) ?(cost = fun _ -> 1) k =
+  let t = create () in
+  for i = 0 to k - 1 do
+    add_node t (node i)
+  done;
+  for i = 0 to k - 2 do
+    add_duplex ~delay ~cost:(cost i) t (node i) (node (i + 1))
+  done;
+  t
+
+let ring ?(delay = 1.0) ?(cost = fun _ -> 1) k =
+  let t = line ~delay ~cost k in
+  add_duplex ~delay ~cost:(cost (k - 1)) t (node (k - 1)) (node 0);
+  t
+
+let star ?(delay = 1.0) ?(cost = fun _ -> 1) k =
+  let t = create () in
+  add_node t (node 0);
+  for i = 1 to k - 1 do
+    add_duplex ~delay ~cost:(cost i) t (node 0) (node i)
+  done;
+  t
+
+(* Random connected graph: spanning tree plus [extra] chords, seeded. *)
+let random ?(seed = 42) ?(extra = 0) ?(delay = 1.0) ?(max_cost = 10) k =
+  let st = Random.State.make [| seed |] in
+  let t = create () in
+  add_node t (node 0);
+  for i = 1 to k - 1 do
+    let parent = Random.State.int st i in
+    add_duplex ~delay ~cost:(1 + Random.State.int st max_cost) t (node i)
+      (node parent)
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra && !attempts < extra * 20 do
+    incr attempts;
+    let i = Random.State.int st k and j = Random.State.int st k in
+    if i <> j && link t (node i) (node j) = None then begin
+      add_duplex ~delay ~cost:(1 + Random.State.int st max_cost) t (node i)
+        (node j);
+      incr added
+    end
+  done;
+  t
+
+let pp ppf t =
+  Fmt.pf ppf "nodes: %a@." Fmt.(list ~sep:(any " ") string) t.nodes;
+  List.iter
+    (fun l ->
+      Fmt.pf ppf "  %s -> %s (cost %d, delay %g%s)@." l.src l.dst l.cost l.delay
+        (if l.up then "" else ", DOWN"))
+    (links t)

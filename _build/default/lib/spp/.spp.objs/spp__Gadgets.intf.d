@@ -1,0 +1,1 @@
+lib/spp/gadgets.mli: Instance

@@ -1,0 +1,1 @@
+lib/spp/instance.ml: Array Fmt Fun List Option Printf

@@ -1,0 +1,1 @@
+lib/spp/solver.ml: Array Hashtbl Instance List Option Random

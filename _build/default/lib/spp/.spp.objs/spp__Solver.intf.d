@@ -1,0 +1,1 @@
+lib/spp/solver.mli: Instance

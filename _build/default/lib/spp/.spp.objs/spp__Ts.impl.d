@@ -1,0 +1,1 @@
+lib/spp/ts.ml: Array Instance List Mcheck Solver

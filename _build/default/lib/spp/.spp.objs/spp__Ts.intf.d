@@ -1,0 +1,1 @@
+lib/spp/ts.mli: Instance Mcheck

@@ -1,0 +1,69 @@
+(* The classic SPP gadgets from Griffin–Shepherd–Wilfong, used across
+   the experiments:
+
+   - [shortest_paths]: policies consistent with a cost metric; unique
+     solution, always converges (the well-behaved baseline);
+   - [disagree]: two stable solutions; the protocol can oscillate
+     forever under an unlucky (synchronous) schedule and converges only
+     when asynchrony breaks the tie — the paper's "Disagree scenario in
+     the presence of policy conflicts";
+   - [bad_gadget]: no stable solution at all: the protocol diverges
+     under every fair schedule;
+   - [good_gadget]: a safe instance that still contains a preference
+     cycle among non-best paths (convergent despite policy structure). *)
+
+(* DISAGREE: nodes 1 and 2 each prefer the route through the other over
+   their own direct route to the origin. *)
+let disagree : Instance.t =
+  Instance.make ~n:3
+    [
+      (* node 1 *) [ [ 1; 2; 0 ]; [ 1; 0 ] ];
+      (* node 2 *) [ [ 2; 1; 0 ]; [ 2; 0 ] ];
+    ]
+
+(* The same topology with shortest-path (cost-consistent) policies. *)
+let agree : Instance.t =
+  Instance.make ~n:3
+    [
+      (* node 1 *) [ [ 1; 0 ]; [ 1; 2; 0 ] ];
+      (* node 2 *) [ [ 2; 0 ]; [ 2; 1; 0 ] ];
+    ]
+
+(* SHORTEST PATHS on a 4-node diamond: 1 and 2 sit between 3 and 0. *)
+let shortest_paths : Instance.t =
+  Instance.make ~n:4
+    [
+      (* node 1 *) [ [ 1; 0 ] ];
+      (* node 2 *) [ [ 2; 0 ] ];
+      (* node 3 *) [ [ 3; 1; 0 ]; [ 3; 2; 0 ] ];
+    ]
+
+(* BAD GADGET: a 3-cycle around the origin where each node prefers the
+   route through its clockwise neighbour over its direct route.  No
+   stable assignment exists. *)
+let bad_gadget : Instance.t =
+  Instance.make ~n:4
+    [
+      (* node 1 *) [ [ 1; 2; 0 ]; [ 1; 0 ] ];
+      (* node 2 *) [ [ 2; 3; 0 ]; [ 2; 0 ] ];
+      (* node 3 *) [ [ 3; 1; 0 ]; [ 3; 0 ] ];
+    ]
+
+(* GOOD GADGET: same cycle, but node 3 ranks its direct route first.
+   The cycle in preferences is broken; a unique solution exists. *)
+let good_gadget : Instance.t =
+  Instance.make ~n:4
+    [
+      (* node 1 *) [ [ 1; 2; 0 ]; [ 1; 0 ] ];
+      (* node 2 *) [ [ 2; 3; 0 ]; [ 2; 0 ] ];
+      (* node 3 *) [ [ 3; 0 ]; [ 3; 1; 0 ] ];
+    ]
+
+let all : (string * Instance.t) list =
+  [
+    ("shortest-paths", shortest_paths);
+    ("agree", agree);
+    ("disagree", disagree);
+    ("good-gadget", good_gadget);
+    ("bad-gadget", bad_gadget);
+  ]

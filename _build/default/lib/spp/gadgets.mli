@@ -1,0 +1,21 @@
+(** The classic SPP gadgets (Griffin–Shepherd–Wilfong), used across
+    tests, examples, and experiment E9. *)
+
+val disagree : Instance.t
+(** Two stable solutions; oscillates forever under synchronous
+    activation — the paper's "Disagree scenario in the presence of
+    policy conflicts". *)
+
+val agree : Instance.t
+(** The same topology with cost-consistent policies: unique solution. *)
+
+val shortest_paths : Instance.t
+(** A 4-node shortest-paths instance: unique solution, always safe. *)
+
+val bad_gadget : Instance.t
+(** No stable solution; diverges under every schedule. *)
+
+val good_gadget : Instance.t
+(** Unique solution despite a preference cycle among non-best paths. *)
+
+val all : (string * Instance.t) list

@@ -1,0 +1,144 @@
+(* The Stable Paths Problem (Griffin, Shepherd, Wilfong: "The stable
+   paths problem and interdomain routing"), the combinatorial model
+   behind the paper's BGP discussion (refs [7, 8]).
+
+   An instance has nodes [0 .. n-1]; node 0 is the origin.  Each node
+   carries a ranked list of *permitted paths* to the origin (first
+   element of the path is the node itself, last is 0); lower rank means
+   more preferred.  The empty path (unreachable) is always implicitly
+   permitted and least preferred. *)
+
+type path = int list  (* [u; ...; 0] or [] for the empty path *)
+
+type t = {
+  n : int;
+  (* permitted.(u) lists u's permitted paths most-preferred first. *)
+  permitted : path list array;
+}
+
+exception Ill_formed of string
+
+let origin = 0
+
+let make ~n permitted_lists =
+  if List.length permitted_lists <> n - 1 then
+    raise
+      (Ill_formed
+         (Printf.sprintf "expected %d permitted lists (nodes 1..%d)" (n - 1)
+            (n - 1)));
+  let permitted = Array.make n [] in
+  permitted.(0) <- [ [ 0 ] ];
+  List.iteri
+    (fun i paths ->
+      let u = i + 1 in
+      List.iter
+        (fun p ->
+          match p with
+          | v :: _ when v = u && List.rev p |> List.hd = origin -> ()
+          | _ ->
+            raise
+              (Ill_formed
+                 (Printf.sprintf "path of node %d must run from %d to 0" u u)))
+        paths;
+      permitted.(u) <- paths)
+    permitted_lists;
+  { n; permitted }
+
+let nodes t = List.init t.n Fun.id
+
+let size t = t.n
+
+let permitted t u = t.permitted.(u)
+
+(* Rank of a path at node u: position in the permitted list;
+   the empty path ranks below everything. *)
+let rank t u (p : path) : int option =
+  if p = [] then Some max_int
+  else
+    let rec go i = function
+      | [] -> None
+      | q :: rest -> if q = p then Some i else go (i + 1) rest
+    in
+    go 0 t.permitted.(u)
+
+let is_permitted t u p = p = [] || rank t u p <> None
+
+(* Neighbour relation induced by the permitted paths: u and v are
+   adjacent when some permitted path of u starts [u; v; ...]. *)
+let neighbors t u =
+  List.filter_map
+    (function
+      | _ :: v :: _ -> Some v
+      | _ -> None)
+    t.permitted.(u)
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Path assignments. *)
+
+(* An assignment maps each node to its current path ([] = none).  Node 0
+   is pinned to [0]. *)
+type assignment = path array
+
+let empty_assignment t : assignment =
+  let a = Array.make t.n [] in
+  a.(0) <- [ 0 ];
+  a
+
+(* The candidate paths available to u under assignment [a]: for each
+   neighbour v with a non-empty assigned path, the extension u::a(v),
+   filtered to permitted, loop-free ones. *)
+let choices t (a : assignment) u : path list =
+  if u = origin then [ [ 0 ] ]
+  else
+    List.filter_map
+      (fun v ->
+        match a.(v) with
+        | [] -> None
+        | p ->
+          let ext = u :: p in
+          if List.mem u p then None
+          else if is_permitted t u ext && rank t u ext <> Some max_int then
+            Some ext
+          else None)
+      (neighbors t u)
+
+(* The best (lowest-rank) choice, or [] if none. *)
+let best t (a : assignment) u : path =
+  let ranked =
+    List.filter_map
+      (fun p -> Option.map (fun r -> (r, p)) (rank t u p))
+      (choices t a u)
+  in
+  match List.sort compare ranked with
+  | (_, p) :: _ -> p
+  | [] -> []
+
+(* [a] is stable iff every node's assignment equals its best choice. *)
+let is_stable t (a : assignment) : bool =
+  List.for_all (fun u -> a.(u) = best t a u) (nodes t)
+
+(* Consistency: u's non-empty path must factor through its next hop's
+   assigned path (the tree property of path assignments). *)
+let is_consistent t (a : assignment) : bool =
+  List.for_all
+    (fun u ->
+      match a.(u) with
+      | [] -> true
+      | [ v ] -> v = origin && u = origin
+      | _ :: v :: _ as p -> (
+        match a.(v) with [] -> false | q -> p = u :: q))
+    (nodes t)
+
+let pp_path ppf = function
+  | [] -> Fmt.string ppf "eps"
+  | p -> Fmt.(list ~sep:(any " ") int) ppf p
+
+let pp_assignment ppf (a : assignment) =
+  Array.iteri (fun u p -> Fmt.pf ppf "  %d: %a@." u pp_path p) a
+
+let pp ppf t =
+  List.iter
+    (fun u ->
+      Fmt.pf ppf "node %d: %a@." u Fmt.(list ~sep:(any " > ") pp_path) t.permitted.(u))
+    (nodes t)

@@ -1,0 +1,67 @@
+(** The Stable Paths Problem (Griffin–Shepherd–Wilfong), the
+    combinatorial model behind the paper's BGP discussion (refs
+    [7, 8]).
+
+    Nodes are [0 .. n-1] with node [0] the origin.  Each node carries a
+    ranked list of permitted paths to the origin; lower rank is more
+    preferred; the empty path (unreachable) is implicitly permitted and
+    least preferred. *)
+
+type path = int list
+(** [\[u; ...; 0\]], or [\[\]] for the empty path. *)
+
+type t
+
+exception Ill_formed of string
+
+val origin : int
+(** Node 0. *)
+
+val make : n:int -> path list list -> t
+(** [make ~n permitted] takes one permitted list per node [1 .. n-1],
+    most-preferred first.
+    @raise Ill_formed when a path does not run from its node to the
+    origin, or the list count is wrong. *)
+
+val nodes : t -> int list
+val permitted : t -> int -> path list
+
+val rank : t -> int -> path -> int option
+(** Position in the permitted list; the empty path ranks
+    [Some max_int]; unknown paths are [None]. *)
+
+val is_permitted : t -> int -> path -> bool
+
+val neighbors : t -> int -> int list
+(** Adjacency induced by the permitted paths: [v] is a neighbour of [u]
+    when some permitted path of [u] starts [u; v; ...]. *)
+
+(** {1 Path assignments} *)
+
+type assignment = path array
+(** One current path per node ([\[\]] = none); node 0 pinned to
+    [\[0\]]. *)
+
+val empty_assignment : t -> assignment
+
+val choices : t -> assignment -> int -> path list
+(** The permitted, loop-free extensions [u :: a(v)] available to [u]
+    through its neighbours under assignment [a]. *)
+
+val best : t -> assignment -> int -> path
+(** The lowest-rank choice, or [\[\]]. *)
+
+val is_stable : t -> assignment -> bool
+(** Every node's assignment equals its best choice: a solution of the
+    SPP. *)
+
+val is_consistent : t -> assignment -> bool
+(** Tree property: a non-empty path factors through its next hop's
+    assigned path. *)
+
+val pp_path : path Fmt.t
+val pp_assignment : assignment Fmt.t
+val pp : t Fmt.t
+
+val size : t -> int
+(** The number of nodes (including the origin). *)

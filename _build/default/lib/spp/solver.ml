@@ -1,0 +1,141 @@
+(* Solvers and dynamics for Stable Paths Problem instances.
+
+   - [stable_solutions]: exhaustive enumeration of consistent stable
+     assignments (the gadgets are tiny, so brute force is exact);
+   - [classify]: solvable / multiple solutions / unsolvable — the
+     trichotomy behind Shortest-Paths / Disagree / Bad Gadget;
+   - [Spvp]: the Simple Path Vector Protocol dynamics: nodes activate
+     (recompute their best choice) under a schedule; convergence,
+     oscillation and divergence are observable, matching the "Disagree
+     scenario in the presence of policy conflicts" of Section 3.2. *)
+
+type classification =
+  | Unsolvable
+  | Unique
+  | Multiple of int
+
+(* Enumerate all assignments where each node picks one of its permitted
+   paths or the empty path, keep the consistent & stable ones. *)
+let stable_solutions (t : Instance.t) : Instance.assignment list =
+  let nodes = List.tl (Instance.nodes t) in
+  let rec go acc assignment = function
+    | [] ->
+      if Instance.is_consistent t assignment && Instance.is_stable t assignment
+      then Array.copy assignment :: acc
+      else acc
+    | u :: rest ->
+      let options = [] :: Instance.permitted t u in
+      List.fold_left
+        (fun acc p ->
+          assignment.(u) <- p;
+          let acc = go acc assignment rest in
+          assignment.(u) <- [];
+          acc)
+        acc options
+  in
+  go [] (Instance.empty_assignment t) nodes |> List.rev
+
+let classify t : classification =
+  match stable_solutions t with
+  | [] -> Unsolvable
+  | [ _ ] -> Unique
+  | l -> Multiple (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* SPVP dynamics. *)
+
+module Spvp = struct
+  type schedule =
+    | Synchronous  (* all nodes activate simultaneously each round *)
+    | Round_robin  (* nodes activate one at a time, in order *)
+    | Random of int  (* a random single activation per step, seeded *)
+
+  type outcome = {
+    converged : bool;
+    oscillated : bool;  (* a state repeated without being stable *)
+    steps : int;
+    final : Instance.assignment;
+    (* For oscillations: the length of the detected state cycle. *)
+    cycle_length : int option;
+    trace : Instance.assignment list;  (* visited states, in order *)
+  }
+
+  let activate t (a : Instance.assignment) u =
+    let b = Array.copy a in
+    b.(u) <- Instance.best t a u;
+    b
+
+  let activate_all t (a : Instance.assignment) =
+    let b = Array.copy a in
+    List.iter (fun u -> if u <> 0 then b.(u) <- Instance.best t a u) (Instance.nodes t);
+    b
+
+  let key (a : Instance.assignment) = Array.to_list a
+
+  let run ?(max_steps = 1_000) ?(schedule = Round_robin) (t : Instance.t) :
+      outcome =
+    let seen = Hashtbl.create 64 in
+    let rng =
+      match schedule with
+      | Random seed -> Some (Random.State.make [| seed |])
+      | _ -> None
+    in
+    let next step a =
+      match schedule with
+      | Synchronous -> activate_all t a
+      | Round_robin ->
+        let n = Instance.size t in
+        let u = 1 + (step mod (n - 1)) in
+        activate t a u
+      | Random _ ->
+        let st = Option.get rng in
+        let u = 1 + Random.State.int st (Instance.size t - 1) in
+        activate t a u
+    in
+    let rec go step a trace =
+      if Instance.is_stable t a then
+        {
+          converged = true;
+          oscillated = false;
+          steps = step;
+          final = a;
+          cycle_length = None;
+          trace = List.rev (a :: trace);
+        }
+      else if step >= max_steps then
+        {
+          converged = false;
+          oscillated = false;
+          steps = step;
+          final = a;
+          cycle_length = None;
+          trace = List.rev (a :: trace);
+        }
+      else
+        let k = key a in
+        match Hashtbl.find_opt seen k with
+        | Some prev_step when rng = None ->
+          (* Only deterministic schedules can conclude from a revisit. *)
+          (* Deterministic schedule revisiting a non-stable state:
+             provable oscillation. *)
+          {
+            converged = false;
+            oscillated = true;
+            steps = step;
+            final = a;
+            cycle_length = Some (step - prev_step);
+            trace = List.rev (a :: trace);
+          }
+        | _ ->
+          Hashtbl.replace seen k step;
+          go (step + 1) (next step a) (a :: trace)
+    in
+    go 0 (Instance.empty_assignment t) []
+
+  (* Convergence steps over many random schedules: the dispersion shows
+     the "delayed convergence" effect for Disagree-like instances. *)
+  let convergence_profile ?(runs = 50) ?(max_steps = 1_000) t =
+    List.init runs (fun seed ->
+        let o = run ~max_steps ~schedule:(Random seed) t in
+        (o.converged, o.steps))
+end

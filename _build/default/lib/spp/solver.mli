@@ -1,0 +1,47 @@
+(** Solvers and dynamics for Stable Paths Problem instances. *)
+
+type classification =
+  | Unsolvable  (** no stable assignment (Bad Gadget) *)
+  | Unique  (** exactly one (Shortest-Paths, Good Gadget) *)
+  | Multiple of int  (** several (Disagree has 2) *)
+
+val stable_solutions : Instance.t -> Instance.assignment list
+(** Exhaustive enumeration of consistent stable assignments (exact;
+    gadget-sized instances only). *)
+
+val classify : Instance.t -> classification
+
+(** The Simple Path Vector Protocol dynamics: nodes activate (recompute
+    their best choice) under a schedule. *)
+module Spvp : sig
+  type schedule =
+    | Synchronous  (** all nodes activate each round *)
+    | Round_robin  (** one node per step, in order *)
+    | Random of int  (** one random node per step, seeded *)
+
+  type outcome = {
+    converged : bool;
+    oscillated : bool;
+        (** a deterministic schedule revisited a non-stable state:
+            provable oscillation *)
+    steps : int;
+    final : Instance.assignment;
+    cycle_length : int option;
+    trace : Instance.assignment list;
+  }
+
+  val activate : Instance.t -> Instance.assignment -> int -> Instance.assignment
+  (** One node recomputes its best choice. *)
+
+  val activate_all : Instance.t -> Instance.assignment -> Instance.assignment
+
+  val run : ?max_steps:int -> ?schedule:schedule -> Instance.t -> outcome
+  (** From the empty assignment.  Disagree oscillates under
+      [Synchronous] and converges under asynchronous schedules; Bad
+      Gadget never converges. *)
+
+  val convergence_profile :
+    ?runs:int -> ?max_steps:int -> Instance.t -> (bool * int) list
+  (** (converged, steps) over many random schedules: the dispersion
+      behind "delayed convergence". *)
+end

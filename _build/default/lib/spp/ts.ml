@@ -1,0 +1,72 @@
+(* SPP dynamics as transition systems for the model checker (experiment
+   E9): states are path assignments, transitions are node activations.
+
+   Two semantics:
+   - [interleaved]: one node activates at a time (only activations that
+     change the state are transitions, so stable assignments are exactly
+     the terminal states);
+   - [synchronous]: all nodes activate simultaneously (one successor),
+     the semantics under which Disagree oscillates forever. *)
+
+(* States as plain lists so that polymorphic equality/hashing in the
+   checker's table is structural. *)
+type state = Instance.path list
+
+let of_assignment (a : Instance.assignment) : state = Array.to_list a
+let to_assignment (s : state) : Instance.assignment = Array.of_list s
+
+let interleaved (t : Instance.t) : state Mcheck.Explore.system =
+  let initial = [ of_assignment (Instance.empty_assignment t) ] in
+  let successors s =
+    let a = to_assignment s in
+    List.filter_map
+      (fun u ->
+        if u = 0 then None
+        else
+          let b = Solver.Spvp.activate t a u in
+          if b = a then None else Some (of_assignment b))
+      (Instance.nodes t)
+  in
+  let pp ppf s = Instance.pp_assignment ppf (to_assignment s) in
+  Mcheck.Explore.make ~pp ~initial ~successors ()
+
+let synchronous (t : Instance.t) : state Mcheck.Explore.system =
+  let initial = [ of_assignment (Instance.empty_assignment t) ] in
+  let successors s =
+    let a = to_assignment s in
+    let b = Solver.Spvp.activate_all t a in
+    if b = a then [] else [ of_assignment b ]
+  in
+  let pp ppf s = Instance.pp_assignment ppf (to_assignment s) in
+  Mcheck.Explore.make ~pp ~initial ~successors ()
+
+let is_stable (t : Instance.t) (s : state) = Instance.is_stable t (to_assignment s)
+
+(* Model-checking summary for one instance, as reported by E9. *)
+type report = {
+  states : int;
+  transitions : int;
+  stable_reachable : int;  (* reachable terminal (stable) states *)
+  oscillation : state Mcheck.Explore.lasso option;  (* interleaved lasso *)
+  sync_oscillates : bool;  (* synchronous-schedule lasso exists *)
+}
+
+let analyze ?(max_states = 50_000) (t : Instance.t) : report =
+  let sys = interleaved t in
+  let stats = Mcheck.Explore.explore ~max_states sys in
+  let oscillation =
+    Mcheck.Explore.can_avoid ~max_states sys ~good:(is_stable t)
+  in
+  let sync_oscillates =
+    Mcheck.Explore.can_avoid ~max_states (synchronous t) ~good:(is_stable t)
+    <> None
+  in
+  {
+    states = stats.Mcheck.Explore.states;
+    transitions = stats.Mcheck.Explore.transitions;
+    stable_reachable =
+      List.length
+        (List.filter (is_stable t) stats.Mcheck.Explore.terminal);
+    oscillation;
+    sync_oscillates;
+  }

@@ -1,0 +1,32 @@
+(** SPP dynamics as transition systems for the model checker
+    (experiment E9): states are path assignments, transitions are node
+    activations. *)
+
+type state = Instance.path list
+(** Assignments as lists, so the checker's table hashes structurally. *)
+
+val of_assignment : Instance.assignment -> state
+val to_assignment : state -> Instance.assignment
+
+val interleaved : Instance.t -> state Mcheck.Explore.system
+(** One node activates at a time; only state-changing activations are
+    transitions, so stable assignments are exactly the terminal
+    states. *)
+
+val synchronous : Instance.t -> state Mcheck.Explore.system
+(** All nodes activate simultaneously (at most one successor): the
+    semantics under which Disagree oscillates. *)
+
+val is_stable : Instance.t -> state -> bool
+
+(** Model-checking summary for one instance (one E9 table row). *)
+type report = {
+  states : int;
+  transitions : int;
+  stable_reachable : int;  (** reachable terminal (stable) states *)
+  oscillation : state Mcheck.Explore.lasso option;
+      (** a reachable all-unstable cycle under interleaving *)
+  sync_oscillates : bool;  (** such a cycle exists under synchrony *)
+}
+
+val analyze : ?max_states:int -> Instance.t -> report

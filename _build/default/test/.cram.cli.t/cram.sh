@@ -1,0 +1,15 @@
+  $ fvnc check pv.ndlog
+  $ fvnc run pv.ndlog -r bestPathCost
+  $ fvnc dist pv.ndlog -r bestPathCost
+  $ fvnc localize pv.ndlog | head -7
+  $ fvnc spec pv.ndlog | grep -c 'def\|axiom'
+  $ fvnc prove pv.ndlog -p route-optimality | sed 's/(.*)/<stats>/'
+  $ fvnc prove pv.ndlog -g 'forall S D C. bestPathCost(S,D,C) => (exists P. path(S,D,P,C))' | sed 's/(.*)/<stats>/'
+  $ fvnc prove pv.ndlog --induct path \
+  >   --assume 'forall S D C. link(S,D,C) => 1 <= C' \
+  >   -g 'forall S D P C. path(S,D,P,C) => 1 <= C'
+  $ fvnc explain pv.ndlog 'path(@a,c,[a,b,c],3)' --certify
+  $ fvnc prove pv.ndlog -g 'forall S D P C. path(S,D,P,C) => bestPath(S,D,P,C)' >/dev/null 2>&1
+  $ echo 'p(@X,Y) :- q(@X).' | fvnc check -
+  $ printf 'materialize(ping, 5).\nmaterialize(alive, 5).\na1 alive(@X,Y) :- ping(@X,Y).\nping(@a, b).\n' | fvnc softstate -
+  $ fvnc strands pv.ndlog

@@ -1,0 +1,107 @@
+The fvnc driver exposes the FVN arcs on NDlog files.
+
+Static analysis (safety, stratification, localization status):
+
+  $ fvnc check pv.ndlog
+  4 rules, 4 facts, 4 declarations
+  base relations:    link
+  derived relations: bestPath, bestPathCost, path
+  stratum 0: link, path
+  stratum 1: bestPath, bestPathCost
+  localization: rewrite required (see fvnc localize)
+
+Centralized evaluation (arc 7):
+
+  $ fvnc run pv.ndlog -r bestPathCost
+  converged=true rounds=5 derivations=18
+  bestPathCost (6 tuples):
+    bestPathCost(@a,@b,1)
+    bestPathCost(@a,@c,3)
+    bestPathCost(@b,@a,1)
+    bestPathCost(@b,@c,2)
+    bestPathCost(@c,@a,3)
+    bestPathCost(@c,@b,2)
+
+Distributed evaluation over the simulator agrees:
+
+  $ fvnc dist pv.ndlog -r bestPathCost
+  quiesced=true simulated_time=2.00 messages=6 dropped=0 inserts=14
+  bestPathCost (6 tuples):
+    bestPathCost(@a,@b,1)
+    bestPathCost(@a,@c,3)
+    bestPathCost(@b,@a,1)
+    bestPathCost(@b,@c,2)
+    bestPathCost(@c,@a,3)
+    bestPathCost(@c,@b,2)
+
+Localization introduces the inverted link copy (arc 7 prerequisite):
+
+  $ fvnc localize pv.ndlog | head -7
+  % relocated link from position 0 to position 1
+  materialize(link, infinity).
+  materialize(path, infinity).
+  materialize(bestPathCost, infinity).
+  materialize(bestPath, infinity).
+  materialize(link_l1, infinity).
+  link(@a,@b,1).
+
+The logical specification (arc 4):
+
+  $ fvnc spec pv.ndlog | grep -c 'def\|axiom'
+  6
+
+Static verification (arc 5), stripping the timing for stability:
+
+  $ fvnc prove pv.ndlog -p route-optimality | sed 's/(.*)/<stats>/'
+    PROVED bestPathStrong <stats>
+
+A goal stated on the command line:
+
+  $ fvnc prove pv.ndlog -g 'forall S D C. bestPathCost(S,D,C) => (exists P. path(S,D,P,C))' | sed 's/(.*)/<stats>/'
+    PROVED goal_1 <stats>
+
+Induction over the recursive path definition:
+
+  $ fvnc prove pv.ndlog --induct path \
+  >   --assume 'forall S D C. link(S,D,C) => 1 <= C' \
+  >   -g 'forall S D P C. path(S,D,P,C) => 1 <= C'
+    PROVED goal_1 by induction on path (20 proof steps)
+
+Provenance of a derived tuple, with a kernel-checked certificate:
+
+  $ fvnc explain pv.ndlog 'path(@a,c,[a,b,c],3)' --certify
+  path(@a,@c,[@a; @b; @c],3)  [rule r2]
+    fact link(@a,@b,1)
+    path(@b,@c,[@b; @c],2)  [rule r1]
+      fact link(@b,@c,2)
+  
+  certificate: kernel accepted a 35-step proof of path(@a, @c, [@a; @b; @c], 3) from the completion + base facts
+
+A failing proof exits nonzero:
+
+  $ fvnc prove pv.ndlog -g 'forall S D P C. path(S,D,P,C) => bestPath(S,D,P,C)' >/dev/null 2>&1
+  [2]
+
+Unsafe programs are rejected:
+
+  $ echo 'p(@X,Y) :- q(@X).' | fvnc check -
+  fvnc: unsafe rule p(@X,Y) :- q(@X).: head variables not bound by body: Y
+  [1]
+
+The soft-state rewrite (Section 4.2):
+
+  $ printf 'materialize(ping, 5).\nmaterialize(alive, 5).\na1 alive(@X,Y) :- ping(@X,Y).\nping(@a, b).\n' | fvnc softstate -
+  % soft predicates: ping, alive; 2 timestamp columns, 1 liveness guards
+  materialize(ping, infinity).
+  materialize(alive, infinity).
+  ping(@a,@b,0).
+  a1 alive(@X,Y,Tnow) :- clock(Tnow), ping(@X,Y,Ts_1), (Ts_1+5)>Tnow.
+
+Rule strands (the Click-style dataflow plans of P2):
+
+  $ fvnc strands pv.ndlog
+  r1: delta(link) -> bind(P := f_init(S,D)) -> project(path)
+  r2: delta(link) -> join(path) -> bind(C := (C1+C2)) -> bind(P := f_concatPath(S,P2)) -> filter(f_inPath(P2,S) == false) -> project(path)
+  r2: delta(path) -> join(link) -> bind(C := (C1+C2)) -> bind(P := f_concatPath(S,P2)) -> filter(f_inPath(P2,S) == false) -> project(path)
+  r4: delta(bestPathCost) -> join(path) -> project(bestPath)
+  r4: delta(path) -> join(bestPathCost) -> project(bestPath)

@@ -1,0 +1,343 @@
+(* Tests for the metarouting library: base algebras' axiom obligations
+   (E4), composition preservation theorems (E5), and the generic
+   path-vector solver's convergence behaviour. *)
+
+module RA = Algebra.Routing_algebra
+module Axioms = Algebra.Axioms
+module Base = Algebra.Base
+module Compose = Algebra.Compose
+module Theorems = Algebra.Theorems
+module Solver = Algebra.Solver
+
+let checkb = Alcotest.(check bool)
+
+let holds a ax = Axioms.holds (Axioms.check_all a) ax
+
+(* ------------------------------------------------------------------ *)
+(* Base algebra axioms (the E4 table, asserted). *)
+
+let test_add_cost_axioms () =
+  let a = Base.add_cost () in
+  checkb "maximality" true (holds a Axioms.Maximality);
+  checkb "absorption" true (holds a Axioms.Absorption);
+  checkb "monotone" true (holds a Axioms.Monotonicity);
+  checkb "not strictly monotone (zero label)" false
+    (holds a Axioms.Strict_monotonicity);
+  checkb "isotone" true (holds a Axioms.Isotonicity)
+
+let test_add_cost_strict_axioms () =
+  let a = Base.add_cost_strict () in
+  checkb "strictly monotone" true (holds a Axioms.Strict_monotonicity);
+  checkb "strictly isotone" true (holds a Axioms.Strict_isotonicity);
+  checkb "well behaved" true (Axioms.well_behaved (Axioms.check_all a))
+
+let test_hop_count_axioms () =
+  let a = Base.hop_count () in
+  checkb "strictly monotone" true (holds a Axioms.Strict_monotonicity);
+  checkb "isotone" true (holds a Axioms.Isotonicity)
+
+let test_local_pref_axioms () =
+  let a = Base.local_pref () in
+  checkb "maximality" true (holds a Axioms.Maximality);
+  checkb "absorption" true (holds a Axioms.Absorption);
+  (* The canonical violation: a link may assign a better preference. *)
+  checkb "NOT monotone" false (holds a Axioms.Monotonicity);
+  checkb "isotone" true (holds a Axioms.Isotonicity)
+
+let test_bandwidth_axioms () =
+  let a = Base.bandwidth () in
+  checkb "monotone" true (holds a Axioms.Monotonicity);
+  checkb "not strictly monotone" false (holds a Axioms.Strict_monotonicity);
+  checkb "isotone" true (holds a Axioms.Isotonicity);
+  checkb "not strictly isotone" false (holds a Axioms.Strict_isotonicity)
+
+let test_reliability_axioms () =
+  let a = Base.reliability () in
+  checkb "monotone" true (holds a Axioms.Monotonicity);
+  checkb "isotone" true (holds a Axioms.Isotonicity)
+
+let test_all_preorders () =
+  List.iter
+    (fun packed ->
+      let r = Axioms.check_packed packed in
+      match r.Axioms.preorder with
+      | Axioms.Discharged _ -> ()
+      | Axioms.Refuted msg ->
+        Alcotest.failf "%s preference is not a preorder: %s" r.Axioms.algebra
+          msg)
+    (Base.all ())
+
+let test_counterexamples_are_printable () =
+  let a = Base.local_pref () in
+  match Axioms.check a Axioms.Monotonicity with
+  | Axioms.Refuted msg -> checkb "message nonempty" true (String.length msg > 0)
+  | Axioms.Discharged _ -> Alcotest.fail "expected refutation"
+
+(* ------------------------------------------------------------------ *)
+(* Composition. *)
+
+let test_bgp_system_shape () =
+  let bgp = Compose.bgp_system () in
+  Alcotest.(check string) "name" "BGPSystem" bgp.RA.name;
+  (* LP compares first: better local pref wins regardless of cost. *)
+  checkb "lp dominates" true (bgp.RA.pref (0, Base.Fin 100) (1, Base.Fin 1) < 0);
+  (* Ties on LP break on cost. *)
+  checkb "cost breaks ties" true (bgp.RA.pref (1, Base.Fin 1) (1, Base.Fin 2) < 0);
+  (* BGPSystem inherits lpA's monotonicity violation. *)
+  checkb "not monotone" false (holds bgp Axioms.Monotonicity)
+
+let test_safe_bgp_system () =
+  let safe = Compose.safe_bgp_system () in
+  let r = Axioms.check_all safe in
+  checkb "monotone" true (Axioms.holds r Axioms.Monotonicity);
+  checkb "strictly monotone" true (Axioms.holds r Axioms.Strict_monotonicity);
+  (* Local preference in the first coordinate is not strictly isotone
+     (labels collapse different preferences to the same value), so the
+     lexical product is not isotone: convergence is guaranteed by strict
+     monotonicity, optimality is not — exactly BGP's situation. *)
+  checkb "not isotone" false (Axioms.holds r Axioms.Isotonicity)
+
+let test_lex_prohibited_normalization () =
+  let lex = Compose.lex_product (Base.add_cost ()) (Base.bandwidth ()) in
+  (* applying any label to a half-prohibited pair yields phi *)
+  let l = List.hd lex.RA.label_samples in
+  checkb "normalizes to phi" true
+    (lex.RA.apply l (Base.Inf, 100) = lex.RA.prohibited);
+  checkb "absorption" true (holds lex Axioms.Absorption)
+
+let test_lex_preservation_sound_all_pairs () =
+  (* E5's soundness claim over the full catalogue of int-labelled
+     algebras. *)
+  let algebras =
+    [
+      RA.pack (Base.add_cost ());
+      RA.pack (Base.add_cost_strict ());
+      RA.pack (Base.local_pref ());
+      RA.pack (Base.bandwidth ());
+      RA.pack (Base.reliability ());
+    ]
+  in
+  List.iter
+    (fun (RA.Packed a) ->
+      List.iter
+        (fun (RA.Packed b) ->
+          let p = Theorems.lex_preservation a b in
+          if not (Theorems.sound p) then
+            Alcotest.failf "unsound prediction: %a" Theorems.pp_prediction p)
+        algebras)
+    algebras
+
+let test_lex_preservation_known_cases () =
+  (* strict cost (x) anything monotone stays monotone *)
+  let p = Theorems.lex_preservation (Base.add_cost_strict ()) (Base.add_cost ()) in
+  checkb "predicts monotone" true p.Theorems.predicts_monotone;
+  checkb "composite monotone" true p.Theorems.composite_monotone;
+  checkb "composite strictly monotone" true p.Theorems.composite_strictly_monotone;
+  (* lp (x) cost: no prediction, and indeed not monotone *)
+  let q = Theorems.lex_preservation (Base.local_pref ()) (Base.add_cost ()) in
+  checkb "no monotonicity prediction" false q.Theorems.predicts_monotone;
+  checkb "composite indeed not monotone" false q.Theorems.composite_monotone
+
+let test_restrict_labels () =
+  (* addA restricted to positive labels becomes strictly monotone. *)
+  let a = Compose.restrict_labels ~keep:(fun l -> l > 0) (Base.add_cost ()) in
+  checkb "strictly monotone after restriction" true
+    (holds a Axioms.Strict_monotonicity)
+
+let test_label_union () =
+  let u = Compose.label_union (Base.add_cost ()) (Base.add_cost_strict ()) in
+  checkb "monotone" true (holds u Axioms.Monotonicity);
+  checkb "not strictly monotone (zero labels from addA)" false
+    (holds u Axioms.Strict_monotonicity)
+
+let test_scale_labels () =
+  let a = Compose.scale_labels ~factor:10 (Base.add_cost_strict ()) in
+  checkb "still strictly monotone" true (holds a Axioms.Strict_monotonicity);
+  checkb "apply scaled" true (a.RA.apply 2 (Base.Fin 1) = Base.Fin 21)
+
+(* ------------------------------------------------------------------ *)
+(* Generic solver. *)
+
+let test_solver_shortest_path () =
+  let a = Base.add_cost () in
+  let g = Solver.line_graph ~label:(fun i -> i + 1) 4 in
+  let o = Solver.solve a g ~dest:"n0" in
+  checkb "converged" true o.Solver.converged;
+  checkb "n3 cost = 1+2+3" true
+    (Solver.Smap.find "n3" o.Solver.signatures = Base.Fin 6);
+  checkb "n0 at origin" true (Solver.Smap.find "n0" o.Solver.signatures = Base.Fin 0)
+
+let test_solver_ring () =
+  let a = Base.hop_count () in
+  let g = Solver.ring_graph 6 in
+  let o = Solver.solve a g ~dest:"n0" in
+  checkb "converged" true o.Solver.converged;
+  checkb "opposite node 3 hops" true
+    (Solver.Smap.find "n3" o.Solver.signatures = Base.Fin 3)
+
+let test_solver_bandwidth () =
+  let a = Base.bandwidth () in
+  let g =
+    Solver.graph ~nodes:[ "s"; "m"; "d" ]
+      ~edges:[ ("s", "m", 10); ("m", "d", 100); ("s", "d", 5) ]
+  in
+  let o = Solver.solve a g ~dest:"d" in
+  checkb "converged" true o.Solver.converged;
+  (* widest path s->m->d has bottleneck 10, beating direct 5 *)
+  checkb "widest is 10" true (Solver.Smap.find "s" o.Solver.signatures = 10)
+
+let test_solver_matches_optimal_when_isotone () =
+  let a = Base.add_cost () in
+  List.iter
+    (fun k ->
+      let g = Solver.ring_graph ~label:(fun i -> 1 + (i mod 3)) k in
+      let o = Solver.solve a g ~dest:"n0" in
+      checkb "converged" true o.Solver.converged;
+      List.iter
+        (fun u ->
+          let fixpoint = Solver.Smap.find u o.Solver.signatures in
+          let opt = Solver.optimal_signature a g ~dest:"n0" u in
+          checkb (u ^ " optimal") true (fixpoint = opt))
+        g.Solver.g_nodes)
+    [ 3; 5; 6 ]
+
+let test_solver_unreachable_is_prohibited () =
+  let a = Base.add_cost () in
+  let g =
+    Solver.graph ~nodes:[ "a"; "b"; "c" ] ~edges:[ ("a", "b", 1); ("b", "a", 1) ]
+  in
+  let o = Solver.solve a g ~dest:"a" in
+  checkb "converged" true o.Solver.converged;
+  checkb "c unreachable" true (Solver.Smap.find "c" o.Solver.signatures = Base.Inf)
+
+let test_solver_well_behaved_catalogue_converges () =
+  (* Every algebra whose obligations discharge must converge on every
+     test topology: the metarouting guarantee, checked end to end. *)
+  let graphs = [ Solver.line_graph 5; Solver.ring_graph 6 ] in
+  let check_one (type s) (a : (s, int) RA.t) =
+    let r = Axioms.check_all a in
+    checkb (a.RA.name ^ " well behaved") true (Axioms.well_behaved r);
+    List.iter
+      (fun g ->
+        let o = Solver.solve a g ~dest:"n0" in
+        checkb (a.RA.name ^ " converges") true o.Solver.converged)
+      graphs
+  in
+  check_one (Base.add_cost ());
+  check_one (Base.add_cost_strict ());
+  check_one (Base.reliability ())
+
+let test_solver_bgp_runs () =
+  (* The (non-monotone) BGPSystem still runs; the solver simply cannot
+     promise convergence a priori.  On this small graph it does
+     stabilize, preferring low local-pref routes. *)
+  let bgp = Compose.bgp_system () in
+  let g =
+    Solver.graph ~nodes:[ "a"; "b"; "d" ]
+      ~edges:
+        [
+          ("a", "d", (1, 10));  (* lp 1, cost 10 *)
+          ("a", "b", (0, 1));  (* lp 0: preferred *)
+          ("b", "d", (2, 1));
+        ]
+  in
+  let o = Solver.solve bgp g ~dest:"d" in
+  checkb "terminated" true o.Solver.converged;
+  (* a's best route goes via b because the last-applied label wins the
+     lp comparison (0 < 1). *)
+  let sa = Solver.Smap.find "a" o.Solver.signatures in
+  checkb "a picked lp 0" true (fst sa = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties. *)
+
+let prop_lex_pref_is_lexicographic =
+  (* Generated signatures avoid each component's prohibited element
+     (lpA's 4 and bandA's 0): mixed-prohibited pairs normalize to phi
+     and compare under phi semantics instead of lexicographically. *)
+  QCheck.Test.make ~name:"lex pref is lexicographic" ~count:200
+    QCheck.(
+      quad (int_range 0 3) (int_range 1 100) (int_range 0 3) (int_range 1 100))
+    (fun (a1, b1, a2, b2) ->
+      let lex = Compose.lex_product (Base.local_pref ()) (Base.bandwidth ()) in
+      let expected =
+        let c = compare a1 a2 in
+        if c <> 0 then c else compare b2 b1
+      in
+      let got = lex.RA.pref (a1, b1) (a2, b2) in
+      (expected = 0 && got = 0)
+      || (expected < 0 && got < 0)
+      || (expected > 0 && got > 0))
+
+let prop_solver_deterministic =
+  QCheck.Test.make ~name:"solver is deterministic" ~count:30
+    (QCheck.int_range 3 7)
+    (fun k ->
+      let a = Base.add_cost () in
+      let g = Solver.ring_graph ~label:(fun i -> 1 + (i mod 2)) k in
+      let o1 = Solver.solve a g ~dest:"n0" in
+      let o2 = Solver.solve a g ~dest:"n0" in
+      Solver.Smap.equal ( = ) o1.Solver.signatures o2.Solver.signatures)
+
+let prop_monotone_catalogue_never_diverges =
+  QCheck.Test.make ~name:"monotone algebras converge on random rings"
+    ~count:30
+    QCheck.(pair (int_range 3 8) (int_range 1 5))
+    (fun (k, seed) ->
+      let a = Base.add_cost_strict () in
+      let g = Solver.ring_graph ~label:(fun i -> 1 + ((i * seed) mod 7)) k in
+      (Solver.solve a g ~dest:"n0").Solver.converged)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "base_axioms",
+        [
+          Alcotest.test_case "addA" `Quick test_add_cost_axioms;
+          Alcotest.test_case "addA+ (strict)" `Quick
+            test_add_cost_strict_axioms;
+          Alcotest.test_case "hopA" `Quick test_hop_count_axioms;
+          Alcotest.test_case "lpA" `Quick test_local_pref_axioms;
+          Alcotest.test_case "bandA" `Quick test_bandwidth_axioms;
+          Alcotest.test_case "relA" `Quick test_reliability_axioms;
+          Alcotest.test_case "preorders" `Quick test_all_preorders;
+          Alcotest.test_case "counterexamples" `Quick
+            test_counterexamples_are_printable;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "BGPSystem" `Quick test_bgp_system_shape;
+          Alcotest.test_case "SafeBGPSystem" `Quick test_safe_bgp_system;
+          Alcotest.test_case "prohibited normalization" `Quick
+            test_lex_prohibited_normalization;
+          Alcotest.test_case "lex preservation sound" `Quick
+            test_lex_preservation_sound_all_pairs;
+          Alcotest.test_case "lex preservation cases" `Quick
+            test_lex_preservation_known_cases;
+          Alcotest.test_case "restrict labels" `Quick test_restrict_labels;
+          Alcotest.test_case "label union" `Quick test_label_union;
+          Alcotest.test_case "scale labels" `Quick test_scale_labels;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "shortest path" `Quick test_solver_shortest_path;
+          Alcotest.test_case "ring hops" `Quick test_solver_ring;
+          Alcotest.test_case "widest path" `Quick test_solver_bandwidth;
+          Alcotest.test_case "optimal when isotone" `Quick
+            test_solver_matches_optimal_when_isotone;
+          Alcotest.test_case "unreachable" `Quick
+            test_solver_unreachable_is_prohibited;
+          Alcotest.test_case "well-behaved converge" `Quick
+            test_solver_well_behaved_catalogue_converges;
+          Alcotest.test_case "BGPSystem runs" `Quick test_solver_bgp_runs;
+        ] );
+      ( "properties",
+        qsuite
+          [
+            prop_lex_pref_is_lexicographic;
+            prop_solver_deterministic;
+            prop_monotone_catalogue_never_diverges;
+          ] );
+    ]

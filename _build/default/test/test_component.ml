@@ -1,0 +1,312 @@
+(* Tests for the component framework and the Figure-2 BGP model:
+   translation to NDlog (arc 3), logical specifications (arc 2/4),
+   verification of a generated component property, and the Disagree /
+   Agree dynamics of Section 3.2.2. *)
+
+module Ast = Ndlog.Ast
+module Model = Component.Model
+module Bgp = Component.Bgp
+module V = Ndlog.Value
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's Figure-3 composite [tc]: t1, t2 feed t3. *)
+
+let v x = Ast.Var x
+
+let tc =
+  let t1 =
+    Model.atomic ~name:"t1"
+      ~inputs:[ Ast.atom "t1_in" [ v "I1" ] ]
+      ~constraints:[ Ast.Assign ("O1", Ast.Binop (Ast.Add, v "I1", Ast.cint 1)) ]
+      ~output:(Ast.head "t1_out" [ Ast.Plain (v "O1") ])
+      ()
+  in
+  let t2 =
+    Model.atomic ~name:"t2"
+      ~inputs:[ Ast.atom "t2_in" [ v "I2" ] ]
+      ~constraints:[ Ast.Assign ("O2", Ast.Binop (Ast.Mul, v "I2", Ast.cint 2)) ]
+      ~output:(Ast.head "t2_out" [ Ast.Plain (v "O2") ])
+      ()
+  in
+  let t3 =
+    Model.atomic ~name:"t3"
+      ~inputs:[ Ast.atom "t1_out" [ v "O1" ]; Ast.atom "t2_out" [ v "O2" ] ]
+      ~constraints:[ Ast.Assign ("O3", Ast.Binop (Ast.Add, v "O1", v "O2")) ]
+      ~output:(Ast.head "t3_out" [ Ast.Plain (v "O3") ])
+      ()
+  in
+  Model.composite "tc" [ t1; t2; t3 ]
+
+let test_tc_translation () =
+  let p = Model.to_ndlog tc in
+  checki "three rules" 3 (List.length p.Ast.rules);
+  (* Exactly the paper's shape: t3_out(O3) :- t1_out(O1), t2_out(O2), C3 *)
+  let t3r =
+    List.find (fun (r : Ast.rule) -> r.Ast.rule_name = Some "t3") p.Ast.rules
+  in
+  Alcotest.(check string) "t3 head" "t3_out" t3r.Ast.head.Ast.head_pred;
+  checki "t3 reads two inputs" 2 (List.length (Ast.body_atoms t3r.Ast.body))
+
+let test_tc_executes () =
+  let facts =
+    [ Ast.fact "t1_in" [ V.Int 10 ]; Ast.fact "t2_in" [ V.Int 3 ] ]
+  in
+  let p = Model.to_ndlog ~facts tc in
+  let o = Ndlog.Eval.run_exn p in
+  let out = Ndlog.Store.tuples "t3_out" o.Ndlog.Eval.db in
+  checki "one output" 1 (List.length out);
+  (* (10+1) + (3*2) = 17 *)
+  checkb "value 17" true (V.equal (List.hd out).(0) (V.Int 17))
+
+let test_tc_theory () =
+  let thy = Model.to_theory tc in
+  checkb "t3_out defined" true (Logic.Theory.definition_of "t3_out" thy <> None);
+  checkb "t1_out defined" true (Logic.Theory.definition_of "t1_out" thy <> None)
+
+let test_dangling_detection () =
+  let lonely =
+    Model.atomic ~name:"t"
+      ~inputs:[ Ast.atom "missing" [ v "X" ] ]
+      ~output:(Ast.head "out" [ Ast.Plain (v "X") ])
+      ()
+  in
+  (match Model.check lonely with
+  | Error (Model.Dangling_input ("t", "missing")) -> ()
+  | _ -> Alcotest.fail "expected dangling input");
+  (* seeding the input with facts makes it well-formed *)
+  match Model.check ~facts:[ Ast.fact "missing" [ V.Int 1 ] ] lonely with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Model.pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* The BGP model: static structure. *)
+
+let test_bgp_program_analyzes () =
+  let p = Bgp.program () in
+  match Ndlog.Analysis.analyze p with
+  | Ok info ->
+    checkb "bestRoute derived" true
+      (List.mem "bestRoute" info.Ndlog.Analysis.derived_preds);
+    checkb "ribIn base" true (List.mem "ribIn" info.Ndlog.Analysis.base_preds)
+  | Error e -> Alcotest.failf "analysis failed: %a" Ndlog.Analysis.pp_error e
+
+let test_bgp_program_localized () =
+  match Ndlog.Localize.check_localized (Bgp.program ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "not localized: %a" Ndlog.Localize.pp_error e
+
+let test_bgp_model_checks () =
+  (* activeAS / ribIn / origination / policies arrive as facts. *)
+  let facts =
+    Bgp.config_facts Bgp.disagree
+    @ Bgp.active_facts Bgp.disagree.Bgp.neighbors
+    @ [ Ast.fact ~loc:0 "ribIn"
+          [ V.Addr "as1"; V.Addr "as0"; V.Addr "d0";
+            V.List [ V.Addr "as1"; V.Addr "as0" ]; V.Int 1; V.Int 1 ] ]
+  in
+  match Model.check ~facts Bgp.model with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "model check failed: %a" Model.pp_error e
+
+let test_bgp_theory_property () =
+  (* Property-preserving translation: from the generated theory, prove
+     that every imported route carries a configured import preference:
+       imported(U,W,D,P,LP,C) => importPref(U,W,LP) *)
+  let thy = Bgp.theory () in
+  let t = Logic.Term.var in
+  let goal =
+    Logic.Formula.all_list
+      [ "U"; "W"; "D"; "P"; "LP"; "C" ]
+      (Logic.Formula.imp
+         (Logic.Formula.atom "imported"
+            [ t "U"; t "W"; t "D"; t "P"; t "LP"; t "C" ])
+         (Logic.Formula.atom "importPref" [ t "U"; t "W"; t "LP" ]))
+  in
+  match Logic.Prove.prove thy goal with
+  | Ok o -> checkb "kernel-checked" true o.Logic.Prove.checked
+  | Error e -> Alcotest.fail e
+
+let test_bgp_export_respects_deny () =
+  (* exported(W,U,D,...) => not exportDeny is enforced operationally. *)
+  let config =
+    { Bgp.disagree with Bgp.export_deny = [ ("as0", "as1", "d0") ] }
+  in
+  let o = Bgp.run ~max_rounds:50 config ~schedule:Bgp.Pair_round_robin in
+  (* as1 can now only learn d0 via as2 *)
+  let as1_routes =
+    List.filter (fun (u, _, _) -> u = "as1") o.Bgp.final_best
+  in
+  List.iter
+    (fun (_, _, r) ->
+      checkb "as1's path goes via as2" true
+        (match r.Bgp.path with _ :: hop :: _ -> hop = "as2" | _ -> false))
+    as1_routes
+
+(* ------------------------------------------------------------------ *)
+(* Dynamics: the Disagree experiment (E3's shape). *)
+
+let test_disagree_sync_oscillates () =
+  let o = Bgp.run ~max_rounds:60 Bgp.disagree ~schedule:Bgp.Sync in
+  checkb "did not converge" false o.Bgp.converged;
+  checkb "oscillated" true o.Bgp.oscillated;
+  checkb "short cycle" true
+    (match o.Bgp.cycle_length with Some n -> n <= 4 | None -> false)
+
+let test_agree_sync_converges () =
+  let o = Bgp.run ~max_rounds:60 Bgp.agree ~schedule:Bgp.Sync in
+  checkb "converged" true o.Bgp.converged;
+  checkb "no oscillation" false o.Bgp.oscillated;
+  (* direct routes win *)
+  List.iter
+    (fun (u, _, r) ->
+      if u <> "as0" then
+        checkb (u ^ " routes direct") true (r.Bgp.path = [ u; "as0" ]))
+    o.Bgp.final_best
+
+let test_disagree_async_converges () =
+  let o = Bgp.run ~max_rounds:400 Bgp.disagree ~schedule:Bgp.Pair_round_robin in
+  checkb "converged" true o.Bgp.converged;
+  (* lands in one of the two stable states: exactly one of as1/as2 got
+     its preferred indirect route *)
+  let route_of u =
+    List.find_map
+      (fun (x, _, r) -> if x = u then Some r.Bgp.path else None)
+      o.Bgp.final_best
+  in
+  let p1 = Option.get (route_of "as1") and p2 = Option.get (route_of "as2") in
+  checkb "one indirect, one direct" true
+    ((p1 = [ "as1"; "as2"; "as0" ] && p2 = [ "as2"; "as0" ])
+    || (p2 = [ "as2"; "as1"; "as0" ] && p1 = [ "as1"; "as0" ]))
+
+let test_disagree_random_profiles () =
+  let prof = Bgp.convergence_profile ~runs:10 ~max_rounds:600 Bgp.disagree in
+  List.iter
+    (fun (conv, _, _) -> checkb "random schedule converges" true conv)
+    prof
+
+let test_delayed_convergence () =
+  (* The paper's observation: policy conflicts delay convergence.
+     Under near-synchronous random schedules the conflicting
+     configuration both converges later and flaps more. *)
+  let mean f l =
+    List.fold_left (fun a x -> a +. f x) 0.0 l /. float_of_int (List.length l)
+  in
+  let rounds (_, r, _) = float_of_int r and flaps (_, _, f) = float_of_int f in
+  let dis = Bgp.convergence_profile ~runs:10 ~max_rounds:600 Bgp.disagree in
+  let agr = Bgp.convergence_profile ~runs:10 ~max_rounds:600 Bgp.agree in
+  checkb "disagree is slower on average" true (mean rounds dis > mean rounds agr);
+  checkb "disagree flaps more" true (mean flaps dis > mean flaps agr)
+
+let test_chain_converges_with_correct_costs () =
+  let o = Bgp.run ~max_rounds:400 (Bgp.chain 4) ~schedule:Bgp.Pair_round_robin in
+  checkb "converged" true o.Bgp.converged;
+  let cost_of u =
+    List.find_map
+      (fun (x, _, r) -> if x = u then Some r.Bgp.cost else None)
+      o.Bgp.final_best
+  in
+  checkb "as3 three hops" true (cost_of "as3" = Some 3);
+  checkb "as1 one hop" true (cost_of "as1" = Some 1)
+
+let test_flap_accounting () =
+  let o = Bgp.run ~max_rounds:60 Bgp.disagree ~schedule:Bgp.Sync in
+  checkb "flaps counted" true (o.Bgp.flaps > 0);
+  let o' = Bgp.run ~max_rounds:60 Bgp.agree ~schedule:Bgp.Sync in
+  checkb "agree flaps fewer" true (o'.Bgp.flaps <= o.Bgp.flaps)
+
+(* ------------------------------------------------------------------ *)
+(* Formal classification of configurations via the SPP bridge. *)
+
+let test_spp_classification () =
+  (match Component.Bgp.classify Bgp.disagree ~dest:"d0" with
+  | Ok (Spp.Solver.Multiple 2) -> ()
+  | Ok _ -> Alcotest.fail "disagree should have exactly two stable states"
+  | Error e -> Alcotest.fail e);
+  (match Component.Bgp.classify Bgp.agree ~dest:"d0" with
+  | Ok Spp.Solver.Unique -> ()
+  | Ok _ -> Alcotest.fail "agree should be safe"
+  | Error e -> Alcotest.fail e);
+  (match Component.Bgp.classify (Bgp.chain 4) ~dest:"d0" with
+  | Ok Spp.Solver.Unique -> ()
+  | Ok _ -> Alcotest.fail "chains are safe"
+  | Error e -> Alcotest.fail e);
+  match Component.Bgp.classify Bgp.disagree ~dest:"nonexistent" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown destination must error"
+
+let test_spp_bridge_structure () =
+  match Component.Bgp.to_spp Bgp.disagree ~dest:"d0" with
+  | Error e -> Alcotest.fail e
+  | Ok (inst, names) ->
+    checkb "origin is as0" true (names.(0) = "as0");
+    (* node 1 (as1 or as2) prefers the 3-hop path over the direct one *)
+    (match Spp.Instance.permitted inst 1 with
+    | [ p1; p2 ] ->
+      checki "preferred is indirect" 3 (List.length p1);
+      checki "fallback is direct" 2 (List.length p2)
+    | _ -> Alcotest.fail "expected two permitted paths")
+
+let test_spp_dynamics_agree_with_bgp () =
+  (* The SPP dynamics and the component BGP engine agree on the
+     synchronous fate of each configuration. *)
+  List.iter
+    (fun (cfg, expect_osc) ->
+      let bgp = Bgp.run ~max_rounds:60 cfg ~schedule:Bgp.Sync in
+      checkb "bgp oscillation as expected" expect_osc bgp.Bgp.oscillated;
+      match Component.Bgp.to_spp cfg ~dest:"d0" with
+      | Error e -> Alcotest.fail e
+      | Ok (inst, _) ->
+        let spp =
+          Spp.Solver.Spvp.run ~schedule:Spp.Solver.Spvp.Synchronous inst
+        in
+        checkb "spp oscillation matches" expect_osc spp.Spp.Solver.Spvp.oscillated)
+    [ (Bgp.disagree, true); (Bgp.agree, false) ]
+
+let () =
+  Alcotest.run "component"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "tc translation" `Quick test_tc_translation;
+          Alcotest.test_case "tc executes" `Quick test_tc_executes;
+          Alcotest.test_case "tc theory" `Quick test_tc_theory;
+          Alcotest.test_case "dangling inputs" `Quick test_dangling_detection;
+        ] );
+      ( "bgp_static",
+        [
+          Alcotest.test_case "program analyzes" `Quick
+            test_bgp_program_analyzes;
+          Alcotest.test_case "program localized" `Quick
+            test_bgp_program_localized;
+          Alcotest.test_case "model checks" `Quick test_bgp_model_checks;
+          Alcotest.test_case "theory property" `Quick test_bgp_theory_property;
+          Alcotest.test_case "export deny" `Quick test_bgp_export_respects_deny;
+        ] );
+      ( "bgp_dynamics",
+        [
+          Alcotest.test_case "disagree sync oscillates" `Quick
+            test_disagree_sync_oscillates;
+          Alcotest.test_case "agree sync converges" `Quick
+            test_agree_sync_converges;
+          Alcotest.test_case "disagree async converges" `Quick
+            test_disagree_async_converges;
+          Alcotest.test_case "random profiles" `Quick
+            test_disagree_random_profiles;
+          Alcotest.test_case "delayed convergence" `Quick
+            test_delayed_convergence;
+          Alcotest.test_case "chain costs" `Quick
+            test_chain_converges_with_correct_costs;
+          Alcotest.test_case "flap accounting" `Quick test_flap_accounting;
+        ] );
+      ( "spp_bridge",
+        [
+          Alcotest.test_case "classification" `Quick test_spp_classification;
+          Alcotest.test_case "instance structure" `Quick
+            test_spp_bridge_structure;
+          Alcotest.test_case "dynamics agree" `Quick
+            test_spp_dynamics_agree_with_bgp;
+        ] );
+    ]

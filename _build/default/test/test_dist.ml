@@ -1,0 +1,241 @@
+(* Tests for the distributed NDlog runtime: distributed execution must
+   agree with the centralized evaluator, soft state must expire, and the
+   distance-vector state machine must count to infinity after a failure
+   (Section 3.1's claim, reproduced by experiment E2). *)
+
+module Ast = Ndlog.Ast
+module Store = Ndlog.Store
+module Eval = Ndlog.Eval
+module Programs = Ndlog.Programs
+module Localize = Ndlog.Localize
+module V = Ndlog.Value
+module Topo = Netsim.Topology
+module Runtime = Dist.Runtime
+module Dv = Dist.Dv
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Build the simulator topology matching a set of link facts. *)
+let topo_of_links links =
+  let t = Topo.create () in
+  List.iter
+    (fun (f : Ast.fact) ->
+      match f.Ast.fact_args with
+      | [ s; d; c ] ->
+        Topo.add_link ~cost:(V.as_int c) t (V.as_addr s) (V.as_addr d)
+      | _ -> ())
+    links;
+  t
+
+let localized p =
+  match Localize.rewrite_program p with
+  | Ok r -> r.Localize.program
+  | Error e -> Alcotest.failf "localization failed: %a" Localize.pp_error e
+
+(* Run a program distributed and centralized; compare a relation. *)
+let compare_dist_centralized ?(preds = [ "path"; "bestPath"; "bestPathCost" ])
+    program links =
+  let full = Programs.with_links program links in
+  let central = Eval.run_exn full in
+  let loc = localized full in
+  let topo = topo_of_links links in
+  let rt = Runtime.create topo loc in
+  Runtime.load_facts rt;
+  let report = Runtime.run rt in
+  checkb "distributed run quiesced" true report.Runtime.stats.Netsim.Sim.quiesced;
+  let dist_db = Runtime.global_store rt in
+  List.iter
+    (fun pred ->
+      let a = Store.relation pred central.Eval.db in
+      let b = Store.relation pred dist_db in
+      if not (Store.Tset.equal a b) then
+        Alcotest.failf "relation %s differs:@.central=%d tuples, dist=%d tuples"
+          pred (Store.Tset.cardinal a) (Store.Tset.cardinal b))
+    preds
+
+let test_dist_line () =
+  compare_dist_centralized (Programs.path_vector ()) (Programs.line_links 3)
+
+let test_dist_ring () =
+  compare_dist_centralized (Programs.path_vector ()) (Programs.ring_links 5)
+
+let test_dist_asymmetric () =
+  let links =
+    [
+      Programs.link_fact "n0" "n1" 10;
+      Programs.link_fact "n1" "n0" 10;
+      Programs.link_fact "n0" "n2" 1;
+      Programs.link_fact "n2" "n0" 1;
+      Programs.link_fact "n2" "n1" 2;
+      Programs.link_fact "n1" "n2" 2;
+    ]
+  in
+  compare_dist_centralized (Programs.path_vector ()) links
+
+let test_dist_random () =
+  List.iter
+    (fun seed ->
+      compare_dist_centralized ~preds:[ "reachable" ] (Programs.reachability ())
+        (Programs.random_links ~seed ~extra:2 6))
+    [ 1; 5; 9 ]
+
+let test_dist_reachability_scale () =
+  compare_dist_centralized ~preds:[ "reachable" ] (Programs.reachability ())
+    (Programs.ring_links 12)
+
+let test_dist_best_path_values () =
+  (* Check specific routing results at their owning node. *)
+  let links = Programs.line_links 4 in
+  let full = Programs.with_links (Programs.path_vector ()) links in
+  let loc = localized full in
+  let topo = topo_of_links links in
+  let rt = Runtime.create topo loc in
+  Runtime.load_facts rt;
+  ignore (Runtime.run rt);
+  let n0 = Runtime.node_store rt "n0" in
+  let best =
+    Store.tuples "bestPathCost" n0
+    |> List.find_opt (fun t ->
+           V.equal t.(0) (V.Addr "n0") && V.equal t.(1) (V.Addr "n3"))
+  in
+  (match best with
+  | Some t -> checki "n0->n3 = 3" 3 (V.as_int t.(2))
+  | None -> Alcotest.fail "no bestPathCost at n0");
+  (* bestPath tuples for n0 live at n0, not elsewhere *)
+  let n1 = Runtime.node_store rt "n1" in
+  checkb "n1 has no n0-rooted bestPath" true
+    (Store.tuples "bestPath" n1
+    |> List.for_all (fun t -> not (V.equal t.(0) (V.Addr "n0"))))
+
+let test_dist_message_accounting () =
+  let links = Programs.line_links 3 in
+  let full = Programs.with_links (Programs.path_vector ()) links in
+  let loc = localized full in
+  let rt = Runtime.create (topo_of_links links) loc in
+  Runtime.load_facts rt;
+  let report = Runtime.run rt in
+  let stats = report.Runtime.stats in
+  checkb "messages flowed" true (stats.Netsim.Sim.messages_delivered > 0);
+  checkb "inserts happened" true (report.Runtime.total_inserts > 0)
+
+let test_dist_rejects_unlocalized () =
+  let p =
+    Programs.with_links (Programs.path_vector ()) (Programs.line_links 2)
+  in
+  (* path_vector's r2 spans two locations: must be rejected raw. *)
+  match Runtime.create (topo_of_links p.Ast.facts) p with
+  | exception Runtime.Not_localized _ -> ()
+  | _ -> Alcotest.fail "expected Not_localized"
+
+(* ------------------------------------------------------------------ *)
+(* Soft state in the distributed runtime. *)
+
+let test_dist_soft_state_expiry () =
+  (* Heartbeats propagate, then expire when the source stops refreshing
+     (no refresh loop is installed here). *)
+  let links = Programs.line_links 2 in
+  let p = Programs.with_links (Programs.heartbeat ~lifetime:5) links in
+  let loc = localized p in
+  let rt = Runtime.create (topo_of_links links) loc in
+  Runtime.load_facts rt;
+  ignore (Runtime.run rt ~until:2.0);
+  let alive_at node =
+    Store.cardinal "aliveNeighbor" (Runtime.node_store rt node)
+  in
+  checkb "alive early" true (alive_at "n1" > 0);
+  ignore (Runtime.run rt ~until:60.0);
+  checki "expired later" 0 (alive_at "n1")
+
+(* ------------------------------------------------------------------ *)
+(* Distance-vector protocol: convergence and count-to-infinity. *)
+
+let test_dv_converges () =
+  let topo = Topo.line 3 in
+  let dv = Dv.create topo in
+  let report = Dv.run dv in
+  checkb "quiesced" true report.Dv.stats.Netsim.Sim.quiesced;
+  checkb "no infinity" false report.Dv.counted_to_infinity;
+  checkb "n0 reaches n2 at cost 2" true (Dv.route_cost dv "n0" "n2" = Some 2);
+  checkb "n2 reaches n0 at cost 2" true (Dv.route_cost dv "n2" "n0" = Some 2)
+
+let test_dv_ring_shortest () =
+  let topo = Topo.ring 6 in
+  let dv = Dv.create topo in
+  ignore (Dv.run dv);
+  checkb "opposite nodes cost 3" true (Dv.route_cost dv "n0" "n3" = Some 3);
+  checkb "neighbors cost 1" true (Dv.route_cost dv "n0" "n1" = Some 1)
+
+let test_dv_count_to_infinity () =
+  (* Line n0 - n1 - n2; fail n0<->n1 after convergence.  n2's stale
+     route to n0 bounces with n1 until the infinity threshold. *)
+  let topo = Topo.line 3 in
+  let dv = Dv.create ~infinity_threshold:32 ~period:5.0 topo in
+  Dv.fail_link_at dv ~time:20.0 "n0" "n1";
+  let report = Dv.run dv ~until:2000.0 ~max_events:100_000 in
+  checkb "counted to infinity" true report.Dv.counted_to_infinity;
+  checkb "cost climbed past threshold" true (report.Dv.max_cost_seen >= 32);
+  (* After the storm, no usable route to the unreachable node remains. *)
+  checkb "n2 lost its route to n0" true (Dv.route_cost dv "n2" "n0" = None)
+
+let test_dv_no_divergence_without_failure () =
+  let topo = Topo.line 3 in
+  let dv = Dv.create ~infinity_threshold:32 ~period:5.0 topo in
+  let report = Dv.run dv ~until:200.0 ~max_events:100_000 in
+  checkb "stable under periodic adverts" false report.Dv.counted_to_infinity;
+  checkb "max cost small" true (report.Dv.max_cost_seen <= 2)
+
+let test_dv_failure_with_alternate_path () =
+  (* On a ring, losing one link just reroutes the long way. *)
+  let topo = Topo.ring 4 in
+  let dv = Dv.create ~infinity_threshold:32 ~period:5.0 topo in
+  Dv.fail_link_at dv ~time:20.0 "n0" "n1";
+  ignore (Dv.run dv ~until:300.0 ~max_events:200_000);
+  checkb "rerouted n0->n1 the long way" true (Dv.route_cost dv "n0" "n1" = Some 3)
+
+let test_dv_converges_under_loss () =
+  (* Periodic advertisement makes the naive protocol robust to loss. *)
+  let topo = Topo.create () in
+  Topo.add_duplex ~loss:0.3 topo "n0" "n1";
+  Topo.add_duplex ~loss:0.3 topo "n1" "n2";
+  let dv = Dv.create ~seed:3 ~period:5.0 topo in
+  let report = Dv.run dv ~until:300.0 ~max_events:200_000 in
+  checkb "messages were lost" true
+    (report.Dv.stats.Netsim.Sim.messages_dropped > 0);
+  checkb "n0 still reaches n2" true (Dv.route_cost dv "n0" "n2" = Some 2);
+  checkb "n2 still reaches n0" true (Dv.route_cost dv "n2" "n0" = Some 2)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "runtime",
+        [
+          Alcotest.test_case "line = centralized" `Quick test_dist_line;
+          Alcotest.test_case "ring = centralized" `Quick test_dist_ring;
+          Alcotest.test_case "asymmetric costs" `Quick test_dist_asymmetric;
+          Alcotest.test_case "random reachability" `Quick test_dist_random;
+          Alcotest.test_case "reachability scale" `Quick
+            test_dist_reachability_scale;
+          Alcotest.test_case "best path placement" `Quick
+            test_dist_best_path_values;
+          Alcotest.test_case "message accounting" `Quick
+            test_dist_message_accounting;
+          Alcotest.test_case "rejects unlocalized" `Quick
+            test_dist_rejects_unlocalized;
+          Alcotest.test_case "soft state expiry" `Quick
+            test_dist_soft_state_expiry;
+        ] );
+      ( "distance_vector",
+        [
+          Alcotest.test_case "converges" `Quick test_dv_converges;
+          Alcotest.test_case "ring shortest" `Quick test_dv_ring_shortest;
+          Alcotest.test_case "count to infinity" `Quick
+            test_dv_count_to_infinity;
+          Alcotest.test_case "stable without failure" `Quick
+            test_dv_no_divergence_without_failure;
+          Alcotest.test_case "alternate path reroute" `Quick
+            test_dv_failure_with_alternate_path;
+          Alcotest.test_case "converges under loss" `Quick
+            test_dv_converges_under_loss;
+        ] );
+    ]

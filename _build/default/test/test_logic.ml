@@ -1,0 +1,1031 @@
+(* Tests for the logic library: terms, formulas, the arithmetic
+   procedure, the proof checker (kernel), NDlog completion, the
+   automated prover, and the tactic layer.
+
+   The centerpiece reproduces Section 3.1 of the paper: the
+   [bestPathStrong] route-optimality theorem for the path-vector
+   program, proved automatically and as a short interactive script. *)
+
+module T = Logic.Term
+module F = Logic.Formula
+module Arith = Logic.Arith
+module Sequent = Logic.Sequent
+module Proof = Logic.Proof
+module Checker = Logic.Checker
+module Theory = Logic.Theory
+module Completion = Logic.Completion
+module Prove = Logic.Prove
+module Tactic = Logic.Tactic
+module Fparser = Logic.Fparser
+module V = Ndlog.Value
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let x = T.Var "X"
+let y = T.Var "Y"
+let ca = T.Fn ("a", [])
+let cb = T.Fn ("b", [])
+
+(* ------------------------------------------------------------------ *)
+(* Terms. *)
+
+let test_term_unify () =
+  (match T.unify T.subst_empty x ca with
+  | Some s -> checkb "X := a" true (T.equal (T.apply_subst s x) ca)
+  | None -> Alcotest.fail "unify failed");
+  (match T.unify T.subst_empty (T.Fn ("f", [ x; cb ])) (T.Fn ("f", [ ca; y ])) with
+  | Some s ->
+    checkb "X := a" true (T.equal (T.apply_subst s x) ca);
+    checkb "Y := b" true (T.equal (T.apply_subst s y) cb)
+  | None -> Alcotest.fail "unify failed");
+  checkb "occurs check" true (T.unify T.subst_empty x (T.Fn ("f", [ x ])) = None);
+  checkb "clash" true (T.unify T.subst_empty ca cb = None)
+
+let test_term_matching () =
+  (match T.matching T.subst_empty (T.Fn ("f", [ x; x ])) (T.Fn ("f", [ ca; ca ])) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "match failed");
+  checkb "nonlinear mismatch" true
+    (T.matching T.subst_empty (T.Fn ("f", [ x; x ])) (T.Fn ("f", [ ca; cb ])) = None);
+  (* matching is one-way: variables in the target are opaque *)
+  checkb "target var is opaque" true
+    (T.matching T.subst_empty ca (T.Var "Z") = None)
+
+let test_term_eval () =
+  let t = T.Fn ("+", [ T.int 2; T.Fn ("*", [ T.int 3; T.int 4 ]) ]) in
+  checkb "2+3*4" true (T.eval t = Some (V.Int 14));
+  let p = T.Fn ("f_init", [ T.Cst (V.Addr "a"); T.Cst (V.Addr "b") ]) in
+  checkb "builtin in terms" true (T.eval p = Some (V.List [ V.Addr "a"; V.Addr "b" ]));
+  checkb "vars do not evaluate" true (T.eval (T.Fn ("+", [ x; T.int 1 ])) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Formulas. *)
+
+let test_formula_subst_capture () =
+  (* (forall Y. X < Y)[X := Y] must rename the binder. *)
+  let f = F.All ("Y", F.Lt (T.Var "X", T.Var "Y")) in
+  let g = F.subst1 "X" (T.Var "Y") f in
+  (match g with
+  | F.All (y', F.Lt (T.Var v, T.Var w)) ->
+    checkb "outer var substituted" true (v = "Y");
+    checkb "binder renamed" true (y' <> "Y" && w = y')
+  | _ -> Alcotest.fail "unexpected shape");
+  ()
+
+let test_formula_ground_decide () =
+  checkb "3 < 4" true (F.ground_decide (F.lt (T.int 3) (T.int 4)) = Some true);
+  checkb "4 < 3" true (F.ground_decide (F.lt (T.int 4) (T.int 3)) = Some false);
+  checkb "f_inPath ground" true
+    (F.ground_decide
+       (F.eq
+          (T.Fn ("f_inPath", [ T.Cst (V.List [ V.Addr "a" ]); T.Cst (V.Addr "a") ]))
+          (T.Cst (V.Bool true)))
+    = Some true);
+  checkb "atoms undecided" true (F.ground_decide (F.atom "p" [ T.int 1 ]) = None)
+
+let test_formula_fv () =
+  let f = F.All ("X", F.Imp (F.atom "p" [ x; y ], F.atom "q" [ x ])) in
+  checkb "Y free" true (T.Sset.mem "Y" (F.fv f));
+  checkb "X bound" false (T.Sset.mem "X" (F.fv f))
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic. *)
+
+let test_arith_basic () =
+  let c = T.Fn ("C", []) and c2 = T.Fn ("C2", []) in
+  checkb "C<=C2 & C2<C unsat" true (Arith.unsat [ F.le c c2; F.lt c2 c ]);
+  checkb "C<=C2 sat" false (Arith.unsat [ F.le c c2 ]);
+  checkb "transitivity" true
+    (Arith.entails [ F.lt x y; F.lt y (T.Var "Z") ] (F.lt x (T.Var "Z")));
+  checkb "le refl" true (Arith.entails [] (F.le x x));
+  checkb "non-theorem" false (Arith.entails [] (F.lt x y))
+
+let test_arith_linear_combinations () =
+  (* x + y <= 5, x >= 3, y >= 3 is unsat. *)
+  checkb "sum too large" true
+    (Arith.unsat
+       [
+         F.le (T.( +: ) x y) (T.int 5);
+         F.le (T.int 3) x;
+         F.le (T.int 3) y;
+       ]);
+  (* strict integer strengthening: a < b < a + 2 forces b = a + 1 (sat) *)
+  checkb "strict band sat" false
+    (Arith.unsat [ F.lt x y; F.lt y (T.( +: ) x (T.int 2)) ]);
+  (* a < b < a + 1 is unsat over the integers *)
+  checkb "empty integer band" true
+    (Arith.unsat [ F.lt x y; F.lt y (T.( +: ) x (T.int 1)) ])
+
+let test_arith_equalities () =
+  checkb "eq chain" true
+    (Arith.entails [ F.eq x y; F.eq y (T.Var "Z") ] (F.eq x (T.Var "Z")));
+  checkb "eq plus offset" true
+    (Arith.entails
+       [ F.eq x (T.( +: ) y (T.int 1)) ]
+       (F.lt y x))
+
+(* ------------------------------------------------------------------ *)
+(* Checker. *)
+
+let thy0 = Theory.empty
+
+let test_checker_accepts () =
+  (* p |- p *)
+  let s = Sequent.make ~hyps:[ F.atom "p" [] ] (F.atom "p" []) in
+  checkb "assumption" true (Checker.is_valid thy0 s Proof.Assumption);
+  (* |- p => p *)
+  let s = Sequent.make (F.imp (F.atom "p" []) (F.atom "p" [])) in
+  checkb "impR" true (Checker.is_valid thy0 s (Proof.ImpR Proof.Assumption));
+  (* |- forall X. X <= X *)
+  let s = Sequent.make (F.all "X" (F.le x x)) in
+  checkb "allR + arith" true (Checker.is_valid thy0 s (Proof.AllR ("c", Proof.Arith)))
+
+let test_checker_rejects () =
+  let s = Sequent.make (F.atom "p" []) in
+  checkb "bogus assumption" false (Checker.is_valid thy0 s Proof.Assumption);
+  (* eigenvariable freshness: reusing a constant of the sequent *)
+  let s =
+    Sequent.make ~hyps:[ F.atom "q" [ T.Fn ("c", []) ] ]
+      (F.all "X" (F.atom "p" [ x ]))
+  in
+  checkb "non-fresh eigenvariable" false
+    (Checker.is_valid thy0 s (Proof.AllR ("c", Proof.Assumption)));
+  (* arith cannot prove a non-theorem *)
+  let s = Sequent.make (F.lt x y) in
+  checkb "arith non-theorem" false (Checker.is_valid thy0 s Proof.Arith);
+  (* wrong rule for the connective *)
+  let s = Sequent.make (F.imp (F.atom "p" []) (F.atom "p" [])) in
+  checkb "andR on imp" false
+    (Checker.is_valid thy0 s (Proof.AndR (Proof.Assumption, Proof.Assumption)))
+
+let test_checker_axiom_rule () =
+  let thy = Theory.add "ax" (F.atom "p" []) Theory.empty in
+  let s = Sequent.make (F.atom "p" []) in
+  checkb "axiom then assumption" true
+    (Checker.is_valid thy s (Proof.AxiomR ("ax", Proof.Assumption)));
+  checkb "unknown axiom" false
+    (Checker.is_valid thy s (Proof.AxiomR ("nope", Proof.Assumption)))
+
+(* ------------------------------------------------------------------ *)
+(* Completion. *)
+
+let path_vector_theory () =
+  Completion.theory_of_program (Ndlog.Programs.path_vector ())
+
+let test_completion_names () =
+  let thy = path_vector_theory () in
+  let has n = Theory.find n thy <> None in
+  checkb "path_def" true (has "path_def");
+  checkb "bestPath_def" true (has "bestPath_def");
+  checkb "bestPathCost_lb" true (has "bestPathCost_lb");
+  checkb "bestPathCost_mem" true (has "bestPathCost_mem");
+  checkb "bestPathCost_fun" true (has "bestPathCost_fun");
+  checkb "definition lookup" true (Theory.definition_of "path" thy <> None);
+  checkb "aggregates are not definitions" true
+    (Theory.definition_of "bestPathCost" thy = None)
+
+let test_completion_closed () =
+  let thy = path_vector_theory () in
+  List.iter
+    (fun name ->
+      let e = Theory.find_exn name thy in
+      checkb (name ^ " closed") true (F.is_closed e.Theory.formula))
+    (Theory.names thy)
+
+let test_completion_horn_clauses () =
+  let thy = path_vector_theory () in
+  let clauses = Theory.horn_clauses thy in
+  checkb "lb is a clause" true
+    (List.exists (fun c -> c.Theory.clause_name = "bestPathCost_lb") clauses);
+  let lb =
+    List.find (fun c -> c.Theory.clause_name = "bestPathCost_lb") clauses
+  in
+  checki "lb has 2 antecedents" 2 (List.length lb.Theory.antecedents);
+  (match lb.Theory.consequent with
+  | F.Le _ -> ()
+  | _ -> Alcotest.fail "lb consequent should be <=");
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Automated prover. *)
+
+let test_prove_tautologies () =
+  let ok goal =
+    match Prove.prove thy0 goal with
+    | Ok o -> checkb "kernel-checked" true o.Prove.checked
+    | Error e -> Alcotest.fail e
+  in
+  ok (F.imp (F.atom "p" []) (F.atom "p" []));
+  ok (F.all "X" (F.imp (F.atom "p" [ x ]) (F.atom "p" [ x ])));
+  ok (F.imp (F.conj [ F.atom "p" []; F.atom "q" [] ]) (F.atom "q" []));
+  ok (F.imp (F.atom "p" []) (F.disj [ F.atom "q" []; F.atom "p" [] ]));
+  ok
+    (F.imp
+       (F.disj [ F.atom "p" []; F.atom "q" [] ])
+       (F.disj [ F.atom "q" []; F.atom "p" [] ]));
+  ok (F.all "X" (F.all "Y" (F.imp (F.lt x y) (F.le x y))));
+  ok (F.neg (F.conj [ F.atom "p" []; F.neg (F.atom "p" []) ]));
+  ok (F.imp (F.ex "X" (F.atom "p" [ x ])) (F.ex "Y" (F.atom "p" [ y ])))
+
+let test_prove_non_theorems () =
+  let bad goal =
+    match Prove.prove ~max_fuel:3 thy0 goal with
+    | Ok _ -> Alcotest.failf "proved a non-theorem: %s" (F.to_string goal)
+    | Error _ -> ()
+  in
+  bad (F.atom "p" []);
+  bad (F.imp (F.atom "p" []) (F.atom "q" []));
+  bad (F.all "X" (F.all "Y" (F.lt x y)))
+
+let test_prove_forward_chaining () =
+  (* edge facts + transitivity as axioms; prove a concrete reachability *)
+  let edge a b = F.atom "edge" [ T.Fn (a, []); T.Fn (b, []) ] in
+  let conn a b = F.atom "conn" [ T.Fn (a, []); T.Fn (b, []) ] in
+  let thy =
+    Theory.empty
+    |> Theory.add "e1" (edge "a" "b")
+    |> Theory.add "e2" (edge "b" "c")
+    |> Theory.add "base"
+         (F.all_list [ "X"; "Y" ]
+            (F.imp (F.atom "edge" [ x; y ]) (F.atom "conn" [ x; y ])))
+    |> Theory.add "trans"
+         (F.all_list [ "X"; "Y"; "Z" ]
+            (F.imp
+               (F.conj
+                  [ F.atom "conn" [ x; y ]; F.atom "conn" [ y; T.Var "Z" ] ])
+               (F.atom "conn" [ x; T.Var "Z" ])))
+  in
+  (* facts are axioms with no antecedents: forward chaining needs them as
+     hypotheses, so state the theorem with the facts as antecedents *)
+  let goal =
+    F.imp (F.conj [ edge "a" "b"; edge "b" "c" ]) (conn "a" "c")
+  in
+  match Prove.prove thy goal with
+  | Ok o ->
+    checkb "checked" true o.Prove.checked;
+    checkb "positive steps" true (o.Prove.steps > 0)
+  | Error e -> Alcotest.fail e
+
+(* The paper's route-optimality theorem (Section 3.1):
+     bestPath(S,D,P,C) => NOT (EXISTS C2 P2: path(S,D,P2,C2) AND C2 < C)
+*)
+let best_path_strong =
+  let s = T.Var "S" and d = T.Var "D" and p = T.Var "P" and c = T.Var "C" in
+  let p2 = T.Var "P2" and c2 = T.Var "C2" in
+  F.all_list
+    [ "S"; "D"; "P"; "C" ]
+    (F.imp
+       (F.atom "bestPath" [ s; d; p; c ])
+       (F.neg
+          (F.ex_list [ "P2"; "C2" ]
+             (F.conj [ F.atom "path" [ s; d; p2; c2 ]; F.lt c2 c ]))))
+
+let test_best_path_strong_auto () =
+  let thy = path_vector_theory () in
+  match Prove.prove thy best_path_strong with
+  | Ok o ->
+    checkb "kernel accepted" true o.Prove.checked;
+    checkb "nontrivial proof" true (o.Prove.steps > 5)
+  | Error e -> Alcotest.fail e
+
+let test_best_path_strong_script () =
+  let thy = path_vector_theory () in
+  let k n = T.Fn (n, []) in
+  let script =
+    [
+      ("skosimp*", Tactic.skosimp);
+      ("expand bestPath", Tactic.expand "bestPath");
+      ("flatten", Tactic.skosimp);
+      ( "use bestPathCost_lb",
+        Tactic.use "bestPathCost_lb" [ k "S"; k "D"; k "C"; k "P2"; k "C2" ] );
+      ("modus", Tactic.grind ~max_fuel:2 );
+    ]
+  in
+  (* The last step lets the automated closer discharge the instantiated
+     implication plus arithmetic; everything before mirrors the PVS
+     script from the paper. *)
+  match Tactic.run thy best_path_strong script with
+  | Ok r ->
+    checkb "checked" true r.Tactic.checked;
+    checki "script steps" 5 r.Tactic.script_steps
+  | Error e -> Alcotest.fail e
+
+(* A second program-level theorem: best costs are achieved by some path.
+     bestPathCost(S,D,C) => EXISTS P. path(S,D,P,C) *)
+let test_best_cost_membership () =
+  let thy = path_vector_theory () in
+  let s = T.Var "S" and d = T.Var "D" and c = T.Var "C" in
+  let goal =
+    F.all_list [ "S"; "D"; "C" ]
+      (F.imp
+         (F.atom "bestPathCost" [ s; d; c ])
+         (F.ex "P" (F.atom "path" [ s; d; T.Var "P"; c ])))
+  in
+  match Prove.prove thy goal with
+  | Ok o -> checkb "checked" true o.Prove.checked
+  | Error e -> Alcotest.fail e
+
+(* Unfolding a definition in the goal: one-hop links yield paths. *)
+let test_path_from_link () =
+  let thy = path_vector_theory () in
+  let s = T.Var "S" and d = T.Var "D" and c = T.Var "C" in
+  let goal =
+    F.all_list [ "S"; "D"; "C" ]
+      (F.imp
+         (F.atom "link" [ s; d; c ])
+         (F.atom "path" [ s; d; T.Fn ("f_init", [ s; d ]); c ]))
+  in
+  match Prove.prove thy goal with
+  | Ok o -> checkb "checked" true o.Prove.checked
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint induction. *)
+
+(* If every link has cost >= 1 then every path has cost >= 1: requires
+   induction over the recursive [path] definition. *)
+let links_positive =
+  F.all_list [ "S"; "D"; "C" ]
+    (F.imp
+       (F.atom "link" [ T.Var "S"; T.Var "D"; T.Var "C" ])
+       (F.le (T.int 1) (T.Var "C")))
+
+let path_cost_positive =
+  F.all_list [ "S"; "D"; "P"; "C" ]
+    (F.imp
+       (F.atom "path" [ T.Var "S"; T.Var "D"; T.Var "P"; T.Var "C" ])
+       (F.le (T.int 1) (T.Var "C")))
+
+let test_induction_path_cost () =
+  let thy = path_vector_theory () in
+  match
+    Prove.prove_by_induction thy ~hyps:[ links_positive ] ~on:"path"
+      path_cost_positive
+  with
+  | Ok o ->
+    checkb "kernel accepted induction" true o.Prove.checked;
+    checkb "uses the Induct rule" true
+      (match o.Prove.proof with Logic.Proof.Induct ("path", _) -> true | _ -> false)
+  | Error e -> Alcotest.fail e
+
+(* Every reachable source has an outgoing link. *)
+let test_induction_reachable_has_link () =
+  let thy =
+    Completion.theory_of_program (Ndlog.Programs.reachability ())
+  in
+  let goal =
+    F.all_list [ "S"; "D" ]
+      (F.imp
+         (F.atom "reachable" [ T.Var "S"; T.Var "D" ])
+         (F.ex_list [ "Z"; "C" ]
+            (F.atom "link" [ T.Var "S"; T.Var "Z"; T.Var "C" ])))
+  in
+  match Prove.prove_by_induction thy ~on:"reachable" goal with
+  | Ok o -> checkb "checked" true o.Prove.checked
+  | Error e -> Alcotest.fail e
+
+(* Induction must reject non-theorems: path costs are not all >= 2
+   (one-hop paths of cost 1 are a counterexample under the hypotheses). *)
+let test_induction_rejects_false () =
+  let thy = path_vector_theory () in
+  let too_strong =
+    F.all_list [ "S"; "D"; "P"; "C" ]
+      (F.imp
+         (F.atom "path" [ T.Var "S"; T.Var "D"; T.Var "P"; T.Var "C" ])
+         (F.le (T.int 2) (T.Var "C")))
+  in
+  match
+    Prove.prove_by_induction ~max_fuel:3 thy ~hyps:[ links_positive ]
+      ~on:"path" too_strong
+  with
+  | Ok _ -> Alcotest.fail "proved a false property by induction"
+  | Error _ -> ()
+
+(* The kernel rejects malformed induction applications. *)
+let test_induction_kernel_guards () =
+  let thy = path_vector_theory () in
+  (* wrong predicate *)
+  let s = Sequent.make path_cost_positive in
+  checkb "unknown predicate rejected" false
+    (Checker.is_valid thy s (Logic.Proof.Induct ("nonsense", [])));
+  (* wrong number of subproofs: path has two rules *)
+  checkb "missing subproofs rejected" false
+    (Checker.is_valid thy s (Logic.Proof.Induct ("path", [ Logic.Proof.Arith ])));
+  (* wrong goal shape *)
+  let bad_goal = F.atom "path" [ T.int 1; T.int 2; T.int 3; T.int 4 ] in
+  checkb "wrong goal shape rejected" false
+    (Checker.is_valid thy (Sequent.make bad_goal)
+       (Logic.Proof.Induct ("path", [ Logic.Proof.Arith; Logic.Proof.Arith ])))
+
+(* Scripted induction via the tactic layer: [induct] must be the first
+   step (skosimp would strip the canonical [forall xs. pred => Phi]
+   shape), then one grind per defining rule. *)
+let test_induction_tactic () =
+  let thy = Completion.theory_of_program (Ndlog.Programs.reachability ()) in
+  let goal =
+    F.all_list [ "S"; "D" ]
+      (F.imp
+         (F.atom "reachable" [ T.Var "S"; T.Var "D" ])
+         (F.ex_list [ "Z"; "C" ]
+            (F.atom "link" [ T.Var "S"; T.Var "Z"; T.Var "C" ])))
+  in
+  let script =
+    [
+      ("induct reachable", Tactic.induct "reachable");
+      ("grind rc1", Tactic.grind ~max_fuel:3);
+      ("grind rc2", Tactic.grind ~max_fuel:3);
+    ]
+  in
+  match Tactic.run thy goal script with
+  | Ok r -> checkb "checked" true r.Tactic.checked
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Tactics. *)
+
+let test_tactic_failures () =
+  let thy = path_vector_theory () in
+  (* splitting a non-conjunction fails cleanly *)
+  (match Tactic.run thy (F.atom "p" []) [ ("split", Tactic.split) ] with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error _ -> ());
+  (* a script that leaves open goals fails at qed *)
+  match Tactic.run thy best_path_strong [ ("skosimp", Tactic.skosimp) ] with
+  | Ok _ -> Alcotest.fail "expected open-goal failure"
+  | Error _ -> ()
+
+let test_tactic_case_hyp () =
+  (* (p \/ q) => (q \/ p) by case split. *)
+  let a = F.atom "p" [] and b = F.atom "q" [] in
+  let goal = F.imp (F.Or (a, b)) (F.Or (b, a)) in
+  let script =
+    [
+      ("flatten", Tactic.skosimp);
+      ("case", Tactic.case_hyp (F.Or (a, b)));
+      ("grind-left", Tactic.grind ~max_fuel:1);
+      ("grind-right", Tactic.grind ~max_fuel:1);
+    ]
+  in
+  match Tactic.run Theory.empty goal script with
+  | Ok r -> checkb "checked" true r.Tactic.checked
+  | Error e -> Alcotest.fail e
+
+let test_tactic_inst () =
+  (* exists X. X = 3, by explicit witness. *)
+  let goal = F.ex "X" (F.eq x (T.int 3)) in
+  match
+    Tactic.run Theory.empty goal
+      [ ("inst 3", Tactic.inst (T.int 3)); ("eval", Tactic.eval_tac) ]
+  with
+  | Ok r -> checkb "checked" true r.Tactic.checked
+  | Error e -> Alcotest.fail e
+
+let test_tactic_modus () =
+  (* From hyps p and p => q, conclude q via modus. *)
+  let a = F.atom "p" [] and b = F.atom "q" [] in
+  let goal = F.imp a (F.imp (F.imp a b) b) in
+  let script =
+    [
+      ("flatten", Tactic.skosimp);
+      ("modus", Tactic.modus (F.Imp (a, b)));
+      ("assumption", Tactic.assumption);
+    ]
+  in
+  match Tactic.run Theory.empty goal script with
+  | Ok r -> checkb "checked" true r.Tactic.checked
+  | Error e -> Alcotest.fail e
+
+let test_tactic_expand_goal () =
+  (* Prove a path atom by unfolding the definition in the goal and
+     picking the one-hop disjunct. *)
+  let thy = path_vector_theory () in
+  let goal =
+    Fparser.parse_exn
+      "forall S D C. link(S,D,C) => path(S,D,f_init(S,D),C)"
+  in
+  let script =
+    [
+      ("flatten", Tactic.skosimp);
+      ("expand path", Tactic.expand "path");
+      ("grind", Tactic.grind ~max_fuel:2);
+    ]
+  in
+  match Tactic.run thy goal script with
+  | Ok r -> checkb "checked" true r.Tactic.checked
+  | Error e -> Alcotest.fail e
+
+let test_tactic_split () =
+  let a = F.atom "p" [] in
+  let goal = F.imp a (F.And (a, a)) in
+  let script =
+    [
+      ("flatten", Tactic.skosimp);
+      ("split", Tactic.split);
+      ("l", Tactic.assumption);
+      ("r", Tactic.assumption);
+    ]
+  in
+  match Tactic.run Theory.empty goal script with
+  | Ok r -> checkb "checked" true r.Tactic.checked
+  | Error e -> Alcotest.fail e
+
+let test_tactic_arith_close () =
+  let goal = F.all_list [ "X"; "Y" ] (F.imp (F.lt x y) (F.le x y)) in
+  match
+    Tactic.run Theory.empty goal
+      [ ("skosimp", Tactic.skosimp); ("arith", Tactic.arith) ]
+  with
+  | Ok r -> checkb "checked" true r.Tactic.checked
+  | Error e -> Alcotest.fail e
+
+(* Proof sizes are meaningful: scripted and automatic proofs of the same
+   theorem have comparable magnitude. *)
+let test_proof_metrics () =
+  let thy = path_vector_theory () in
+  match Prove.prove thy best_path_strong with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    checkb "size >= depth" true (Proof.size o.Prove.proof >= Proof.depth o.Prove.proof);
+    checkb "elapsed fraction of a second" true (o.Prove.elapsed < 1.0)
+
+(* Flooding integrity: LSAs at any node describe true links — proved by
+   induction over the flooding rules (base: own links; step: copies
+   preserve the payload). *)
+let test_induction_lsa_integrity () =
+  let thy =
+    Completion.theory_of_program (Ndlog.Programs.link_state ~max_hops:8)
+  in
+  let goal =
+    Fparser.parse_exn "forall N S D C. lsa(N,S,D,C) => link(S,D,C)"
+  in
+  match Prove.prove_by_induction thy ~on:"lsa" goal with
+  | Ok o -> checkb "checked" true o.Prove.checked
+  | Error e -> Alcotest.fail e
+
+let test_lemma_reuse () =
+  (* Prove the membership lemma once; a later proof uses it by forward
+     chaining without re-deriving it. *)
+  let thy = path_vector_theory () in
+  let membership =
+    Fparser.parse_exn
+      "forall S D C. bestPathCost(S,D,C) => (exists P. path(S,D,P,C))"
+  in
+  match Prove.assert_lemma thy "bestCost_member" membership with
+  | Error e -> Alcotest.fail e
+  | Ok (thy', _) -> (
+    checkb "lemma recorded" true (Theory.find "bestCost_member" thy' <> None);
+    (* A goal whose proof needs exactly that step. *)
+    let goal =
+      Fparser.parse_exn
+        "forall S D C. bestPathCost(S,D,C) => (exists P2. path(S,D,P2,C))"
+    in
+    match Prove.prove thy' goal with
+    | Ok o -> checkb "checked" true o.Prove.checked
+    | Error e -> Alcotest.fail e)
+
+let test_lemma_by_induction () =
+  let rthy = Completion.theory_of_program (Ndlog.Programs.reachability ()) in
+  let lemma =
+    Fparser.parse_exn
+      "forall S D. reachable(S,D) => (exists Z C. link(S,Z,C))"
+  in
+  match
+    Prove.assert_lemma ~by_induction_on:"reachable" rthy "reach_has_link" lemma
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (thy', o) ->
+    checkb "checked" true o.Prove.checked;
+    checkb "is a lemma" true
+      (match Theory.find "reach_has_link" thy' with
+      | Some e -> e.Theory.kind = Theory.Lemma
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Formula parser. *)
+
+let test_fparser_round_trips () =
+  (* Parsing the printed form of programmatic formulas yields equal
+     formulas (on a representative set). *)
+  let cases =
+    [
+      best_path_strong;
+      links_positive;
+      path_cost_positive;
+      F.iff (F.atom "p" []) (F.disj [ F.atom "q" []; F.neg (F.atom "r" []) ]);
+      F.all "X" (F.imp (F.le (T.int 0) x) (F.ex "Y" (F.lt x y)));
+    ]
+  in
+  List.iter
+    (fun f ->
+      let printed = F.to_string f in
+      match Fparser.parse printed with
+      | Ok f' ->
+        checkb (Printf.sprintf "round trip %s" printed) true (F.equal f f')
+      | Error e -> Alcotest.failf "parse of %S failed: %s" printed e)
+    cases
+
+let test_fparser_concrete () =
+  let f =
+    Fparser.parse_exn
+      "forall S D P C. bestPath(S,D,P,C) => ~(exists P2 C2. path(S,D,P2,C2) \
+       /\\ C2 < C)"
+  in
+  checkb "equals programmatic bestPathStrong" true (F.equal f best_path_strong)
+
+let test_fparser_precedence () =
+  (* a /\ b \/ c parses as (a /\ b) \/ c; => is right associative and
+     binds loosest (above <=>). *)
+  let a = F.atom "a" [] and b = F.atom "b" [] and c = F.atom "c" [] in
+  checkb "and binds tighter than or" true
+    (F.equal
+       (Fparser.parse_exn "a /\\ b \\/ c")
+       (F.Or (F.And (a, b), c)));
+  checkb "imp right assoc" true
+    (F.equal (Fparser.parse_exn "a => b => c") (F.Imp (a, F.Imp (b, c))));
+  checkb "gt normalizes to lt" true
+    (F.equal (Fparser.parse_exn "X > 3") (F.Lt (T.int 3, x)))
+
+let test_fparser_identifiers () =
+  (* bound names are variables regardless of case; free capitalized names
+     are variables; free lowercase names are constants *)
+  (match Fparser.parse_exn "forall x. p(x, Y, c)" with
+  | F.All ("x", F.Atom ("p", [ T.Var "x"; T.Var "Y"; T.Fn ("c", []) ])) -> ()
+  | f -> Alcotest.failf "unexpected parse: %s" (F.to_string f));
+  (* arithmetic terms and function application *)
+  match Fparser.parse_exn "f_size(P) <= 2 + 3 * N" with
+  | F.Le (T.Fn ("f_size", [ T.Var "P" ]), T.Fn ("+", [ _; T.Fn ("*", _) ])) ->
+    ()
+  | f -> Alcotest.failf "unexpected parse: %s" (F.to_string f)
+
+let test_fparser_errors () =
+  let bad src =
+    match Fparser.parse src with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" src
+    | Error _ -> ()
+  in
+  bad "forall . p";
+  bad "p(X";
+  bad "X <";
+  bad "p(X) /\\";
+  bad ""
+
+let test_fparser_parsed_goal_proves () =
+  (* End to end: a parsed goal goes through the prover. *)
+  let thy = path_vector_theory () in
+  let goal =
+    Fparser.parse_exn
+      "forall S D C. bestPathCost(S,D,C) => (exists P. path(S,D,P,C))"
+  in
+  match Prove.prove thy goal with
+  | Ok o -> checkb "checked" true o.Prove.checked
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Certified provenance (Certify). *)
+
+module Certify = Logic.Certify
+
+let test_certify_path_tuple () =
+  let p =
+    Ndlog.Programs.with_links
+      (Ndlog.Programs.path_vector ())
+      (Ndlog.Programs.line_links 4)
+  in
+  let tuple =
+    Array.of_list
+      [
+        V.Addr "n0"; V.Addr "n3";
+        V.List [ V.Addr "n0"; V.Addr "n1"; V.Addr "n2"; V.Addr "n3" ];
+        V.Int 3;
+      ]
+  in
+  match Certify.certify_tuple p "path" tuple with
+  | Ok cert ->
+    checkb "kernel checked" true cert.Certify.cert_checked;
+    checkb "nontrivial proof" true (Proof.size cert.Certify.cert_proof > 10)
+  | Error e -> Alcotest.fail e
+
+let test_certify_reachability () =
+  let p =
+    Ndlog.Programs.with_links
+      (Ndlog.Programs.reachability ())
+      (Ndlog.Programs.ring_links 4)
+  in
+  let tuple = Array.of_list [ V.Addr "n0"; V.Addr "n2" ] in
+  match Certify.certify_tuple p "reachable" tuple with
+  | Ok cert -> checkb "checked" true cert.Certify.cert_checked
+  | Error e -> Alcotest.fail e
+
+let test_certify_rejects_absent () =
+  let p =
+    Ndlog.Programs.with_links
+      (Ndlog.Programs.reachability ())
+      (Ndlog.Programs.line_links 3)
+  in
+  let tuple = Array.of_list [ V.Addr "n0"; V.Addr "n99" ] in
+  match Certify.certify_tuple p "reachable" tuple with
+  | Ok _ -> Alcotest.fail "certified an absent tuple"
+  | Error _ -> ()
+
+let test_certify_every_reachable_tuple () =
+  let p =
+    Ndlog.Programs.with_links
+      (Ndlog.Programs.reachability ())
+      (Ndlog.Programs.random_links ~seed:11 ~extra:2 5)
+  in
+  let o = Ndlog.Eval.run_exn p in
+  Ndlog.Store.tuples "reachable" o.Ndlog.Eval.db
+  |> List.iter (fun t ->
+         match Certify.certify_tuple p "reachable" t with
+         | Ok cert -> checkb "checked" true cert.Certify.cert_checked
+         | Error e -> Alcotest.fail e)
+
+(* ------------------------------------------------------------------ *)
+(* Properties. *)
+
+let gen_small_term =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n = 0 then
+          oneof
+            [ map (fun i -> T.int i) (int_range 0 5); return ca; return cb ]
+        else
+          frequency
+            [
+              (2, map (fun i -> T.int i) (int_range 0 5));
+              (1, map2 (fun a b -> T.( +: ) a b) (self (n / 2)) (self (n / 2)));
+            ]))
+
+let arb_term = QCheck.make ~print:T.to_string gen_small_term
+
+let prop_unify_produces_unifier =
+  QCheck.Test.make ~name:"unify really unifies" ~count:100
+    (QCheck.pair arb_term arb_term)
+    (fun (a, b) ->
+      match T.unify T.subst_empty a b with
+      | None -> true
+      | Some s -> T.equal (T.apply_subst s a) (T.apply_subst s b))
+
+let prop_arith_eval_consistent =
+  QCheck.Test.make ~name:"arith agrees with evaluation on ground facts"
+    ~count:100
+    QCheck.(pair (int_range (-20) 20) (int_range (-20) 20))
+    (fun (a, b) ->
+      let fa = F.lt (T.int a) (T.int b) in
+      if a < b then Arith.entails [] fa else not (Arith.entails [] fa))
+
+let prop_checker_rejects_mutations =
+  (* Take the bestPathStrong proof and perturb the theorem; the original
+     proof must not check against a different goal. *)
+  QCheck.Test.make ~name:"checker rejects proof of mutated goal" ~count:20
+    (QCheck.int_range 1 1000)
+    (fun n ->
+      let thy = path_vector_theory () in
+      match Prove.prove thy best_path_strong with
+      | Error _ -> false
+      | Ok o ->
+        let mutated =
+          F.all_list [ "S"; "D"; "P"; "C" ]
+            (F.imp
+               (F.atom "bestPath"
+                  [ T.Var "S"; T.Var "D"; T.Var "P"; T.Var "C" ])
+               (F.lt (T.Var "C") (T.int n)))
+        in
+        not (Checker.is_valid thy (Sequent.make mutated) o.Prove.proof))
+
+(* Arith soundness vs brute force: whenever Fourier-Motzkin claims a
+   literal set unsatisfiable, no small integer assignment satisfies it. *)
+let gen_literal =
+  QCheck.Gen.(
+    let var = oneofl [ T.Var "X"; T.Var "Y"; T.Var "Z" ] in
+    let term =
+      oneof
+        [
+          var;
+          map T.int (int_range (-4) 4);
+          map2 (fun v c -> T.( +: ) v (T.int c)) var (int_range (-3) 3);
+        ]
+    in
+    let lit =
+      oneof
+        [
+          map2 F.le term term;
+          map2 F.lt term term;
+          map2 F.eq term term;
+        ]
+    in
+    list_size (int_range 1 4) lit)
+
+let arb_literals =
+  QCheck.make
+    ~print:(fun ls -> String.concat " & " (List.map F.to_string ls))
+    gen_literal
+
+let prop_arith_unsat_sound =
+  QCheck.Test.make ~name:"FM unsat implies no small integer model" ~count:300
+    arb_literals
+    (fun lits ->
+      if not (Arith.unsat lits) then true
+      else
+        (* brute force X, Y, Z in [-8, 8] *)
+        let range = List.init 17 (fun i -> i - 8) in
+        not
+          (List.exists
+             (fun vx ->
+               List.exists
+                 (fun vy ->
+                   List.exists
+                     (fun vz ->
+                       let sub =
+                         T.subst_of_list
+                           [ ("X", T.int vx); ("Y", T.int vy); ("Z", T.int vz) ]
+                       in
+                       List.for_all
+                         (fun l ->
+                           F.ground_decide (F.apply_subst sub l) = Some true)
+                         lits)
+                     range)
+                 range)
+             range))
+
+let prop_arith_entails_sound =
+  QCheck.Test.make ~name:"entails implies truth on small models" ~count:200
+    (QCheck.pair arb_literals arb_literals)
+    (fun (hyps, goals) ->
+      match goals with
+      | [] -> true
+      | goal :: _ ->
+        if not (Arith.entails hyps goal) then true
+        else
+          let range = List.init 13 (fun i -> i - 6) in
+          List.for_all
+            (fun vx ->
+              List.for_all
+                (fun vy ->
+                  List.for_all
+                    (fun vz ->
+                      let sub =
+                        T.subst_of_list
+                          [ ("X", T.int vx); ("Y", T.int vy); ("Z", T.int vz) ]
+                      in
+                      let holds l =
+                        F.ground_decide (F.apply_subst sub l) = Some true
+                      in
+                      (not (List.for_all holds hyps)) || holds goal)
+                    range)
+                range)
+            range)
+
+(* Formula pretty-printing round-trips through the parser (on a fragment
+   avoiding addresses and boolean constants, which print in NDlog
+   syntax). *)
+let gen_formula =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let atom =
+          oneof
+            [
+              map2 (fun a b -> F.atom "p" [ a; b ])
+                (oneofl [ T.Var "X"; T.Var "Y"; T.int 1 ])
+                (oneofl [ T.Var "X"; T.int 2 ]);
+              map2 F.lt
+                (oneofl [ T.Var "X"; T.int 0 ])
+                (oneofl [ T.Var "Y"; T.int 3 ]);
+              map2 F.eq
+                (oneofl [ T.Var "X"; T.Var "Y" ])
+                (oneofl [ T.Var "Y"; T.int 5 ]);
+            ]
+        in
+        if n = 0 then atom
+        else
+          frequency
+            [
+              (2, atom);
+              (1, map2 (fun a b -> F.And (a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map2 (fun a b -> F.Or (a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map2 (fun a b -> F.Imp (a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map (fun a -> F.Not a) (self (n - 1)));
+              (1, map (fun a -> F.All ("X", a)) (self (n - 1)));
+              (1, map (fun a -> F.Ex ("Y", a)) (self (n - 1)));
+            ]))
+
+let prop_fparser_round_trip =
+  QCheck.Test.make ~name:"pp then parse is identity" ~count:200
+    (QCheck.make ~print:F.to_string gen_formula)
+    (fun f ->
+      match Fparser.parse (F.to_string f) with
+      | Ok f' -> F.equal f f'
+      | Error _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "unification" `Quick test_term_unify;
+          Alcotest.test_case "matching" `Quick test_term_matching;
+          Alcotest.test_case "evaluation" `Quick test_term_eval;
+        ] );
+      ( "formula",
+        [
+          Alcotest.test_case "capture-avoiding subst" `Quick
+            test_formula_subst_capture;
+          Alcotest.test_case "ground decide" `Quick test_formula_ground_decide;
+          Alcotest.test_case "free variables" `Quick test_formula_fv;
+        ] );
+      ( "arith",
+        [
+          Alcotest.test_case "basics" `Quick test_arith_basic;
+          Alcotest.test_case "linear combinations" `Quick
+            test_arith_linear_combinations;
+          Alcotest.test_case "equalities" `Quick test_arith_equalities;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "accepts valid proofs" `Quick test_checker_accepts;
+          Alcotest.test_case "rejects invalid proofs" `Quick
+            test_checker_rejects;
+          Alcotest.test_case "axiom rule" `Quick test_checker_axiom_rule;
+        ] );
+      ( "completion",
+        [
+          Alcotest.test_case "expected axioms" `Quick test_completion_names;
+          Alcotest.test_case "axioms are closed" `Quick test_completion_closed;
+          Alcotest.test_case "horn clauses" `Quick test_completion_horn_clauses;
+        ] );
+      ( "prove",
+        [
+          Alcotest.test_case "tautologies" `Quick test_prove_tautologies;
+          Alcotest.test_case "non-theorems rejected" `Quick
+            test_prove_non_theorems;
+          Alcotest.test_case "forward chaining" `Quick
+            test_prove_forward_chaining;
+          Alcotest.test_case "bestPathStrong (auto)" `Quick
+            test_best_path_strong_auto;
+          Alcotest.test_case "bestPathStrong (script)" `Quick
+            test_best_path_strong_script;
+          Alcotest.test_case "best cost membership" `Quick
+            test_best_cost_membership;
+          Alcotest.test_case "path from link" `Quick test_path_from_link;
+          Alcotest.test_case "proof metrics" `Quick test_proof_metrics;
+        ] );
+      ( "induction",
+        [
+          Alcotest.test_case "path cost positive" `Quick
+            test_induction_path_cost;
+          Alcotest.test_case "reachable has link" `Quick
+            test_induction_reachable_has_link;
+          Alcotest.test_case "rejects false property" `Quick
+            test_induction_rejects_false;
+          Alcotest.test_case "kernel guards" `Quick
+            test_induction_kernel_guards;
+          Alcotest.test_case "induct tactic" `Quick test_induction_tactic;
+          Alcotest.test_case "lemma reuse" `Quick test_lemma_reuse;
+          Alcotest.test_case "lemma by induction" `Quick
+            test_lemma_by_induction;
+          Alcotest.test_case "lsa integrity" `Quick
+            test_induction_lsa_integrity;
+        ] );
+      ( "tactic",
+        [
+          Alcotest.test_case "failures are clean" `Quick test_tactic_failures;
+          Alcotest.test_case "arith close" `Quick test_tactic_arith_close;
+          Alcotest.test_case "case split" `Quick test_tactic_case_hyp;
+          Alcotest.test_case "inst witness" `Quick test_tactic_inst;
+          Alcotest.test_case "modus" `Quick test_tactic_modus;
+          Alcotest.test_case "expand goal" `Quick test_tactic_expand_goal;
+          Alcotest.test_case "split" `Quick test_tactic_split;
+        ] );
+      ( "fparser",
+        [
+          Alcotest.test_case "round trips" `Quick test_fparser_round_trips;
+          Alcotest.test_case "concrete syntax" `Quick test_fparser_concrete;
+          Alcotest.test_case "precedence" `Quick test_fparser_precedence;
+          Alcotest.test_case "identifiers" `Quick test_fparser_identifiers;
+          Alcotest.test_case "errors" `Quick test_fparser_errors;
+          Alcotest.test_case "parsed goal proves" `Quick
+            test_fparser_parsed_goal_proves;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "path tuple" `Quick test_certify_path_tuple;
+          Alcotest.test_case "reachability tuple" `Quick
+            test_certify_reachability;
+          Alcotest.test_case "rejects absent" `Quick test_certify_rejects_absent;
+          Alcotest.test_case "all reachable tuples" `Quick
+            test_certify_every_reachable_tuple;
+        ] );
+      ( "properties",
+        qsuite
+          [
+            prop_unify_produces_unifier;
+            prop_arith_eval_consistent;
+            prop_checker_rejects_mutations;
+            prop_arith_unsat_sound;
+            prop_arith_entails_sound;
+            prop_fparser_round_trip;
+          ] );
+    ]

@@ -1,0 +1,1025 @@
+(* Tests for the NDlog library: values, parser, analysis, evaluation,
+   localization, and soft state. *)
+
+module V = Ndlog.Value
+module Ast = Ndlog.Ast
+module Parser = Ndlog.Parser
+module Analysis = Ndlog.Analysis
+module Eval = Ndlog.Eval
+module Store = Ndlog.Store
+module Programs = Ndlog.Programs
+module Localize = Ndlog.Localize
+module Softstate = Ndlog.Softstate
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Values. *)
+
+let test_value_order () =
+  checkb "int < str" true (V.compare (V.Int 5) (V.Str "a") < 0);
+  checkb "list lexicographic" true
+    (V.compare (V.List [ V.Int 1 ]) (V.List [ V.Int 1; V.Int 2 ]) < 0);
+  checkb "equal reflexive" true (V.equal (V.Addr "x") (V.Addr "x"));
+  checkb "addr <> str sort" false (V.equal (V.Addr "x") (V.Str "x"))
+
+let test_value_hash_consistent () =
+  let vs =
+    [ V.Int 3; V.Str "hi"; V.Bool true; V.Addr "n0"; V.List [ V.Int 1; V.Addr "a" ] ]
+  in
+  List.iter
+    (fun v ->
+      let v' =
+        match v with
+        | V.List l -> V.List (List.map Fun.id l)
+        | other -> other
+      in
+      checkb "hash consistent with equal" true (V.hash v = V.hash v'))
+    vs
+
+let test_value_coerce () =
+  checki "as_int" 7 (V.as_int (V.Int 7));
+  checks "as_addr from str" "a" (V.as_addr (V.Str "a"));
+  Alcotest.check_raises "as_int on bool"
+    (V.Type_error ("int", V.Bool true))
+    (fun () -> ignore (V.as_int (V.Bool true)))
+
+(* ------------------------------------------------------------------ *)
+(* Builtins. *)
+
+let test_builtins_paths () =
+  let p = Ndlog.Builtins.apply "f_init" [ V.Addr "a"; V.Addr "b" ] in
+  check
+    Alcotest.(testable V.pp V.equal)
+    "f_init" (V.List [ V.Addr "a"; V.Addr "b" ]) p;
+  let p2 = Ndlog.Builtins.apply "f_concatPath" [ V.Addr "c"; p ] in
+  checki "f_size" 3 (V.as_int (Ndlog.Builtins.apply "f_size" [ p2 ]));
+  checkb "f_inPath yes" true
+    (V.as_bool (Ndlog.Builtins.apply "f_inPath" [ p2; V.Addr "a" ]));
+  checkb "f_inPath no" false
+    (V.as_bool (Ndlog.Builtins.apply "f_inPath" [ p2; V.Addr "z" ]))
+
+let test_builtins_errors () =
+  Alcotest.check_raises "unknown" (Ndlog.Builtins.Unknown_function "f_nope")
+    (fun () -> ignore (Ndlog.Builtins.apply "f_nope" []));
+  Alcotest.check_raises "arity" (Ndlog.Builtins.Arity_error ("f_init", 1))
+    (fun () -> ignore (Ndlog.Builtins.apply "f_init" [ V.Int 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Parser. *)
+
+let parse_ok src =
+  match Parser.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let test_parse_path_vector () =
+  let p = parse_ok Programs.path_vector_src in
+  checki "4 rules" 4 (List.length p.Ast.rules);
+  checki "4 decls" 4 (List.length p.Ast.decls);
+  let r2 = List.nth p.Ast.rules 1 in
+  checks "r2 label" "r2" (Option.get r2.Ast.rule_name);
+  checki "r2 body size" 5 (List.length r2.Ast.body);
+  let r3 = List.nth p.Ast.rules 2 in
+  checkb "r3 aggregates" true (Ast.has_aggregate r3.Ast.head)
+
+let test_parse_facts () =
+  let p = parse_ok {| link(@a, b, 3). link(@b, a, 3). |} in
+  checki "2 facts" 2 (List.length p.Ast.facts);
+  let f = List.hd p.Ast.facts in
+  checkb "loc at 0" true (f.Ast.fact_loc = Some 0);
+  checkb "addr const" true (V.equal (List.hd f.Ast.fact_args) (V.Addr "a"))
+
+let test_parse_roundtrip () =
+  let p = parse_ok Programs.path_vector_src in
+  let printed = Ast.program_to_string p in
+  let p2 = parse_ok printed in
+  checki "rules survive round trip" (List.length p.Ast.rules)
+    (List.length p2.Ast.rules);
+  checks "second print is stable" printed (Ast.program_to_string p2)
+
+let test_parse_errors () =
+  let bad src =
+    match Parser.parse_program src with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" src
+    | Error _ -> ()
+  in
+  bad "path(@S,D) :- link(@S,D,C)";
+  (* missing final period *)
+  bad "path(@S,@D) :- link(@S,D,C).";
+  (* two location specifiers *)
+  bad "p(X) :- q(X), .";
+  bad "p(X) :- f_nope(X)=true.";
+  (* unknown function *)
+  bad "p(min<X>)."
+(* aggregate in fact *)
+
+let test_parse_comments () =
+  let p =
+    parse_ok
+      {|
+// line comment
+p(@X) :- q(@X,Y), Y > 0. /* block
+   comment */ % percent comment
+q(@a, 1).
+|}
+  in
+  checki "1 rule" 1 (List.length p.Ast.rules);
+  checki "1 fact" 1 (List.length p.Ast.facts)
+
+let test_parse_negation () =
+  let p = parse_ok {| p(@X) :- q(@X,Y), !r(@X,Y), Y != 2. |} in
+  match (List.hd p.Ast.rules).Ast.body with
+  | [ Ast.Pos _; Ast.Neg a; Ast.Cond (Ast.Ne, _, _) ] ->
+    checks "neg pred" "r" a.Ast.pred
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_parse_list_literal () =
+  let p = parse_ok {| p(@a, [1, 2, 3]). |} in
+  let f = List.hd p.Ast.facts in
+  checkb "list fact" true
+    (V.equal (List.nth f.Ast.fact_args 1) (V.List [ V.Int 1; V.Int 2; V.Int 3 ]))
+
+let test_parse_strings_and_escapes () =
+  let p = parse_ok {| p(@a, "hello world", "quo\"te"). |} in
+  let f = List.hd p.Ast.facts in
+  checkb "plain string" true (V.equal (List.nth f.Ast.fact_args 1) (V.Str "hello world"));
+  checkb "escaped quote" true
+    (V.equal (List.nth f.Ast.fact_args 2) (V.Str "quo\"te"))
+
+let test_parse_negative_ints () =
+  let p = parse_ok {| p(@a, -5). q(@X, Y) :- p(@X, Y), Y < -1. |} in
+  let f = List.hd p.Ast.facts in
+  checkb "negative literal" true (V.equal (List.nth f.Ast.fact_args 1) (V.Int (-5)));
+  let o = Eval.run_exn p in
+  checki "negative comparison" 1 (Store.cardinal "q" o.Eval.db)
+
+let test_parse_soft_lifetime () =
+  let p = parse_ok {| materialize(ping, 30). materialize(link, infinity). |} in
+  (match p.Ast.decls with
+  | [ d1; d2 ] ->
+    checkb "30s" true (d1.Ast.decl_lifetime = Ast.Lifetime 30.0);
+    checkb "forever" true (d2.Ast.decl_lifetime = Ast.Lifetime_forever)
+  | _ -> Alcotest.fail "expected two decls")
+
+let test_env_errors () =
+  let module E = Ndlog.Env in
+  Alcotest.check_raises "unbound" (E.Unbound_variable "X") (fun () ->
+      ignore (E.eval E.empty (Ast.Var "X")));
+  let env = E.bind "X" (V.Int 4) E.empty in
+  checkb "div by zero raises" true
+    (match E.eval env (Ast.Binop (Ast.Div, Ast.Var "X", Ast.cint 0)) with
+    | exception V.Type_error _ -> true
+    | _ -> false);
+  (* match_args arity mismatch *)
+  checkb "arity mismatch" true
+    (E.match_args E.empty [ Ast.Var "A" ] [| V.Int 1; V.Int 2 |] = None);
+  (* repeated variable must match equal values *)
+  checkb "nonlinear match" true
+    (E.match_args E.empty [ Ast.Var "A"; Ast.Var "A" ] [| V.Int 1; V.Int 2 |]
+    = None)
+
+let test_value_pp_forms () =
+  checks "addr" "@n0" (V.to_string (V.Addr "n0"));
+  checks "list" "[1; @a]" (V.to_string (V.List [ V.Int 1; V.Addr "a" ]));
+  checks "string quoted" "\"hi\"" (V.to_string (V.Str "hi"));
+  checks "sort names" "list" (V.sort_name (V.List []))
+
+(* ------------------------------------------------------------------ *)
+(* Analysis. *)
+
+let test_safety_ok () =
+  let p = Programs.path_vector () in
+  match Analysis.analyze p with
+  | Ok info ->
+    checkb "path derived" true (List.mem "path" info.Analysis.derived_preds);
+    checkb "link base" true (List.mem "link" info.Analysis.base_preds)
+  | Error e -> Alcotest.failf "analysis failed: %a" Analysis.pp_error e
+
+let test_safety_unbound_head () =
+  let p = parse_ok {| p(@X,Y) :- q(@X). |} in
+  match Analysis.analyze p with
+  | Ok _ -> Alcotest.fail "expected safety error"
+  | Error (Analysis.Unsafe_rule _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Analysis.pp_error e
+
+let test_safety_unbound_negation () =
+  let p = parse_ok {| p(@X) :- q(@X), !r(@X,Y). |} in
+  match Analysis.analyze p with
+  | Ok _ -> Alcotest.fail "expected safety error"
+  | Error (Analysis.Unsafe_rule _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Analysis.pp_error e
+
+let test_arity_mismatch () =
+  let p = parse_ok {| p(@X) :- q(@X,Y). p(@X,Y) :- q(@X,Y). |} in
+  match Analysis.analyze p with
+  | Error (Analysis.Arity_mismatch ("p", _, _)) -> ()
+  | Ok _ -> Alcotest.fail "expected arity error"
+  | Error e -> Alcotest.failf "wrong error: %a" Analysis.pp_error e
+
+let test_stratification () =
+  let p = Programs.path_vector () in
+  let info = Analysis.analyze_exn p in
+  let stratum_of pred =
+    let rec go i = function
+      | [] -> -1
+      | s :: rest -> if List.mem pred s then i else go (i + 1) rest
+    in
+    go 0 info.Analysis.strata
+  in
+  checkb "path below bestPathCost" true
+    (stratum_of "path" < stratum_of "bestPathCost");
+  checkb "bestPath at least bestPathCost" true
+    (stratum_of "bestPath" >= stratum_of "bestPathCost")
+
+let test_unstratifiable () =
+  let p = parse_ok {| p(@X) :- q(@X), !r(@X). r(@X) :- q(@X), !p(@X). |} in
+  match Analysis.analyze p with
+  | Error (Analysis.Unstratifiable _) -> ()
+  | Ok _ -> Alcotest.fail "expected stratification error"
+  | Error e -> Alcotest.failf "wrong error: %a" Analysis.pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation. *)
+
+let tuple vs = Array.of_list vs
+
+let best_path_cost db s d =
+  Store.tuples "bestPathCost" db
+  |> List.find_opt (fun t ->
+         V.equal t.(0) (V.Addr s) && V.equal t.(1) (V.Addr d))
+  |> Option.map (fun t -> V.as_int t.(2))
+
+let test_eval_line () =
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.line_links 3) in
+  let o = Eval.run_exn p in
+  checkb "converged" true o.Eval.converged;
+  checkb "n0->n2 cost 2" true (best_path_cost o.Eval.db "n0" "n2" = Some 2);
+  checkb "n2->n0 cost 2" true (best_path_cost o.Eval.db "n2" "n0" = Some 2);
+  (* exactly one bestPath tuple per ordered pair *)
+  checki "bestPath count" 6 (Store.cardinal "bestPath" o.Eval.db)
+
+let test_eval_ring_shortest () =
+  let p =
+    Programs.with_links (Programs.path_vector ())
+      (Programs.ring_links ~cost:(fun _ -> 1) 6)
+  in
+  let o = Eval.run_exn p in
+  checkb "converged" true o.Eval.converged;
+  (* Opposite nodes on a 6-ring are 3 hops apart. *)
+  checkb "n0->n3 cost 3" true (best_path_cost o.Eval.db "n0" "n3" = Some 3);
+  checkb "n0->n1 cost 1" true (best_path_cost o.Eval.db "n0" "n1" = Some 1)
+
+let test_eval_asymmetric_costs () =
+  (* A triangle where the two-hop route is cheaper than the direct one. *)
+  let links =
+    [
+      Programs.link_fact "n0" "n1" 10;
+      Programs.link_fact "n0" "n2" 1;
+      Programs.link_fact "n2" "n1" 2;
+    ]
+  in
+  let p = Programs.with_links (Programs.path_vector ()) links in
+  let o = Eval.run_exn p in
+  checkb "n0->n1 via n2" true (best_path_cost o.Eval.db "n0" "n1" = Some 3);
+  (* The winning path vector is recorded in bestPath. *)
+  let bp =
+    Store.tuples "bestPath" o.Eval.db
+    |> List.find (fun t ->
+           V.equal t.(0) (V.Addr "n0") && V.equal t.(1) (V.Addr "n1"))
+  in
+  checkb "path vector [n0;n2;n1]" true
+    (V.equal bp.(2) (V.List [ V.Addr "n0"; V.Addr "n2"; V.Addr "n1" ]))
+
+let test_eval_cycle_check () =
+  (* On a ring, paths never revisit a node: every path tuple is simple. *)
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.ring_links 5) in
+  let o = Eval.run_exn p in
+  List.iter
+    (fun t ->
+      let pv = V.as_list t.(2) in
+      let sorted = List.sort_uniq V.compare pv in
+      checki "simple path" (List.length pv) (List.length sorted))
+    (Store.tuples "path" o.Eval.db)
+
+let test_naive_equals_seminaive () =
+  let p =
+    Programs.with_links (Programs.path_vector ())
+      (Programs.random_links ~seed:7 ~extra:2 6)
+  in
+  let info = Analysis.analyze_exn p in
+  let db = Store.of_facts p.Ast.facts in
+  let a = Eval.seminaive p info db in
+  let b = Eval.naive p info db in
+  checkb "same database" true (Store.equal a.Eval.db b.Eval.db)
+
+let test_count_to_infinity () =
+  (* The unbounded distance-vector on a cycle keeps deriving larger
+     costs: it must hit the round bound without converging. *)
+  let p =
+    Programs.with_links (Programs.distance_vector ()) (Programs.ring_links 3)
+  in
+  let o = Eval.run_exn ~max_rounds:40 p in
+  checkb "diverges" false o.Eval.converged
+
+let test_bounded_dv_converges () =
+  let p =
+    Programs.with_links
+      (Programs.bounded_distance_vector ~max_hops:8)
+      (Programs.ring_links 5)
+  in
+  let o = Eval.run_exn p in
+  checkb "converges" true o.Eval.converged;
+  let bc =
+    Store.tuples "bestCost" o.Eval.db
+    |> List.find (fun t ->
+           V.equal t.(0) (V.Addr "n0") && V.equal t.(1) (V.Addr "n2"))
+  in
+  checki "n0->n2 = 2" 2 (V.as_int bc.(2))
+
+let test_eval_negation () =
+  let o =
+    Eval.run_exn
+      (parse_ok
+         {|
+link(@a, b, 1).
+link(@b, c, 1).
+node(@a). node(@b). node(@c).
+sink(@X) :- node(@X), !hasout(@X).
+hasout(@X) :- link(@X,Y,C).
+|})
+  in
+  let sinks = Store.tuples "sink" o.Eval.db in
+  checki "one sink" 1 (List.length sinks);
+  checkb "sink is c" true (V.equal (List.hd sinks).(0) (V.Addr "c"))
+
+let test_eval_aggregates () =
+  let o =
+    Eval.run_exn
+      (parse_ok
+         {|
+score(@a, 3). score(@a, 7). score(@a, 5). score(@b, 2).
+best(@X, min<S>) :- score(@X, S).
+worst(@X, max<S>) :- score(@X, S).
+n(@X, count<S>) :- score(@X, S).
+total(@X, sum<S>) :- score(@X, S).
+|})
+  in
+  let get pred who =
+    Store.tuples pred o.Eval.db
+    |> List.find (fun t -> V.equal t.(0) (V.Addr who))
+    |> fun t -> V.as_int t.(1)
+  in
+  checki "min a" 3 (get "best" "a");
+  checki "max a" 7 (get "worst" "a");
+  checki "count a" 3 (get "n" "a");
+  checki "sum a" 15 (get "total" "a");
+  checki "min b" 2 (get "best" "b")
+
+let test_eval_assign_checks () =
+  (* An assignment to an already-bound variable acts as a filter. *)
+  let o =
+    Eval.run_exn
+      (parse_ok
+         {|
+pair(@a, 1, 1). pair(@a, 1, 2).
+eq(@X, A) :- pair(@X, A, B), A = B.
+|})
+  in
+  checki "only the equal pair" 1 (Store.cardinal "eq" o.Eval.db)
+
+(* Reference shortest-path (Dijkstra-free: Bellman-Ford) for comparison. *)
+let reference_distances links n =
+  let inf = max_int / 4 in
+  let dist = Array.make_matrix n n inf in
+  for i = 0 to n - 1 do
+    dist.(i).(i) <- 0
+  done;
+  List.iter
+    (fun (f : Ast.fact) ->
+      match f.Ast.fact_args with
+      | [ s; d; c ] ->
+        let parse a = int_of_string (String.sub (V.as_addr a) 1 100000) in
+        let parse a =
+          ignore parse;
+          let s = V.as_addr a in
+          int_of_string (String.sub s 1 (String.length s - 1))
+        in
+        let i = parse s and j = parse d in
+        dist.(i).(j) <- min dist.(i).(j) (V.as_int c)
+      | _ -> ())
+    links;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if dist.(i).(k) + dist.(k).(j) < dist.(i).(j) then
+          dist.(i).(j) <- dist.(i).(k) + dist.(k).(j)
+      done
+    done
+  done;
+  dist
+
+let prop_best_path_matches_floyd_warshall =
+  QCheck.Test.make ~name:"bestPathCost agrees with Floyd-Warshall"
+    ~count:20
+    QCheck.(pair (int_range 3 7) (int_range 0 3))
+    (fun (n, extra) ->
+      let links = Programs.random_links ~seed:(n + (extra * 100)) ~extra n in
+      let p = Programs.with_links (Programs.path_vector ()) links in
+      let o = Eval.run_exn p in
+      let dist = reference_distances links n in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then begin
+            let got =
+              best_path_cost o.Eval.db (Programs.node i) (Programs.node j)
+            in
+            let expected =
+              if dist.(i).(j) >= max_int / 4 then None else Some dist.(i).(j)
+            in
+            if got <> expected then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let prop_naive_equals_seminaive =
+  QCheck.Test.make ~name:"naive and semi-naive agree on reachability"
+    ~count:30
+    QCheck.(pair (int_range 2 8) (int_range 0 4))
+    (fun (n, extra) ->
+      let links = Programs.random_links ~seed:(13 * n + extra) ~extra n in
+      let p = Programs.with_links (Programs.reachability ()) links in
+      let info = Analysis.analyze_exn p in
+      let db = Store.of_facts p.Ast.facts in
+      let a = Eval.seminaive p info db in
+      let b = Eval.naive p info db in
+      Store.equal a.Eval.db b.Eval.db)
+
+(* ------------------------------------------------------------------ *)
+(* Link-state routing. *)
+
+let ls_cost db n d =
+  Store.tuples "lsCost" db
+  |> List.find_opt (fun t ->
+         V.equal t.(0) (V.Addr n) && V.equal t.(1) (V.Addr d))
+  |> Option.map (fun t -> V.as_int t.(2))
+
+let test_link_state_floods_everywhere () =
+  let n = 5 in
+  let p =
+    Programs.with_links (Programs.link_state ~max_hops:n)
+      (Programs.ring_links n)
+  in
+  let o = Eval.run_exn p in
+  checkb "converged" true o.Eval.converged;
+  (* every node holds every directed link in its map: n nodes x 2n links *)
+  checki "full maps" (n * 2 * n) (Store.cardinal "lsa" o.Eval.db)
+
+let test_link_state_routes () =
+  let p =
+    Programs.with_links (Programs.link_state ~max_hops:6)
+      (Programs.ring_links ~cost:(fun i -> 1 + (i mod 3)) 6)
+  in
+  let o = Eval.run_exn p in
+  checkb "converged" true o.Eval.converged;
+  checkb "has routes" true (ls_cost o.Eval.db "n0" "n3" <> None)
+
+let test_link_state_equals_path_vector () =
+  (* The two protocols compute the same best costs: a cross-protocol
+     consistency check FVN-style verification enables. *)
+  List.iter
+    (fun seed ->
+      let n = 5 in
+      let links = Programs.random_links ~seed ~extra:2 n in
+      let ls =
+        Eval.run_exn (Programs.with_links (Programs.link_state ~max_hops:n) links)
+      in
+      let pv =
+        Eval.run_exn (Programs.with_links (Programs.path_vector ()) links)
+      in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then
+            checkb
+              (Printf.sprintf "seed %d: n%d->n%d agree" seed i j)
+              true
+              (ls_cost ls.Eval.db (Programs.node i) (Programs.node j)
+              = best_path_cost pv.Eval.db (Programs.node i) (Programs.node j))
+        done
+      done)
+    [ 2; 13; 29 ]
+
+let test_link_state_distributed () =
+  let links = Programs.ring_links 4 in
+  let p = Programs.with_links (Programs.link_state ~max_hops:4) links in
+  (* already localized: no rewrite required *)
+  (match Localize.check_localized p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "should be localized: %a" Localize.pp_error e);
+  let central = Eval.run_exn p in
+  let topo = Netsim.Topology.ring 4 in
+  let rt = Dist.Runtime.create topo p in
+  Dist.Runtime.load_facts rt;
+  let report = Dist.Runtime.run rt in
+  checkb "quiesced" true report.Dist.Runtime.stats.Netsim.Sim.quiesced;
+  checkb "lsCost agrees" true
+    (Store.Tset.equal
+       (Store.relation "lsCost" central.Eval.db)
+       (Store.relation "lsCost" (Dist.Runtime.global_store rt)))
+
+(* ------------------------------------------------------------------ *)
+(* Store. *)
+
+let test_store_ops () =
+  let db = Store.empty in
+  let t1 = tuple [ V.Int 1; V.Int 2 ] in
+  let t2 = tuple [ V.Int 1; V.Int 3 ] in
+  let db = Store.add "p" t1 db in
+  let db = Store.add "p" t1 db in
+  checki "set semantics" 1 (Store.cardinal "p" db);
+  let db = Store.add "p" t2 db in
+  checki "two tuples" 2 (Store.cardinal "p" db);
+  let db' = Store.remove "p" t1 db in
+  checkb "mem after remove" false (Store.mem "p" t1 db');
+  checkb "other survives" true (Store.mem "p" t2 db');
+  let d = Store.diff db db' in
+  checki "diff has 1" 1 (Store.total_tuples d)
+
+let test_store_union_diff () =
+  let t i = tuple [ V.Int i ] in
+  let a = Store.add_list "p" [ t 1; t 2 ] Store.empty in
+  let b = Store.add_list "p" [ t 2; t 3 ] Store.empty in
+  let u = Store.union a b in
+  checki "union 3" 3 (Store.cardinal "p" u);
+  let d = Store.diff b a in
+  checki "diff 1" 1 (Store.cardinal "p" d);
+  checkb "diff content" true (Store.mem "p" (t 3) d)
+
+let test_store_determinism () =
+  let t i = tuple [ V.Int i ] in
+  let a = Store.add_list "p" [ t 1; t 2; t 3 ] Store.empty in
+  let b = Store.add_list "p" [ t 3; t 1; t 2 ] Store.empty in
+  checkb "insertion order irrelevant" true (Store.equal a b);
+  checki "same hash" (Store.hash a) (Store.hash b)
+
+(* ------------------------------------------------------------------ *)
+(* Localization. *)
+
+let test_localize_path_vector () =
+  let p = Programs.path_vector () in
+  match Localize.rewrite_program p with
+  | Error e -> Alcotest.failf "localization failed: %a" Localize.pp_error e
+  | Ok { program; relocations } ->
+    checki "one relocation" 1 (List.length relocations);
+    (match relocations with
+    | [ ("link", 0, 1) ] -> ()
+    | _ -> Alcotest.fail "expected link relocated from index 0 to 1");
+    (match Localize.check_localized program with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "not localized: %a" Localize.pp_error e)
+
+let test_localize_preserves_semantics () =
+  let links = Programs.random_links ~seed:3 ~extra:2 6 in
+  let orig = Programs.with_links (Programs.path_vector ()) links in
+  let loc =
+    match Localize.rewrite_program orig with
+    | Ok r -> r.Localize.program
+    | Error e -> Alcotest.failf "localization failed: %a" Localize.pp_error e
+  in
+  let a = Eval.run_exn orig and b = Eval.run_exn loc in
+  checkb "bestPath unchanged" true
+    (Store.Tset.equal
+       (Store.relation "bestPath" a.Eval.db)
+       (Store.relation "bestPath" b.Eval.db));
+  checkb "path unchanged" true
+    (Store.Tset.equal
+       (Store.relation "path" a.Eval.db)
+       (Store.relation "path" b.Eval.db))
+
+let test_localize_idempotent_on_local () =
+  let p = parse_ok {| p(@X,Y) :- q(@X,Y), r(@X). |} in
+  match Localize.rewrite_program p with
+  | Ok { relocations; _ } -> checki "no relocations" 0 (List.length relocations)
+  | Error e -> Alcotest.failf "localization failed: %a" Localize.pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* Soft state. *)
+
+let test_expiry_table () =
+  let decls = [ Ast.decl ~lifetime:(Ast.Lifetime 5.0) "ping" ] in
+  let e = Softstate.Expiry.create decls in
+  checkb "ping is soft" true (Softstate.Expiry.is_soft e "ping");
+  checkb "link is hard" false (Softstate.Expiry.is_soft e "link");
+  let t = tuple [ V.Addr "a" ] in
+  let e = Softstate.Expiry.insert e ~now:0.0 "ping" t in
+  let dead, e = Softstate.Expiry.expired e ~now:3.0 in
+  checki "nothing dead yet" 0 (List.length dead);
+  (* refresh at t=4 extends the lease *)
+  let e = Softstate.Expiry.insert e ~now:4.0 "ping" t in
+  let dead, e = Softstate.Expiry.expired e ~now:6.0 in
+  checki "still alive after refresh" 0 (List.length dead);
+  let dead, _ = Softstate.Expiry.expired e ~now:9.5 in
+  checki "expired eventually" 1 (List.length dead)
+
+let test_hard_state_rewrite_runs () =
+  let p =
+    Programs.with_links (Programs.heartbeat ~lifetime:10) (Programs.line_links 2)
+  in
+  let report = Softstate.to_hard_state p in
+  checkb "ping is soft" true (List.mem "ping" report.Softstate.soft_preds);
+  checkb "columns added" true (report.Softstate.added_columns > 0);
+  (* At clock 5 the hearbeats inserted at 0 are alive. *)
+  (match Softstate.run_at_clock report.Softstate.rewritten ~now:5 with
+  | Ok o ->
+    checkb "alive at 5" true (Store.cardinal "aliveNeighbor" o.Eval.db > 0)
+  | Error e -> Alcotest.failf "eval failed: %a" Analysis.pp_error e);
+  ()
+
+let test_hard_state_rewrite_expires () =
+  (* Freeze the base facts' timestamps and advance the clock past the
+     lifetime: derived soft tuples must disappear. *)
+  let p =
+    {
+      (Programs.heartbeat ~lifetime:10) with
+      Ast.facts = Programs.line_links 2;
+      rules =
+        (* only keep h2, and make ping a base soft relation *)
+        List.filter
+          (fun (r : Ast.rule) -> r.Ast.rule_name = Some "h2")
+          (Programs.heartbeat ~lifetime:10).Ast.rules;
+    }
+  in
+  let p =
+    {
+      p with
+      Ast.facts =
+        p.Ast.facts
+        @ [
+            {
+              Ast.fact_pred = "ping";
+              fact_loc = Some 0;
+              fact_args = [ V.Addr "n1"; V.Addr "n0" ];
+            };
+          ];
+    }
+  in
+  let report = Softstate.to_hard_state p in
+  (match Softstate.run_at_clock report.Softstate.rewritten ~now:5 with
+  | Ok o -> checkb "alive at 5" true (Store.cardinal "aliveNeighbor" o.Eval.db > 0)
+  | Error e -> Alcotest.failf "eval failed: %a" Analysis.pp_error e);
+  match Softstate.run_at_clock report.Softstate.rewritten ~now:50 with
+  | Ok o -> checki "expired at 50" 0 (Store.cardinal "aliveNeighbor" o.Eval.db)
+  | Error e -> Alcotest.failf "eval failed: %a" Analysis.pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* Plans (rule strands). *)
+
+module Plan = Ndlog.Plan
+
+let test_plan_shapes () =
+  let p = Programs.path_vector () in
+  let r2 = List.nth p.Ast.rules 1 in
+  let s = Plan.compile_strand r2 ~delta:1 in
+  checkb "delta pred is path" true (s.Plan.delta_pred = Some "path");
+  (* delta -> join(link) -> bind(C) -> bind(P) -> filter -> project *)
+  (match s.Plan.ops with
+  | Plan.Delta { pred = "path"; _ }
+    :: Plan.Join { pred = "link"; _ }
+    :: _ -> ()
+  | _ -> Alcotest.fail "unexpected strand shape");
+  checkb "ends with project" true
+    (match List.rev s.Plan.ops with
+    | Plan.Project h :: _ -> h.Ast.head_pred = "path"
+    | _ -> false)
+
+let test_plan_scan_equals_eval () =
+  (* A full-scan strand produces the same heads as direct body
+     evaluation. *)
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.line_links 3) in
+  let o = Eval.run_exn p in
+  let db = o.Eval.db in
+  let r2 = List.nth p.Ast.rules 1 in
+  let strand = Plan.compile_scan r2 in
+  let via_plan =
+    Plan.execute db strand |> List.sort_uniq Store.Tuple.compare
+  in
+  let via_eval =
+    Eval.body_envs db r2.Ast.body
+    |> List.map (fun env -> Eval.head_tuple env r2.Ast.head)
+    |> List.sort_uniq Store.Tuple.compare
+  in
+  checkb "same derivations" true (via_plan = via_eval)
+
+let test_plan_delta_equals_eval () =
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.ring_links 4) in
+  let o = Eval.run_exn p in
+  let db = o.Eval.db in
+  let r2 = List.nth p.Ast.rules 1 in
+  let strand = Plan.compile_strand r2 ~delta:1 in
+  (* for every path tuple as delta, plan output = eval-with-delta *)
+  List.iter
+    (fun t ->
+      let via_plan =
+        Plan.execute db ~delta_tuple:t strand
+        |> List.sort_uniq Store.Tuple.compare
+      in
+      let via_eval =
+        Eval.body_envs db ~delta:(1, Store.Tset.singleton t) r2.Ast.body
+        |> List.map (fun env -> Eval.head_tuple env r2.Ast.head)
+        |> List.sort_uniq Store.Tuple.compare
+      in
+      checkb "delta strand agrees" true (via_plan = via_eval))
+    (Store.tuples "path" db)
+
+let test_plan_program_strands () =
+  let p = Programs.path_vector () in
+  let strands = Plan.compile_program p in
+  (* r1 has one positive atom, r2 two, r4 two; r3 is an aggregate *)
+  checki "five strands" 5 (List.length strands);
+  List.iter
+    (fun s ->
+      checkb "printable" true (String.length (Fmt.str "%a" Plan.pp s) > 0))
+    strands
+
+let test_plan_negation () =
+  let p =
+    parse_ok
+      {|
+link(@a, b, 1). node(@a). node(@b).
+sink(@X) :- node(@X), !hasout(@X).
+hasout(@X) :- link(@X,Y,C).
+|}
+  in
+  let o = Eval.run_exn p in
+  let sink_rule = List.hd p.Ast.rules in
+  let strand = Plan.compile_scan sink_rule in
+  let out = Plan.execute o.Eval.db strand in
+  checki "one sink" 1 (List.length out);
+  checkb "sink is b" true (V.equal (List.hd out).(0) (V.Addr "b"))
+
+let test_plan_rejects_aggregates () =
+  let p = Programs.path_vector () in
+  let r3 = List.nth p.Ast.rules 2 in
+  match Plan.compile_scan r3 with
+  | exception Plan.Plan_error _ -> ()
+  | _ -> Alcotest.fail "aggregate rule must be rejected"
+
+let prop_strands_cover_seminaive =
+  (* Union of all delta-strand outputs over the fixpoint's tuples
+     re-derives every derived path tuple (closure property). *)
+  QCheck.Test.make ~name:"strands re-derive the fixpoint" ~count:10
+    (QCheck.int_range 3 6)
+    (fun n ->
+      let p =
+        Programs.with_links (Programs.reachability ()) (Programs.ring_links n)
+      in
+      let o = Eval.run_exn p in
+      let db = o.Eval.db in
+      let strands = Plan.compile_program p in
+      let derived =
+        List.concat_map
+          (fun (s : Plan.strand) ->
+            match s.Plan.delta_pred with
+            | Some pred ->
+              List.concat_map
+                (fun t -> Plan.execute db ~delta_tuple:t s)
+                (Store.tuples pred db)
+            | None -> [])
+          strands
+        |> List.sort_uniq Store.Tuple.compare
+      in
+      (* every reachable tuple not coming directly from rc1's link scan
+         appears among strand outputs; and conversely strands only
+         derive fixpoint tuples *)
+      List.for_all (fun t -> Store.mem "reachable" t db) derived
+      && List.for_all
+           (fun t -> List.exists (Store.Tuple.equal t) derived)
+           (Store.tuples "reachable" db))
+
+(* ------------------------------------------------------------------ *)
+(* Provenance. *)
+
+module Provenance = Ndlog.Provenance
+
+let fixpoint_of p =
+  let o = Eval.run_exn p in
+  o.Eval.db
+
+let test_provenance_fact () =
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.line_links 3) in
+  let db = fixpoint_of p in
+  let t = Array.of_list [ V.Addr "n0"; V.Addr "n1"; V.Int 1 ] in
+  match Provenance.explain p db "link" t with
+  | Ok (Provenance.Fact ("link", t')) ->
+    checkb "same tuple" true (Store.Tuple.equal t t')
+  | Ok _ -> Alcotest.fail "expected a base fact"
+  | Error e -> Alcotest.fail e
+
+let test_provenance_recursive_path () =
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.line_links 4) in
+  let db = fixpoint_of p in
+  (* the three-hop path n0 -> n3 *)
+  let t =
+    Array.of_list
+      [
+        V.Addr "n0"; V.Addr "n3";
+        V.List [ V.Addr "n0"; V.Addr "n1"; V.Addr "n2"; V.Addr "n3" ];
+        V.Int 3;
+      ]
+  in
+  match Provenance.explain p db "path" t with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    checkb "validates" true (Provenance.validate (Provenance.make_config p db) d);
+    (* depth: r2(r2(r1)) over three links -> at least 3 rule steps *)
+    checkb "deep enough" true (Provenance.depth d >= 3);
+    (match d with
+    | Provenance.Step s ->
+      checkb "top rule is r2" true (s.Provenance.rule.Ast.rule_name = Some "r2")
+    | Provenance.Fact _ -> Alcotest.fail "path is not a fact")
+
+let test_provenance_aggregate () =
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.line_links 3) in
+  let db = fixpoint_of p in
+  let t = Array.of_list [ V.Addr "n0"; V.Addr "n2"; V.Int 2 ] in
+  match Provenance.explain p db "bestPathCost" t with
+  | Error e -> Alcotest.fail e
+  | Ok (Provenance.Step s) ->
+    checkb "aggregate rule r3" true (s.Provenance.rule.Ast.rule_name = Some "r3");
+    (* the witness premise is the cost-2 path *)
+    checkb "witness premise" true
+      (List.exists
+         (fun d ->
+           let pr, tu = Provenance.conclusion d in
+           pr = "path" && V.equal tu.(3) (V.Int 2))
+         s.Provenance.premises)
+  | Ok (Provenance.Fact _) -> Alcotest.fail "aggregates are not facts"
+
+let test_provenance_absent_tuple () =
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.line_links 3) in
+  let db = fixpoint_of p in
+  let bogus = Array.of_list [ V.Addr "n0"; V.Addr "n9"; V.Int 1 ] in
+  match Provenance.explain p db "link" bogus with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "explained a tuple not in the database"
+
+let test_provenance_negation_recorded () =
+  let p =
+    parse_ok
+      {|
+link(@a, b, 1).
+node(@a). node(@b).
+sink(@X) :- node(@X), !hasout(@X).
+hasout(@X) :- link(@X,Y,C).
+|}
+  in
+  let db = fixpoint_of p in
+  let t = Array.of_list [ V.Addr "b" ] in
+  match Provenance.explain p db "sink" t with
+  | Error e -> Alcotest.fail e
+  | Ok (Provenance.Step s) ->
+    checkb "negative check recorded" true
+      (List.exists (fun (pr, _) -> pr = "hasout") s.Provenance.neg_checks)
+  | Ok (Provenance.Fact _) -> Alcotest.fail "sink is derived"
+
+let prop_every_tuple_explainable =
+  QCheck.Test.make ~name:"every fixpoint tuple has a valid derivation"
+    ~count:15
+    QCheck.(pair (int_range 3 6) (int_range 0 2))
+    (fun (n, extra) ->
+      let p =
+        Programs.with_links (Programs.reachability ())
+          (Programs.random_links ~seed:(n + (7 * extra)) ~extra n)
+      in
+      let db = fixpoint_of p in
+      let cfg = Provenance.make_config p db in
+      Store.tuples "reachable" db
+      |> List.for_all (fun t ->
+             match Provenance.explain ~config:cfg p db "reachable" t with
+             | Ok d -> Provenance.validate cfg d
+             | Error _ -> false))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "ndlog"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "hash" `Quick test_value_hash_consistent;
+          Alcotest.test_case "coercions" `Quick test_value_coerce;
+        ] );
+      ( "builtins",
+        [
+          Alcotest.test_case "path functions" `Quick test_builtins_paths;
+          Alcotest.test_case "errors" `Quick test_builtins_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "path-vector program" `Quick test_parse_path_vector;
+          Alcotest.test_case "facts" `Quick test_parse_facts;
+          Alcotest.test_case "round trip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+          Alcotest.test_case "negation" `Quick test_parse_negation;
+          Alcotest.test_case "list literals" `Quick test_parse_list_literal;
+          Alcotest.test_case "strings and escapes" `Quick
+            test_parse_strings_and_escapes;
+          Alcotest.test_case "negative ints" `Quick test_parse_negative_ints;
+          Alcotest.test_case "lifetimes" `Quick test_parse_soft_lifetime;
+          Alcotest.test_case "env errors" `Quick test_env_errors;
+          Alcotest.test_case "value printing" `Quick test_value_pp_forms;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "path-vector analyzes" `Quick test_safety_ok;
+          Alcotest.test_case "unbound head" `Quick test_safety_unbound_head;
+          Alcotest.test_case "unbound negation" `Quick
+            test_safety_unbound_negation;
+          Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+          Alcotest.test_case "stratification" `Quick test_stratification;
+          Alcotest.test_case "unstratifiable" `Quick test_unstratifiable;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "line topology" `Quick test_eval_line;
+          Alcotest.test_case "ring shortest" `Quick test_eval_ring_shortest;
+          Alcotest.test_case "asymmetric costs" `Quick test_eval_asymmetric_costs;
+          Alcotest.test_case "cycle check" `Quick test_eval_cycle_check;
+          Alcotest.test_case "naive = semi-naive" `Quick
+            test_naive_equals_seminaive;
+          Alcotest.test_case "count to infinity" `Quick test_count_to_infinity;
+          Alcotest.test_case "bounded dv converges" `Quick
+            test_bounded_dv_converges;
+          Alcotest.test_case "negation" `Quick test_eval_negation;
+          Alcotest.test_case "aggregates" `Quick test_eval_aggregates;
+          Alcotest.test_case "assignment as filter" `Quick
+            test_eval_assign_checks;
+        ]
+        @ qsuite
+            [ prop_best_path_matches_floyd_warshall; prop_naive_equals_seminaive ]
+      );
+      ( "link_state",
+        [
+          Alcotest.test_case "floods everywhere" `Quick
+            test_link_state_floods_everywhere;
+          Alcotest.test_case "routes" `Quick test_link_state_routes;
+          Alcotest.test_case "equals path-vector" `Quick
+            test_link_state_equals_path_vector;
+          Alcotest.test_case "distributed" `Quick test_link_state_distributed;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "basic ops" `Quick test_store_ops;
+          Alcotest.test_case "union/diff" `Quick test_store_union_diff;
+          Alcotest.test_case "determinism" `Quick test_store_determinism;
+        ] );
+      ( "localize",
+        [
+          Alcotest.test_case "path-vector rewrite" `Quick
+            test_localize_path_vector;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_localize_preserves_semantics;
+          Alcotest.test_case "local rules untouched" `Quick
+            test_localize_idempotent_on_local;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "strand shape" `Quick test_plan_shapes;
+          Alcotest.test_case "scan = eval" `Quick test_plan_scan_equals_eval;
+          Alcotest.test_case "delta = eval" `Quick test_plan_delta_equals_eval;
+          Alcotest.test_case "program strands" `Quick test_plan_program_strands;
+          Alcotest.test_case "negation" `Quick test_plan_negation;
+          Alcotest.test_case "rejects aggregates" `Quick
+            test_plan_rejects_aggregates;
+        ]
+        @ qsuite [ prop_strands_cover_seminaive ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "base fact" `Quick test_provenance_fact;
+          Alcotest.test_case "recursive path" `Quick
+            test_provenance_recursive_path;
+          Alcotest.test_case "aggregate witness" `Quick
+            test_provenance_aggregate;
+          Alcotest.test_case "absent tuple" `Quick test_provenance_absent_tuple;
+          Alcotest.test_case "negation recorded" `Quick
+            test_provenance_negation_recorded;
+        ]
+        @ qsuite [ prop_every_tuple_explainable ] );
+      ( "softstate",
+        [
+          Alcotest.test_case "expiry table" `Quick test_expiry_table;
+          Alcotest.test_case "hard-state rewrite runs" `Quick
+            test_hard_state_rewrite_runs;
+          Alcotest.test_case "hard-state rewrite expires" `Quick
+            test_hard_state_rewrite_expires;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+(* Tests for the discrete-event network simulator substrate. *)
+
+module Eq = Netsim.Event_queue
+module Topo = Netsim.Topology
+module Sim = Netsim.Sim
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Event queue. *)
+
+let test_queue_order () =
+  let q = Eq.create () in
+  Eq.push q ~time:3.0 "c";
+  Eq.push q ~time:1.0 "a";
+  Eq.push q ~time:2.0 "b";
+  let pop () = Option.get (Eq.pop q) in
+  let t1, v1 = pop () in
+  let t2, v2 = pop () in
+  let t3, v3 = pop () in
+  checkf "t1" 1.0 t1;
+  checkf "t2" 2.0 t2;
+  checkf "t3" 3.0 t3;
+  Alcotest.(check string) "v1" "a" v1;
+  Alcotest.(check string) "v2" "b" v2;
+  Alcotest.(check string) "v3" "c" v3;
+  checkb "empty" true (Eq.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Eq.create () in
+  for i = 0 to 9 do
+    Eq.push q ~time:5.0 i
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Eq.pop q))) in
+  Alcotest.(check (list int)) "insertion order on ties" (List.init 10 Fun.id) order
+
+let test_queue_interleaved () =
+  let q = Eq.create () in
+  Eq.push q ~time:1.0 1;
+  Eq.push q ~time:3.0 3;
+  let _ = Eq.pop q in
+  Eq.push q ~time:2.0 2;
+  checki "size" 2 (Eq.length q);
+  let _, a = Option.get (Eq.pop q) in
+  let _, b = Option.get (Eq.pop q) in
+  checki "a" 2 a;
+  checki "b" 3 b
+
+(* ------------------------------------------------------------------ *)
+(* Topology. *)
+
+let test_topology_basics () =
+  let t = Topo.ring 4 in
+  checki "4 nodes" 4 (List.length (Topo.nodes t));
+  checki "8 directed links" 8 (List.length (Topo.links t));
+  checkb "n0->n1 up" true (Topo.link_up t "n0" "n1");
+  Topo.fail_duplex t "n0" "n1";
+  checkb "n0->n1 down" false (Topo.link_up t "n0" "n1");
+  checkb "n1->n0 down" false (Topo.link_up t "n1" "n0");
+  checkb "n1->n2 unaffected" true (Topo.link_up t "n1" "n2");
+  Topo.restore_duplex t "n0" "n1";
+  checkb "restored" true (Topo.link_up t "n0" "n1")
+
+let test_topology_neighbors () =
+  let t = Topo.star 5 in
+  checki "hub degree" 4 (List.length (Topo.neighbors t "n0"));
+  checki "leaf degree" 1 (List.length (Topo.neighbors t "n3"));
+  Topo.fail_duplex t "n0" "n3";
+  checki "hub degree after failure" 3 (List.length (Topo.neighbors t "n0"))
+
+let test_topology_random_connected () =
+  (* Every random topology must be connected (spanning-tree based). *)
+  List.iter
+    (fun seed ->
+      let t = Topo.random ~seed ~extra:2 8 in
+      let visited = Hashtbl.create 8 in
+      let rec dfs n =
+        if not (Hashtbl.mem visited n) then begin
+          Hashtbl.add visited n ();
+          List.iter dfs (Topo.neighbors t n)
+        end
+      in
+      dfs "n0";
+      checki
+        (Printf.sprintf "connected (seed %d)" seed)
+        8 (Hashtbl.length visited))
+    [ 1; 2; 3; 17; 99 ]
+
+(* ------------------------------------------------------------------ *)
+(* Simulator. *)
+
+let test_sim_delivery () =
+  let topo = Topo.line 2 in
+  let sim = Sim.create topo in
+  let received = ref [] in
+  Sim.set_handler sim "n1" (fun _ ~self:_ ~src msg ->
+      received := (src, msg) :: !received);
+  Sim.schedule sim ~delay:0.0 (fun () ->
+      ignore (Sim.send sim ~src:"n0" ~dst:"n1" "hello"));
+  let stats = Sim.run sim in
+  checkb "quiesced" true stats.Sim.quiesced;
+  checki "delivered" 1 stats.Sim.messages_delivered;
+  (match !received with
+  | [ ("n0", "hello") ] -> ()
+  | _ -> Alcotest.fail "wrong delivery");
+  (* link delay advanced the clock *)
+  checkf "time = delay" 1.0 stats.Sim.final_time
+
+let test_sim_drop_on_down_link () =
+  let topo = Topo.line 2 in
+  let sim = Sim.create topo in
+  Sim.set_handler sim "n1" (fun _ ~self:_ ~src:_ _ -> Alcotest.fail "should not deliver");
+  Topo.fail_duplex topo "n0" "n1";
+  Sim.schedule sim ~delay:0.0 (fun () ->
+      checkb "send fails" false (Sim.send sim ~src:"n0" ~dst:"n1" "x"));
+  let stats = Sim.run sim in
+  checki "dropped" 1 stats.Sim.messages_dropped;
+  checki "delivered" 0 stats.Sim.messages_delivered
+
+let test_sim_no_link_no_delivery () =
+  let topo = Topo.line 3 in
+  let sim = Sim.create topo in
+  Sim.schedule sim ~delay:0.0 (fun () ->
+      checkb "no direct n0->n2 link" false (Sim.send sim ~src:"n0" ~dst:"n2" "x"));
+  ignore (Sim.run sim)
+
+let test_sim_timers_and_order () =
+  let topo = Topo.line 2 in
+  let sim = Sim.create topo in
+  let log = ref [] in
+  Sim.schedule sim ~delay:2.0 (fun () -> log := "b" :: !log);
+  Sim.schedule sim ~delay:1.0 (fun () -> log := "a" :: !log);
+  Sim.schedule sim ~delay:3.0 (fun () -> log := "c" :: !log);
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "timer order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_sim_horizon () =
+  let topo = Topo.line 2 in
+  let sim = Sim.create topo in
+  let fired = ref 0 in
+  Sim.schedule sim ~delay:1.0 (fun () -> incr fired);
+  Sim.schedule sim ~delay:100.0 (fun () -> incr fired);
+  let stats = Sim.run ~until:10.0 sim in
+  checki "only one fired" 1 !fired;
+  checkb "not quiesced (horizon)" false stats.Sim.quiesced
+
+let test_sim_event_budget () =
+  let topo = Topo.line 2 in
+  let sim = Sim.create topo in
+  (* A self-perpetuating event chain never quiesces; the budget stops it. *)
+  let rec tick () = Sim.schedule sim ~delay:1.0 tick in
+  Sim.schedule sim ~delay:0.0 tick;
+  let stats = Sim.run ~max_events:100 sim in
+  checkb "budget hit" false stats.Sim.quiesced;
+  checki "events bounded" 100 stats.Sim.events
+
+let test_sim_failure_injection () =
+  let topo = Topo.line 2 in
+  let sim = Sim.create topo in
+  let results = ref [] in
+  Sim.fail_link_at sim ~time:5.0 "n0" "n1";
+  Sim.restore_link_at sim ~time:10.0 "n0" "n1";
+  let probe t =
+    Sim.at sim ~time:t (fun () ->
+        results := (t, Topo.link_up topo "n0" "n1") :: !results)
+  in
+  probe 4.0;
+  probe 6.0;
+  probe 11.0;
+  ignore (Sim.run sim);
+  let sorted = List.sort compare !results in
+  Alcotest.(check (list (pair (float 0.01) bool)))
+    "link state over time"
+    [ (4.0, true); (6.0, false); (11.0, true) ]
+    sorted
+
+let test_sim_lossy_link () =
+  let topo = Topo.create () in
+  Topo.add_link ~loss:0.5 topo "n0" "n1";
+  Topo.add_link topo "n1" "n0";
+  let sim = Sim.create ~seed:5 topo in
+  let received = ref 0 in
+  Sim.set_handler sim "n1" (fun _ ~self:_ ~src:_ _ -> incr received);
+  Sim.schedule sim ~delay:0.0 (fun () ->
+      for _ = 1 to 200 do
+        ignore (Sim.send sim ~src:"n0" ~dst:"n1" ())
+      done);
+  let stats = Sim.run sim in
+  checkb "some delivered" true (!received > 50);
+  checkb "some lost" true (stats.Sim.messages_dropped > 50);
+  checki "conservation" 200
+    (stats.Sim.messages_delivered + stats.Sim.messages_dropped)
+
+let test_sim_loss_deterministic () =
+  (* Same seed, same losses. *)
+  let run_once () =
+    let topo = Topo.create () in
+    Topo.add_link ~loss:0.3 topo "n0" "n1";
+    let sim = Sim.create ~seed:11 topo in
+    Sim.set_handler sim "n1" (fun _ ~self:_ ~src:_ _ -> ());
+    Sim.schedule sim ~delay:0.0 (fun () ->
+        for _ = 1 to 100 do
+          ignore (Sim.send sim ~src:"n0" ~dst:"n1" ())
+        done);
+    (Sim.run sim).Sim.messages_dropped
+  in
+  checki "same drops" (run_once ()) (run_once ())
+
+let test_sim_determinism () =
+  (* Two identical simulations produce identical traces. *)
+  let run_once () =
+    let topo = Topo.ring 4 in
+    let sim = Sim.create ~seed:7 topo in
+    Sim.set_tracing sim true;
+    List.iter
+      (fun n ->
+        Sim.set_handler sim n (fun sim ~self ~src:_ msg ->
+            if msg < 3 then
+              List.iter
+                (fun nb -> ignore (Sim.send sim ~src:self ~dst:nb (msg + 1)))
+                (Topo.neighbors (Sim.topology sim) self)))
+      (Topo.nodes topo);
+    Sim.schedule sim ~delay:0.0 (fun () ->
+        ignore (Sim.send sim ~src:"n0" ~dst:"n1" 0));
+    let stats = Sim.run sim in
+    (stats.Sim.messages_delivered, stats.Sim.final_time)
+  in
+  let a = run_once () and b = run_once () in
+  checkb "identical outcomes" true (a = b)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "time order" `Quick test_queue_order;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_queue_interleaved;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "basics" `Quick test_topology_basics;
+          Alcotest.test_case "neighbors" `Quick test_topology_neighbors;
+          Alcotest.test_case "random connected" `Quick
+            test_topology_random_connected;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "delivery" `Quick test_sim_delivery;
+          Alcotest.test_case "drop on down link" `Quick
+            test_sim_drop_on_down_link;
+          Alcotest.test_case "no link no delivery" `Quick
+            test_sim_no_link_no_delivery;
+          Alcotest.test_case "timer order" `Quick test_sim_timers_and_order;
+          Alcotest.test_case "horizon" `Quick test_sim_horizon;
+          Alcotest.test_case "event budget" `Quick test_sim_event_budget;
+          Alcotest.test_case "failure injection" `Quick
+            test_sim_failure_injection;
+          Alcotest.test_case "lossy link" `Quick test_sim_lossy_link;
+          Alcotest.test_case "loss determinism" `Quick
+            test_sim_loss_deterministic;
+          Alcotest.test_case "determinism" `Quick test_sim_determinism;
+        ] );
+    ]
