@@ -1,0 +1,1 @@
+bench/check_json.ml: Array Fmt Json List Option Sys

@@ -1,0 +1,1 @@
+bench/check_json.mli:

@@ -1,0 +1,1 @@
+bench/json.ml: Buffer Char Fun List Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Algebra Analyze Array Bechamel Benchmark Component Dist Float Fmt Fvn Hashtbl Json List Logic Mcheck Measure Ndlog Netsim Option Printf Spp Staged String Sys Test Time Toolkit

@@ -1,0 +1,36 @@
+(* Smoke check for the benchmark ledger: BENCH_ndlog.json must parse
+   and carry a non-empty E7 sweep with indexed and baseline timings.
+   Run by the @bench-smoke alias so a broken emitter (or a regression
+   that stops the sweep from completing) fails the build loudly. *)
+
+let fail fmt = Fmt.kstr (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_ndlog.json" in
+  match Json.of_file path with
+  | Error e -> fail "%s: does not parse: %s" path e
+  | Ok v ->
+    (match Json.member "experiment" v with
+    | Some (Json.Str "e7") -> ()
+    | _ -> fail "%s: missing experiment=e7" path);
+    let sweeps =
+      match Option.bind (Json.member "sweeps" v) Json.as_arr with
+      | Some (_ :: _ as s) -> s
+      | _ -> fail "%s: empty or missing sweeps" path
+    in
+    List.iteri
+      (fun i row ->
+        List.iter
+          (fun k ->
+            match Json.member k row with
+            | Some _ -> ()
+            | None -> fail "%s: sweep %d lacks %S" path i k)
+          [
+            "program"; "topology"; "n"; "tuples"; "indexed_ms"; "baseline_ms";
+            "speedup"; "same_fixpoint";
+          ];
+        match Json.member "same_fixpoint" row with
+        | Some (Json.Bool true) -> ()
+        | _ -> fail "%s: sweep %d fixpoints diverge" path i)
+      sweeps;
+    Fmt.pr "%s: ok (%d sweep rows)@." path (List.length sweeps)

@@ -1,0 +1,252 @@
+(* A minimal JSON tree, emitter, and parser for the benchmark ledger
+   (BENCH_ndlog.json).  Self-contained on purpose: the container has no
+   JSON library, and the ledger only needs objects, arrays, numbers,
+   strings, and booleans. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit b ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+    (* %.17g round-trips; trim to something readable for the ledger. *)
+    Buffer.add_string b (Printf.sprintf "%.6g" f)
+  | Str s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr xs ->
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (indent + 2));
+        emit b ~indent:(indent + 2) x)
+      xs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (pad indent);
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (indent + 2));
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\": ";
+        emit b ~indent:(indent + 2) x)
+      kvs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (pad indent);
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  emit b ~indent:0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string v))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (recursive descent; enough for what [to_string] emits plus
+   ordinary hand-edited JSON). *)
+
+exception Parse_error of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char b '"'; advance ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance ()
+        | Some '/' -> Buffer.add_char b '/'; advance ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+          in
+          (* ASCII only; anything else round-trips as '?'. *)
+          Buffer.add_char b (if code < 128 then Char.chr code else '?');
+          pos := !pos + 4
+        | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" lit))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Arr (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Accessors. *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let as_arr = function Arr xs -> Some xs | _ -> None

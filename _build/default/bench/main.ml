@@ -16,6 +16,7 @@
      dune exec bench/main.exe            # run everything
      dune exec bench/main.exe e3 e7      # selected experiments
      dune exec bench/main.exe quick      # skip the slowest sweeps
+     dune exec bench/main.exe e7 json    # also write BENCH_ndlog.json
 
    Timing columns come from Bechamel (monotonic clock, OLS estimate per
    run); coarse one-shot wall times use Sys.time. *)
@@ -468,11 +469,153 @@ let e6 () =
 (* ------------------------------------------------------------------ *)
 (* E7: NDlog execution scaling. *)
 
+(* One E7 sweep point: semi-naive with the index layer on vs. off (the
+   pre-index nested-loop engine: full scans, source-order bodies). *)
+type sweep_row = {
+  sw_prog : string;
+  sw_topo : string;
+  sw_n : int;  (* parameter: ring size or grid side *)
+  sw_nodes : int;
+  sw_tuples : int;  (* fixpoint database size *)
+  sw_rounds : int;
+  sw_idx_ms : float;
+  sw_base_ms : float;
+  sw_hits : int;  (* indexed run: joins answered from an index *)
+  sw_scans : int;  (* indexed run: joins that still scanned *)
+  sw_enum_idx : int;  (* tuples enumerated, indexed run *)
+  sw_enum_base : int;  (* tuples enumerated, baseline run *)
+  sw_same : bool;  (* identical fixpoint, rounds, convergence *)
+}
+
+let sw_speedup r = r.sw_base_ms /. Float.max 1e-6 r.sw_idx_ms
+
+(* Time one semi-naive fixpoint with the engine switches set. *)
+let timed_seminaive ~optimized p info db =
+  Ndlog.Eval.use_indexes := optimized;
+  Ndlog.Eval.use_reordering := optimized;
+  Ndlog.Eval.reset_stats ();
+  let o, t = wall (fun () -> Ndlog.Eval.seminaive p info db) in
+  let st = Ndlog.Eval.stats () in
+  Ndlog.Eval.use_indexes := true;
+  Ndlog.Eval.use_reordering := true;
+  (o, t, st)
+
+let sweep_point ~prog_name ~topo_name ~n ~nodes (p : Ndlog.Ast.program) :
+    sweep_row =
+  let info = Ndlog.Analysis.analyze_exn p in
+  let db = Ndlog.Store.of_facts p.Ndlog.Ast.facts in
+  let base, t_base, st_base = timed_seminaive ~optimized:false p info db in
+  let idx, t_idx, st_idx = timed_seminaive ~optimized:true p info db in
+  {
+    sw_prog = prog_name;
+    sw_topo = topo_name;
+    sw_n = n;
+    sw_nodes = nodes;
+    sw_tuples = Ndlog.Store.total_tuples idx.Ndlog.Eval.db;
+    sw_rounds = idx.Ndlog.Eval.rounds;
+    sw_idx_ms = t_idx *. 1e3;
+    sw_base_ms = t_base *. 1e3;
+    sw_hits = st_idx.Ndlog.Eval.index_hits;
+    sw_scans = st_idx.Ndlog.Eval.scans;
+    sw_enum_idx = st_idx.Ndlog.Eval.enumerated;
+    sw_enum_base = st_base.Ndlog.Eval.enumerated;
+    sw_same =
+      Ndlog.Store.equal base.Ndlog.Eval.db idx.Ndlog.Eval.db
+      && base.Ndlog.Eval.rounds = idx.Ndlog.Eval.rounds
+      && base.Ndlog.Eval.converged = idx.Ndlog.Eval.converged;
+  }
+
+let json_out = ref false
+let bench_json_path = "BENCH_ndlog.json"
+
+let emit_bench_json (sweeps : sweep_row list) =
+  let row r =
+    Json.Obj
+      [
+        ("program", Json.Str r.sw_prog);
+        ("topology", Json.Str r.sw_topo);
+        ("n", Json.Int r.sw_n);
+        ("nodes", Json.Int r.sw_nodes);
+        ("tuples", Json.Int r.sw_tuples);
+        ("rounds", Json.Int r.sw_rounds);
+        ("indexed_ms", Json.Float r.sw_idx_ms);
+        ("baseline_ms", Json.Float r.sw_base_ms);
+        ("speedup", Json.Float (sw_speedup r));
+        ("index_hits", Json.Int r.sw_hits);
+        ("scans", Json.Int r.sw_scans);
+        ("enumerated_indexed", Json.Int r.sw_enum_idx);
+        ("enumerated_baseline", Json.Int r.sw_enum_base);
+        ("same_fixpoint", Json.Bool r.sw_same);
+      ]
+  in
+  let largest =
+    List.fold_left
+      (fun acc r -> match acc with
+        | Some best when best.sw_nodes >= r.sw_nodes -> acc
+        | _ -> Some r)
+      None sweeps
+  in
+  Json.to_file bench_json_path
+    (Json.Obj
+       [
+         ("experiment", Json.Str "e7");
+         ("quick", Json.Bool !quick);
+         ( "largest_topology_speedup",
+           match largest with
+           | Some r -> Json.Float (sw_speedup r)
+           | None -> Json.Null );
+         ("sweeps", Json.Arr (List.map row sweeps));
+       ]);
+  Fmt.pr "@.benchmark ledger written to %s@." bench_json_path
+
 let e7 () =
   banner "e7" "declarative execution performance"
     "declarative networks perform efficiently relative to imperative \
      implementations";
-  let sizes = if !quick then [ 4; 8; 16 ] else [ 4; 8; 16; 24; 32 ] in
+  let ring_sizes = if !quick then [ 4; 8; 16 ] else [ 4; 8; 16; 24; 32 ] in
+  let grid_sides = if !quick then [ 3; 4 ] else [ 3; 4; 5 ] in
+  let sweeps =
+    List.map
+      (fun n ->
+        sweep_point ~prog_name:"path-vector" ~topo_name:"ring" ~n ~nodes:n
+          (Ndlog.Programs.with_links
+             (Ndlog.Programs.path_vector ())
+             (Ndlog.Programs.ring_links n)))
+      ring_sizes
+    @ List.map
+        (fun k ->
+          sweep_point ~prog_name:"reachability" ~topo_name:"grid" ~n:k
+            ~nodes:(k * k)
+            (Ndlog.Programs.with_links
+               (Ndlog.Programs.reachability ())
+               (Ndlog.Programs.grid_links k)))
+        grid_sides
+  in
+  Fmt.pr "semi-naive, index layer on vs. off (pre-index nested-loop \
+          baseline):@.";
+  table
+    [
+      "program"; "topology"; "tuples"; "rounds"; "indexed"; "baseline";
+      "speedup"; "idx/scan joins"; "enum idx/base"; "same fixpoint";
+    ]
+    (List.map
+       (fun r ->
+         [
+           r.sw_prog;
+           Fmt.str "%s %d" r.sw_topo r.sw_n;
+           string_of_int r.sw_tuples;
+           string_of_int r.sw_rounds;
+           Fmt.str "%.1f ms" r.sw_idx_ms;
+           Fmt.str "%.1f ms" r.sw_base_ms;
+           Fmt.str "%.1fx" (sw_speedup r);
+           Fmt.str "%d/%d" r.sw_hits r.sw_scans;
+           Fmt.str "%d/%d" r.sw_enum_idx r.sw_enum_base;
+           string_of_bool r.sw_same;
+         ])
+       sweeps);
+  (* Distributed execution over the same substrate (strand joins are
+     index-aware too: the report carries the run's join profile). *)
+  Fmt.pr "@.distributed pipelined semi-naive (path-vector):@.";
   let rows =
     List.map
       (fun n ->
@@ -481,37 +624,24 @@ let e7 () =
             (Ndlog.Programs.path_vector ())
             (Ndlog.Programs.ring_links n)
         in
-        let info = Ndlog.Analysis.analyze_exn p in
-        let db = Ndlog.Store.of_facts p.Ndlog.Ast.facts in
-        let semi, t_semi = wall (fun () -> Ndlog.Eval.seminaive p info db) in
-        let _naive, t_naive = wall (fun () -> Ndlog.Eval.naive p info db) in
         let loc =
           match Ndlog.Localize.rewrite_program p with
           | Ok r -> r.Ndlog.Localize.program
           | Error _ -> assert false
         in
-        let topo = Netsim.Topology.ring n in
-        let rt = Dist.Runtime.create topo loc in
+        let rt = Dist.Runtime.create (Netsim.Topology.ring n) loc in
         Dist.Runtime.load_facts rt;
         let report, t_dist = wall (fun () -> Dist.Runtime.run rt) in
+        let st = report.Dist.Runtime.eval_stats in
         [
           string_of_int n;
-          string_of_int (Ndlog.Store.cardinal "path" semi.Ndlog.Eval.db);
-          string_of_int semi.Ndlog.Eval.rounds;
-          Fmt.str "%.1f ms" (t_semi *. 1e3);
-          Fmt.str "%.1f ms" (t_naive *. 1e3);
-          Fmt.str "%.1fx" (t_naive /. max 1e-9 t_semi);
           string_of_int report.Dist.Runtime.stats.Netsim.Sim.messages_sent;
           Fmt.str "%.1f ms" (t_dist *. 1e3);
+          Fmt.str "%d/%d" st.Ndlog.Eval.index_hits st.Ndlog.Eval.scans;
         ])
-      sizes
+      (if !quick then [ 4; 8 ] else [ 4; 8; 16 ])
   in
-  table
-    [
-      "ring n"; "path tuples"; "rounds"; "semi-naive"; "naive"; "speedup";
-      "dist msgs"; "dist time";
-    ]
-    rows;
+  table [ "ring n"; "dist msgs"; "dist time"; "idx/scan joins" ] rows;
   let p8 =
     Ndlog.Programs.with_links
       (Ndlog.Programs.path_vector ())
@@ -554,7 +684,8 @@ let e7 () =
   in
   table
     [ "ring n"; "lsa tuples"; "central time"; "dist msgs"; "dist = central" ]
-    rows
+    rows;
+  if !json_out then emit_bench_json sweeps
 
 (* ------------------------------------------------------------------ *)
 (* E8: soft-state rewrite overhead. *)
@@ -787,11 +918,15 @@ let () =
   let args =
     List.filter
       (fun a ->
-        if a = "quick" then begin
+        match a with
+        | "quick" ->
           quick := true;
           false
-        end
-        else true)
+        | "json" ->
+          (* Emit the machine-readable E7 ledger (BENCH_ndlog.json). *)
+          json_out := true;
+          false
+        | _ -> true)
       args
   in
   let selected =

@@ -110,6 +110,25 @@ let execute ?(max_rounds = 10_000) (program : Ast.program) : (execution, string)
   | Ok outcome -> Ok (Central outcome)
   | Error e -> Error (Fmt.str "%a" Ndlog.Analysis.pp_error e)
 
+(* As [execute], also reporting the run's join profile (the engine
+   counters are global, so the delta across the call is this run's). *)
+let execute_instrumented ?max_rounds (program : Ast.program) :
+    (execution * Ndlog.Eval.stats, string) result =
+  let before = Ndlog.Eval.stats () in
+  match execute ?max_rounds program with
+  | Error e -> Error e
+  | Ok exec ->
+    let after = Ndlog.Eval.stats () in
+    Ok
+      ( exec,
+        {
+          Ndlog.Eval.index_hits =
+            after.Ndlog.Eval.index_hits - before.Ndlog.Eval.index_hits;
+          scans = after.Ndlog.Eval.scans - before.Ndlog.Eval.scans;
+          enumerated = after.Ndlog.Eval.enumerated - before.Ndlog.Eval.enumerated;
+          matched = after.Ndlog.Eval.matched - before.Ndlog.Eval.matched;
+        } )
+
 (* Distributed execution: localize if needed, derive the topology from
    the program's link facts unless one is supplied. *)
 let topology_of_links (program : Ast.program) : Netsim.Topology.t =

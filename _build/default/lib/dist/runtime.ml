@@ -324,14 +324,29 @@ let load_facts t =
 type run_report = {
   stats : Netsim.Sim.stats;
   total_inserts : int;
+  eval_stats : Eval.stats;
 }
 
 let run ?(until = infinity) ?(max_events = 1_000_000) t =
+  (* Strand execution and view refresh both join through [Eval]; the
+     counter delta across the run is this run's join profile. *)
+  let before = Eval.stats () in
   let stats = Netsim.Sim.run ~until ~max_events t.sim in
+  let after = Eval.stats () in
   let total_inserts =
     Hashtbl.fold (fun _ ns acc -> acc + ns.inserts) t.nodes 0
   in
-  { stats; total_inserts }
+  {
+    stats;
+    total_inserts;
+    eval_stats =
+      {
+        Eval.index_hits = after.Eval.index_hits - before.Eval.index_hits;
+        scans = after.Eval.scans - before.Eval.scans;
+        enumerated = after.Eval.enumerated - before.Eval.enumerated;
+        matched = after.Eval.matched - before.Eval.matched;
+      };
+  }
 
 (* The union of all node stores: the global database the distributed
    execution computed; comparable against the centralized evaluator. *)

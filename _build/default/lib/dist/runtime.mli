@@ -41,6 +41,9 @@ val insert : t -> string -> string -> Ndlog.Store.Tuple.t -> unit
 type run_report = {
   stats : Netsim.Sim.stats;
   total_inserts : int;  (** local tuple insertions across all nodes *)
+  eval_stats : Ndlog.Eval.stats;
+      (** join profile of the run: strand execution and view refresh
+          counted through {!Ndlog.Eval.stats} *)
 }
 
 val run : ?until:float -> ?max_events:int -> t -> run_report

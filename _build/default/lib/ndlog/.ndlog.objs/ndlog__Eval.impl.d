@@ -1,1 +1,1 @@
-lib/ndlog/eval.ml: Analysis Array Ast Env Fmt List Map Parser Stdlib Store String Value
+lib/ndlog/eval.ml: Analysis Array Ast Env Fmt List Map Parser Set Stdlib Store String Value

@@ -1,1 +1,1 @@
-lib/ndlog/eval.mli: Analysis Ast Env Store
+lib/ndlog/eval.mli: Analysis Ast Env Fmt Store

@@ -1,1 +1,1 @@
-lib/ndlog/store.ml: Array Ast Fmt Hashtbl List Map Set Stdlib String Value
+lib/ndlog/store.ml: Array Ast Fmt Hashtbl List Map Option Set Stdlib String Value

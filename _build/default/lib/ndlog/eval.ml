@@ -9,9 +9,22 @@
    entry (their body predicates are strictly lower, hence complete);
    remaining rules run to fixpoint.
 
+   Joins are index-aware: a positive body literal whose argument
+   positions are already ground under the current environment is
+   answered from a {!Store.lookup} secondary index instead of a full
+   relation scan; literals with no ground position (and delta literals,
+   whose relation is the small delta set itself) fall back to the scan.
+   Rule bodies are reordered most-bound-first ([order_body]) so that
+   ground positions exist as early as possible.  Both optimizations are
+   observable through {!stats} and can be switched off ([use_indexes],
+   [use_reordering]) — the fixpoint is identical either way, which the
+   test suite checks by property.
+
    Evaluation is guarded by [max_rounds]; a program that fails to reach a
    fixpoint within the bound (e.g. distance-vector count-to-infinity) is
    reported as not converged rather than looping forever. *)
+
+module Sset = Set.Make (String)
 
 type outcome = {
   db : Store.t;
@@ -23,7 +36,88 @@ type outcome = {
 exception Eval_error of string
 
 (* ------------------------------------------------------------------ *)
+(* Instrumentation and switches. *)
+
+type stats = {
+  index_hits : int;  (* joins answered from a secondary index *)
+  scans : int;  (* joins answered by a full relation scan *)
+  enumerated : int;  (* candidate tuples visited by joins *)
+  matched : int;  (* candidates that unified with the pattern *)
+}
+
+let use_indexes = ref true
+let use_reordering = ref true
+
+let st_index_hits = ref 0
+let st_scans = ref 0
+let st_enumerated = ref 0
+let st_matched = ref 0
+
+let reset_stats () =
+  st_index_hits := 0;
+  st_scans := 0;
+  st_enumerated := 0;
+  st_matched := 0
+
+let stats () =
+  {
+    index_hits = !st_index_hits;
+    scans = !st_scans;
+    enumerated = !st_enumerated;
+    matched = !st_matched;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "index_hits=%d scans=%d enumerated=%d matched=%d" s.index_hits
+    s.scans s.enumerated s.matched
+
+(* ------------------------------------------------------------------ *)
 (* Rule application. *)
+
+(* The argument positions of [args] that are ground under [env], with
+   their values.  Only bare variables and constants are considered —
+   complex expressions are left to [Env.match_args], which may only
+   evaluate them against a concrete candidate tuple (evaluating eagerly
+   here could raise where a scan over an empty relation would not). *)
+let ground_positions env (args : Ast.expr list) : (int * Value.t) list =
+  let rec go i = function
+    | [] -> []
+    | Ast.Const v :: rest -> (i, v) :: go (i + 1) rest
+    | Ast.Var x :: rest -> (
+      match Env.find_opt x env with
+      | Some v -> (i, v) :: go (i + 1) rest
+      | None -> go (i + 1) rest)
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 args
+
+(* The candidate tuples for matching [args] against [pred] under [env]:
+   an indexed lookup when some argument position is ground, the full
+   relation otherwise.  The single source of index-aware candidate
+   selection — shared by [body_envs] and the strand executor
+   ({!Plan.execute}). *)
+let candidates (db : Store.t) env pred (args : Ast.expr list) : Store.Tset.t =
+  match if !use_indexes then ground_positions env args else [] with
+  | [] ->
+    incr st_scans;
+    Store.relation pred db
+  | bound ->
+    incr st_index_hits;
+    Store.lookup pred ~cols:(List.map fst bound) ~key:(List.map snd bound) db
+
+(* One join step: extend [env] with every tuple of [pred] matching
+   [args].  Exposed for the dataflow strands. *)
+let join_envs (db : Store.t) env pred (args : Ast.expr list) : Env.t list =
+  Store.Tset.fold
+    (fun tuple acc ->
+      incr st_enumerated;
+      match Env.match_args env args tuple with
+      | Some env' ->
+        incr st_matched;
+        env' :: acc
+      | None -> acc)
+    (candidates db env pred args)
+    []
 
 (* Enumerate all satisfying environments for [body] against [db].
    [delta] optionally replaces the relation read by the body literal at
@@ -37,13 +131,18 @@ let body_envs (db : Store.t) ?delta (body : Ast.lit list) : Env.t list =
       | Ast.Pos a ->
         let rel =
           match delta with
-          | Some (j, d) when j = idx -> d
-          | _ -> Store.relation a.pred db
+          | Some (j, d) when j = idx ->
+            incr st_scans;
+            d
+          | _ -> candidates db env a.pred a.args
         in
         Store.Tset.fold
           (fun tuple acc ->
+            incr st_enumerated;
             match Env.match_args env a.args tuple with
-            | Some env' -> go env' (idx + 1) rest acc
+            | Some env' ->
+              incr st_matched;
+              go env' (idx + 1) rest acc
             | None -> acc)
           rel acc
       | Ast.Neg a ->
@@ -79,16 +178,118 @@ let delta_positions rec_preds (body : Ast.lit list) : int list =
   List.mapi (fun i lit -> (i, lit)) body
   |> List.filter_map (fun (i, lit) ->
          match lit with
-         | Ast.Pos a when List.mem a.Ast.pred rec_preds -> Some i
+         | Ast.Pos a when Sset.mem a.Ast.pred rec_preds -> Some i
          | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Join planning: greedy most-bound-first literal ordering.
+
+   Reordering preserves the satisfying-environment set: positive atoms
+   constrain the same variables whether they bind or filter, and a
+   literal is only scheduled once every variable it *needs* (negated
+   atoms, comparisons, assignment right-hand sides) is bound.  For any
+   safe rule the earliest remaining literal in source order is always
+   eligible — everything before it has already run — so the scheduler
+   is total. *)
+
+let lit_vars (l : Ast.lit) : Ast.Sset.t =
+  Ast.vars_of_lit Ast.Sset.empty l
+
+let needs_of (l : Ast.lit) : Ast.Sset.t =
+  match l with
+  | Ast.Pos _ -> Ast.Sset.empty  (* joins bind their unbound variables *)
+  | Ast.Neg a -> Ast.vars_of_atom Ast.Sset.empty a
+  | Ast.Cond (_, e1, e2) ->
+    Ast.vars_of_expr (Ast.vars_of_expr Ast.Sset.empty e1) e2
+  | Ast.Assign (_, e) -> Ast.vars_of_expr Ast.Sset.empty e
+
+(* How many argument positions of a positive atom are ground once the
+   variables in [bound] are: bare bound variables and constants. *)
+let boundness bound (a : Ast.atom) : int =
+  List.fold_left
+    (fun n (e : Ast.expr) ->
+      match e with
+      | Ast.Const _ -> n + 1
+      | Ast.Var x when Ast.Sset.mem x bound -> n + 1
+      | _ -> n)
+    0 a.Ast.args
+
+(* Reorder [body] for evaluation: cheap filters (assignments,
+   comparisons, negations) run as soon as their inputs are bound;
+   positive atoms are scheduled most-bound-first, breaking ties by
+   smaller relation ([card]) and then source order.  [bound] seeds the
+   variable set (e.g. the variables a delta literal binds). *)
+let order_body ?(card = fun _ -> 0) ?(bound = Ast.Sset.empty)
+    (body : Ast.lit list) : Ast.lit list =
+  let rank bound (l : Ast.lit) =
+    (* Lower ranks first; eligibility already checked. *)
+    match l with
+    | Ast.Assign _ -> (0, 0, 0)
+    | Ast.Cond _ -> (1, 0, 0)
+    | Ast.Neg _ -> (2, 0, 0)
+    | Ast.Pos a -> (3, List.length a.Ast.args - boundness bound a, card a.Ast.pred)
+  in
+  let rec go bound remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let eligible =
+        List.filter
+          (fun (_, l) -> Ast.Sset.subset (needs_of l) bound)
+          remaining
+      in
+      let pick =
+        match eligible with
+        | [] -> List.hd remaining  (* unsafe rule: fall back to source order *)
+        | e :: es ->
+          (* Source order is preserved by [filter], so ties keep the
+             earliest literal. *)
+          List.fold_left
+            (fun ((_, bl) as best) ((_, l) as cand) ->
+              if Stdlib.compare (rank bound l) (rank bound bl) < 0 then cand
+              else best)
+            e es
+      in
+      let i, l = pick in
+      let remaining = List.filter (fun (j, _) -> j <> i) remaining in
+      go (Ast.Sset.union bound (lit_vars l)) remaining (l :: acc)
+  in
+  if not !use_reordering then body
+  else go bound (List.mapi (fun i l -> (i, l)) body) []
+
+(* The variables a positive atom binds when it is evaluated first (its
+   bare variable arguments). *)
+let atom_binds (a : Ast.atom) : Ast.Sset.t =
+  List.fold_left
+    (fun s (e : Ast.expr) ->
+      match e with Ast.Var x -> Ast.Sset.add x s | _ -> s)
+    Ast.Sset.empty a.Ast.args
 
 (* ------------------------------------------------------------------ *)
 (* Aggregates. *)
 
+(* Aggregate group keys: plain head-argument values ([None] marks an
+   aggregate position).  Compared with Value.compare so grouping uses
+   the engine's value equality, never Stdlib.compare's independent
+   structural notion. *)
 module Kmap = Map.Make (struct
   type t = Value.t option list
 
-  let compare = Stdlib.compare
+  let compare_opt a b =
+    match a, b with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some x, Some y -> Value.compare x y
+
+  let rec compare a b =
+    match a, b with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: a', y :: b' ->
+      let c = compare_opt x y in
+      if c <> 0 then c else compare a' b'
 end)
 
 let agg_fold (a : Ast.agg) (vs : Value.t list) : Value.t =
@@ -106,7 +307,7 @@ let agg_fold (a : Ast.agg) (vs : Value.t list) : Value.t =
    environments by the plain head arguments, fold the aggregate, emit one
    tuple per group. *)
 let apply_agg_rule db (r : Ast.rule) : Store.Tuple.t list =
-  let envs = body_envs db r.body in
+  let envs = body_envs db (order_body ~card:(fun p -> Store.cardinal p db) r.body) in
   let groups =
     List.fold_left
       (fun groups env ->
@@ -162,11 +363,16 @@ let split_agg rules =
   List.partition (fun (r : Ast.rule) -> Ast.has_aggregate r.head) rules
 
 (* Derived tuples of applying [rules] with optional per-position deltas
-   restricted to [rec_preds]. *)
+   restricted to [rec_preds].  Bodies are join-planned per application:
+   full applications are ordered from an empty binding, delta
+   applications move the delta literal to the front (it is the small
+   relation) and order the remaining literals under the variables the
+   delta binds. *)
 let apply_plain_rules db ?deltas ~rec_preds rules ~count =
+  let card p = Store.cardinal p db in
   List.fold_left
     (fun acc (r : Ast.rule) ->
-      let produce envs =
+      let produce acc envs =
         List.fold_left
           (fun acc env ->
             incr count;
@@ -174,25 +380,24 @@ let apply_plain_rules db ?deltas ~rec_preds rules ~count =
           acc envs
       in
       match deltas with
-      | None -> produce (body_envs db r.body)
+      | None -> produce acc (body_envs db (order_body ~card r.body))
       | Some delta_db ->
         let positions = delta_positions rec_preds r.body in
         List.fold_left
           (fun acc i ->
-            let pred =
+            let delta_lit, delta_atom =
               match List.nth r.body i with
-              | Ast.Pos a -> a.Ast.pred
+              | Ast.Pos a as l -> (l, a)
               | _ -> assert false
             in
-            let d = Store.relation pred delta_db in
+            let d = Store.relation delta_atom.Ast.pred delta_db in
             if Store.Tset.is_empty d then acc
             else
-              List.fold_left
-                (fun acc env ->
-                  incr count;
-                  Store.add r.head.head_pred (head_tuple env r.head) acc)
-                acc
-                (body_envs db ~delta:(i, d) r.body))
+              let rest = List.filteri (fun j _ -> j <> i) r.body in
+              let body =
+                delta_lit :: order_body ~card ~bound:(atom_binds delta_atom) rest
+              in
+              produce acc (body_envs db ~delta:(0, d) body))
           acc positions)
     Store.empty rules
 
@@ -213,8 +418,9 @@ let eval_stratum_seminaive db stratum (p : Ast.program) ~max_rounds ~rounds
       db agg_rules
   in
   let rec_preds =
-    List.sort_uniq String.compare
-      (List.map (fun (r : Ast.rule) -> r.head.head_pred) plain_rules)
+    List.fold_left
+      (fun s (r : Ast.rule) -> Sset.add r.head.head_pred s)
+      Sset.empty plain_rules
   in
   (* Initial round: full evaluation of the stratum's plain rules. *)
   let derived = apply_plain_rules db ~rec_preds plain_rules ~count in
@@ -255,7 +461,7 @@ let eval_stratum_naive db stratum (p : Ast.program) ~max_rounds ~rounds ~count
     if !rounds >= max_rounds then (db, false)
     else begin
       incr rounds;
-      let derived = apply_plain_rules db ~rec_preds:[] plain_rules ~count in
+      let derived = apply_plain_rules db ~rec_preds:Sset.empty plain_rules ~count in
       let delta = Store.diff derived db in
       if Store.is_empty delta then (db, true)
       else loop (Store.union db delta)

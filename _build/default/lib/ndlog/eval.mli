@@ -7,6 +7,14 @@
     stratum entry (their inputs are complete), remaining rules run to
     fixpoint.
 
+    Joins are index-aware: body literals with ground argument positions
+    are answered from {!Store.lookup} secondary indexes, and rule
+    bodies are reordered most-bound-first ({!order_body}); both
+    optimizations fall back to the plain nested-loop scan (and can be
+    disabled via {!use_indexes} / {!use_reordering}) without changing
+    the fixpoint.  {!stats} reports index hits vs. scans and tuples
+    enumerated vs. matched.
+
     Evaluation is bounded by [max_rounds]: a program with no finite
     fixpoint (e.g. distance-vector count-to-infinity on a cycle) is
     reported as not converged instead of looping. *)
@@ -21,12 +29,57 @@ type outcome = {
 
 exception Eval_error of string
 
+(** {1 Instrumentation and switches} *)
+
+(** Join counters, cumulative since the last {!reset_stats}. *)
+type stats = {
+  index_hits : int;  (** joins answered from a secondary index *)
+  scans : int;  (** joins answered by a full relation scan *)
+  enumerated : int;  (** candidate tuples visited by joins *)
+  matched : int;  (** candidates that unified with the pattern *)
+}
+
+val reset_stats : unit -> unit
+val stats : unit -> stats
+val pp_stats : stats Fmt.t
+
+val use_indexes : bool ref
+(** Consult secondary indexes for ground argument positions (default
+    [true]).  Off: every join is a full scan — the pre-index
+    nested-loop evaluator. *)
+
+val use_reordering : bool ref
+(** Reorder rule bodies most-bound-first before evaluation (default
+    [true]). *)
+
+val order_body :
+  ?card:(string -> int) ->
+  ?bound:Ast.Sset.t ->
+  Ast.lit list ->
+  Ast.lit list
+(** Greedy join planning: filters (assignments, comparisons, negations)
+    run as soon as their variables are bound; positive atoms are
+    scheduled most-bound-first, ties broken by smaller relation
+    ([card]) then source order.  [bound] seeds the bound-variable set
+    (e.g. with the variables a delta literal binds).  Preserves the
+    satisfying-environment set of any safe rule; identity when
+    {!use_reordering} is off. *)
+
+val atom_binds : Ast.atom -> Ast.Sset.t
+(** The variables a positive atom binds when evaluated first (its bare
+    variable arguments). *)
+
 val body_envs :
   Store.t -> ?delta:int * Store.Tset.t -> Ast.lit list -> Env.t list
 (** All satisfying environments for a rule body against a database.
     [delta] optionally replaces the relation read by the body literal at
     the given index (semi-naive evaluation); exposed for the distributed
     runtime and the plan compiler. *)
+
+val join_envs : Store.t -> Env.t -> string -> Ast.expr list -> Env.t list
+(** [join_envs db env pred args]: extend [env] with every tuple of
+    [pred] that matches [args] — one index-aware join step, shared with
+    the strand executor ({!Plan.execute}). *)
 
 val head_tuple : Env.t -> Ast.head -> Store.Tuple.t
 (** Instantiate an aggregate-free head under an environment. *)

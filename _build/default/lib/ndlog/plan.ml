@@ -45,9 +45,10 @@ let op_of_lit (l : Ast.lit) : op =
 
 (* Compile one strand of [rule], with the body literal at [delta]
    (which must be a positive atom) as the triggering source.  The delta
-   literal moves to the front; remaining literals keep their order
-   (safety is direction-independent for joins since unbound variables
-   bind by matching). *)
+   literal moves to the front; remaining literals are join-planned
+   most-bound-first under the variables the delta binds
+   ({!Eval.order_body} — semantics-preserving for safe rules since
+   unbound variables bind by matching). *)
 let compile_strand (rule : Ast.rule) ~(delta : int) : strand =
   if Ast.has_aggregate rule.Ast.head then
     raise (Plan_error "aggregate rules are not strand-compiled");
@@ -58,7 +59,9 @@ let compile_strand (rule : Ast.rule) ~(delta : int) : strand =
     | None -> raise (Plan_error "delta position out of range")
   in
   let rest =
-    List.filteri (fun i _ -> i <> delta) rule.Ast.body |> List.map op_of_lit
+    List.filteri (fun i _ -> i <> delta) rule.Ast.body
+    |> Eval.order_body ~bound:(Eval.atom_binds delta_lit)
+    |> List.map op_of_lit
   in
   {
     strand_rule = rule;
@@ -76,7 +79,7 @@ let compile_scan (rule : Ast.rule) : strand =
   {
     strand_rule = rule;
     delta_pred = None;
-    ops = List.map op_of_lit rule.Ast.body @ [ Project rule.Ast.head ];
+    ops = List.map op_of_lit (Eval.order_body rule.Ast.body) @ [ Project rule.Ast.head ];
   }
 
 (* All strands of a program: one per (rule, positive body literal whose
@@ -116,15 +119,9 @@ let execute_ops (db : Store.t) ?(delta_tuple : Store.Tuple.t option)
       | Some t ->
         List.filter_map (fun env -> Env.match_args env args t) envs)
     | Join { pred; args } ->
-      List.concat_map
-        (fun env ->
-          Store.fold_rel pred
-            (fun t acc ->
-              match Env.match_args env args t with
-              | Some env' -> env' :: acc
-              | None -> acc)
-            db [])
-        envs
+      (* Index-aware: ground argument positions under each streamed
+         environment are answered from a secondary index. *)
+      List.concat_map (fun env -> Eval.join_envs db env pred args) envs
     | Anti_join { pred; args } ->
       List.filter
         (fun env ->

@@ -142,6 +142,19 @@ let ring_links ?(cost = fun _ -> 1) k =
 let star_links ?(cost = fun _ -> 1) k =
   List.concat (List.init (k - 1) (fun i -> both (node 0) (node (i + 1)) (cost i)))
 
+(* A k x k grid: node n(i*k+j) at row i, column j, linked to its right
+   and down neighbours (4-neighbour mesh). *)
+let grid_links ?(cost = fun _ -> 1) k =
+  let id i j = node ((i * k) + j) in
+  let ls = ref [] in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if j + 1 < k then ls := both (id i j) (id i (j + 1)) (cost (i + j)) @ !ls;
+      if i + 1 < k then ls := both (id i j) (id (i + 1) j) (cost (i + j)) @ !ls
+    done
+  done;
+  !ls
+
 (* A full mesh (use with care: the path relation grows factorially). *)
 let mesh_links ?(cost = fun _ _ -> 1) k =
   let pairs = ref [] in

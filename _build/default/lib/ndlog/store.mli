@@ -1,7 +1,14 @@
 (** Ground-tuple storage: a persistent database mapping predicate names
     to sets of tuples.  Stores are canonical values — two databases with
     the same contents are structurally equal — which lets the model
-    checker use them directly as states. *)
+    checker use them directly as states.
+
+    Relations carry lazily built secondary indexes over column sets
+    ({!lookup}), maintained incrementally across {!add} / {!remove} /
+    {!union} and invalidated by {!set_relation}.  Indexes are pure
+    memoization: they never participate in {!equal}, {!compare} or
+    {!hash}, so two stores with the same tuples remain the same
+    model-checker state whatever joins have been run against them. *)
 
 (** Tuples: value arrays compared lexicographically (length first). *)
 module Tuple : sig
@@ -67,3 +74,24 @@ val fold_rel : string -> (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val iter_rel : string -> (Tuple.t -> unit) -> t -> unit
 val pp : t Fmt.t
 val to_string : t -> string
+
+(** {1 Secondary indexes}
+
+    Used by the evaluator's index-aware joins ({!Eval.body_envs}) and
+    the dataflow strands ({!Plan.execute}). *)
+
+val lookup : string -> cols:int list -> key:Value.t list -> t -> Tset.t
+(** [lookup pred ~cols ~key db]: every tuple of [pred] whose values at
+    positions [cols] (a strictly increasing list) equal [key]
+    (positionally matching [cols]).  Builds and caches the
+    [(pred, cols)] index on first use; subsequent updates through
+    {!add} / {!remove} / {!union} keep it current.  Tuples too short to
+    have all indexed columns are never returned (they cannot match a
+    pattern binding those positions). *)
+
+val index_count : t -> int
+(** Number of materialized [(pred, column-set)] indexes — cache
+    introspection for tests and stats. *)
+
+val indexed_cols : string -> t -> int list list
+(** The column sets currently indexed for a predicate. *)

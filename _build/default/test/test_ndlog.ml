@@ -568,6 +568,145 @@ let test_store_determinism () =
   checki "same hash" (Store.hash a) (Store.hash b)
 
 (* ------------------------------------------------------------------ *)
+(* Secondary indexes and index-aware evaluation. *)
+
+let test_store_lookup () =
+  let t a b = tuple [ V.Addr a; V.Addr b ] in
+  let db = Store.add_list "e" [ t "a" "b"; t "a" "c"; t "b" "c" ] Store.empty in
+  checki "two from a" 2
+    (Store.Tset.cardinal (Store.lookup "e" ~cols:[ 0 ] ~key:[ V.Addr "a" ] db));
+  checki "exact match" 1
+    (Store.Tset.cardinal
+       (Store.lookup "e" ~cols:[ 0; 1 ] ~key:[ V.Addr "b"; V.Addr "c" ] db));
+  checki "absent key" 0
+    (Store.Tset.cardinal (Store.lookup "e" ~cols:[ 0 ] ~key:[ V.Addr "z" ] db));
+  checki "absent predicate" 0
+    (Store.Tset.cardinal (Store.lookup "x" ~cols:[ 0 ] ~key:[ V.Addr "a" ] db));
+  (* both column sets are now materialized, and only those *)
+  checki "two indexes cached" 2 (Store.index_count db);
+  checkb "cols tracked" true (Store.indexed_cols "e" db = [ [ 0 ]; [ 0; 1 ] ]);
+  (* a tuple too short for the indexed columns is simply never returned *)
+  let db = Store.add "e" (tuple [ V.Addr "a" ]) db in
+  checki "short tuple skipped" 2
+    (Store.Tset.cardinal (Store.lookup "e" ~cols:[ 1 ] ~key:[ V.Addr "c" ] db))
+
+let test_index_maintenance () =
+  let t i j = tuple [ V.Int i; V.Int j ] in
+  let lk db = Store.Tset.cardinal (Store.lookup "p" ~cols:[ 0 ] ~key:[ V.Int 1 ] db) in
+  let db = Store.add_list "p" [ t 1 1; t 1 2; t 2 3 ] Store.empty in
+  checki "materialize" 2 (lk db);
+  (* add maintains the cached index... *)
+  let db2 = Store.add "p" (t 1 9) db in
+  checki "after add" 3 (lk db2);
+  (* ...without disturbing the original persistent value *)
+  checki "original intact" 2 (lk db);
+  (* remove maintains *)
+  let db3 = Store.remove "p" (t 1 2) db2 in
+  checki "after remove" 2 (lk db3);
+  checki "db2 intact" 3 (lk db2);
+  (* union folds the right side through the left side's caches *)
+  let right = Store.add "p" (t 1 7) Store.empty in
+  let u = Store.union db2 right in
+  checki "after union" 4 (lk u);
+  (* set_relation drops the caches; the next lookup rebuilds *)
+  let db4 = Store.set_relation "p" (Store.Tset.of_list [ t 1 5; t 2 6 ]) db3 in
+  checki "caches dropped" 0 (Store.index_count db4);
+  checki "rebuilt on lookup" 1 (lk db4)
+
+let test_index_canonicity () =
+  (* Materialized indexes are invisible to equal/compare/hash: stores
+     stay canonical model-checker states. *)
+  let t i = tuple [ V.Int i ] in
+  let a = Store.add_list "p" [ t 1; t 2 ] Store.empty in
+  let b = Store.add_list "p" [ t 2; t 1 ] Store.empty in
+  ignore (Store.lookup "p" ~cols:[ 0 ] ~key:[ V.Int 1 ] a);
+  checkb "equal despite index" true (Store.equal a b);
+  checki "compare zero" 0 (Store.compare a b);
+  checki "same hash" (Store.hash a) (Store.hash b)
+
+(* Run with the join optimizations on or off (off = the pre-index
+   nested-loop engine: full scans, source-order bodies). *)
+let run_with ~optimized p =
+  Eval.use_indexes := optimized;
+  Eval.use_reordering := optimized;
+  Fun.protect
+    ~finally:(fun () ->
+      Eval.use_indexes := true;
+      Eval.use_reordering := true)
+    (fun () -> Eval.run_exn p)
+
+let prop_indexed_equals_nested_loop =
+  QCheck.Test.make
+    ~name:"indexed evaluation = pre-index nested loop (fixpoint, rounds)"
+    ~count:40
+    QCheck.(triple (int_range 0 3) (int_range 2 7) (int_range 0 4))
+    (fun (which, n, extra) ->
+      let links =
+        match which with
+        | 0 | 1 -> Programs.random_links ~seed:((11 * n) + extra + which) ~extra n
+        | 2 -> Programs.ring_links n
+        | _ -> Programs.grid_links (2 + (n mod 2))
+      in
+      let prog =
+        match which with
+        | 0 -> Programs.path_vector ()
+        | 1 -> Programs.reachability ()
+        | 2 -> Programs.bounded_distance_vector ~max_hops:n
+        | _ -> Programs.link_state ~max_hops:4
+      in
+      let p = Programs.with_links prog links in
+      let a = run_with ~optimized:true p in
+      let b = run_with ~optimized:false p in
+      Store.equal a.Eval.db b.Eval.db
+      && a.Eval.rounds = b.Eval.rounds
+      && a.Eval.converged = b.Eval.converged
+      && a.Eval.derivations = b.Eval.derivations)
+
+let test_order_body_most_bound_first () =
+  let p = parse_ok {| h(@X,Z) :- big(@X,Y), small(@Y,Z), Y > 0. |} in
+  let body = (List.hd p.Ast.rules).Ast.body in
+  let card = function "big" -> 100 | _ -> 2 in
+  (match Eval.order_body ~card body with
+  | [ Ast.Pos a; Ast.Cond _; Ast.Pos b ] ->
+    checks "cheapest relation first" "small" a.Ast.pred;
+    checks "expensive one last" "big" b.Ast.pred
+  | _ -> Alcotest.fail "unexpected ordering");
+  (* the filter never runs before its variable is bound *)
+  (match Eval.order_body body with
+  | Ast.Cond _ :: _ -> Alcotest.fail "comparison scheduled before Y is bound"
+  | _ -> ());
+  (* seeding the bound set changes the ranking *)
+  (match
+     Eval.order_body ~card
+       ~bound:(Ast.Sset.of_list [ "Y"; "Z" ])
+       [ List.nth body 0; List.nth body 2 ]
+   with
+  | [ Ast.Cond _; Ast.Pos _ ] -> ()
+  | _ -> Alcotest.fail "filter should run first once Y is bound");
+  (* switched off, the body is untouched *)
+  Eval.use_reordering := false;
+  let id = Eval.order_body ~card body == body in
+  Eval.use_reordering := true;
+  checkb "identity when disabled" true id
+
+let test_eval_stats_counted () =
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.ring_links 4) in
+  Eval.reset_stats ();
+  ignore (Eval.run_exn p);
+  let st = Eval.stats () in
+  checkb "index hits counted" true (st.Eval.index_hits > 0);
+  checkb "scans counted" true (st.Eval.scans > 0);
+  checkb "matched within enumerated" true (st.Eval.matched <= st.Eval.enumerated);
+  (* with the index layer off, every join is a scan *)
+  Eval.use_indexes := false;
+  Eval.reset_stats ();
+  ignore (Eval.run_exn p);
+  Eval.use_indexes := true;
+  let off = Eval.stats () in
+  checki "no hits when disabled" 0 off.Eval.index_hits;
+  checkb "strictly more tuples visited" true (off.Eval.enumerated > st.Eval.enumerated)
+
+(* ------------------------------------------------------------------ *)
 (* Localization. *)
 
 let test_localize_path_vector () =
@@ -982,6 +1121,18 @@ let () =
           Alcotest.test_case "union/diff" `Quick test_store_union_diff;
           Alcotest.test_case "determinism" `Quick test_store_determinism;
         ] );
+      ( "index",
+        [
+          Alcotest.test_case "lookup" `Quick test_store_lookup;
+          Alcotest.test_case "incremental maintenance" `Quick
+            test_index_maintenance;
+          Alcotest.test_case "canonicity preserved" `Quick
+            test_index_canonicity;
+          Alcotest.test_case "join planning" `Quick
+            test_order_body_most_bound_first;
+          Alcotest.test_case "stats" `Quick test_eval_stats_counted;
+        ]
+        @ qsuite [ prop_indexed_equals_nested_loop ] );
       ( "localize",
         [
           Alcotest.test_case "path-vector rewrite" `Quick

@@ -56,6 +56,10 @@ val line_links : ?cost:(int -> int) -> int -> Ast.fact list
 val ring_links : ?cost:(int -> int) -> int -> Ast.fact list
 val star_links : ?cost:(int -> int) -> int -> Ast.fact list
 
+val grid_links : ?cost:(int -> int) -> int -> Ast.fact list
+(** A [k x k] grid: node [n(i*k+j)] at row [i], column [j], linked to
+    its right and down neighbours. *)
+
 val mesh_links : ?cost:(int -> int -> int) -> int -> Ast.fact list
 (** Full mesh; beware: the [path] relation grows factorially. *)
 
