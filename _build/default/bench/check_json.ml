@@ -1,36 +1,95 @@
 (* Smoke check for the benchmark ledger: BENCH_ndlog.json must parse
-   and carry a non-empty E7 sweep with indexed and baseline timings.
-   Run by the @bench-smoke alias so a broken emitter (or a regression
-   that stops the sweep from completing) fails the build loudly. *)
+   as a schema-2 document carrying a non-empty E7 sweep (indexed vs.
+   baseline timings), an E8 sharded sweep with per-domain timings, and
+   a run-history array.  Run by the @bench-smoke alias so a broken
+   emitter (or a regression that stops a sweep from completing, or a
+   sharded run diverging from the centralized fixpoint) fails the
+   build loudly. *)
 
 let fail fmt = Fmt.kstr (fun m -> prerr_endline m; exit 1) fmt
+
+let require_fields path what i row keys =
+  List.iter
+    (fun k ->
+      match Json.member k row with
+      | Some _ -> ()
+      | None -> fail "%s: %s row %d lacks %S" path what i k)
+    keys
+
+let require_same_fixpoint path what i row =
+  match Json.member "same_fixpoint" row with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "%s: %s row %d fixpoints diverge" path what i
+
+let nonempty_sweeps path what section =
+  match Option.bind (Json.member "sweeps" section) Json.as_arr with
+  | Some (_ :: _ as s) -> s
+  | _ -> fail "%s: empty or missing %s sweeps" path what
 
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_ndlog.json" in
   match Json.of_file path with
   | Error e -> fail "%s: does not parse: %s" path e
   | Ok v ->
-    (match Json.member "experiment" v with
-    | Some (Json.Str "e7") -> ()
-    | _ -> fail "%s: missing experiment=e7" path);
-    let sweeps =
-      match Option.bind (Json.member "sweeps" v) Json.as_arr with
-      | Some (_ :: _ as s) -> s
-      | _ -> fail "%s: empty or missing sweeps" path
-    in
+    (match Json.member "schema" v with
+    | Some (Json.Int 2) -> ()
+    | _ -> fail "%s: missing schema=2" path);
+    List.iter
+      (fun k ->
+        match Json.member k v with
+        | Some _ -> ()
+        | None -> fail "%s: missing top-level %S" path k)
+      [ "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "history" ];
+    (* E7: index layer on vs. off. *)
+    let e7 = Option.get (Json.member "e7" v) in
+    let sweeps = nonempty_sweeps path "e7" e7 in
     List.iteri
       (fun i row ->
-        List.iter
-          (fun k ->
-            match Json.member k row with
-            | Some _ -> ()
-            | None -> fail "%s: sweep %d lacks %S" path i k)
+        require_fields path "e7" i row
           [
             "program"; "topology"; "n"; "tuples"; "indexed_ms"; "baseline_ms";
             "speedup"; "same_fixpoint";
           ];
-        match Json.member "same_fixpoint" row with
-        | Some (Json.Bool true) -> ()
-        | _ -> fail "%s: sweep %d fixpoints diverge" path i)
+        require_same_fixpoint path "e7" i row)
       sweeps;
-    Fmt.pr "%s: ok (%d sweep rows)@." path (List.length sweeps)
+    (* E8: sharded evaluation across domain counts. *)
+    let e8 = Option.get (Json.member "e8" v) in
+    let shard_sweeps = nonempty_sweeps path "e8" e8 in
+    let domain_counts =
+      match Option.bind (Json.member "domain_counts" e8) Json.as_arr with
+      | Some (_ :: _ as l) ->
+        List.map
+          (function Json.Int d -> d | _ -> fail "%s: bad domain count" path)
+          l
+      | _ -> fail "%s: empty or missing e8 domain_counts" path
+    in
+    List.iteri
+      (fun i row ->
+        require_fields path "e8" i row
+          [
+            "program"; "topology"; "n"; "shards"; "tuples"; "central_ms";
+            "domain_ms"; "parallel_speedup"; "same_fixpoint";
+          ];
+        (match Json.member "domain_ms" row with
+        | Some (Json.Obj kvs) ->
+          List.iter
+            (fun d ->
+              if not (List.mem_assoc (string_of_int d) kvs) then
+                fail "%s: e8 row %d lacks a timing for %d domains" path i d)
+            domain_counts
+        | _ -> fail "%s: e8 row %d domain_ms is not an object" path i);
+        require_same_fixpoint path "e8" i row)
+      shard_sweeps;
+    (* History: at least the run that wrote this file. *)
+    let history =
+      match Option.bind (Json.member "history" v) Json.as_arr with
+      | Some (_ :: _ as h) -> h
+      | _ -> fail "%s: empty or missing history" path
+    in
+    List.iteri
+      (fun i entry ->
+        require_fields path "history" i entry
+          [ "unix_time"; "quick"; "host_cores" ])
+      history;
+    Fmt.pr "%s: ok (%d e7 rows, %d e8 rows, %d history entries)@." path
+      (List.length sweeps) (List.length shard_sweeps) (List.length history)

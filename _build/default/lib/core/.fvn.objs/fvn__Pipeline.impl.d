@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Component Dist Fmt List Logic Mcheck Ndlog Netsim Props
+lib/core/pipeline.ml: Component Dist Domain Fmt List Logic Mcheck Ndlog Netsim Props

@@ -52,43 +52,18 @@ type t = {
   (* Compiled dataflow strands of the pipelined rules, indexed by their
      trigger (delta) predicate: the Click execution model. *)
   strands : (string, Ndlog.Plan.strand list) Hashtbl.t;
+  (* Join counters of this runtime's strand executions and view
+     refreshes (per-runtime: concurrent runtimes never interfere). *)
+  joins : Eval.counters;
   mutable refresh_pending : bool;
 }
 
 exception Not_localized of string
 
-(* Location value of a tuple for a located predicate. *)
-let tuple_location (a : int option) (tuple : Store.Tuple.t) : string option =
-  match a with
-  | Some i when i < Array.length tuple -> Some (Value.as_addr tuple.(i))
-  | _ -> None
-
-(* The location index declared for each predicate, from rule heads and
-   facts. *)
-let loc_index_map (p : Ast.program) : (string, int) Hashtbl.t =
-  let m = Hashtbl.create 16 in
-  List.iter
-    (fun (r : Ast.rule) ->
-      match r.head.Ast.head_loc with
-      | Some i -> Hashtbl.replace m r.head.Ast.head_pred i
-      | None -> ())
-    p.rules;
-  List.iter
-    (fun (f : Ast.fact) ->
-      match f.Ast.fact_loc with
-      | Some i -> Hashtbl.replace m f.Ast.fact_pred i
-      | None -> ())
-    p.facts;
-  List.iter
-    (fun (r : Ast.rule) ->
-      List.iter
-        (fun (a : Ast.atom) ->
-          match a.Ast.loc with
-          | Some i -> Hashtbl.replace m a.Ast.pred i
-          | None -> ())
-        (Ast.body_atoms r.body))
-    p.rules;
-  m
+(* Location-column bookkeeping is shared with the sharded evaluator:
+   {!Ndlog.Shard} owns the tuple-to-owner mapping. *)
+let tuple_location = Ndlog.Shard.tuple_location
+let loc_index_map = Ndlog.Shard.loc_index_map
 
 (* Split the program: aggregate rules and every rule transitively
    depending on an aggregate head become "view" rules, refreshed from
@@ -167,6 +142,7 @@ let rec create ?(seed = 42) (topo : Netsim.Topology.t) (program : Ast.program) :
       view_preds;
       view_program;
       strands = strands';
+      joins = Eval.counters ();
       refresh_pending = false;
     }
   in
@@ -204,7 +180,7 @@ and propagate t (self : string) pred (tuple : Store.Tuple.t) =
         let head = st.Ndlog.Plan.strand_rule.Ast.head in
         List.iter
           (fun ht -> emit t self head.Ast.head_loc head.Ast.head_pred ht)
-          (Ndlog.Plan.execute ns.store ~delta_tuple:tuple st))
+          (Ndlog.Plan.execute ~stats:t.joins ns.store ~delta_tuple:tuple st))
       strands
 
 and insert t (self : string) pred (tuple : Store.Tuple.t) =
@@ -263,7 +239,7 @@ and refresh_views t =
       in
       (* Evaluate view rules against the base store. *)
       let info = t.info in
-      let result = Eval.seminaive t.view_program info base in
+      let result = Eval.seminaive ~stats:t.joins t.view_program info base in
       let fresh = result.Eval.db in
       (* Replace local view relations; ship remote view tuples. *)
       let locs = loc_index_map t.view_program in
@@ -328,11 +304,12 @@ type run_report = {
 }
 
 let run ?(until = infinity) ?(max_events = 1_000_000) t =
-  (* Strand execution and view refresh both join through [Eval]; the
-     counter delta across the run is this run's join profile. *)
-  let before = Eval.stats () in
+  (* Strand execution and view refresh both accumulate into the
+     runtime's own counters; the delta across the run is this run's
+     join profile. *)
+  let before = Eval.snapshot t.joins in
   let stats = Netsim.Sim.run ~until ~max_events t.sim in
-  let after = Eval.stats () in
+  let after = Eval.snapshot t.joins in
   let total_inserts =
     Hashtbl.fold (fun _ ns acc -> acc + ns.inserts) t.nodes 0
   in

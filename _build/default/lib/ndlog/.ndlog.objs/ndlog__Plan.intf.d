@@ -1,1 +1,1 @@
-lib/ndlog/plan.mli: Ast Fmt Store
+lib/ndlog/plan.mli: Ast Eval Fmt Store

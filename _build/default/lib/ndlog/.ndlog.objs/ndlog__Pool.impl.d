@@ -1,0 +1,1 @@
+lib/ndlog/pool.ml: Array Condition Domain Fun List Mutex

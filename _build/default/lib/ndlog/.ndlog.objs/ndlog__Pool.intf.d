@@ -1,0 +1,1 @@
+lib/ndlog/pool.mli:

@@ -1,0 +1,1 @@
+lib/ndlog/shard.ml: Array Ast Format Hashtbl List Map Option Result Store String Value

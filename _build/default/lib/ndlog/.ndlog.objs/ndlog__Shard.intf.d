@@ -1,0 +1,1 @@
+lib/ndlog/shard.mli: Ast Hashtbl Store Value

@@ -1,10 +1,16 @@
-(* Centralized bottom-up evaluation of NDlog programs.
+(* Bottom-up evaluation of NDlog programs.
 
-   Two evaluators over the same rule-application core:
+   Three evaluators over the same rule-application core:
    - [naive]: re-derives everything from the full database each round;
-   - [seminaive]: classic delta iteration, per stratum.
+   - [seminaive]: classic delta iteration, per stratum;
+   - [seminaive_sharded]: partitions the database by the
+     location-specifier column ({!Shard}) and runs per-shard semi-naive
+     fixpoints in parallel on OCaml domains ({!Pool}), exchanging
+     foreign-located head tuples between shards — exactly the tuples
+     the distributed runtime would send as messages — until a global
+     fixpoint.
 
-   Both respect the stratification computed by {!Analysis}: strata are
+   All respect the stratification computed by {!Analysis}: strata are
    evaluated bottom-up; aggregate rules of a stratum run once at stratum
    entry (their body predicates are strictly lower, hence complete);
    remaining rules run to fixpoint.
@@ -15,23 +21,24 @@
    relation scan; literals with no ground position (and delta literals,
    whose relation is the small delta set itself) fall back to the scan.
    Rule bodies are reordered most-bound-first ([order_body]) so that
-   ground positions exist as early as possible.  Both optimizations are
-   observable through {!stats} and can be switched off ([use_indexes],
-   [use_reordering]) — the fixpoint is identical either way, which the
-   test suite checks by property.
+   ground positions exist as early as possible.  Aggregate rules whose
+   body is a single positive atom over distinct variables are answered
+   from a {!Store.groups} grouped index probe instead of enumerating
+   environments.  All optimizations are observable through the per-run
+   {!stats} and can be switched off ([use_indexes], [use_reordering]) —
+   the fixpoint is identical either way, which the test suite checks by
+   property.
+
+   Instrumentation is per run: callers pass a {!counters} accumulator
+   (or read the [stats] field of the {!outcome}); there is no global
+   mutable state, so concurrent evaluations — including the per-shard
+   fixpoints, which each own a private accumulator — never interfere.
 
    Evaluation is guarded by [max_rounds]; a program that fails to reach a
    fixpoint within the bound (e.g. distance-vector count-to-infinity) is
    reported as not converged rather than looping forever. *)
 
 module Sset = Set.Make (String)
-
-type outcome = {
-  db : Store.t;
-  rounds : int;  (* total fixpoint rounds across strata *)
-  derivations : int;  (* head tuples produced, counting duplicates *)
-  converged : bool;
-}
 
 exception Eval_error of string
 
@@ -45,31 +52,57 @@ type stats = {
   matched : int;  (* candidates that unified with the pattern *)
 }
 
-let use_indexes = ref true
-let use_reordering = ref true
+type outcome = {
+  db : Store.t;
+  rounds : int;  (* total fixpoint rounds across strata *)
+  derivations : int;  (* head tuples produced, counting duplicates *)
+  converged : bool;
+  stats : stats;  (* join counters of this run *)
+}
 
-let st_index_hits = ref 0
-let st_scans = ref 0
-let st_enumerated = ref 0
-let st_matched = ref 0
+let zero_stats = { index_hits = 0; scans = 0; enumerated = 0; matched = 0 }
 
-let reset_stats () =
-  st_index_hits := 0;
-  st_scans := 0;
-  st_enumerated := 0;
-  st_matched := 0
-
-let stats () =
+let add_stats a b =
   {
-    index_hits = !st_index_hits;
-    scans = !st_scans;
-    enumerated = !st_enumerated;
-    matched = !st_matched;
+    index_hits = a.index_hits + b.index_hits;
+    scans = a.scans + b.scans;
+    enumerated = a.enumerated + b.enumerated;
+    matched = a.matched + b.matched;
   }
+
+(* A mutable accumulator for one evaluation run.  Each run (and each
+   shard of a sharded run) owns its own record, so counts never bleed
+   between runs or race between domains. *)
+type counters = {
+  mutable c_index_hits : int;
+  mutable c_scans : int;
+  mutable c_enumerated : int;
+  mutable c_matched : int;
+}
+
+let counters () =
+  { c_index_hits = 0; c_scans = 0; c_enumerated = 0; c_matched = 0 }
+
+let snapshot c =
+  {
+    index_hits = c.c_index_hits;
+    scans = c.c_scans;
+    enumerated = c.c_enumerated;
+    matched = c.c_matched;
+  }
+
+let accumulate c (s : stats) =
+  c.c_index_hits <- c.c_index_hits + s.index_hits;
+  c.c_scans <- c.c_scans + s.scans;
+  c.c_enumerated <- c.c_enumerated + s.enumerated;
+  c.c_matched <- c.c_matched + s.matched
 
 let pp_stats ppf s =
   Fmt.pf ppf "index_hits=%d scans=%d enumerated=%d matched=%d" s.index_hits
     s.scans s.enumerated s.matched
+
+let use_indexes = ref true
+let use_reordering = ref true
 
 (* ------------------------------------------------------------------ *)
 (* Rule application. *)
@@ -96,33 +129,34 @@ let ground_positions env (args : Ast.expr list) : (int * Value.t) list =
    relation otherwise.  The single source of index-aware candidate
    selection — shared by [body_envs] and the strand executor
    ({!Plan.execute}). *)
-let candidates (db : Store.t) env pred (args : Ast.expr list) : Store.Tset.t =
+let candidates_c st (db : Store.t) env pred (args : Ast.expr list) :
+    Store.Tset.t =
   match if !use_indexes then ground_positions env args else [] with
   | [] ->
-    incr st_scans;
+    st.c_scans <- st.c_scans + 1;
     Store.relation pred db
   | bound ->
-    incr st_index_hits;
+    st.c_index_hits <- st.c_index_hits + 1;
     Store.lookup pred ~cols:(List.map fst bound) ~key:(List.map snd bound) db
 
 (* One join step: extend [env] with every tuple of [pred] matching
    [args].  Exposed for the dataflow strands. *)
-let join_envs (db : Store.t) env pred (args : Ast.expr list) : Env.t list =
+let join_envs_c st (db : Store.t) env pred (args : Ast.expr list) : Env.t list =
   Store.Tset.fold
     (fun tuple acc ->
-      incr st_enumerated;
+      st.c_enumerated <- st.c_enumerated + 1;
       match Env.match_args env args tuple with
       | Some env' ->
-        incr st_matched;
+        st.c_matched <- st.c_matched + 1;
         env' :: acc
       | None -> acc)
-    (candidates db env pred args)
+    (candidates_c st db env pred args)
     []
 
 (* Enumerate all satisfying environments for [body] against [db].
    [delta] optionally replaces the relation read by the body literal at
    the given index, implementing semi-naive evaluation. *)
-let body_envs (db : Store.t) ?delta (body : Ast.lit list) : Env.t list =
+let body_envs_c st (db : Store.t) ?delta (body : Ast.lit list) : Env.t list =
   let rec go env idx lits acc =
     match lits with
     | [] -> env :: acc
@@ -132,16 +166,16 @@ let body_envs (db : Store.t) ?delta (body : Ast.lit list) : Env.t list =
         let rel =
           match delta with
           | Some (j, d) when j = idx ->
-            incr st_scans;
+            st.c_scans <- st.c_scans + 1;
             d
-          | _ -> candidates db env a.pred a.args
+          | _ -> candidates_c st db env a.pred a.args
         in
         Store.Tset.fold
           (fun tuple acc ->
-            incr st_enumerated;
+            st.c_enumerated <- st.c_enumerated + 1;
             match Env.match_args env a.args tuple with
             | Some env' ->
-              incr st_matched;
+              st.c_matched <- st.c_matched + 1;
               go env' (idx + 1) rest acc
             | None -> acc)
           rel acc
@@ -162,6 +196,17 @@ let body_envs (db : Store.t) ?delta (body : Ast.lit list) : Env.t list =
         else acc)
   in
   go Env.empty 0 body []
+
+(* Public wrappers: the optional accumulator defaults to a fresh
+   throwaway record (the caller did not ask for counts). *)
+let candidates ?(stats = counters ()) db env pred args =
+  candidates_c stats db env pred args
+
+let join_envs ?(stats = counters ()) db env pred args =
+  join_envs_c stats db env pred args
+
+let body_envs ?(stats = counters ()) db ?delta body =
+  body_envs_c stats db ?delta body
 
 (* Instantiate a plain (aggregate-free) head under [env]. *)
 let head_tuple env (h : Ast.head) : Store.Tuple.t =
@@ -303,55 +348,149 @@ let agg_fold (a : Ast.agg) (vs : Value.t list) : Value.t =
   | Ast.Sum, vs ->
     Value.Int (List.fold_left (fun acc v -> acc + Value.as_int v) 0 vs)
 
-(* Evaluate an aggregate rule against the full database: group satisfying
-   environments by the plain head arguments, fold the aggregate, emit one
-   tuple per group. *)
-let apply_agg_rule db (r : Ast.rule) : Store.Tuple.t list =
-  let envs = body_envs db (order_body ~card:(fun p -> Store.cardinal p db) r.body) in
-  let groups =
-    List.fold_left
-      (fun groups env ->
-        let key =
-          List.map
-            (function
-              | Ast.Plain e -> Some (Env.eval env e)
-              | Ast.Agg _ -> None)
-            r.head.head_args
+(* Head-argument shape for the grouped-index fast path: each head
+   argument mapped to the body-atom column it reads. *)
+type agg_slot =
+  | Group of int  (* plain head argument: value of this body column *)
+  | Fold of Ast.agg * int  (* aggregate over this body column *)
+
+(* The fast-path shape of an aggregate rule: a single positive body atom
+   whose arguments are distinct bare variables, every head argument a
+   bare variable of the atom.  Such a rule groups the relation by the
+   plain-argument columns — precisely a {!Store.groups} probe. *)
+let agg_index_shape (r : Ast.rule) : (Ast.atom * agg_slot list) option =
+  match r.body with
+  | [ Ast.Pos a ] ->
+    let distinct_bare =
+      let rec go seen = function
+        | [] -> true
+        | Ast.Var x :: rest ->
+          (not (Sset.mem x seen)) && go (Sset.add x seen) rest
+        | _ -> false
+      in
+      go Sset.empty a.args
+    in
+    if not distinct_bare then None
+    else
+      let pos_of x =
+        let rec go i = function
+          | [] -> None
+          | Ast.Var y :: _ when y = x -> Some i
+          | _ :: rest -> go (i + 1) rest
         in
-        let aggvals =
-          List.filter_map
-            (function
-              | Ast.Plain _ -> None
-              | Ast.Agg (_, x) -> Some (Env.find x env))
-            r.head.head_args
-        in
-        Kmap.update key
-          (function
-            | None -> Some [ aggvals ]
-            | Some rows -> Some (aggvals :: rows))
-          groups)
-      Kmap.empty envs
+        go 0 a.args
+      in
+      let slot = function
+        | Ast.Plain (Ast.Var x) -> Option.map (fun i -> Group i) (pos_of x)
+        | Ast.Agg (agg, x) -> Option.map (fun i -> Fold (agg, i)) (pos_of x)
+        | Ast.Plain _ -> None
+      in
+      let slots = List.map slot r.head.head_args in
+      if List.exists Option.is_none slots then None
+      else Some (a, List.map Option.get slots)
+  | _ -> None
+
+(* Grouped-index aggregate evaluation: one {!Store.groups} probe over
+   the group-by columns replaces the environment enumeration.  Tuples
+   of the wrong arity are filtered per group, mirroring the arity check
+   [Env.match_args] performs on the slow path; a group left empty by
+   the filter is skipped (the slow path would never have formed it). *)
+let apply_agg_rule_indexed st db (a : Ast.atom) (slots : agg_slot list) :
+    Store.Tuple.t list =
+  let arity = List.length a.args in
+  let cols =
+    List.sort_uniq Stdlib.compare
+      (List.filter_map (function Group i -> Some i | Fold _ -> None) slots)
   in
-  Kmap.fold
-    (fun key rows acc ->
-      (* Recombine: plain positions from the key, aggregate positions
-         folded over the collected column. *)
-      let n_aggs = List.length (List.hd rows) in
-      let columns =
-        List.init n_aggs (fun i -> List.map (fun row -> List.nth row i) rows)
+  let col_slot = List.mapi (fun k c -> (c, k)) cols in
+  st.c_index_hits <- st.c_index_hits + 1;
+  List.fold_left
+    (fun acc (key, tuples) ->
+      let rows =
+        Store.Tset.fold
+          (fun t acc ->
+            st.c_enumerated <- st.c_enumerated + 1;
+            if Array.length t = arity then begin
+              st.c_matched <- st.c_matched + 1;
+              t :: acc
+            end
+            else acc)
+          tuples []
       in
-      let rec build args key cols =
-        match args, key with
-        | [], [] -> []
-        | Ast.Plain _ :: args', Some v :: key' -> v :: build args' key' cols
-        | Ast.Agg (a, _) :: args', None :: key' -> (
-          match cols with
-          | col :: cols' -> agg_fold a col :: build args' key' cols'
-          | [] -> raise (Eval_error "aggregate column mismatch"))
-        | _ -> raise (Eval_error "aggregate head shape mismatch")
-      in
-      Array.of_list (build r.head.head_args key columns) :: acc)
-    groups []
+      match rows with
+      | [] -> acc
+      | _ ->
+        let head =
+          Array.of_list
+            (List.map
+               (function
+                 | Group i -> List.nth key (List.assoc i col_slot)
+                 | Fold (agg, i) ->
+                   agg_fold agg (List.map (fun t -> t.(i)) rows))
+               slots)
+        in
+        head :: acc)
+    []
+    (Store.groups a.pred ~cols db)
+
+(* Evaluate an aggregate rule: group satisfying environments by the
+   plain head arguments, fold the aggregate, emit one tuple per group.
+   Single-atom rules take the grouped-index fast path above (same
+   output set, one index probe instead of an enumeration). *)
+let apply_agg_rule_c st db (r : Ast.rule) : Store.Tuple.t list =
+  match if !use_indexes then agg_index_shape r else None with
+  | Some (a, slots) -> apply_agg_rule_indexed st db a slots
+  | None ->
+    let envs =
+      body_envs_c st db
+        (order_body ~card:(fun p -> Store.cardinal p db) r.body)
+    in
+    let groups =
+      List.fold_left
+        (fun groups env ->
+          let key =
+            List.map
+              (function
+                | Ast.Plain e -> Some (Env.eval env e)
+                | Ast.Agg _ -> None)
+              r.head.head_args
+          in
+          let aggvals =
+            List.filter_map
+              (function
+                | Ast.Plain _ -> None
+                | Ast.Agg (_, x) -> Some (Env.find x env))
+              r.head.head_args
+          in
+          Kmap.update key
+            (function
+              | None -> Some [ aggvals ]
+              | Some rows -> Some (aggvals :: rows))
+            groups)
+        Kmap.empty envs
+    in
+    Kmap.fold
+      (fun key rows acc ->
+        (* Recombine: plain positions from the key, aggregate positions
+           folded over the collected column. *)
+        let n_aggs = List.length (List.hd rows) in
+        let columns =
+          List.init n_aggs (fun i -> List.map (fun row -> List.nth row i) rows)
+        in
+        let rec build args key cols =
+          match args, key with
+          | [], [] -> []
+          | Ast.Plain _ :: args', Some v :: key' -> v :: build args' key' cols
+          | Ast.Agg (a, _) :: args', None :: key' -> (
+            match cols with
+            | col :: cols' -> agg_fold a col :: build args' key' cols'
+            | [] -> raise (Eval_error "aggregate column mismatch"))
+          | _ -> raise (Eval_error "aggregate head shape mismatch")
+        in
+        Array.of_list (build r.head.head_args key columns) :: acc)
+      groups []
+
+let apply_agg_rule ?(stats = counters ()) db r = apply_agg_rule_c stats db r
 
 (* ------------------------------------------------------------------ *)
 (* Fixpoint drivers. *)
@@ -368,7 +507,7 @@ let split_agg rules =
    applications move the delta literal to the front (it is the small
    relation) and order the remaining literals under the variables the
    delta binds. *)
-let apply_plain_rules db ?deltas ~rec_preds rules ~count =
+let apply_plain_rules st db ?deltas ~rec_preds rules ~count =
   let card p = Store.cardinal p db in
   List.fold_left
     (fun acc (r : Ast.rule) ->
@@ -380,7 +519,7 @@ let apply_plain_rules db ?deltas ~rec_preds rules ~count =
           acc envs
       in
       match deltas with
-      | None -> produce acc (body_envs db (order_body ~card r.body))
+      | None -> produce acc (body_envs_c st db (order_body ~card r.body))
       | Some delta_db ->
         let positions = delta_positions rec_preds r.body in
         List.fold_left
@@ -397,33 +536,36 @@ let apply_plain_rules db ?deltas ~rec_preds rules ~count =
               let body =
                 delta_lit :: order_body ~card ~bound:(atom_binds delta_atom) rest
               in
-              produce acc (body_envs db ~delta:(0, d) body))
+              produce acc (body_envs_c st db ~delta:(0, d) body))
           acc positions)
     Store.empty rules
 
+(* Run a stratum's aggregate rules once and merge their heads. *)
+let apply_agg_rules st db agg_rules ~count =
+  List.fold_left
+    (fun db (r : Ast.rule) ->
+      List.fold_left
+        (fun db t ->
+          incr count;
+          Store.add r.Ast.head.Ast.head_pred t db)
+        db
+        (apply_agg_rule_c st db r))
+    db agg_rules
+
 (* Evaluate one stratum to fixpoint, semi-naively. *)
-let eval_stratum_seminaive db stratum (p : Ast.program) ~max_rounds ~rounds
+let eval_stratum_seminaive st db stratum (p : Ast.program) ~max_rounds ~rounds
     ~count =
   let rules = rules_of_stratum p stratum in
   let agg_rules, plain_rules = split_agg rules in
   (* Aggregate rules see only lower strata: run them once. *)
-  let db =
-    List.fold_left
-      (fun db r ->
-        List.fold_left
-          (fun db t ->
-            incr count;
-            Store.add r.Ast.head.Ast.head_pred t db)
-          db (apply_agg_rule db r))
-      db agg_rules
-  in
+  let db = apply_agg_rules st db agg_rules ~count in
   let rec_preds =
     List.fold_left
       (fun s (r : Ast.rule) -> Sset.add r.head.head_pred s)
       Sset.empty plain_rules
   in
   (* Initial round: full evaluation of the stratum's plain rules. *)
-  let derived = apply_plain_rules db ~rec_preds plain_rules ~count in
+  let derived = apply_plain_rules st db ~rec_preds plain_rules ~count in
   let delta = Store.diff derived db in
   let db = Store.union db delta in
   incr rounds;
@@ -433,7 +575,7 @@ let eval_stratum_seminaive db stratum (p : Ast.program) ~max_rounds ~rounds
     else begin
       incr rounds;
       let derived =
-        apply_plain_rules db ~deltas:delta ~rec_preds plain_rules ~count
+        apply_plain_rules st db ~deltas:delta ~rec_preds plain_rules ~count
       in
       let delta' = Store.diff derived db in
       loop (Store.union db delta') delta'
@@ -443,25 +585,18 @@ let eval_stratum_seminaive db stratum (p : Ast.program) ~max_rounds ~rounds
 
 (* Evaluate one stratum to fixpoint, naively (for differential testing
    and the E7 bench). *)
-let eval_stratum_naive db stratum (p : Ast.program) ~max_rounds ~rounds ~count
-    =
+let eval_stratum_naive st db stratum (p : Ast.program) ~max_rounds ~rounds
+    ~count =
   let rules = rules_of_stratum p stratum in
   let agg_rules, plain_rules = split_agg rules in
-  let db =
-    List.fold_left
-      (fun db r ->
-        List.fold_left
-          (fun db t ->
-            incr count;
-            Store.add r.Ast.head.Ast.head_pred t db)
-          db (apply_agg_rule db r))
-      db agg_rules
-  in
+  let db = apply_agg_rules st db agg_rules ~count in
   let rec loop db =
     if !rounds >= max_rounds then (db, false)
     else begin
       incr rounds;
-      let derived = apply_plain_rules db ~rec_preds:Sset.empty plain_rules ~count in
+      let derived =
+        apply_plain_rules st db ~rec_preds:Sset.empty plain_rules ~count
+      in
       let delta = Store.diff derived db in
       if Store.is_empty delta then (db, true)
       else loop (Store.union db delta)
@@ -469,22 +604,331 @@ let eval_stratum_naive db stratum (p : Ast.program) ~max_rounds ~rounds ~count
   in
   loop db
 
-let eval_with stratum_eval ?(max_rounds = 10_000) (p : Ast.program)
+let eval_with stratum_eval ?(max_rounds = 10_000) ?stats (p : Ast.program)
     (info : Analysis.info) (db : Store.t) : outcome =
+  let st = counters () in
   let rounds = ref 0 and count = ref 0 in
   let db, converged =
     List.fold_left
       (fun (db, ok) stratum ->
         if not ok then (db, ok)
-        else stratum_eval db stratum p ~max_rounds ~rounds ~count)
+        else stratum_eval st db stratum p ~max_rounds ~rounds ~count)
       (db, true) info.Analysis.strata
   in
-  { db; rounds = !rounds; derivations = !count; converged }
+  let s = snapshot st in
+  Option.iter (fun c -> accumulate c s) stats;
+  { db; rounds = !rounds; derivations = !count; converged; stats = s }
 
-let seminaive ?max_rounds p info db =
-  eval_with eval_stratum_seminaive ?max_rounds p info db
+let seminaive ?max_rounds ?stats p info db =
+  eval_with eval_stratum_seminaive ?max_rounds ?stats p info db
 
-let naive ?max_rounds p info db = eval_with eval_stratum_naive ?max_rounds p info db
+let naive ?max_rounds ?stats p info db =
+  eval_with eval_stratum_naive ?max_rounds ?stats p info db
+
+(* ------------------------------------------------------------------ *)
+(* Sharded evaluation.
+
+   The database is partitioned by the location-specifier column
+   ({!Shard.partition}); each shard runs the ordinary semi-naive core
+   over its slice (plus the replicated relations), and head tuples
+   located at another shard are routed to an outbox instead of being
+   stored — exactly the tuples {!Dist.Runtime} would send as messages.
+   A sequential exchange step delivers outboxes (receiver-side
+   deduplication guarantees termination: a tuple already present is
+   dropped), and shards that received anything re-run on the received
+   delta, until no shard receives a new tuple.  Per-shard fixpoints of
+   one such global round are independent, so they run in parallel on a
+   domain pool.
+
+   Determinism: the shard decomposition, exchange order, and per-shard
+   accounting are independent of the domain count, so the outcome
+   (database, rounds, derivations, convergence, stats) is identical for
+   any [~domains] — only wall-clock time changes.  Rounds are counted
+   as the sum over global rounds of the *maximum* local round count
+   (the parallel depth); derivation and join counters sum over shards
+   in shard order.  Both therefore differ numerically from the
+   centralized evaluator's schedule-dependent counts, but the fixpoint
+   database and convergence flag coincide (checked by property).
+
+   Soundness leans on {!Shard.analyze} (see shard.ml): every rule body
+   reads one location's slice plus replicated relations, negated
+   located atoms test membership at the body's own location (located
+   tuples live only in their owner shard, so the local check equals the
+   global one), and aggregate rules over located bodies group by the
+   location variable, making groups shard-local.  Aggregate rules over
+   purely replicated bodies are evaluated once against the replicated
+   store rather than redundantly per shard. *)
+
+type shard_state = {
+  skey : Value.t;  (* this shard's location value *)
+  sc : counters;  (* private join counters (merged in shard order) *)
+  mutable sdb : Store.t;  (* replicated ∪ tuples located here *)
+  mutable incoming : Store.t;  (* delta received since the last run *)
+  mutable sderiv : int;
+  mutable last_rounds : int;  (* local rounds of the last run *)
+  mutable last_converged : bool;
+  mutable outbox : (Value.t * string * Store.Tuple.t) list;
+  mutable obroadcast : Store.t;  (* new unlocated tuples of the last run *)
+}
+
+type shard_ctx = {
+  plan : Shard.plan;
+  mutable shards : shard_state array;  (* deterministic discovery order *)
+  stbl : (Value.t, int) Hashtbl.t;  (* shard key -> index in [shards] *)
+  mutable repl : Store.t;  (* canonical replicated (unlocated) store *)
+}
+
+let mkshard key sdb incoming =
+  {
+    skey = key;
+    sc = counters ();
+    sdb;
+    incoming;
+    sderiv = 0;
+    last_rounds = 0;
+    last_converged = true;
+    outbox = [];
+    obroadcast = Store.empty;
+  }
+
+(* The shard owning [key], created on first delivery: a fresh shard
+   starts from the replicated store alone (no tuple was located there,
+   or the shard would already exist). *)
+let shard_for ctx key =
+  match Hashtbl.find_opt ctx.stbl key with
+  | Some i -> ctx.shards.(i)
+  | None ->
+    let s = mkshard key ctx.repl Store.empty in
+    Hashtbl.add ctx.stbl key (Array.length ctx.shards);
+    ctx.shards <- Array.append ctx.shards [| s |];
+    s
+
+(* Deliver one located tuple to its owner shard; receiver-side dedup.
+   [delta] additionally records it as incoming (stage-B exchange; the
+   stage-A aggregate deliveries precede a full round and need none). *)
+let deliver ctx ~delta key pred tuple =
+  let s = shard_for ctx key in
+  if not (Store.mem pred tuple s.sdb) then begin
+    s.sdb <- Store.add pred tuple s.sdb;
+    if delta then s.incoming <- Store.add pred tuple s.incoming
+  end
+
+(* Broadcast one unlocated tuple: into the replicated store and every
+   live shard (shards created later start from the updated [repl]). *)
+let broadcast ctx ~delta pred tuple =
+  if not (Store.mem pred tuple ctx.repl) then
+    ctx.repl <- Store.add pred tuple ctx.repl;
+  Array.iter
+    (fun s ->
+      if not (Store.mem pred tuple s.sdb) then begin
+        s.sdb <- Store.add pred tuple s.sdb;
+        if delta then s.incoming <- Store.add pred tuple s.incoming
+      end)
+    ctx.shards
+
+(* One shard-local semi-naive fixpoint over the stratum's plain rules.
+   Foreign-located heads go to the outbox (never into [sdb]); new
+   unlocated heads are kept locally and queued for broadcast.  Runs
+   inside a pool task: touches only its own shard. *)
+let local_fixpoint ctx plain_rules rec_preds ~budget (s : shard_state) ~init =
+  let count = ref 0 and lrounds = ref 0 in
+  let outbox = ref [] and obroadcast = ref Store.empty in
+  let absorb derived =
+    let routed = Shard.route ctx.plan ~self:s.skey derived in
+    outbox := List.rev_append routed.Shard.foreign !outbox;
+    let delta = Store.diff routed.Shard.local s.sdb in
+    obroadcast :=
+      Store.union !obroadcast (Store.diff routed.Shard.everywhere s.sdb);
+    s.sdb <- Store.union s.sdb delta;
+    delta
+  in
+  let step ?deltas () =
+    incr lrounds;
+    absorb (apply_plain_rules s.sc s.sdb ?deltas ~rec_preds plain_rules ~count)
+  in
+  let first =
+    match init with `Full -> step () | `Delta d -> step ~deltas:d ()
+  in
+  let rec loop delta =
+    if Store.is_empty delta then true
+    else if !lrounds >= budget then false
+    else loop (step ~deltas:delta ())
+  in
+  let converged = loop first in
+  s.sderiv <- s.sderiv + !count;
+  s.last_rounds <- !lrounds;
+  s.last_converged <- converged;
+  s.outbox <- List.rev !outbox;
+  s.obroadcast <- !obroadcast
+
+(* Deliver every outbox and broadcast queue, in shard order (shards
+   created mid-exchange are appended and visited too; their queues are
+   empty).  Deterministic regardless of which domain ran which shard. *)
+let exchange ctx ~delta =
+  let i = ref 0 in
+  while !i < Array.length ctx.shards do
+    let s = ctx.shards.(!i) in
+    List.iter (fun (key, pred, t) -> deliver ctx ~delta key pred t) s.outbox;
+    s.outbox <- [];
+    List.iter
+      (fun (pred, t) -> broadcast ctx ~delta pred t)
+      (Store.to_list s.obroadcast);
+    s.obroadcast <- Store.empty;
+    incr i
+  done
+
+(* One stratum of the sharded evaluation; [true] when it converged
+   within the round budget. *)
+let eval_stratum_sharded ctx pool (p : Ast.program) stratum ~max_rounds
+    ~rounds ~extra_deriv ~extra_st =
+  let rules = rules_of_stratum p stratum in
+  let agg_rules, plain_rules = split_agg rules in
+  (* Stage A: aggregate rules, once at stratum entry.  Located bodies
+     run per shard (groups are shard-local by [Shard.analyze]);
+     replicated bodies run once against the replicated store.  Heads
+     are routed before the full round below. *)
+  let located_body (r : Ast.rule) =
+    List.exists
+      (fun (a : Ast.atom) -> Shard.loc_index ctx.plan a.pred <> None)
+      (Ast.body_atoms r.body)
+  in
+  let shard_aggs, repl_aggs = List.partition located_body agg_rules in
+  let route_out tuples pred =
+    List.iter
+      (fun t ->
+        match Shard.loc_value ctx.plan pred t with
+        | Some key -> deliver ctx ~delta:false key pred t
+        | None -> broadcast ctx ~delta:false pred t)
+      tuples
+  in
+  List.iter
+    (fun (r : Ast.rule) ->
+      let ts = apply_agg_rule_c extra_st ctx.repl r in
+      extra_deriv := !extra_deriv + List.length ts;
+      route_out ts r.head.head_pred)
+    repl_aggs;
+  if shard_aggs <> [] then begin
+    let base = ctx.shards in
+    let outs =
+      Pool.map_array pool
+        (fun s ->
+          List.map
+            (fun (r : Ast.rule) ->
+              let ts = apply_agg_rule_c s.sc s.sdb r in
+              s.sderiv <- s.sderiv + List.length ts;
+              (r.head.head_pred, ts))
+            shard_aggs)
+        base
+    in
+    Array.iter
+      (fun per_rule ->
+        List.iter (fun (pred, ts) -> route_out ts pred) per_rule)
+      outs
+  end;
+  (* Stage B: plain rules to a global fixpoint.  Round 1 is a full
+     application on every shard; afterwards only shards that received
+     tuples re-run, on the received delta. *)
+  let rec_preds =
+    List.fold_left
+      (fun s (r : Ast.rule) -> Sset.add r.head.head_pred s)
+      Sset.empty plain_rules
+  in
+  let run_round shards ~init =
+    let budget = max 1 (max_rounds - !rounds) in
+    Pool.run_batch pool ~n:(Array.length shards) (fun i ->
+        let s = shards.(i) in
+        let init =
+          match init with
+          | `Full -> `Full
+          | `Incoming ->
+            let d = s.incoming in
+            s.incoming <- Store.empty;
+            `Delta d
+        in
+        local_fixpoint ctx plain_rules rec_preds ~budget s ~init);
+    rounds :=
+      !rounds
+      + Array.fold_left (fun m s -> max m s.last_rounds) 0 shards;
+    Array.for_all (fun s -> s.last_converged) shards
+  in
+  let ok = run_round ctx.shards ~init:`Full in
+  exchange ctx ~delta:true;
+  let rec loop ok =
+    let pending =
+      Array.of_seq
+        (Seq.filter
+           (fun s -> not (Store.is_empty s.incoming))
+           (Array.to_seq ctx.shards))
+    in
+    if Array.length pending = 0 then ok
+    else if not ok || !rounds >= max_rounds then false
+    else begin
+      let ok = run_round pending ~init:`Incoming in
+      exchange ctx ~delta:true;
+      loop ok
+    end
+  in
+  loop ok
+
+let seminaive_sharded ?(max_rounds = 10_000) ?stats ~domains (p : Ast.program)
+    (info : Analysis.info) (db : Store.t) : outcome =
+  match Shard.analyze p with
+  | Error _ -> seminaive ~max_rounds ?stats p info db
+  | Ok plan ->
+    let parts, repl = Shard.partition plan db in
+    if Array.length parts <= 1 then
+      (* Nothing to distribute over: run centralized. *)
+      seminaive ~max_rounds ?stats p info db
+    else
+      Pool.with_pool ~domains (fun pool ->
+          let ctx =
+            {
+              plan;
+              shards =
+                Array.map (fun (key, part) ->
+                    mkshard key (Store.union repl part) Store.empty)
+                  parts;
+              stbl = Hashtbl.create 16;
+              repl;
+            }
+          in
+          Array.iteri (fun i s -> Hashtbl.add ctx.stbl s.skey i) ctx.shards;
+          let rounds = ref 0 in
+          let extra_deriv = ref 0 in
+          let extra_st = counters () in
+          let converged =
+            List.fold_left
+              (fun ok stratum ->
+                if not ok then ok
+                else
+                  eval_stratum_sharded ctx pool p stratum ~max_rounds ~rounds
+                    ~extra_deriv ~extra_st)
+              true info.Analysis.strata
+          in
+          let db =
+            Array.fold_left
+              (fun acc s -> Store.union acc s.sdb)
+              Store.empty ctx.shards
+          in
+          let s =
+            Array.fold_left
+              (fun acc sh -> add_stats acc (snapshot sh.sc))
+              (snapshot extra_st) ctx.shards
+          in
+          Option.iter (fun c -> accumulate c s) stats;
+          {
+            db;
+            rounds = !rounds;
+            derivations =
+              Array.fold_left
+                (fun acc sh -> acc + sh.sderiv)
+                !extra_deriv ctx.shards;
+            converged;
+            stats = s;
+          })
+
+(* ------------------------------------------------------------------ *)
+(* Entry points. *)
 
 (* Analyze and evaluate a self-contained program (facts included). *)
 let run ?max_rounds ?(extra_facts = []) (p : Ast.program) :
@@ -499,6 +943,14 @@ let run_exn ?max_rounds ?extra_facts p =
   match run ?max_rounds ?extra_facts p with
   | Ok o -> o
   | Error e -> invalid_arg (Fmt.str "NDlog evaluation failed: %a" Analysis.pp_error e)
+
+let run_sharded ?max_rounds ?(domains = Domain.recommended_domain_count ())
+    ?(extra_facts = []) (p : Ast.program) : (outcome, Analysis.error) result =
+  match Analysis.analyze p with
+  | Error e -> Error e
+  | Ok info ->
+    let db = Store.of_facts (p.facts @ extra_facts) in
+    Ok (seminaive_sharded ?max_rounds ~domains p info db)
 
 (* Convenience: parse source text and run it. *)
 let run_source ?max_rounds src : (outcome, string) result =

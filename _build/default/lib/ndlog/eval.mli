@@ -1,37 +1,34 @@
-(** Centralized bottom-up evaluation of NDlog programs.
+(** Bottom-up evaluation of NDlog programs.
 
-    Two evaluators share one rule-application core: {!naive} re-derives
-    everything from the full database each round; {!seminaive} performs
-    classic delta iteration.  Both respect stratification: strata are
-    evaluated bottom-up, aggregate rules of a stratum run once at
-    stratum entry (their inputs are complete), remaining rules run to
-    fixpoint.
+    Three evaluators share one rule-application core: {!naive}
+    re-derives everything from the full database each round;
+    {!seminaive} performs classic delta iteration;
+    {!seminaive_sharded} partitions the database by the
+    location-specifier column ({!Shard}) and runs per-shard semi-naive
+    fixpoints in parallel on OCaml domains, exchanging foreign-located
+    head tuples between shards until a global fixpoint.  All respect
+    stratification: strata are evaluated bottom-up, aggregate rules of
+    a stratum run once at stratum entry (their inputs are complete),
+    remaining rules run to fixpoint.
 
     Joins are index-aware: body literals with ground argument positions
-    are answered from {!Store.lookup} secondary indexes, and rule
-    bodies are reordered most-bound-first ({!order_body}); both
-    optimizations fall back to the plain nested-loop scan (and can be
-    disabled via {!use_indexes} / {!use_reordering}) without changing
-    the fixpoint.  {!stats} reports index hits vs. scans and tuples
-    enumerated vs. matched.
+    are answered from {!Store.lookup} secondary indexes, rule bodies
+    are reordered most-bound-first ({!order_body}), and single-atom
+    aggregate rules are answered from a {!Store.groups} grouped index
+    probe; every optimization falls back to the plain nested-loop scan
+    (and can be disabled via {!use_indexes} / {!use_reordering})
+    without changing the fixpoint.
+
+    Instrumentation is per run: every evaluation reports its own join
+    counters in [outcome.stats], and callers may pass a {!counters}
+    accumulator to aggregate across runs.  There is no global mutable
+    statistics state, so concurrent evaluations never interfere.
 
     Evaluation is bounded by [max_rounds]: a program with no finite
     fixpoint (e.g. distance-vector count-to-infinity on a cycle) is
     reported as not converged instead of looping. *)
 
-(** The result of an evaluation. *)
-type outcome = {
-  db : Store.t;  (** the database reached *)
-  rounds : int;  (** fixpoint rounds across all strata *)
-  derivations : int;  (** head tuples produced, counting duplicates *)
-  converged : bool;  (** false when [max_rounds] was hit *)
-}
-
-exception Eval_error of string
-
-(** {1 Instrumentation and switches} *)
-
-(** Join counters, cumulative since the last {!reset_stats}. *)
+(** Join counters of one evaluation run. *)
 type stats = {
   index_hits : int;  (** joins answered from a secondary index *)
   scans : int;  (** joins answered by a full relation scan *)
@@ -39,14 +36,42 @@ type stats = {
   matched : int;  (** candidates that unified with the pattern *)
 }
 
-val reset_stats : unit -> unit
-val stats : unit -> stats
+(** The result of an evaluation. *)
+type outcome = {
+  db : Store.t;  (** the database reached *)
+  rounds : int;  (** fixpoint rounds across all strata *)
+  derivations : int;  (** head tuples produced, counting duplicates *)
+  converged : bool;  (** false when [max_rounds] was hit *)
+  stats : stats;  (** join counters of this run *)
+}
+
+exception Eval_error of string
+
+(** {1 Instrumentation and switches} *)
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
 val pp_stats : stats Fmt.t
 
+type counters
+(** A mutable accumulator threaded through one or more evaluations.
+    Each run owns (or is handed) its own record — there is no global
+    counter state, so runs never bleed into each other and per-shard
+    evaluations may proceed on separate domains. *)
+
+val counters : unit -> counters
+(** A fresh zeroed accumulator. *)
+
+val snapshot : counters -> stats
+(** The current counts, as an immutable record. *)
+
+val accumulate : counters -> stats -> unit
+(** Add a snapshot into an accumulator. *)
+
 val use_indexes : bool ref
-(** Consult secondary indexes for ground argument positions (default
-    [true]).  Off: every join is a full scan — the pre-index
-    nested-loop evaluator. *)
+(** Consult secondary indexes for ground argument positions and grouped
+    aggregate probes (default [true]).  Off: every join is a full scan
+    — the pre-index nested-loop evaluator. *)
 
 val use_reordering : bool ref
 (** Reorder rule bodies most-bound-first before evaluation (default
@@ -69,14 +94,25 @@ val atom_binds : Ast.atom -> Ast.Sset.t
 (** The variables a positive atom binds when evaluated first (its bare
     variable arguments). *)
 
+val candidates :
+  ?stats:counters -> Store.t -> Env.t -> string -> Ast.expr list -> Store.Tset.t
+(** The candidate tuples for matching the arguments against a predicate
+    under an environment: an indexed lookup when some position is
+    ground, the full relation otherwise. *)
+
 val body_envs :
-  Store.t -> ?delta:int * Store.Tset.t -> Ast.lit list -> Env.t list
+  ?stats:counters ->
+  Store.t ->
+  ?delta:int * Store.Tset.t ->
+  Ast.lit list ->
+  Env.t list
 (** All satisfying environments for a rule body against a database.
     [delta] optionally replaces the relation read by the body literal at
     the given index (semi-naive evaluation); exposed for the distributed
     runtime and the plan compiler. *)
 
-val join_envs : Store.t -> Env.t -> string -> Ast.expr list -> Env.t list
+val join_envs :
+  ?stats:counters -> Store.t -> Env.t -> string -> Ast.expr list -> Env.t list
 (** [join_envs db env pred args]: extend [env] with every tuple of
     [pred] that matches [args] — one index-aware join step, shared with
     the strand executor ({!Plan.execute}). *)
@@ -84,19 +120,63 @@ val join_envs : Store.t -> Env.t -> string -> Ast.expr list -> Env.t list
 val head_tuple : Env.t -> Ast.head -> Store.Tuple.t
 (** Instantiate an aggregate-free head under an environment. *)
 
-val apply_agg_rule : Store.t -> Ast.rule -> Store.Tuple.t list
+val apply_agg_rule :
+  ?stats:counters -> Store.t -> Ast.rule -> Store.Tuple.t list
 (** Evaluate an aggregate rule against the full database: group
     satisfying environments by the plain head arguments and fold the
-    aggregate. *)
+    aggregate.  Rules whose body is a single positive atom over
+    distinct bare variables are answered from a {!Store.groups} index
+    probe — same output set, one probe instead of an enumeration. *)
+
+(** {1 Evaluators} *)
 
 val seminaive :
-  ?max_rounds:int -> Ast.program -> Analysis.info -> Store.t -> outcome
+  ?max_rounds:int ->
+  ?stats:counters ->
+  Ast.program ->
+  Analysis.info ->
+  Store.t ->
+  outcome
 (** Semi-naive (delta) evaluation from an initial database. *)
 
 val naive :
-  ?max_rounds:int -> Ast.program -> Analysis.info -> Store.t -> outcome
+  ?max_rounds:int ->
+  ?stats:counters ->
+  Ast.program ->
+  Analysis.info ->
+  Store.t ->
+  outcome
 (** Naive evaluation; same fixpoint as {!seminaive} (differentially
     tested), used as the E7 baseline. *)
+
+val seminaive_sharded :
+  ?max_rounds:int ->
+  ?stats:counters ->
+  domains:int ->
+  Ast.program ->
+  Analysis.info ->
+  Store.t ->
+  outcome
+(** Sharded semi-naive evaluation: partition the database by the
+    location-specifier column ({!Shard.partition}), run per-shard
+    fixpoints in parallel on [domains] OCaml domains, route head tuples
+    located at another shard through an exchange step (exactly the
+    tuples the distributed runtime would send as messages), and repeat
+    until no shard receives a new tuple.
+
+    Reaches the same fixpoint database and convergence flag as
+    {!seminaive} (checked by property); [rounds] counts the parallel
+    depth (sum over global rounds of the maximum local round count) and
+    [derivations]/[stats] sum per-shard counts, so the numeric
+    accounting differs from the centralized schedule.  The outcome is
+    identical for every [domains] value — the decomposition and
+    exchange order are domain-count independent; only wall-clock time
+    changes.
+
+    Falls back to {!seminaive} when {!Shard.analyze} rejects the
+    program or the database occupies at most one shard. *)
+
+(** {1 Entry points} *)
 
 val run :
   ?max_rounds:int ->
@@ -109,6 +189,15 @@ val run :
 val run_exn :
   ?max_rounds:int -> ?extra_facts:Ast.fact list -> Ast.program -> outcome
 (** @raise Invalid_argument on analysis failure. *)
+
+val run_sharded :
+  ?max_rounds:int ->
+  ?domains:int ->
+  ?extra_facts:Ast.fact list ->
+  Ast.program ->
+  (outcome, Analysis.error) result
+(** {!run} through {!seminaive_sharded}; [domains] defaults to
+    [Domain.recommended_domain_count ()]. *)
 
 val run_source : ?max_rounds:int -> string -> (outcome, string) result
 (** Parse source text and run it. *)

@@ -109,7 +109,7 @@ let compile_program ?(trigger_preds = []) (p : Ast.program) : strand list =
 (* ------------------------------------------------------------------ *)
 (* Execution: an environment stream flows through the operator list. *)
 
-let execute_ops (db : Store.t) ?(delta_tuple : Store.Tuple.t option)
+let execute_ops ?stats (db : Store.t) ?(delta_tuple : Store.Tuple.t option)
     (ops : op list) : Store.Tuple.t list =
   let step (envs : Env.t list) (o : op) : Env.t list =
     match o with
@@ -121,7 +121,7 @@ let execute_ops (db : Store.t) ?(delta_tuple : Store.Tuple.t option)
     | Join { pred; args } ->
       (* Index-aware: ground argument positions under each streamed
          environment are answered from a secondary index. *)
-      List.concat_map (fun env -> Eval.join_envs db env pred args) envs
+      List.concat_map (fun env -> Eval.join_envs ?stats db env pred args) envs
     | Anti_join { pred; args } ->
       List.filter
         (fun env ->
@@ -153,8 +153,9 @@ let execute_ops (db : Store.t) ?(delta_tuple : Store.Tuple.t option)
   | None -> raise (Plan_error "strand has no projection")
   | Some h -> List.map (fun env -> Eval.head_tuple env h) envs
 
-let execute (db : Store.t) ?delta_tuple (s : strand) : Store.Tuple.t list =
-  execute_ops db ?delta_tuple s.ops
+let execute ?stats (db : Store.t) ?delta_tuple (s : strand) : Store.Tuple.t list
+    =
+  execute_ops ?stats db ?delta_tuple s.ops
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing (the strand diagrams P2 logs). *)

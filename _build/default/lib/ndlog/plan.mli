@@ -47,8 +47,13 @@ val compile_program : ?trigger_preds:string list -> Ast.program -> strand list
     contribute no strands (they are view-refreshed). *)
 
 val execute :
-  Store.t -> ?delta_tuple:Store.Tuple.t -> strand -> Store.Tuple.t list
+  ?stats:Eval.counters ->
+  Store.t ->
+  ?delta_tuple:Store.Tuple.t ->
+  strand ->
+  Store.Tuple.t list
 (** Run a strand; [delta_tuple] is required for delta strands.
+    [stats] accumulates the join counters of the run.
     @raise Plan_error when a delta strand runs without a tuple. *)
 
 val pp_op : op Fmt.t

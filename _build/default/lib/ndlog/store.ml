@@ -256,21 +256,34 @@ let hash (db : t) =
 (* ------------------------------------------------------------------ *)
 (* Indexed lookup. *)
 
+(* Find or build the [(pred, cols)] index of [r].  Benign memoization:
+   older copies of a store sharing [r] would build the very same index,
+   and a racing domain at worst loses the other's cache entry (the
+   tuple sets themselves are immutable), so concurrent lookups from the
+   sharded evaluator are safe. *)
+let get_index (r : rel) (cols : int list) : index =
+  match Cmap.find_opt cols r.indexes with
+  | Some idx -> idx
+  | None ->
+    let idx = build_index cols r.tuples in
+    r.indexes <- Cmap.add cols idx r.indexes;
+    idx
+
 let lookup pred ~(cols : int list) ~(key : Value.t list) (db : t) : Tset.t =
   match Smap.find_opt pred db with
   | None -> Tset.empty
-  | Some r ->
-    let idx =
-      match Cmap.find_opt cols r.indexes with
-      | Some idx -> idx
-      | None ->
-        let idx = build_index cols r.tuples in
-        (* Benign memoization: older copies of this store sharing [r]
-           would build the very same index. *)
-        r.indexes <- Cmap.add cols idx r.indexes;
-        idx
-    in
-    (match Vmap.find_opt key idx with Some s -> s | None -> Tset.empty)
+  | Some r -> (
+    match Vmap.find_opt key (get_index r cols) with
+    | Some s -> s
+    | None -> Tset.empty)
+
+(* All groups of a relation under the [(pred, cols)] index, in key
+   order: the grouped probe used by index-aware aggregate evaluation
+   ({!Eval.apply_agg_rule}). *)
+let groups pred ~(cols : int list) (db : t) : (Value.t list * Tset.t) list =
+  match Smap.find_opt pred db with
+  | None -> []
+  | Some r -> Vmap.bindings (get_index r cols)
 
 let index_count (db : t) =
   Smap.fold (fun _ r acc -> acc + Cmap.cardinal r.indexes) db 0

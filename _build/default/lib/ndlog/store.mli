@@ -89,6 +89,13 @@ val lookup : string -> cols:int list -> key:Value.t list -> t -> Tset.t
     have all indexed columns are never returned (they cannot match a
     pattern binding those positions). *)
 
+val groups : string -> cols:int list -> t -> (Value.t list * Tset.t) list
+(** All groups of [pred] under the [(pred, cols)] index, in ascending
+    key order: each key paired with the tuples whose values at [cols]
+    equal it.  [cols = \[\]] yields a single group holding the whole
+    relation.  Builds and caches the index like {!lookup}; used by
+    index-aware aggregate evaluation ({!Eval.apply_agg_rule}). *)
+
 val index_count : t -> int
 (** Number of materialized [(pred, column-set)] indexes — cache
     introspection for tests and stats. *)

@@ -691,20 +691,30 @@ let test_order_body_most_bound_first () =
 
 let test_eval_stats_counted () =
   let p = Programs.with_links (Programs.path_vector ()) (Programs.ring_links 4) in
-  Eval.reset_stats ();
-  ignore (Eval.run_exn p);
-  let st = Eval.stats () in
+  let st = (Eval.run_exn p).Eval.stats in
   checkb "index hits counted" true (st.Eval.index_hits > 0);
   checkb "scans counted" true (st.Eval.scans > 0);
   checkb "matched within enumerated" true (st.Eval.matched <= st.Eval.enumerated);
   (* with the index layer off, every join is a scan *)
   Eval.use_indexes := false;
-  Eval.reset_stats ();
-  ignore (Eval.run_exn p);
+  let off = (Eval.run_exn p).Eval.stats in
   Eval.use_indexes := true;
-  let off = Eval.stats () in
   checki "no hits when disabled" 0 off.Eval.index_hits;
   checkb "strictly more tuples visited" true (off.Eval.enumerated > st.Eval.enumerated)
+
+let test_eval_stats_per_run () =
+  (* Per-run isolation: two identical runs report identical counters
+     (no global state to bleed between them), and a caller-supplied
+     accumulator collects their sum. *)
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.ring_links 4) in
+  let acc = Eval.counters () in
+  let info = Analysis.analyze_exn p in
+  let db = Store.of_facts p.Ast.facts in
+  let a = Eval.seminaive ~stats:acc p info db in
+  let b = Eval.seminaive ~stats:acc p info db in
+  checkb "identical runs, identical stats" true (a.Eval.stats = b.Eval.stats);
+  checkb "accumulator sums runs" true
+    (Eval.snapshot acc = Eval.add_stats a.Eval.stats b.Eval.stats)
 
 (* ------------------------------------------------------------------ *)
 (* Localization. *)
@@ -1044,6 +1054,204 @@ let prop_every_tuple_explainable =
              | Error _ -> false))
 
 (* ------------------------------------------------------------------ *)
+(* Sharded evaluation. *)
+
+module Shard = Ndlog.Shard
+module Pool = Ndlog.Pool
+
+(* A localized program over the given links; sharded evaluation targets
+   exactly the output of the localization rewrite. *)
+let localized_program prog links =
+  let p = Programs.with_links prog links in
+  match Localize.rewrite_program p with
+  | Ok r -> r.Localize.program
+  | Error e -> Alcotest.failf "localization failed: %a" Localize.pp_error e
+
+let test_shard_partition_roundtrip () =
+  let p = localized_program (Programs.path_vector ()) (Programs.ring_links 5) in
+  let plan =
+    match Shard.analyze p with
+    | Ok plan -> plan
+    | Error e -> Alcotest.failf "localized path-vector must shard: %s" e
+  in
+  let db = (Eval.run_exn p).Eval.db in
+  let parts, repl = Shard.partition plan db in
+  checki "one shard per node" 5 (Array.length parts);
+  checkb "links are located, not replicated" true
+    (Store.cardinal "link" repl = 0);
+  checkb "roundtrip" true (Store.equal (Shard.merge parts repl) db);
+  (* Parts are disjoint: located tuples live in exactly one shard. *)
+  let total =
+    Array.fold_left (fun n (_, s) -> n + Store.total_tuples s) 0 parts
+  in
+  checki "no tuple duplicated across shards"
+    (Store.total_tuples db)
+    (total + Store.total_tuples repl)
+
+let test_shard_analyze_rejects () =
+  let reject src reason =
+    match Parser.parse_program src with
+    | Error e -> Alcotest.failf "parse: %s" e
+    | Ok p -> (
+      match Shard.analyze p with
+      | Ok _ -> Alcotest.failf "expected rejection (%s)" reason
+      | Error _ -> ())
+  in
+  (* A constant location in a body would read a foreign shard. *)
+  reject {| p(@X,Y) :- q(@"n0",Y), r(@X,Y). |} "constant body location";
+  (* A body spanning two locations. *)
+  reject {| p(@X,Y) :- q(@X,Y), r(@Y,X). |} "two locations";
+  (* An aggregate not grouped by the location variable would emit
+     per-shard partial aggregates. *)
+  reject {| total(count<Y>) :- q(@X,Y). |} "aggregate ungrouped by location";
+  (* Inconsistent location columns for one predicate. *)
+  reject {| p(@X,Y) :- q(@X,Y). p(X,@Y) :- r(@Y,X). |} "inconsistent columns"
+
+let test_pool_map_array () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      checki "pool size" 4 (Pool.size pool);
+      let xs = Array.init 100 Fun.id in
+      let ys = Pool.map_array pool (fun x -> x * x) xs in
+      checkb "map over the pool" true
+        (Array.for_all2 (fun y x -> y = x * x) ys xs);
+      (* A raising task surfaces in the caller; the pool survives. *)
+      (match Pool.map_array pool (fun x -> if x = 3 then failwith "boom" else x) xs with
+      | exception Failure m -> checks "first error re-raised" "boom" m
+      | _ -> Alcotest.fail "expected the task failure to re-raise");
+      let zs = Pool.map_array pool (fun x -> x + 1) xs in
+      checkb "pool usable after a failed batch" true
+        (Array.for_all2 (fun z x -> z = x + 1) zs xs));
+  (* domains:1 is the sequential degenerate case. *)
+  Pool.with_pool ~domains:1 (fun pool ->
+      checki "sequential pool" 1 (Pool.size pool);
+      checkb "sequential map" true
+        (Pool.map_array pool succ [| 1; 2; 3 |] = [| 2; 3; 4 |]))
+
+let test_sharded_ring () =
+  let p = localized_program (Programs.path_vector ()) (Programs.ring_links 6) in
+  (match Shard.analyze p with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "localized path-vector must shard: %s" e);
+  let info = Analysis.analyze_exn p in
+  let db = Store.of_facts p.Ast.facts in
+  let central = Eval.seminaive p info db in
+  let sharded = Eval.seminaive_sharded ~domains:2 p info db in
+  checkb "same fixpoint" true (Store.equal central.Eval.db sharded.Eval.db);
+  checkb "converged" true (central.Eval.converged && sharded.Eval.converged);
+  checkb "sharded did real work" true (sharded.Eval.derivations > 0)
+
+let test_sharded_fallback () =
+  (* A program Shard.analyze rejects falls back to the centralized
+     engine: identical outcome, including the round accounting. *)
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.ring_links 4) in
+  let info = Analysis.analyze_exn p in
+  let db = Store.of_facts p.Ast.facts in
+  match Shard.analyze p with
+  | Ok _ -> Alcotest.fail "unlocalized path-vector should not shard"
+  | Error _ ->
+    let central = Eval.seminaive p info db in
+    let sharded = Eval.seminaive_sharded ~domains:4 p info db in
+    checkb "fallback outcome identical" true
+      (Store.equal central.Eval.db sharded.Eval.db
+      && central.Eval.rounds = sharded.Eval.rounds
+      && central.Eval.derivations = sharded.Eval.derivations
+      && central.Eval.stats = sharded.Eval.stats)
+
+let prop_sharded_equals_seminaive =
+  QCheck.Test.make
+    ~name:"sharded = centralized (fixpoint, convergence); deterministic in domains"
+    ~count:25
+    QCheck.(triple (int_range 0 2) (int_range 3 7) (int_range 0 3))
+    (fun (which, n, extra) ->
+      let links =
+        match which with
+        | 0 -> Programs.random_links ~seed:((17 * n) + extra + which) ~extra n
+        | 1 -> Programs.ring_links n
+        | _ -> Programs.grid_links (2 + (n mod 2))
+      in
+      let prog =
+        match which with
+        | 0 -> Programs.path_vector ()
+        | 1 -> Programs.reachability ()
+        | _ -> Programs.bounded_distance_vector ~max_hops:n
+      in
+      let p = localized_program prog links in
+      (* The rewrite output must actually shard — otherwise this
+         property would silently test the fallback path. *)
+      (match Shard.analyze p with
+      | Ok _ -> ()
+      | Error e -> QCheck.Test.fail_reportf "localized program must shard: %s" e);
+      let info = Analysis.analyze_exn p in
+      let db = Store.of_facts p.Ast.facts in
+      let central = Eval.seminaive p info db in
+      let s1 = Eval.seminaive_sharded ~domains:1 p info db in
+      let s2 = Eval.seminaive_sharded ~domains:2 p info db in
+      let s4 = Eval.seminaive_sharded ~domains:4 p info db in
+      let same_outcome a b =
+        Store.equal a.Eval.db b.Eval.db
+        && a.Eval.rounds = b.Eval.rounds
+        && a.Eval.derivations = b.Eval.derivations
+        && a.Eval.converged = b.Eval.converged
+        && a.Eval.stats = b.Eval.stats
+      in
+      Store.equal central.Eval.db s2.Eval.db
+      && central.Eval.converged = s2.Eval.converged
+      && same_outcome s1 s2 && same_outcome s2 s4)
+
+(* ------------------------------------------------------------------ *)
+(* Index-aware aggregates. *)
+
+let agg_outputs db r =
+  List.fold_left
+    (fun s t -> Store.Tset.add t s)
+    Store.Tset.empty (Eval.apply_agg_rule db r)
+
+let test_agg_fast_path () =
+  let rule_of src =
+    match Parser.parse_program src with
+    | Ok p -> List.hd p.Ast.rules
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let db =
+    Store.add_list "path"
+      [
+        [| V.Addr "a"; V.Addr "b"; V.Int 3 |];
+        [| V.Addr "a"; V.Addr "b"; V.Int 1 |];
+        [| V.Addr "a"; V.Addr "c"; V.Int 2 |];
+        [| V.Addr "b"; V.Addr "c"; V.Int 5 |];
+        (* wrong arity: must be ignored by both paths *)
+        [| V.Addr "a"; V.Addr "b" |];
+      ]
+      Store.empty
+  in
+  let both r =
+    let fast = agg_outputs db r in
+    Eval.use_indexes := false;
+    let slow = agg_outputs db r in
+    Eval.use_indexes := true;
+    checkb "fast path = enumeration" true (Store.Tset.equal fast slow);
+    fast
+  in
+  let best = both (rule_of {| best(@S,D,min<C>) :- path(@S,D,C). |}) in
+  checkb "min over (a,b)" true
+    (Store.Tset.mem [| V.Addr "a"; V.Addr "b"; V.Int 1 |] best);
+  checki "three groups" 3 (Store.Tset.cardinal best);
+  (* Global aggregation: no group-by columns at all. *)
+  let total = both (rule_of {| total(count<C>) :- path(S,D,C). |}) in
+  checkb "global count ignores the short tuple" true
+    (Store.Tset.equal total (Store.Tset.singleton [| V.Int 4 |]));
+  (* Repeated variables disqualify the fast path but not correctness. *)
+  ignore (both (rule_of {| selfmin(@S,min<C>) :- path(@S,S,C). |}));
+  (* Counters: the fast path reports one grouped probe, no scan. *)
+  let c = Eval.counters () in
+  ignore
+    (Eval.apply_agg_rule ~stats:c db
+       (rule_of {| best(@S,D,min<C>) :- path(@S,D,C). |}));
+  let st = Eval.snapshot c in
+  checki "one index probe" 1 st.Eval.index_hits;
+  checki "no scan" 0 st.Eval.scans
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -1131,8 +1339,22 @@ let () =
           Alcotest.test_case "join planning" `Quick
             test_order_body_most_bound_first;
           Alcotest.test_case "stats" `Quick test_eval_stats_counted;
+          Alcotest.test_case "per-run stats" `Quick test_eval_stats_per_run;
+          Alcotest.test_case "aggregate fast path" `Quick test_agg_fast_path;
         ]
         @ qsuite [ prop_indexed_equals_nested_loop ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "partition roundtrip" `Quick
+            test_shard_partition_roundtrip;
+          Alcotest.test_case "shardability analysis" `Quick
+            test_shard_analyze_rejects;
+          Alcotest.test_case "domain pool" `Quick test_pool_map_array;
+          Alcotest.test_case "ring fixpoint" `Quick test_sharded_ring;
+          Alcotest.test_case "centralized fallback" `Quick
+            test_sharded_fallback;
+        ]
+        @ qsuite [ prop_sharded_equals_seminaive ] );
       ( "localize",
         [
           Alcotest.test_case "path-vector rewrite" `Quick

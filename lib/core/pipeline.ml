@@ -110,24 +110,25 @@ let execute ?(max_rounds = 10_000) (program : Ast.program) : (execution, string)
   | Ok outcome -> Ok (Central outcome)
   | Error e -> Error (Fmt.str "%a" Ndlog.Analysis.pp_error e)
 
-(* As [execute], also reporting the run's join profile (the engine
-   counters are global, so the delta across the call is this run's). *)
+(* As [execute], but over the sharded multicore engine: one fixpoint per
+   location on a domain pool, falling back to the centralized engine for
+   programs {!Ndlog.Shard.analyze} rejects. *)
+let execute_sharded ?(max_rounds = 10_000)
+    ?(domains = Domain.recommended_domain_count ()) (program : Ast.program) :
+    (execution, string) result =
+  match Ndlog.Eval.run_sharded ~max_rounds ~domains program with
+  | Ok outcome -> Ok (Central outcome)
+  | Error e -> Error (Fmt.str "%a" Ndlog.Analysis.pp_error e)
+
+(* As [execute], also reporting the run's join profile (each outcome
+   carries its own per-run counters). *)
 let execute_instrumented ?max_rounds (program : Ast.program) :
     (execution * Ndlog.Eval.stats, string) result =
-  let before = Ndlog.Eval.stats () in
   match execute ?max_rounds program with
   | Error e -> Error e
-  | Ok exec ->
-    let after = Ndlog.Eval.stats () in
-    Ok
-      ( exec,
-        {
-          Ndlog.Eval.index_hits =
-            after.Ndlog.Eval.index_hits - before.Ndlog.Eval.index_hits;
-          scans = after.Ndlog.Eval.scans - before.Ndlog.Eval.scans;
-          enumerated = after.Ndlog.Eval.enumerated - before.Ndlog.Eval.enumerated;
-          matched = after.Ndlog.Eval.matched - before.Ndlog.Eval.matched;
-        } )
+  | Ok (Central outcome as exec) -> Ok (exec, outcome.Ndlog.Eval.stats)
+  | Ok (Distributed { report; _ } as exec) ->
+    Ok (exec, report.Dist.Runtime.eval_stats)
 
 (* Distributed execution: localize if needed, derive the topology from
    the program's link facts unless one is supplied. *)

@@ -1,0 +1,152 @@
+(* A small fixed-size domain pool for data-parallel fixpoint batches.
+
+   Hand-rolled on purpose (the container carries no domainslib): the
+   sharded evaluator only needs one primitive — run the same function
+   over the indexes [0 .. n-1] of a batch, caller included, and wait for
+   every index to finish.  Work distribution is a single shared cursor
+   ([next]) advanced under the pool lock; tasks are coarse (a whole
+   per-shard fixpoint), so lock traffic is negligible next to the work.
+
+   [create ~domains:1] spawns nothing and [run_batch] degenerates to a
+   sequential loop, which keeps the single-domain path allocation- and
+   synchronization-free (the E8 baseline).
+
+   A worker that raises stores the first exception and the batch keeps
+   draining (every index still runs or is abandoned deterministically:
+   after an error the cursor is pushed past the end so remaining indexes
+   are skipped); [run_batch] re-raises in the caller once the batch has
+   quiesced, so a failure inside one shard surfaces exactly like a
+   failure in the sequential evaluator. *)
+
+type t = {
+  m : Mutex.t;
+  work_cv : Condition.t;  (* workers wait here for a batch *)
+  done_cv : Condition.t;  (* the caller waits here for completion *)
+  mutable batch : (int -> unit) option;
+  mutable size : int;  (* indexes in the current batch *)
+  mutable next : int;  (* first unclaimed index *)
+  mutable completed : int;  (* indexes finished (or skipped) *)
+  mutable error : exn option;  (* first failure of the current batch *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = 1 + List.length t.workers
+
+(* Claim the next index of the current batch, under [t.m]. *)
+let claim t =
+  match t.batch with
+  | Some f when t.next < t.size ->
+    let i = t.next in
+    t.next <- t.next + 1;
+    Some (f, i)
+  | _ -> None
+
+(* Run one claimed index outside the lock; record failures and mark the
+   index complete.  On the first failure the cursor jumps to the end:
+   remaining indexes are abandoned (counted complete without running). *)
+let run_claimed t f i =
+  Mutex.unlock t.m;
+  let result = try Ok (f i) with e -> Error e in
+  Mutex.lock t.m;
+  (match result with
+  | Ok () -> ()
+  | Error e ->
+    if t.error = None then t.error <- Some e;
+    t.completed <- t.completed + (t.size - t.next);
+    t.next <- t.size);
+  t.completed <- t.completed + 1;
+  if t.completed >= t.size then begin
+    t.batch <- None;
+    Condition.broadcast t.done_cv
+  end
+
+let worker_loop t =
+  Mutex.lock t.m;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.m
+    else
+      match claim t with
+      | Some (f, i) ->
+        run_claimed t f i;
+        loop ()
+      | None ->
+        Condition.wait t.work_cv t.m;
+        loop ()
+  in
+  loop ()
+
+let create ~domains =
+  let n = max 1 domains in
+  let t =
+    {
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      batch = None;
+      size = 0;
+      next = 0;
+      completed = 0;
+      error = None;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let run_batch t ~(n : int) (f : int -> unit) =
+  if n <= 0 then ()
+  else if t.workers = [] then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    Mutex.lock t.m;
+    t.batch <- Some f;
+    t.size <- n;
+    t.next <- 0;
+    t.completed <- 0;
+    t.error <- None;
+    Condition.broadcast t.work_cv;
+    (* The caller participates until the cursor is exhausted, then waits
+       for in-flight workers. *)
+    let rec drive () =
+      match claim t with
+      | Some (g, i) ->
+        run_claimed t g i;
+        drive ()
+      | None ->
+        if t.completed < t.size then begin
+          Condition.wait t.done_cv t.m;
+          drive ()
+        end
+    in
+    drive ();
+    let err = t.error in
+    t.error <- None;
+    Mutex.unlock t.m;
+    match err with Some e -> raise e | None -> ()
+  end
+
+let map_array t (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_batch t ~n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let shutdown t =
+  if t.workers <> [] then begin
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

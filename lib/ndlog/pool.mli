@@ -1,0 +1,36 @@
+(** A small fixed-size domain pool for data-parallel fixpoint batches.
+
+    Hand-rolled (no external dependency): the sharded evaluator
+    ({!Eval.seminaive_sharded}) needs exactly one primitive — run the
+    same function over the indexes of a batch, with the calling domain
+    participating, and wait for all of them.  Work is handed out through
+    a shared cursor under the pool lock; tasks are expected to be coarse
+    (whole per-shard fixpoints), so synchronization cost is negligible.
+
+    With [~domains:1] no domain is spawned and batches degenerate to a
+    plain sequential loop — the deterministic single-domain baseline. *)
+
+type t
+
+val create : domains:int -> t
+(** A pool of [max 1 domains] total executors: the caller plus
+    [domains - 1] spawned worker domains. *)
+
+val size : t -> int
+(** Total executors (caller included). *)
+
+val run_batch : t -> n:int -> (int -> unit) -> unit
+(** [run_batch t ~n f] runs [f 0 .. f (n-1)], distributed over the
+    pool, and returns when all have finished.  If some [f i] raises,
+    remaining unclaimed indexes are skipped and the first exception is
+    re-raised in the caller after the batch quiesces.  Not reentrant:
+    one batch at a time. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] over the pool (order preserved). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  The pool must be idle. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** Bracket: create, run, always shut down. *)
