@@ -1,10 +1,12 @@
 (* Smoke check for the benchmark ledger: BENCH_ndlog.json must parse
-   as a schema-2 document carrying a non-empty E7 sweep (indexed vs.
-   baseline timings), an E8 sharded sweep with per-domain timings, and
-   a run-history array.  Run by the @bench-smoke alias so a broken
-   emitter (or a regression that stops a sweep from completing, or a
-   sharded run diverging from the centralized fixpoint) fails the
-   build loudly. *)
+   as a schema-3 document carrying a non-empty E7 sweep (indexed vs.
+   baseline timings), an E8 sharded sweep with per-domain timings, an
+   E11 sweep (batched vs. per-tuple delta joins, with the enumeration
+   reduction recorded per row), and a run-history array.  Run by the
+   @bench-smoke alias so a broken emitter (or a regression that stops
+   a sweep from completing, a sharded run diverging from the
+   centralized fixpoint, or batching losing its enumeration win) fails
+   the build loudly. *)
 
 let fail fmt = Fmt.kstr (fun m -> prerr_endline m; exit 1) fmt
 
@@ -32,14 +34,14 @@ let () =
   | Error e -> fail "%s: does not parse: %s" path e
   | Ok v ->
     (match Json.member "schema" v with
-    | Some (Json.Int 2) -> ()
-    | _ -> fail "%s: missing schema=2" path);
+    | Some (Json.Int 3) -> ()
+    | _ -> fail "%s: missing schema=3" path);
     List.iter
       (fun k ->
         match Json.member k v with
         | Some _ -> ()
         | None -> fail "%s: missing top-level %S" path k)
-      [ "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "history" ];
+      [ "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "e11"; "history" ];
     (* E7: index layer on vs. off. *)
     let e7 = Option.get (Json.member "e7" v) in
     let sweeps = nonempty_sweeps path "e7" e7 in
@@ -80,6 +82,23 @@ let () =
         | _ -> fail "%s: e8 row %d domain_ms is not an object" path i);
         require_same_fixpoint path "e8" i row)
       shard_sweeps;
+    (* E11: batched vs. per-tuple delta joins.  Every row must record a
+       strict enumeration reduction on top of the identical fixpoint. *)
+    let e11 = Option.get (Json.member "e11" v) in
+    let batch_sweeps = nonempty_sweeps path "e11" e11 in
+    List.iteri
+      (fun i row ->
+        require_fields path "e11" i row
+          [
+            "program"; "topology"; "n"; "tuples"; "batched_ms"; "per_tuple_ms";
+            "speedup"; "groups"; "group_probes"; "enumerated_batched";
+            "enumerated_per_tuple"; "enum_reduced"; "same_fixpoint";
+          ];
+        (match Json.member "enum_reduced" row with
+        | Some (Json.Bool true) -> ()
+        | _ -> fail "%s: e11 row %d lost the enumeration reduction" path i);
+        require_same_fixpoint path "e11" i row)
+      batch_sweeps;
     (* History: at least the run that wrote this file. *)
     let history =
       match Option.bind (Json.member "history" v) Json.as_arr with
@@ -91,5 +110,7 @@ let () =
         require_fields path "history" i entry
           [ "unix_time"; "quick"; "host_cores" ])
       history;
-    Fmt.pr "%s: ok (%d e7 rows, %d e8 rows, %d history entries)@." path
-      (List.length sweeps) (List.length shard_sweeps) (List.length history)
+    Fmt.pr "%s: ok (%d e7 rows, %d e8 rows, %d e11 rows, %d history entries)@."
+      path
+      (List.length sweeps) (List.length shard_sweeps)
+      (List.length batch_sweeps) (List.length history)

@@ -12,6 +12,7 @@
      E8 sharded-multicore         per-location fixpoints on OCaml domains
      E9 softstate-rewrite         cost of the hard-state rewrite
      E10 model-checking           transition systems + counterexamples
+     E11 batched-deltas           group-at-a-time delta joins
 
    Usage:
      dune exec bench/main.exe               # run everything
@@ -614,9 +615,88 @@ let sharded_point ~prog_name ~topo_name ~n ~nodes (p : Ndlog.Ast.program) :
   }
 
 (* ------------------------------------------------------------------ *)
-(* The machine-readable ledger (BENCH_ndlog.json, schema 2).
+(* E11 sweep machinery: semi-naive with batched delta joins on vs. off
+   (the per-tuple delta path), over the E7 topologies.  Both runs keep
+   the index layer and body reordering on, so the column isolates the
+   batching itself. *)
 
-   E7 and E8 stash their sweep rows here; the driver emits one document
+type batch_row = {
+  bt_prog : string;
+  bt_topo : string;
+  bt_n : int;
+  bt_nodes : int;
+  bt_tuples : int;  (* fixpoint database size *)
+  bt_rounds : int;
+  bt_batched_ms : float;
+  bt_per_tuple_ms : float;
+  bt_groups : int;  (* batched run: delta groups joined *)
+  bt_group_probes : int;  (* batched run: rule-delta applications *)
+  bt_enum_batched : int;  (* tuples enumerated, batched run *)
+  bt_enum_per_tuple : int;  (* tuples enumerated, per-tuple run *)
+  bt_same : bool;  (* identical fixpoint, rounds, derivations *)
+}
+
+let bt_speedup r = r.bt_per_tuple_ms /. Float.max 1e-6 r.bt_batched_ms
+
+(* Fraction of the per-tuple run's enumerations the batched run avoids. *)
+let bt_enum_saved r =
+  if r.bt_enum_per_tuple = 0 then 0.0
+  else
+    100.
+    *. float_of_int (r.bt_enum_per_tuple - r.bt_enum_batched)
+    /. float_of_int r.bt_enum_per_tuple
+
+let timed_batched ~batched p info db =
+  Ndlog.Eval.use_batching := batched;
+  let o, t = wall (fun () -> Ndlog.Eval.seminaive p info db) in
+  Ndlog.Eval.use_batching := true;
+  (o, t, o.Ndlog.Eval.stats)
+
+let batched_point ~prog_name ~topo_name ~n ~nodes (p : Ndlog.Ast.program) :
+    batch_row =
+  let info = Ndlog.Analysis.analyze_exn p in
+  let db = Ndlog.Store.of_facts p.Ndlog.Ast.facts in
+  let per, t_per, st_per = timed_batched ~batched:false p info db in
+  let bat, t_bat, st_bat = timed_batched ~batched:true p info db in
+  let same =
+    Ndlog.Store.equal per.Ndlog.Eval.db bat.Ndlog.Eval.db
+    && per.Ndlog.Eval.rounds = bat.Ndlog.Eval.rounds
+    && per.Ndlog.Eval.converged = bat.Ndlog.Eval.converged
+    && per.Ndlog.Eval.derivations = bat.Ndlog.Eval.derivations
+  in
+  (* Both claims are part of the benchmark and fail the run (and the
+     bench-smoke alias) loudly: the batched fixpoint must be identical,
+     and batching must strictly reduce enumeration on every point. *)
+  if not same then
+    failwith
+      (Fmt.str "E11 %s/%s %d: batched fixpoint diverged from per-tuple"
+         prog_name topo_name n);
+  if st_bat.Ndlog.Eval.enumerated >= st_per.Ndlog.Eval.enumerated then
+    failwith
+      (Fmt.str
+         "E11 %s/%s %d: batching did not reduce enumeration (%d >= %d)"
+         prog_name topo_name n st_bat.Ndlog.Eval.enumerated
+         st_per.Ndlog.Eval.enumerated);
+  {
+    bt_prog = prog_name;
+    bt_topo = topo_name;
+    bt_n = n;
+    bt_nodes = nodes;
+    bt_tuples = Ndlog.Store.total_tuples bat.Ndlog.Eval.db;
+    bt_rounds = bat.Ndlog.Eval.rounds;
+    bt_batched_ms = t_bat *. 1e3;
+    bt_per_tuple_ms = t_per *. 1e3;
+    bt_groups = st_bat.Ndlog.Eval.groups;
+    bt_group_probes = st_bat.Ndlog.Eval.group_probes;
+    bt_enum_batched = st_bat.Ndlog.Eval.enumerated;
+    bt_enum_per_tuple = st_per.Ndlog.Eval.enumerated;
+    bt_same = same;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The machine-readable ledger (BENCH_ndlog.json, schema 3).
+
+   E7, E8 and E11 stash their sweep rows here; the driver emits one document
    at the end of the run.  The previous ledger's run history is carried
    forward and the finished run appended, so the committed file records
    how the numbers moved across regenerations. *)
@@ -625,6 +705,7 @@ let json_out = ref false
 let bench_json_path = "BENCH_ndlog.json"
 let e7_sweeps : sweep_row list ref = ref []
 let e8_rows : shard_row list ref = ref []
+let e11_rows : batch_row list ref = ref []
 
 let emit_bench_json () =
   let e7_row r =
@@ -670,6 +751,27 @@ let emit_bench_json () =
         ("same_fixpoint", Json.Bool r.sh_same);
       ]
   in
+  let e11_row r =
+    Json.Obj
+      [
+        ("program", Json.Str r.bt_prog);
+        ("topology", Json.Str r.bt_topo);
+        ("n", Json.Int r.bt_n);
+        ("nodes", Json.Int r.bt_nodes);
+        ("tuples", Json.Int r.bt_tuples);
+        ("rounds", Json.Int r.bt_rounds);
+        ("batched_ms", Json.Float r.bt_batched_ms);
+        ("per_tuple_ms", Json.Float r.bt_per_tuple_ms);
+        ("speedup", Json.Float (bt_speedup r));
+        ("groups", Json.Int r.bt_groups);
+        ("group_probes", Json.Int r.bt_group_probes);
+        ("enumerated_batched", Json.Int r.bt_enum_batched);
+        ("enumerated_per_tuple", Json.Int r.bt_enum_per_tuple);
+        ("enum_saved_pct", Json.Float (bt_enum_saved r));
+        ("enum_reduced", Json.Bool (r.bt_enum_batched < r.bt_enum_per_tuple));
+        ("same_fixpoint", Json.Bool r.bt_same);
+      ]
+  in
   let largest =
     List.fold_left
       (fun acc r -> match acc with
@@ -688,6 +790,20 @@ let emit_bench_json () =
         (List.fold_left
            (fun acc r -> Float.max acc (sh_parallel_speedup r))
            0.0 rows)
+  in
+  let e11_max_saved =
+    match !e11_rows with
+    | [] -> Json.Null
+    | rows ->
+      Json.Float
+        (List.fold_left (fun acc r -> Float.max acc (bt_enum_saved r)) 0.0 rows)
+  in
+  let e11_all_reduced =
+    match !e11_rows with
+    | [] -> Json.Null
+    | rows ->
+      Json.Bool
+        (List.for_all (fun r -> r.bt_enum_batched < r.bt_enum_per_tuple) rows)
   in
   let now = int_of_float (Unix.time ()) in
   let host_cores = Domain.recommended_domain_count () in
@@ -712,12 +828,14 @@ let emit_bench_json () =
         ("e7_largest_topology_speedup", largest_speedup);
         ("e8_rows", Json.Int (List.length !e8_rows));
         ("e8_best_parallel_speedup", best_e8);
+        ("e11_rows", Json.Int (List.length !e11_rows));
+        ("e11_max_enum_saved_pct", e11_max_saved);
       ]
   in
   Json.to_file bench_json_path
     (Json.Obj
        [
-         ("schema", Json.Int 2);
+         ("schema", Json.Int 3);
          ("quick", Json.Bool !quick);
          ("host_cores", Json.Int host_cores);
          ("unix_time", Json.Int now);
@@ -734,6 +852,13 @@ let emit_bench_json () =
                  Json.Arr (List.map (fun d -> Json.Int d) e8_domain_counts) );
                ("best_parallel_speedup", best_e8);
                ("sweeps", Json.Arr (List.map e8_row !e8_rows));
+             ] );
+         ( "e11",
+           Json.Obj
+             [
+               ("all_enum_reduced", e11_all_reduced);
+               ("max_enum_saved_pct", e11_max_saved);
+               ("sweeps", Json.Arr (List.map e11_row !e11_rows));
              ] );
          ("history", Json.Arr (prior_history @ [ entry ]));
        ]);
@@ -921,6 +1046,61 @@ let e8 () =
   Fmt.pr
     "note: parallel speedup only materializes on multicore hosts — on a \
      single-core host the d=2/d=4 runs measure pool overhead honestly.@."
+
+(* ------------------------------------------------------------------ *)
+(* E11: batched delta joins. *)
+
+let e11 () =
+  banner "e11" "batched delta joins in semi-naive evaluation"
+    "grouping each round's delta by its join key amortizes index probes \
+     and body setup across tuples";
+  let ring_sizes = if !quick then [ 4; 8; 16 ] else [ 4; 8; 16; 24; 32 ] in
+  let grid_sides = if !quick then [ 3; 4 ] else [ 3; 4; 5 ] in
+  let rows =
+    List.map
+      (fun n ->
+        batched_point ~prog_name:"path-vector" ~topo_name:"ring" ~n ~nodes:n
+          (Ndlog.Programs.with_links
+             (Ndlog.Programs.path_vector ())
+             (Ndlog.Programs.ring_links n)))
+      ring_sizes
+    @ List.map
+        (fun k ->
+          batched_point ~prog_name:"reachability" ~topo_name:"grid" ~n:k
+            ~nodes:(k * k)
+            (Ndlog.Programs.with_links
+               (Ndlog.Programs.reachability ())
+               (Ndlog.Programs.grid_links k)))
+        grid_sides
+  in
+  e11_rows := rows;
+  Fmt.pr
+    "semi-naive, batched delta joins on vs. off (indexes and reordering on \
+     in both):@.";
+  table
+    [
+      "program"; "topology"; "tuples"; "rounds"; "batched"; "per-tuple";
+      "speedup"; "groups/probes"; "enum bat/per"; "enum saved"; "same fixpoint";
+    ]
+    (List.map
+       (fun r ->
+         [
+           r.bt_prog;
+           Fmt.str "%s %d" r.bt_topo r.bt_n;
+           string_of_int r.bt_tuples;
+           string_of_int r.bt_rounds;
+           Fmt.str "%.1f ms" r.bt_batched_ms;
+           Fmt.str "%.1f ms" r.bt_per_tuple_ms;
+           Fmt.str "%.1fx" (bt_speedup r);
+           Fmt.str "%d/%d" r.bt_groups r.bt_group_probes;
+           Fmt.str "%d/%d" r.bt_enum_batched r.bt_enum_per_tuple;
+           Fmt.str "%.0f%%" (bt_enum_saved r);
+           string_of_bool r.bt_same;
+         ])
+       rows);
+  Fmt.pr
+    "fixpoint equality and a strict enumeration reduction are asserted per \
+     row; groups/probes count grouped joins and rule-delta applications.@."
 
 (* ------------------------------------------------------------------ *)
 (* E9: soft-state rewrite overhead. *)
@@ -1145,8 +1325,8 @@ let a3 () =
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("a1", a1); ("a2", a2);
-    ("a3", a3);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("a1", a1); ("a2", a2); ("a3", a3);
   ]
 
 let () =
@@ -1159,7 +1339,7 @@ let () =
           quick := true;
           false
         | "json" ->
-          (* Emit the machine-readable E7/E8 ledger (BENCH_ndlog.json). *)
+          (* Emit the machine-readable E7/E8/E11 ledger (BENCH_ndlog.json). *)
           json_out := true;
           false
         | _ -> true)

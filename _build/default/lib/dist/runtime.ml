@@ -169,7 +169,11 @@ and emit t (self : string) (loc : int option) pred tuple =
 (* Pipelined semi-naive: react to one freshly inserted tuple by running
    the strands triggered by its predicate (the Click execution model;
    strand execution is differentially tested against [Eval.body_envs]
-   in the plan test suite). *)
+   in the plan test suite).  Each strand runs through the batched
+   executor with a singleton batch: the runtime reacts per message, so
+   deltas arrive one tuple at a time and groups are singletons — view
+   refreshes, which re-run the full evaluator, batch across whole
+   rounds. *)
 and propagate t (self : string) pred (tuple : Store.Tuple.t) =
   let ns = node t self in
   match Hashtbl.find_opt t.strands pred with
@@ -180,7 +184,8 @@ and propagate t (self : string) pred (tuple : Store.Tuple.t) =
         let head = st.Ndlog.Plan.strand_rule.Ast.head in
         List.iter
           (fun ht -> emit t self head.Ast.head_loc head.Ast.head_pred ht)
-          (Ndlog.Plan.execute ~stats:t.joins ns.store ~delta_tuple:tuple st))
+          (Ndlog.Plan.execute_batch ~stats:t.joins ns.store
+             ~delta_tuples:[ tuple ] st))
       strands
 
 and insert t (self : string) pred (tuple : Store.Tuple.t) =
@@ -322,6 +327,8 @@ let run ?(until = infinity) ?(max_events = 1_000_000) t =
         scans = after.Eval.scans - before.Eval.scans;
         enumerated = after.Eval.enumerated - before.Eval.enumerated;
         matched = after.Eval.matched - before.Eval.matched;
+        groups = after.Eval.groups - before.Eval.groups;
+        group_probes = after.Eval.group_probes - before.Eval.group_probes;
       };
   }
 

@@ -1,1 +1,1 @@
-lib/mcheck/soft_ts.ml: Explore Fmt List Ndlog Ndlog_ts
+lib/mcheck/soft_ts.ml: Explore Fmt Hashtbl List Ndlog Ndlog_ts String

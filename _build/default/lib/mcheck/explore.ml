@@ -12,41 +12,63 @@
      (e.g. the not-yet-converged states), which witnesses a possible
      non-terminating execution — the oscillation detector used by E9.
 
-   States must be comparable with [compare] (pure data). *)
+   State identity is the system's [equal]/[hash] pair.  The default
+   (structural [(=)] / [Hashtbl.hash]) is only correct for pure-data
+   states: a state type carrying derived mutable fields (e.g.
+   {!Ndlog.Store.t}'s index cache, which {!Ndlog.Store.equal} and
+   {!Ndlog.Store.hash} deliberately ignore) must supply its own pair,
+   or the same logical state visits once per cache configuration.
+   [Hashtbl.hash] also truncates at its default depth/size limits, so
+   large states would collapse into a handful of buckets and the table
+   would degrade to a linear scan — a full-depth [hash] keeps lookups
+   O(bucket). *)
 
 type 'state system = {
   initial : 'state list;
   successors : 'state -> 'state list;
   pp : 'state Fmt.t;
+  equal : 'state -> 'state -> bool;
+  hash : 'state -> int;
 }
 
-let make ?(pp = fun ppf _ -> Fmt.string ppf "<state>") ~initial ~successors ()
-    =
-  { initial; successors; pp }
+let make ?(pp = fun ppf _ -> Fmt.string ppf "<state>") ?(equal = ( = ))
+    ?(hash = Hashtbl.hash) ~initial ~successors () =
+  { initial; successors; pp; equal; hash }
 
-(* Visited-state table: a hashtable keyed by the structural hash, with
-   bucket lists compared by polymorphic equality (states are pure
-   data). *)
+(* Visited-state table: a hashtable keyed by the state hash, with
+   bucket lists resolved by the state equality. *)
 module Table = struct
-  type 'state t = (int, ('state * int) list ref) Hashtbl.t
-  (* state -> visitation id *)
+  type 'state t = {
+    equal : 'state -> 'state -> bool;
+    hash : 'state -> int;
+    tbl : (int, ('state * int) list ref) Hashtbl.t;
+    (* hash -> (state, visitation id) bucket *)
+  }
 
-  let create () : 'state t = Hashtbl.create 1024
+  let create ?(equal = ( = )) ?(hash = Hashtbl.hash) () =
+    { equal; hash; tbl = Hashtbl.create 1024 }
+
+  let of_system (sys : 'state system) =
+    { equal = sys.equal; hash = sys.hash; tbl = Hashtbl.create 1024 }
 
   let find (t : 'state t) s =
-    match Hashtbl.find_opt t (Hashtbl.hash s) with
+    match Hashtbl.find_opt t.tbl (t.hash s) with
     | None -> None
     | Some bucket ->
-      List.find_opt (fun (s', _) -> s' = s) !bucket |> Option.map snd
+      List.find_opt (fun (s', _) -> t.equal s' s) !bucket |> Option.map snd
 
   let add (t : 'state t) s id =
-    match Hashtbl.find_opt t (Hashtbl.hash s) with
-    | None -> Hashtbl.replace t (Hashtbl.hash s) (ref [ (s, id) ])
+    let h = t.hash s in
+    match Hashtbl.find_opt t.tbl h with
+    | None -> Hashtbl.replace t.tbl h (ref [ (s, id) ])
     | Some bucket -> bucket := (s, id) :: !bucket
 
   let mem t s = find t s <> None
+  let size t = Hashtbl.fold (fun _ b acc -> acc + List.length !b) t.tbl 0
+  let buckets t = Hashtbl.length t.tbl
 
-  let size t = Hashtbl.fold (fun _ b acc -> acc + List.length !b) t 0
+  let max_bucket t =
+    Hashtbl.fold (fun _ b acc -> max acc (List.length !b)) t.tbl 0
 end
 
 type 'state stats = {
@@ -59,7 +81,7 @@ type 'state stats = {
 
 (* Breadth-first exploration. *)
 let explore ?(max_states = 100_000) (sys : 'state system) : 'state stats =
-  let visited = Table.create () in
+  let visited = Table.of_system sys in
   let queue = Queue.create () in
   let transitions = ref 0 in
   let max_depth = ref 0 in
@@ -110,7 +132,7 @@ type 'state violation = {
 let check_invariant ?(max_states = 100_000) (sys : 'state system)
     (inv : 'state -> bool) : ('state stats, 'state violation) result =
   (* BFS storing parent pointers for shortest counterexamples. *)
-  let visited = Table.create () in
+  let visited = Table.of_system sys in
   let parents : (int * 'state) option array ref = ref (Array.make 1024 None) in
   let store id v =
     if id >= Array.length !parents then begin
@@ -194,17 +216,18 @@ type 'state lasso = {
    everything).  DFS with an explicit on-stack marker. *)
 let find_lasso ?(max_states = 100_000) ?(within = fun _ -> true)
     (sys : 'state system) : 'state lasso option =
-  let visited = Table.create () in
+  let visited = Table.of_system sys in
   let result = ref None in
   let exception Found in
   let rec dfs path_on_stack s =
     if !result <> None then ()
     else if not (within s) then ()
-    else if List.exists (fun s' -> s' = s) path_on_stack then begin
+    else if List.exists (fun s' -> sys.equal s' s) path_on_stack then begin
       (* cycle: the portion of the stack up to s *)
       let rec take acc = function
         | [] -> acc
-        | x :: rest -> if x = s then x :: acc else take (x :: acc) rest
+        | x :: rest ->
+          if sys.equal x s then x :: acc else take (x :: acc) rest
       in
       let cycle = take [] path_on_stack in
       result := Some { stem = []; cycle };

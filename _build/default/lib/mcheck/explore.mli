@@ -3,21 +3,56 @@
     interface with model checkers").
 
     Works over any transition system given as initial states plus a
-    successor function; states must be pure data (hashed and compared
-    structurally). *)
+    successor function.  State identity is the system's [equal]/[hash]
+    pair; the structural default ([(=)] / [Hashtbl.hash]) is only
+    correct for small pure-data states — a state type with derived
+    mutable fields (e.g. {!Ndlog.Store.t}'s index cache, ignored by
+    {!Ndlog.Store.equal}/{!Ndlog.Store.hash}) must supply its own pair
+    or the same logical state is visited once per cache configuration,
+    and [Hashtbl.hash]'s depth/size truncation collapses large states
+    into a few buckets. *)
 
 type 'state system = {
   initial : 'state list;
   successors : 'state -> 'state list;
   pp : 'state Fmt.t;
+  equal : 'state -> 'state -> bool;  (** state identity *)
+  hash : 'state -> int;  (** must agree with [equal] *)
 }
 
 val make :
   ?pp:'state Fmt.t ->
+  ?equal:('state -> 'state -> bool) ->
+  ?hash:('state -> int) ->
   initial:'state list ->
   successors:('state -> 'state list) ->
   unit ->
   'state system
+
+(** The visited-state table: a hashtable keyed by the state hash, with
+    bucket lists resolved by the state equality.  Exposed for tests
+    that check the bucket distribution of a state hash. *)
+module Table : sig
+  type 'state t
+
+  val create :
+    ?equal:('state -> 'state -> bool) ->
+    ?hash:('state -> int) ->
+    unit ->
+    'state t
+
+  val of_system : 'state system -> 'state t
+  val find : 'state t -> 'state -> int option
+  val add : 'state t -> 'state -> int -> unit
+  val mem : 'state t -> 'state -> bool
+  val size : 'state t -> int
+
+  val buckets : 'state t -> int
+  (** Distinct hash values present. *)
+
+  val max_bucket : 'state t -> int
+  (** Size of the fullest bucket (states sharing one hash). *)
+end
 
 (** Reachability statistics. *)
 type 'state stats = {

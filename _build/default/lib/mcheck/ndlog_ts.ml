@@ -30,12 +30,18 @@ let enabled_insertions (p : Ast.program) (db : Store.t) :
     p.Ast.rules
   |> List.sort_uniq compare
 
+(* State identity must be [Store.equal]/[Store.hash]: both ignore the
+   store's mutable index cache, which the checker's structural defaults
+   would see — a cache-warm database would then neither compare nor
+   hash equal to the same database cache-cold, and every logical state
+   would be visited once per cache configuration. *)
 let system (p : Ast.program) : Store.t Explore.system =
   let initial = [ Store.of_facts p.Ast.facts ] in
   let successors db =
     List.map (fun (pred, t) -> Store.add pred t db) (enabled_insertions p db)
   in
-  Explore.make ~pp:Store.pp ~initial ~successors ()
+  Explore.make ~pp:Store.pp ~equal:Store.equal ~hash:Store.hash ~initial
+    ~successors ()
 
 (* A coarser system that fires all enabled insertions at once (one
    successor per state): much smaller state space, same fixpoint. *)
@@ -46,7 +52,8 @@ let batched_system (p : Ast.program) : Store.t Explore.system =
     | [] -> []
     | ins -> [ List.fold_left (fun db (pred, t) -> Store.add pred t db) db ins ]
   in
-  Explore.make ~pp:Store.pp ~initial ~successors ()
+  Explore.make ~pp:Store.pp ~equal:Store.equal ~hash:Store.hash ~initial
+    ~successors ()
 
 (* Check a safety invariant over every reachable database. *)
 let check_table_invariant ?max_states (p : Ast.program)

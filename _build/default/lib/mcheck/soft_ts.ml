@@ -95,7 +95,26 @@ let system (cfg : config) : state Explore.system =
   let pp ppf s =
     Fmt.pf ppf "clock=%d@.%a" s.clock Store.pp s.db
   in
-  Explore.make ~pp ~initial ~successors ()
+  (* State identity goes through [Store.equal]/[Store.hash] for the
+     database component (the index cache is not part of the state) and
+     the canonical lease list; structural defaults would distinguish
+     cache-warm from cache-cold databases. *)
+  let lease_equal (((p, t), d) : lease) (((p', t'), d') : lease) =
+    d = d' && String.equal p p' && Store.Tuple.equal t t'
+  in
+  let equal a b =
+    a.clock = b.clock
+    && Store.equal a.db b.db
+    && List.equal lease_equal a.leases b.leases
+  in
+  let hash s =
+    List.fold_left
+      (fun acc ((p, t), d) ->
+        (((acc * 31) + Hashtbl.hash (p, d)) * 31) + Store.Tuple.hash t)
+      ((s.clock * 31) + Store.hash s.db)
+      s.leases
+  in
+  Explore.make ~pp ~equal ~hash ~initial ~successors ()
 
 (* Check a clock-indexed safety property over all reachable states. *)
 let check ?(max_states = 100_000) (cfg : config)

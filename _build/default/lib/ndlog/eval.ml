@@ -50,6 +50,8 @@ type stats = {
   scans : int;  (* joins answered by a full relation scan *)
   enumerated : int;  (* candidate tuples visited by joins *)
   matched : int;  (* candidates that unified with the pattern *)
+  groups : int;  (* delta groups formed by the batched join *)
+  group_probes : int;  (* grouped delta probes issued *)
 }
 
 type outcome = {
@@ -60,7 +62,15 @@ type outcome = {
   stats : stats;  (* join counters of this run *)
 }
 
-let zero_stats = { index_hits = 0; scans = 0; enumerated = 0; matched = 0 }
+let zero_stats =
+  {
+    index_hits = 0;
+    scans = 0;
+    enumerated = 0;
+    matched = 0;
+    groups = 0;
+    group_probes = 0;
+  }
 
 let add_stats a b =
   {
@@ -68,6 +78,8 @@ let add_stats a b =
     scans = a.scans + b.scans;
     enumerated = a.enumerated + b.enumerated;
     matched = a.matched + b.matched;
+    groups = a.groups + b.groups;
+    group_probes = a.group_probes + b.group_probes;
   }
 
 (* A mutable accumulator for one evaluation run.  Each run (and each
@@ -78,10 +90,19 @@ type counters = {
   mutable c_scans : int;
   mutable c_enumerated : int;
   mutable c_matched : int;
+  mutable c_groups : int;
+  mutable c_group_probes : int;
 }
 
 let counters () =
-  { c_index_hits = 0; c_scans = 0; c_enumerated = 0; c_matched = 0 }
+  {
+    c_index_hits = 0;
+    c_scans = 0;
+    c_enumerated = 0;
+    c_matched = 0;
+    c_groups = 0;
+    c_group_probes = 0;
+  }
 
 let snapshot c =
   {
@@ -89,20 +110,26 @@ let snapshot c =
     scans = c.c_scans;
     enumerated = c.c_enumerated;
     matched = c.c_matched;
+    groups = c.c_groups;
+    group_probes = c.c_group_probes;
   }
 
 let accumulate c (s : stats) =
   c.c_index_hits <- c.c_index_hits + s.index_hits;
   c.c_scans <- c.c_scans + s.scans;
   c.c_enumerated <- c.c_enumerated + s.enumerated;
-  c.c_matched <- c.c_matched + s.matched
+  c.c_matched <- c.c_matched + s.matched;
+  c.c_groups <- c.c_groups + s.groups;
+  c.c_group_probes <- c.c_group_probes + s.group_probes
 
 let pp_stats ppf s =
-  Fmt.pf ppf "index_hits=%d scans=%d enumerated=%d matched=%d" s.index_hits
-    s.scans s.enumerated s.matched
+  Fmt.pf ppf
+    "index_hits=%d scans=%d enumerated=%d matched=%d groups=%d group_probes=%d"
+    s.index_hits s.scans s.enumerated s.matched s.groups s.group_probes
 
 let use_indexes = ref true
 let use_reordering = ref true
+let use_batching = ref true
 
 (* ------------------------------------------------------------------ *)
 (* Rule application. *)
@@ -153,10 +180,12 @@ let join_envs_c st (db : Store.t) env pred (args : Ast.expr list) : Env.t list =
     (candidates_c st db env pred args)
     []
 
-(* Enumerate all satisfying environments for [body] against [db].
-   [delta] optionally replaces the relation read by the body literal at
-   the given index, implementing semi-naive evaluation. *)
-let body_envs_c st (db : Store.t) ?delta (body : Ast.lit list) : Env.t list =
+(* Enumerate all satisfying environments for [body] against [db],
+   starting from [env0] and prepending to [acc].  [delta] optionally
+   replaces the relation read by the body literal at the given index,
+   implementing semi-naive evaluation. *)
+let body_envs_from st (db : Store.t) ?delta env0 (body : Ast.lit list) acc :
+    Env.t list =
   let rec go env idx lits acc =
     match lits with
     | [] -> env :: acc
@@ -195,7 +224,9 @@ let body_envs_c st (db : Store.t) ?delta (body : Ast.lit list) : Env.t list =
           go env (idx + 1) rest acc
         else acc)
   in
-  go Env.empty 0 body []
+  go env0 0 body acc
+
+let body_envs_c st db ?delta body = body_envs_from st db ?delta Env.empty body []
 
 (* Public wrappers: the optional accumulator defaults to a fresh
    throwaway record (the caller did not ask for counts). *)
@@ -309,6 +340,153 @@ let atom_binds (a : Ast.atom) : Ast.Sset.t =
     (fun s (e : Ast.expr) ->
       match e with Ast.Var x -> Ast.Sset.add x s | _ -> s)
     Ast.Sset.empty a.Ast.args
+
+(* ------------------------------------------------------------------ *)
+(* Batched delta joins.
+
+   The per-tuple semi-naive path seeds one environment per delta tuple
+   and replays the whole rest of the body — index probes included — per
+   activation.  The batched path instead groups the round's delta by
+   the columns the rest of the body actually reads ([group_vars]), and
+   per group runs the probing part of the body once from the group key
+   alone ([split_shared]); each delta tuple then only pays a pattern
+   match plus the residual filters.  The satisfying-environment set is
+   order-independent for safe rules, so both paths derive exactly the
+   same head tuples the same number of times — checked by property.
+
+   Group-variable choice: a shared positive atom's probe is exactly as
+   ground as on the per-tuple path, because every delta variable a rest
+   positive atom reads is a group variable (bound from the key).
+   Literals that would need other delta variables bind nothing
+   (negations, comparisons) and defer to the per-tuple phase freely; an
+   assignment defers only when that cannot change a later literal's
+   view of its target, otherwise the shared phase stops there. *)
+
+(* Variables of the delta atom that the rest of the body's positive
+   atoms read.  Binding them per group makes every shared-phase index
+   probe exactly as ground as the per-tuple path's. *)
+let group_vars (delta_atom : Ast.atom) (rest : Ast.lit list) : Ast.Sset.t =
+  let pos_vars =
+    List.fold_left
+      (fun s l ->
+        match l with Ast.Pos a -> Ast.vars_of_atom s a | _ -> s)
+      Ast.Sset.empty rest
+  in
+  Ast.Sset.inter (atom_binds delta_atom) pos_vars
+
+(* The delta-atom argument columns carrying the group variables: the
+   first bare occurrence of each, in ascending column order.  These are
+   the columns {!Store.groups} groups the delta by; [] (group variables
+   exhausted or none) degenerates to a single whole-delta group. *)
+let group_cols (delta_atom : Ast.atom) (gvars : Ast.Sset.t) :
+    (int * string) list =
+  let rec go i seen = function
+    | [] -> []
+    | Ast.Var x :: rest
+      when Ast.Sset.mem x gvars && not (Ast.Sset.mem x seen) ->
+      (i, x) :: go (i + 1) (Ast.Sset.add x seen) rest
+    | _ :: rest -> go (i + 1) seen rest
+  in
+  go 0 Ast.Sset.empty delta_atom.Ast.args
+
+(* Split the ordered rest body into a [shared] phase evaluable once per
+   group (from the group-key bindings alone) and the [per_tuple]
+   remainder.  Positive atoms always run shared (their delta-variable
+   reads are group variables by construction).  Negations and
+   comparisons whose inputs are not yet bound defer freely: they bind
+   nothing, so deferring cannot change any later literal's bindings.
+   An unschedulable assignment defers only when its target is already
+   bound or read by no later literal; otherwise the shared phase stops
+   — everything from there on runs per tuple, where the full delta
+   bindings restore the per-tuple path's exact probes. *)
+let split_shared gvars (ordered : Ast.lit list) : Ast.lit list * Ast.lit list
+    =
+  let rec go bound shared deferred = function
+    | [] -> (List.rev shared, List.rev deferred)
+    | l :: rest ->
+      if Ast.Sset.subset (needs_of l) bound then
+        go (Ast.Sset.union bound (lit_vars l)) (l :: shared) deferred rest
+      else (
+        match l with
+        | Ast.Neg _ | Ast.Cond _ -> go bound shared (l :: deferred) rest
+        | Ast.Assign (x, _)
+          when Ast.Sset.mem x bound
+               || not
+                    (List.exists
+                       (fun l' -> Ast.Sset.mem x (needs_of l'))
+                       rest) ->
+          go bound shared (l :: deferred) rest
+        | _ -> (List.rev shared, List.rev_append deferred (l :: rest)))
+  in
+  go gvars [] [] ordered
+
+(* Apply one (rule, delta position) pair group-at-a-time.  Per group:
+   match the delta pattern against each tuple first (a group with no
+   matching tuple costs no probes — the per-tuple path would have
+   rejected exactly those tuples), evaluate the shared literals once
+   from the key bindings, then recombine every tuple binding with every
+   shared environment.  {!Env.merge}'s consistency check reproduces the
+   per-tuple path's filter semantics for delta variables constrained by
+   shared literals (e.g. an assignment to a delta variable). *)
+let batched_delta_envs st (db : Store.t) ~card (delta_atom : Ast.atom)
+    (rest : Ast.lit list) (delta_db : Store.t) : Env.t list =
+  let gvars = group_vars delta_atom rest in
+  let cols_vars = group_cols delta_atom gvars in
+  let cols = List.map fst cols_vars in
+  let ordered = order_body ~card ~bound:(atom_binds delta_atom) rest in
+  let shared, per_tuple = split_shared gvars ordered in
+  st.c_group_probes <- st.c_group_probes + 1;
+  List.fold_left
+    (fun acc (key, tuples) ->
+      st.c_groups <- st.c_groups + 1;
+      let tuple_envs =
+        Store.Tset.fold
+          (fun t acc ->
+            st.c_enumerated <- st.c_enumerated + 1;
+            match Env.match_args Env.empty delta_atom.Ast.args t with
+            | Some env ->
+              st.c_matched <- st.c_matched + 1;
+              env :: acc
+            | None -> acc)
+          tuples []
+      in
+      match tuple_envs with
+      | [] -> acc
+      | _ ->
+        let env_g =
+          List.fold_left2
+            (fun env (_, x) v -> Env.bind x v env)
+            Env.empty cols_vars key
+        in
+        let shared_envs = body_envs_from st db env_g shared [] in
+        List.fold_left
+          (fun acc env_s ->
+            List.fold_left
+              (fun acc env_t ->
+                match Env.merge env_t env_s with
+                | None -> acc
+                | Some env -> body_envs_from st db env per_tuple acc)
+              acc tuple_envs)
+          acc shared_envs)
+    []
+    (Store.groups delta_atom.Ast.pred ~cols delta_db)
+
+(* Public entry for the strand executor: all satisfying environments of
+   a rule body against [db] with [delta_atom]'s relation restricted to
+   [delta_db], batched or per-tuple according to [use_batching]. *)
+let delta_envs ?(stats = counters ()) ?(card = fun _ -> 0) db
+    ~delta:((delta_atom : Ast.atom), (delta_db : Store.t)) ~rest : Env.t list
+    =
+  if !use_batching then
+    batched_delta_envs stats db ~card delta_atom rest delta_db
+  else
+    let body =
+      Ast.Pos delta_atom
+      :: order_body ~card ~bound:(atom_binds delta_atom) rest
+    in
+    body_envs_c stats db
+      ~delta:(0, Store.relation delta_atom.Ast.pred delta_db)
+      body
 
 (* ------------------------------------------------------------------ *)
 (* Aggregates. *)
@@ -533,10 +711,15 @@ let apply_plain_rules st db ?deltas ~rec_preds rules ~count =
             if Store.Tset.is_empty d then acc
             else
               let rest = List.filteri (fun j _ -> j <> i) r.body in
-              let body =
-                delta_lit :: order_body ~card ~bound:(atom_binds delta_atom) rest
-              in
-              produce acc (body_envs_c st db ~delta:(0, d) body))
+              if !use_batching then
+                produce acc
+                  (batched_delta_envs st db ~card delta_atom rest delta_db)
+              else
+                let body =
+                  delta_lit
+                  :: order_body ~card ~bound:(atom_binds delta_atom) rest
+                in
+                produce acc (body_envs_c st db ~delta:(0, d) body))
           acc positions)
     Store.empty rules
 

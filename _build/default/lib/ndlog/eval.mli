@@ -34,6 +34,8 @@ type stats = {
   scans : int;  (** joins answered by a full relation scan *)
   enumerated : int;  (** candidate tuples visited by joins *)
   matched : int;  (** candidates that unified with the pattern *)
+  groups : int;  (** delta groups formed by the batched join *)
+  group_probes : int;  (** grouped delta probes issued *)
 }
 
 (** The result of an evaluation. *)
@@ -77,6 +79,17 @@ val use_reordering : bool ref
 (** Reorder rule bodies most-bound-first before evaluation (default
     [true]). *)
 
+val use_batching : bool ref
+(** Join delta activations group-at-a-time (default [true]): each
+    round's delta relation is grouped by the columns the rest of the
+    body reads ({!Store.groups}), the probing part of the body runs
+    once per group, and each delta tuple pays only a pattern match plus
+    the residual filters.  Off: one environment is seeded per delta
+    tuple and the whole body replays per activation.  Both paths derive
+    the same head tuples the same number of times (checked by
+    property); [stats.groups] / [stats.group_probes] count the batched
+    path's work. *)
+
 val order_body :
   ?card:(string -> int) ->
   ?bound:Ast.Sset.t ->
@@ -116,6 +129,20 @@ val join_envs :
 (** [join_envs db env pred args]: extend [env] with every tuple of
     [pred] that matches [args] — one index-aware join step, shared with
     the strand executor ({!Plan.execute}). *)
+
+val delta_envs :
+  ?stats:counters ->
+  ?card:(string -> int) ->
+  Store.t ->
+  delta:Ast.atom * Store.t ->
+  rest:Ast.lit list ->
+  Env.t list
+(** All satisfying environments of the body [delta_atom :: rest]
+    against [db], with the delta atom's relation read from the supplied
+    delta store instead of [db] — the semi-naive activation of one
+    (rule, delta position) pair.  Batched ({!use_batching} on, the
+    default) or per-tuple; both produce the same environment set.
+    Exposed for the strand executor ({!Plan.execute_batch}). *)
 
 val head_tuple : Env.t -> Ast.head -> Store.Tuple.t
 (** Instantiate an aggregate-free head under an environment. *)

@@ -28,6 +28,7 @@ type op =
 type strand = {
   strand_rule : Ast.rule;
   delta_pred : string option;  (* None: a full-scan strand *)
+  delta_index : int option;  (* body position of the delta literal *)
   ops : op list;
 }
 
@@ -66,6 +67,7 @@ let compile_strand (rule : Ast.rule) ~(delta : int) : strand =
   {
     strand_rule = rule;
     delta_pred = Some delta_lit.Ast.pred;
+    delta_index = Some delta;
     ops =
       (Delta { pred = delta_lit.Ast.pred; args = delta_lit.Ast.args } :: rest)
       @ [ Project rule.Ast.head ];
@@ -79,6 +81,7 @@ let compile_scan (rule : Ast.rule) : strand =
   {
     strand_rule = rule;
     delta_pred = None;
+    delta_index = None;
     ops = List.map op_of_lit (Eval.order_body rule.Ast.body) @ [ Project rule.Ast.head ];
   }
 
@@ -156,6 +159,33 @@ let execute_ops ?stats (db : Store.t) ?(delta_tuple : Store.Tuple.t option)
 let execute ?stats (db : Store.t) ?delta_tuple (s : strand) : Store.Tuple.t list
     =
   execute_ops ?stats db ?delta_tuple s.ops
+
+(* Run a delta strand over a whole batch of triggering tuples at once:
+   the batch becomes a delta relation and flows through
+   {!Eval.delta_envs}, so the batched group-at-a-time join applies (one
+   probe pass per delta group instead of one per tuple).  Produces the
+   same multiset of head tuples as executing the strand per tuple. *)
+let execute_batch ?stats (db : Store.t) ~(delta_tuples : Store.Tuple.t list)
+    (s : strand) : Store.Tuple.t list =
+  match s.delta_index with
+  | None -> raise (Plan_error "strand needs a delta position")
+  | Some i ->
+    let delta_atom =
+      match List.nth s.strand_rule.Ast.body i with
+      | Ast.Pos a -> a
+      | _ -> raise (Plan_error "delta position is not a positive atom")
+    in
+    if delta_tuples = [] then []
+    else
+      let delta_db =
+        List.fold_left
+          (fun acc t -> Store.add delta_atom.Ast.pred t acc)
+          Store.empty delta_tuples
+      in
+      let rest = List.filteri (fun j _ -> j <> i) s.strand_rule.Ast.body in
+      List.rev_map
+        (fun env -> Eval.head_tuple env s.strand_rule.Ast.head)
+        (Eval.delta_envs ?stats db ~delta:(delta_atom, delta_db) ~rest)
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing (the strand diagrams P2 logs). *)

@@ -27,6 +27,7 @@ type op =
 type strand = {
   strand_rule : Ast.rule;
   delta_pred : string option;  (** [None] for a full-scan strand *)
+  delta_index : int option;  (** body position of the delta literal *)
   ops : op list;
 }
 
@@ -55,6 +56,18 @@ val execute :
 (** Run a strand; [delta_tuple] is required for delta strands.
     [stats] accumulates the join counters of the run.
     @raise Plan_error when a delta strand runs without a tuple. *)
+
+val execute_batch :
+  ?stats:Eval.counters ->
+  Store.t ->
+  delta_tuples:Store.Tuple.t list ->
+  strand ->
+  Store.Tuple.t list
+(** Run a delta strand over a batch of triggering tuples at once: the
+    batch becomes a delta relation flowing through {!Eval.delta_envs},
+    so the group-at-a-time join applies.  Same multiset of head tuples
+    as executing the strand per tuple.
+    @raise Plan_error on full-scan strands. *)
 
 val pp_op : op Fmt.t
 val pp : strand Fmt.t

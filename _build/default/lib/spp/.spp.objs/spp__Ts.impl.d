@@ -1,1 +1,1 @@
-lib/spp/ts.ml: Array Instance List Mcheck Solver
+lib/spp/ts.ml: Array Instance Int List Mcheck Solver

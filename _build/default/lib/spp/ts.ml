@@ -8,12 +8,22 @@
    - [synchronous]: all nodes activate simultaneously (one successor),
      the semantics under which Disagree oscillates forever. *)
 
-(* States as plain lists so that polymorphic equality/hashing in the
-   checker's table is structural. *)
+(* States as plain lists of int lists. *)
 type state = Instance.path list
 
 let of_assignment (a : Instance.assignment) : state = Array.to_list a
 let to_assignment (s : state) : Instance.assignment = Array.of_list s
+
+(* Full-depth state identity for the checker's visited table:
+   [Hashtbl.hash] truncates at its default depth/size limits, so large
+   assignments would collapse into a few buckets. *)
+let state_equal (a : state) (b : state) = List.equal (List.equal Int.equal) a b
+
+let state_hash (s : state) =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left (fun acc u -> (acc * 31) + u + 1) ((acc * 31) + 7) p)
+    0 s
 
 let interleaved (t : Instance.t) : state Mcheck.Explore.system =
   let initial = [ of_assignment (Instance.empty_assignment t) ] in
@@ -28,7 +38,8 @@ let interleaved (t : Instance.t) : state Mcheck.Explore.system =
       (Instance.nodes t)
   in
   let pp ppf s = Instance.pp_assignment ppf (to_assignment s) in
-  Mcheck.Explore.make ~pp ~initial ~successors ()
+  Mcheck.Explore.make ~pp ~equal:state_equal ~hash:state_hash ~initial
+    ~successors ()
 
 let synchronous (t : Instance.t) : state Mcheck.Explore.system =
   let initial = [ of_assignment (Instance.empty_assignment t) ] in
@@ -38,7 +49,8 @@ let synchronous (t : Instance.t) : state Mcheck.Explore.system =
     if b = a then [] else [ of_assignment b ]
   in
   let pp ppf s = Instance.pp_assignment ppf (to_assignment s) in
-  Mcheck.Explore.make ~pp ~initial ~successors ()
+  Mcheck.Explore.make ~pp ~equal:state_equal ~hash:state_hash ~initial
+    ~successors ()
 
 let is_stable (t : Instance.t) (s : state) = Instance.is_stable t (to_assignment s)
 

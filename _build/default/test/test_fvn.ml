@@ -192,6 +192,68 @@ let test_model_check_counterexample () =
     checkb "trace leads to violation" true
       (List.length v.Mcheck.Explore.trace >= 1)
 
+(* State identity regressions: the checker's visited table must key
+   states with [Store.equal]/[Store.hash], which ignore the store's
+   mutable index cache and the internal tree shape — the structural
+   defaults distinguished a cache-warm store from its cache-cold twin,
+   duplicating visited states. *)
+let test_explore_index_independence () =
+  let program =
+    Programs.with_links (Programs.path_vector ()) (Programs.line_links 3)
+  in
+  let explore () =
+    Mcheck.Explore.explore ~max_states:5_000 (Mcheck.Ndlog_ts.system program)
+  in
+  let on = explore () in
+  Ndlog.Eval.use_indexes := false;
+  let off =
+    Fun.protect ~finally:(fun () -> Ndlog.Eval.use_indexes := true) explore
+  in
+  checki "states independent of index cache" off.Mcheck.Explore.states
+    on.Mcheck.Explore.states;
+  checki "transitions independent of index cache" off.Mcheck.Explore.transitions
+    on.Mcheck.Explore.transitions;
+  checki "depth independent of index cache" off.Mcheck.Explore.max_depth
+    on.Mcheck.Explore.max_depth;
+  (* Directly: a store that materialized an index is the same state as
+     its cache-cold twin built in another insertion order. *)
+  let tup i = [| V.Int i |] in
+  let rows = List.init 20 tup in
+  let warm = Store.add_list "r" rows Store.empty in
+  let cold = Store.add_list "r" (List.rev rows) Store.empty in
+  ignore (Store.lookup "r" ~cols:[ 0 ] ~key:[ V.Int 3 ] warm);
+  let tbl =
+    Mcheck.Explore.Table.create ~equal:Store.equal ~hash:Store.hash ()
+  in
+  Mcheck.Explore.Table.add tbl warm 0;
+  checkb "cache-cold twin is the same state" true
+    (Mcheck.Explore.Table.mem tbl cold)
+
+let test_explore_bucket_distribution () =
+  (* 600 large states differing in one tuple: [Hashtbl.hash]'s
+     depth/size truncation collapsed these into a handful of buckets
+     (the table degraded to a linear scan); [Store.hash] folds every
+     tuple, so the distribution stays sane. *)
+  let base =
+    Store.add_list "base"
+      (List.init 50 (fun i -> [| V.Int (1000 + i); V.Int i |]))
+      Store.empty
+  in
+  let states = List.init 600 (fun i -> Store.add "m" [| V.Int i |] base) in
+  let tbl =
+    Mcheck.Explore.Table.create ~equal:Store.equal ~hash:Store.hash ()
+  in
+  List.iteri (fun i s -> Mcheck.Explore.Table.add tbl s i) states;
+  checki "all 600 states distinct" 600 (Mcheck.Explore.Table.size tbl);
+  checkb "states spread over many buckets" true
+    (Mcheck.Explore.Table.buckets tbl >= 300);
+  checkb "no degenerate bucket" true (Mcheck.Explore.Table.max_bucket tbl <= 8);
+  List.iteri
+    (fun i s ->
+      if not (Mcheck.Explore.Table.find tbl s = Some i) then
+        Alcotest.failf "state %d not found under its own id" i)
+    states
+
 (* ------------------------------------------------------------------ *)
 (* The BGP design verified through the pipeline (arcs 1-5 combined). *)
 
@@ -299,6 +361,10 @@ let () =
           Alcotest.test_case "invariant holds" `Quick test_model_check_invariant;
           Alcotest.test_case "counterexample" `Quick
             test_model_check_counterexample;
+          Alcotest.test_case "state identity vs index cache" `Quick
+            test_explore_index_independence;
+          Alcotest.test_case "bucket distribution" `Quick
+            test_explore_bucket_distribution;
         ] );
       ( "stated",
         [

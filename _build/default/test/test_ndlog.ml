@@ -1199,6 +1199,173 @@ let prop_sharded_equals_seminaive =
       && same_outcome s1 s2 && same_outcome s2 s4)
 
 (* ------------------------------------------------------------------ *)
+(* Batched delta joins. *)
+
+(* Run with the batched delta join on or off (off = one environment
+   seeded per delta tuple, the PR 1 engine). *)
+let run_batched ~batched p =
+  Eval.use_batching := batched;
+  Fun.protect
+    ~finally:(fun () -> Eval.use_batching := true)
+    (fun () -> Eval.run_exn p)
+
+let prop_batched_equals_per_tuple =
+  QCheck.Test.make
+    ~name:
+      "batched delta join = per-tuple semi-naive (fixpoint, rounds, \
+       derivations)"
+    ~count:40
+    QCheck.(triple (int_range 0 3) (int_range 2 7) (int_range 0 4))
+    (fun (which, n, extra) ->
+      let links =
+        match which with
+        | 0 | 1 -> Programs.random_links ~seed:((13 * n) + extra + which) ~extra n
+        | 2 -> Programs.ring_links n
+        | _ -> Programs.grid_links (2 + (n mod 2))
+      in
+      let prog =
+        match which with
+        | 0 -> Programs.path_vector ()
+        | 1 -> Programs.reachability ()
+        | 2 -> Programs.bounded_distance_vector ~max_hops:n
+        | _ -> Programs.link_state ~max_hops:4
+      in
+      let p = Programs.with_links prog links in
+      let a = run_batched ~batched:true p in
+      let b = run_batched ~batched:false p in
+      Store.equal a.Eval.db b.Eval.db
+      && a.Eval.rounds = b.Eval.rounds
+      && a.Eval.converged = b.Eval.converged
+      && a.Eval.derivations = b.Eval.derivations)
+
+let test_group_formation () =
+  (* r(@X,Z) :- e(@X,Y), f(@Y,Z) with e as the delta: the rest reads Y,
+     so the delta groups by its Y column. *)
+  let p = parse_ok {| r(@X,Z) :- e(@X,Y), f(@Y,Z). |} in
+  let r = List.hd p.Ast.rules in
+  let delta_atom =
+    match List.hd r.Ast.body with Ast.Pos a -> a | _ -> assert false
+  in
+  let rest = List.tl r.Ast.body in
+  let t a b = tuple [ V.Addr a; V.Addr b ] in
+  let db = Store.add_list "f" [ t "y" "z1"; t "y" "z2" ] Store.empty in
+  let probe delta =
+    let st = Eval.counters () in
+    let envs = Eval.delta_envs ~stats:st db ~delta:(delta_atom, delta) ~rest in
+    (List.length envs, Eval.snapshot st)
+  in
+  (* empty delta: the probe happens, but no group forms *)
+  let n, st = probe Store.empty in
+  checki "empty delta: no envs" 0 n;
+  checki "empty delta: no groups" 0 st.Eval.groups;
+  checki "empty delta: one probe" 1 st.Eval.group_probes;
+  (* singleton delta: exactly one group *)
+  let n, st = probe (Store.add "e" (t "x" "y") Store.empty) in
+  checki "singleton delta: both f rows join" 2 n;
+  checki "singleton delta: one group" 1 st.Eval.groups;
+  (* two delta tuples sharing the join key fall into one group *)
+  let n, st = probe (Store.add_list "e" [ t "x1" "y"; t "x2" "y" ] Store.empty) in
+  checki "shared key: four envs" 4 n;
+  checki "shared key: still one group" 1 st.Eval.groups;
+  (* distinct keys split *)
+  let n, st = probe (Store.add_list "e" [ t "x1" "y"; t "x2" "w" ] Store.empty) in
+  checki "distinct keys: only y joins" 2 n;
+  checki "distinct keys: two groups" 2 st.Eval.groups
+
+let test_batched_stats_counted () =
+  let p =
+    Programs.with_links (Programs.reachability ()) (Programs.grid_links 4)
+  in
+  let on = run_batched ~batched:true p in
+  let off = run_batched ~batched:false p in
+  checkb "same fixpoint" true (Store.equal on.Eval.db off.Eval.db);
+  checki "same derivations" off.Eval.derivations on.Eval.derivations;
+  checkb "groups counted" true (on.Eval.stats.Eval.groups > 0);
+  checkb "group probes counted" true (on.Eval.stats.Eval.group_probes > 0);
+  checki "no groups when off" 0 off.Eval.stats.Eval.groups;
+  checki "no group probes when off" 0 off.Eval.stats.Eval.group_probes;
+  checkb "batching enumerates fewer tuples" true
+    (on.Eval.stats.Eval.enumerated < off.Eval.stats.Eval.enumerated);
+  (* the path-vector body (assignments, a negation, a builtin) exercises
+     the shared/per-tuple split the same way *)
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.ring_links 6) in
+  let on = run_batched ~batched:true p in
+  let off = run_batched ~batched:false p in
+  checkb "path-vector fixpoint" true (Store.equal on.Eval.db off.Eval.db);
+  checki "path-vector derivations" off.Eval.derivations on.Eval.derivations;
+  checkb "path-vector enumerates fewer" true
+    (on.Eval.stats.Eval.enumerated < off.Eval.stats.Eval.enumerated)
+
+let test_execute_batch () =
+  (* The batched strand executor = per-tuple strand execution over the
+     same delta set (as a multiset of heads). *)
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.ring_links 4) in
+  let o = Eval.run_exn p in
+  let db = o.Eval.db in
+  let r2 = List.nth p.Ast.rules 1 in
+  let strand = Plan.compile_strand r2 ~delta:1 in
+  let deltas = Store.tuples "path" db in
+  let via_batch =
+    Plan.execute_batch db ~delta_tuples:deltas strand
+    |> List.sort Store.Tuple.compare
+  in
+  let via_single =
+    List.concat_map (fun t -> Plan.execute db ~delta_tuple:t strand) deltas
+    |> List.sort Store.Tuple.compare
+  in
+  checkb "batch = per-tuple strand heads" true (via_batch = via_single);
+  checki "empty batch" 0
+    (List.length (Plan.execute_batch db ~delta_tuples:[] strand));
+  (* full-scan strands have no delta position *)
+  (match
+     Plan.execute_batch db ~delta_tuples:deltas (Plan.compile_scan r2)
+   with
+  | exception Plan.Plan_error _ -> ()
+  | _ -> Alcotest.fail "scan strand must reject a batch")
+
+let test_sharded_batched_domains () =
+  (* The sharded evaluator batches inside each shard: at domains 1/2/4
+     the batched outcome matches per-tuple sharding and stays
+     domain-count deterministic. *)
+  let p = localized_program (Programs.reachability ()) (Programs.grid_links 3) in
+  (match Shard.analyze p with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "localized program must shard: %s" e);
+  let info = Analysis.analyze_exn p in
+  let db = Store.of_facts p.Ast.facts in
+  let run ~batched ~domains =
+    Eval.use_batching := batched;
+    Fun.protect
+      ~finally:(fun () -> Eval.use_batching := true)
+      (fun () -> Eval.seminaive_sharded ~domains p info db)
+  in
+  List.iter
+    (fun domains ->
+      let on = run ~batched:true ~domains in
+      let off = run ~batched:false ~domains in
+      checkb
+        (Printf.sprintf "domains=%d same fixpoint" domains)
+        true
+        (Store.equal on.Eval.db off.Eval.db);
+      checki
+        (Printf.sprintf "domains=%d same derivations" domains)
+        off.Eval.derivations on.Eval.derivations;
+      checkb
+        (Printf.sprintf "domains=%d groups counted" domains)
+        true
+        (on.Eval.stats.Eval.groups > 0))
+    [ 1; 2; 4 ];
+  (* batched sharded outcomes are identical across domain counts *)
+  let s1 = run ~batched:true ~domains:1 in
+  let s2 = run ~batched:true ~domains:2 in
+  let s4 = run ~batched:true ~domains:4 in
+  checkb "deterministic in domains" true
+    (Store.equal s1.Eval.db s2.Eval.db
+    && Store.equal s2.Eval.db s4.Eval.db
+    && s1.Eval.stats = s2.Eval.stats
+    && s2.Eval.stats = s4.Eval.stats)
+
+(* ------------------------------------------------------------------ *)
 (* Index-aware aggregates. *)
 
 let agg_outputs db r =
@@ -1355,6 +1522,15 @@ let () =
             test_sharded_fallback;
         ]
         @ qsuite [ prop_sharded_equals_seminaive ] );
+      ( "batched",
+        [
+          Alcotest.test_case "group formation" `Quick test_group_formation;
+          Alcotest.test_case "stats" `Quick test_batched_stats_counted;
+          Alcotest.test_case "strand batch executor" `Quick test_execute_batch;
+          Alcotest.test_case "sharded domains 1/2/4" `Quick
+            test_sharded_batched_domains;
+        ]
+        @ qsuite [ prop_batched_equals_per_tuple ] );
       ( "localize",
         [
           Alcotest.test_case "path-vector rewrite" `Quick
