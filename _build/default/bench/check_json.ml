@@ -1,12 +1,14 @@
 (* Smoke check for the benchmark ledger: BENCH_ndlog.json must parse
-   as a schema-3 document carrying a non-empty E7 sweep (indexed vs.
+   as a schema-4 document carrying a non-empty E7 sweep (indexed vs.
    baseline timings), an E8 sharded sweep with per-domain timings, an
    E11 sweep (batched vs. per-tuple delta joins, with the enumeration
-   reduction recorded per row), and a run-history array.  Run by the
-   @bench-smoke alias so a broken emitter (or a regression that stops
-   a sweep from completing, a sharded run diverging from the
-   centralized fixpoint, or batching losing its enumeration win) fails
-   the build loudly. *)
+   reduction recorded per row), an E12 sweep (the distributed
+   runtime's inbox batching vs. per-message deliveries, with the wire
+   delta-group sizes recorded per row), and a run-history array.  Run
+   by the @bench-smoke alias so a broken emitter (or a regression that
+   stops a sweep from completing, a run diverging from its baseline
+   fixpoint, or batching losing its enumeration win) fails the build
+   loudly. *)
 
 let fail fmt = Fmt.kstr (fun m -> prerr_endline m; exit 1) fmt
 
@@ -34,14 +36,14 @@ let () =
   | Error e -> fail "%s: does not parse: %s" path e
   | Ok v ->
     (match Json.member "schema" v with
-    | Some (Json.Int 3) -> ()
-    | _ -> fail "%s: missing schema=3" path);
+    | Some (Json.Int 4) -> ()
+    | _ -> fail "%s: missing schema=4" path);
     List.iter
       (fun k ->
         match Json.member k v with
         | Some _ -> ()
         | None -> fail "%s: missing top-level %S" path k)
-      [ "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "e11"; "history" ];
+      [ "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "e11"; "e12"; "history" ];
     (* E7: index layer on vs. off. *)
     let e7 = Option.get (Json.member "e7" v) in
     let sweeps = nonempty_sweeps path "e7" e7 in
@@ -99,6 +101,38 @@ let () =
         | _ -> fail "%s: e11 row %d lost the enumeration reduction" path i);
         require_same_fixpoint path "e11" i row)
       batch_sweeps;
+    (* E12: the distributed runtime's inbox batching vs. per-message
+       deliveries.  Every row must record the identical fixpoint; ring
+       rows at n >= 8 must also record coalesced flushes (mean wire
+       delta-group size > 1) and a strict wire-path enumeration
+       reduction. *)
+    let e12 = Option.get (Json.member "e12" v) in
+    let inbox_sweeps = nonempty_sweeps path "e12" e12 in
+    List.iteri
+      (fun i row ->
+        require_fields path "e12" i row
+          [
+            "program"; "topology"; "n"; "nodes"; "tuples"; "messages";
+            "batched_ms"; "per_message_ms"; "speedup"; "wire_groups";
+            "wire_delta_tuples"; "mean_group_size"; "enumerated_batched";
+            "enumerated_per_message"; "enum_reduced"; "same_fixpoint";
+          ];
+        require_same_fixpoint path "e12" i row;
+        let strict =
+          match (Json.member "topology" row, Json.member "n" row) with
+          | Some (Json.Str "ring"), Some (Json.Int n) -> n >= 8
+          | _ -> false
+        in
+        if strict then begin
+          (match Json.member "mean_group_size" row with
+          | Some (Json.Float g) when g > 1.0 -> ()
+          | _ -> fail "%s: e12 row %d mean wire group size not > 1" path i);
+          match Json.member "enum_reduced" row with
+          | Some (Json.Bool true) -> ()
+          | _ ->
+            fail "%s: e12 row %d lost the wire enumeration reduction" path i
+        end)
+      inbox_sweeps;
     (* History: at least the run that wrote this file. *)
     let history =
       match Option.bind (Json.member "history" v) Json.as_arr with
@@ -110,7 +144,9 @@ let () =
         require_fields path "history" i entry
           [ "unix_time"; "quick"; "host_cores" ])
       history;
-    Fmt.pr "%s: ok (%d e7 rows, %d e8 rows, %d e11 rows, %d history entries)@."
-      path
-      (List.length sweeps) (List.length shard_sweeps)
-      (List.length batch_sweeps) (List.length history)
+    Fmt.pr
+      "%s: ok (%d e7 rows, %d e8 rows, %d e11 rows, %d e12 rows, %d history \
+       entries)@."
+      path (List.length sweeps) (List.length shard_sweeps)
+      (List.length batch_sweeps) (List.length inbox_sweeps)
+      (List.length history)

@@ -694,18 +694,140 @@ let batched_point ~prog_name ~topo_name ~n ~nodes (p : Ndlog.Ast.program) :
   }
 
 (* ------------------------------------------------------------------ *)
-(* The machine-readable ledger (BENCH_ndlog.json, schema 3).
+(* E12 sweep machinery: the distributed runtime's inbox batching on
+   vs. off (the per-message baseline).  Where E11 measures batched
+   delta joins inside one evaluator, E12 measures the same
+   group-at-a-time savings on the wire path: all message deliveries
+   landing at a node at the same simulated instant flush as one
+   per-predicate delta. *)
 
-   E7, E8 and E11 stash their sweep rows here; the driver emits one document
-   at the end of the run.  The previous ledger's run history is carried
-   forward and the finished run appended, so the committed file records
-   how the numbers moved across regenerations. *)
+type inbox_row = {
+  ib_prog : string;
+  ib_topo : string;
+  ib_n : int;
+  ib_nodes : int;
+  ib_tuples : int;  (* global fixpoint database size *)
+  ib_msgs : int;  (* messages sent (identical in both modes) *)
+  ib_batched_ms : float;
+  ib_per_msg_ms : float;
+  ib_groups : int;  (* batched run, wire path: delta groups joined *)
+  ib_delta : int;  (* batched run, wire path: delta tuples fed *)
+  ib_enum_batched : int;  (* wire-path tuples enumerated, batched *)
+  ib_enum_per_msg : int;  (* wire-path tuples enumerated, per-message *)
+  ib_same : bool;  (* identical global fixpoint and insert count *)
+}
+
+let ib_speedup r = r.ib_per_msg_ms /. Float.max 1e-6 r.ib_batched_ms
+
+(* Mean number of delta tuples each wire-path strand activation
+   carried; 1.0 is the per-message baseline by construction. *)
+let ib_mean_group r =
+  float_of_int r.ib_delta /. float_of_int (max 1 r.ib_groups)
+
+let ib_enum_saved r =
+  if r.ib_enum_per_msg = 0 then 0.0
+  else
+    100.
+    *. float_of_int (r.ib_enum_per_msg - r.ib_enum_batched)
+    /. float_of_int r.ib_enum_per_msg
+
+let topo_of_link_facts links =
+  let t = Netsim.Topology.create () in
+  List.iter
+    (fun (f : Ndlog.Ast.fact) ->
+      match f.Ndlog.Ast.fact_args with
+      | [ s; d; c ] ->
+        Netsim.Topology.add_link ~cost:(Ndlog.Value.as_int c) t
+          (Ndlog.Value.as_addr s) (Ndlog.Value.as_addr d)
+      | _ -> ())
+    links;
+  t
+
+let inbox_point ~prog_name ~topo_name ~n ~nodes ~strict prog links : inbox_row =
+  let loc =
+    match
+      Ndlog.Localize.rewrite_program (Ndlog.Programs.with_links prog links)
+    with
+    | Ok r -> r.Ndlog.Localize.program
+    | Error _ -> assert false
+  in
+  let go ~batch_inbox =
+    let rt = Dist.Runtime.create ~batch_inbox (topo_of_link_facts links) loc in
+    Dist.Runtime.load_facts rt;
+    let report, t = wall (fun () -> Dist.Runtime.run rt) in
+    (rt, report, t)
+  in
+  let rt_b, rep_b, t_b = go ~batch_inbox:true in
+  let rt_p, rep_p, t_p = go ~batch_inbox:false in
+  let same =
+    rep_b.Dist.Runtime.stats.Netsim.Sim.quiesced
+    && rep_p.Dist.Runtime.stats.Netsim.Sim.quiesced
+    && Ndlog.Store.equal
+         (Dist.Runtime.global_store rt_b)
+         (Dist.Runtime.global_store rt_p)
+    && rep_b.Dist.Runtime.total_inserts = rep_p.Dist.Runtime.total_inserts
+    && List.for_all
+         (fun nm ->
+           Ndlog.Store.equal
+             (Dist.Runtime.node_store rt_b nm)
+             (Dist.Runtime.node_store rt_p nm))
+         (Netsim.Topology.nodes (topo_of_link_facts links))
+  in
+  (* The equivalence claim is part of the benchmark: a divergence fails
+     the run (and the bench-smoke alias) loudly. *)
+  if not same then
+    failwith
+      (Fmt.str "E12 %s/%s %d: batched inbox diverged from per-message"
+         prog_name topo_name n);
+  let wb = rep_b.Dist.Runtime.wire_stats in
+  let wp = rep_p.Dist.Runtime.wire_stats in
+  (* On the big rings the batching claim itself is asserted: flushes
+     must actually coalesce deliveries (mean group > 1) and strictly
+     reduce wire-path enumeration. *)
+  if strict then begin
+    if wb.Ndlog.Eval.delta_tuples <= wb.Ndlog.Eval.groups then
+      failwith
+        (Fmt.str "E12 %s/%s %d: mean wire delta-group size not > 1 (%d/%d)"
+           prog_name topo_name n wb.Ndlog.Eval.delta_tuples
+           wb.Ndlog.Eval.groups);
+    if wb.Ndlog.Eval.enumerated >= wp.Ndlog.Eval.enumerated then
+      failwith
+        (Fmt.str
+           "E12 %s/%s %d: inbox batching did not reduce wire enumeration (%d \
+            >= %d)"
+           prog_name topo_name n wb.Ndlog.Eval.enumerated
+           wp.Ndlog.Eval.enumerated)
+  end;
+  {
+    ib_prog = prog_name;
+    ib_topo = topo_name;
+    ib_n = n;
+    ib_nodes = nodes;
+    ib_tuples = Ndlog.Store.total_tuples (Dist.Runtime.global_store rt_b);
+    ib_msgs = rep_b.Dist.Runtime.stats.Netsim.Sim.messages_sent;
+    ib_batched_ms = t_b *. 1e3;
+    ib_per_msg_ms = t_p *. 1e3;
+    ib_groups = wb.Ndlog.Eval.groups;
+    ib_delta = wb.Ndlog.Eval.delta_tuples;
+    ib_enum_batched = wb.Ndlog.Eval.enumerated;
+    ib_enum_per_msg = wp.Ndlog.Eval.enumerated;
+    ib_same = same;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The machine-readable ledger (BENCH_ndlog.json, schema 4).
+
+   E7, E8, E11 and E12 stash their sweep rows here; the driver emits one
+   document at the end of the run.  The previous ledger's run history is
+   carried forward and the finished run appended, so the committed file
+   records how the numbers moved across regenerations. *)
 
 let json_out = ref false
 let bench_json_path = "BENCH_ndlog.json"
 let e7_sweeps : sweep_row list ref = ref []
 let e8_rows : shard_row list ref = ref []
 let e11_rows : batch_row list ref = ref []
+let e12_rows : inbox_row list ref = ref []
 
 let emit_bench_json () =
   let e7_row r =
@@ -772,6 +894,28 @@ let emit_bench_json () =
         ("same_fixpoint", Json.Bool r.bt_same);
       ]
   in
+  let e12_row r =
+    Json.Obj
+      [
+        ("program", Json.Str r.ib_prog);
+        ("topology", Json.Str r.ib_topo);
+        ("n", Json.Int r.ib_n);
+        ("nodes", Json.Int r.ib_nodes);
+        ("tuples", Json.Int r.ib_tuples);
+        ("messages", Json.Int r.ib_msgs);
+        ("batched_ms", Json.Float r.ib_batched_ms);
+        ("per_message_ms", Json.Float r.ib_per_msg_ms);
+        ("speedup", Json.Float (ib_speedup r));
+        ("wire_groups", Json.Int r.ib_groups);
+        ("wire_delta_tuples", Json.Int r.ib_delta);
+        ("mean_group_size", Json.Float (ib_mean_group r));
+        ("enumerated_batched", Json.Int r.ib_enum_batched);
+        ("enumerated_per_message", Json.Int r.ib_enum_per_msg);
+        ("enum_saved_pct", Json.Float (ib_enum_saved r));
+        ("enum_reduced", Json.Bool (r.ib_enum_batched < r.ib_enum_per_msg));
+        ("same_fixpoint", Json.Bool r.ib_same);
+      ]
+  in
   let largest =
     List.fold_left
       (fun acc r -> match acc with
@@ -805,6 +949,18 @@ let emit_bench_json () =
       Json.Bool
         (List.for_all (fun r -> r.bt_enum_batched < r.bt_enum_per_tuple) rows)
   in
+  let e12_max_mean_group =
+    match !e12_rows with
+    | [] -> Json.Null
+    | rows ->
+      Json.Float
+        (List.fold_left (fun acc r -> Float.max acc (ib_mean_group r)) 0.0 rows)
+  in
+  let e12_all_same =
+    match !e12_rows with
+    | [] -> Json.Null
+    | rows -> Json.Bool (List.for_all (fun r -> r.ib_same) rows)
+  in
   let now = int_of_float (Unix.time ()) in
   let host_cores = Domain.recommended_domain_count () in
   (* Carry the previous ledger's history forward; a missing, unreadable
@@ -830,12 +986,14 @@ let emit_bench_json () =
         ("e8_best_parallel_speedup", best_e8);
         ("e11_rows", Json.Int (List.length !e11_rows));
         ("e11_max_enum_saved_pct", e11_max_saved);
+        ("e12_rows", Json.Int (List.length !e12_rows));
+        ("e12_max_mean_group_size", e12_max_mean_group);
       ]
   in
   Json.to_file bench_json_path
     (Json.Obj
        [
-         ("schema", Json.Int 3);
+         ("schema", Json.Int 4);
          ("quick", Json.Bool !quick);
          ("host_cores", Json.Int host_cores);
          ("unix_time", Json.Int now);
@@ -859,6 +1017,13 @@ let emit_bench_json () =
                ("all_enum_reduced", e11_all_reduced);
                ("max_enum_saved_pct", e11_max_saved);
                ("sweeps", Json.Arr (List.map e11_row !e11_rows));
+             ] );
+         ( "e12",
+           Json.Obj
+             [
+               ("all_same_fixpoint", e12_all_same);
+               ("max_mean_group_size", e12_max_mean_group);
+               ("sweeps", Json.Arr (List.map e12_row !e12_rows));
              ] );
          ("history", Json.Arr (prior_history @ [ entry ]));
        ]);
@@ -1103,6 +1268,62 @@ let e11 () =
      row; groups/probes count grouped joins and rule-delta applications.@."
 
 (* ------------------------------------------------------------------ *)
+(* E12: inbox batching in the distributed runtime. *)
+
+let e12 () =
+  banner "e12" "inbox batching in the distributed runtime"
+    "flushing same-instant message deliveries as one per-predicate delta \
+     carries the batched join's savings onto the wire path";
+  let ring_sizes = if !quick then [ 4; 8; 16 ] else [ 4; 8; 16; 24 ] in
+  let grid_sides = if !quick then [ 3 ] else [ 3; 4 ] in
+  let rows =
+    List.map
+      (fun n ->
+        inbox_point ~prog_name:"path-vector" ~topo_name:"ring" ~n ~nodes:n
+          ~strict:(n >= 8)
+          (Ndlog.Programs.path_vector ())
+          (Ndlog.Programs.ring_links n))
+      ring_sizes
+    @ List.map
+        (fun k ->
+          inbox_point ~prog_name:"reachability" ~topo_name:"grid" ~n:k
+            ~nodes:(k * k) ~strict:false
+            (Ndlog.Programs.reachability ())
+            (Ndlog.Programs.grid_links k))
+        grid_sides
+  in
+  e12_rows := rows;
+  Fmt.pr
+    "distributed pipelined semi-naive, inbox batching on vs. off (per-message \
+     deliveries):@.";
+  table
+    [
+      "program"; "topology"; "tuples"; "msgs"; "batched"; "per-msg"; "speedup";
+      "delta/groups"; "mean group"; "enum bat/per"; "enum saved"; "same fixpoint";
+    ]
+    (List.map
+       (fun r ->
+         [
+           r.ib_prog;
+           Fmt.str "%s %d" r.ib_topo r.ib_n;
+           string_of_int r.ib_tuples;
+           string_of_int r.ib_msgs;
+           Fmt.str "%.1f ms" r.ib_batched_ms;
+           Fmt.str "%.1f ms" r.ib_per_msg_ms;
+           Fmt.str "%.1fx" (ib_speedup r);
+           Fmt.str "%d/%d" r.ib_delta r.ib_groups;
+           Fmt.str "%.2f" (ib_mean_group r);
+           Fmt.str "%d/%d" r.ib_enum_batched r.ib_enum_per_msg;
+           Fmt.str "%.0f%%" (ib_enum_saved r);
+           string_of_bool r.ib_same;
+         ])
+       rows);
+  Fmt.pr
+    "global fixpoint, per-node stores and insert counts are asserted \
+     identical per row; on rings >= 8 a mean wire delta-group size > 1 and a \
+     strict wire-path enumeration reduction are asserted too.@."
+
+(* ------------------------------------------------------------------ *)
 (* E9: soft-state rewrite overhead. *)
 
 let e9 () =
@@ -1326,7 +1547,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("a1", a1); ("a2", a2); ("a3", a3);
+    ("e12", e12); ("a1", a1); ("a2", a2); ("a3", a3);
   ]
 
 let () =
@@ -1339,7 +1560,8 @@ let () =
           quick := true;
           false
         | "json" ->
-          (* Emit the machine-readable E7/E8/E11 ledger (BENCH_ndlog.json). *)
+          (* Emit the machine-readable E7/E8/E11/E12 ledger
+             (BENCH_ndlog.json). *)
           json_out := true;
           false
         | _ -> true)

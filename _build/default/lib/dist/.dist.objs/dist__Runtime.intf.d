@@ -1,1 +1,1 @@
-lib/dist/runtime.mli: Ndlog Netsim
+lib/dist/runtime.mli: Fmt Ndlog Netsim

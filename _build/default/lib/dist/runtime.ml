@@ -8,14 +8,25 @@
    node recurse locally, heads located elsewhere become network
    messages.
 
+   Message deliveries are batched through a per-node inbox: the handler
+   buffers the tuple and schedules a zero-delay flush, so every
+   delivery landing at the same simulated instant drains together and
+   each triggered strand runs once with the full per-predicate delta
+   (realizing the batched join's group-at-a-time savings on the wire
+   path).  The per-message runtime survives behind [~batch_inbox:false]
+   as the equivalence baseline.
+
    Aggregate strata are maintained as local views: whenever the local
    store changes, aggregate rules (and the local rules downstream of
    them) are recomputed from scratch and their relations replaced, so
    non-monotonic updates (a better best-path displacing a worse one)
    are handled by view refresh rather than by distributed deletion.
-   View tuples located at other nodes are shipped as inserts; remote
-   view deletion is not supported (none of the paper's programs need
-   it), and [check] rejects programs that would require it.
+   View tuples located at other nodes are shipped as inserts — each
+   tuple once, against a per-(node, predicate) shipped set — and kept
+   at the receiver until their own lease lapses; remote view deletion
+   is not supported (none of the paper's programs need it), and
+   [check_remote_views] rejects hard-state programs that would require
+   it.
 
    Prerequisite: the program must be localized ({!Ndlog.Localize}) —
    every rule body reads a single location. *)
@@ -38,6 +49,20 @@ type node_state = {
   mutable store : Store.t;
   mutable expiry : Softstate.Expiry.t;
   mutable inserts : int;  (* local tuple insertions *)
+  (* Pending message deliveries, newest first; drained in arrival order
+     by [flush]. *)
+  mutable inbox : (string * Store.Tuple.t) list;
+  mutable flush_scheduled : bool;
+  (* View tuples shipped in from other nodes: preserved across local
+     view refreshes (the local recomputation cannot re-derive them) and
+     pruned by soft-state expiry. *)
+  mutable received : Store.t;
+  (* Remote-located view tuples already shipped, per predicate: view
+     refreshes send only the diff. *)
+  shipped : (string, Store.Tset.t) Hashtbl.t;
+  (* Soft view predicates with a pending lease-renewal timer (see
+     [ensure_renewal]). *)
+  renewing : (string, unit) Hashtbl.t;
 }
 
 type t = {
@@ -45,6 +70,11 @@ type t = {
   info : Analysis.info;
   sim : msg Netsim.Sim.t;
   nodes : (string, node_state) Hashtbl.t;
+  (* Node names in sorted order: every whole-network iteration (view
+     refresh, fact broadcast) walks this list, so message enqueue order
+     never depends on hash-table internals. *)
+  node_names : string list;
+  batch_inbox : bool;
   (* Predicates computed as refreshed views (aggregate strata and their
      local downstream). *)
   view_preds : string list;
@@ -52,13 +82,43 @@ type t = {
   (* Compiled dataflow strands of the pipelined rules, indexed by their
      trigger (delta) predicate: the Click execution model. *)
   strands : (string, Ndlog.Plan.strand list) Hashtbl.t;
-  (* Join counters of this runtime's strand executions and view
-     refreshes (per-runtime: concurrent runtimes never interfere). *)
+  (* Join counters, split by path (per-runtime: concurrent runtimes
+     never interfere): [wire] counts pipelined strand executions —
+     inbox flushes and local recursion — [joins] counts view
+     refreshes. *)
   joins : Eval.counters;
+  wire : Eval.counters;
   mutable refresh_pending : bool;
 }
 
 exception Not_localized of string
+
+type rv_cause =
+  | Soft_dependency of string
+  | Negation_dependency of string
+
+type remote_view_error = {
+  rv_pred : string;
+  rv_rule : string;
+  rv_cause : rv_cause;
+}
+
+exception Remote_view_deletion of remote_view_error
+
+let pp_remote_view_error ppf e =
+  match e.rv_cause with
+  | Soft_dependency p ->
+    Fmt.pf ppf
+      "rule %s ships hard view tuples of %s to other nodes, but their \
+       support includes soft-state predicate %s: when it expires the \
+       remote copies could never be deleted"
+      e.rv_rule e.rv_pred p
+  | Negation_dependency p ->
+    Fmt.pf ppf
+      "rule %s ships hard view tuples of %s to other nodes, but their \
+       support is negation-dependent (via %s): when the negation flips \
+       the remote copies could never be deleted"
+      e.rv_rule e.rv_pred p
 
 (* Location-column bookkeeping is shared with the sharded evaluator:
    {!Ndlog.Shard} owns the tuple-to-owner mapping. *)
@@ -98,7 +158,95 @@ let split_views (p : Ast.program) : string list * Ast.program * Ast.program =
     { p with Ast.rules = view_rules; facts = [] },
     { p with Ast.rules = pipeline_rules } )
 
-let rec create ?(seed = 42) (topo : Netsim.Topology.t) (program : Ast.program) : t =
+(* The header's promised [check]: view relations are replaced wholesale
+   on refresh, so a view tuple stored at another node can only be
+   retracted by some mechanism at the receiver.  Soft view predicates
+   have one — the lease lapses once the source stops re-deriving (and
+   so, under diff shipping, stops re-sending) the tuple.  A hard view
+   head shipped away from its deriving node has none; if its support
+   can genuinely shrink — a soft-state predicate somewhere below it
+   expiring, or a negation flipping as more tuples arrive — the remote
+   copy would go stale forever, so such programs are rejected here.
+   (Hard views over monotone hard support are allowed: a remote copy of
+   a superseded aggregate is the documented stale-view caveat, not a
+   deletion.) *)
+let check_remote_views (p : Ast.program) (view_program : Ast.program) =
+  let soft =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        match d.Ast.decl_lifetime with
+        | Ast.Lifetime _ -> Some d.Ast.decl_pred
+        | Ast.Lifetime_forever -> None)
+      p.decls
+  in
+  let is_soft pred = List.mem pred soft in
+  let rules_of pred =
+    List.filter (fun (r : Ast.rule) -> r.head.Ast.head_pred = pred) p.rules
+  in
+  let has_neg (r : Ast.rule) =
+    List.exists (function Ast.Neg _ -> true | _ -> false) r.body
+  in
+  (* Walk the support of [preds] under the full program, reporting the
+     first soft predicate or negation-carrying derivation found. *)
+  let rec support seen = function
+    | [] -> None
+    | pred :: rest ->
+      if List.mem pred seen then support seen rest
+      else if is_soft pred then Some (Soft_dependency pred)
+      else begin
+        let rules = rules_of pred in
+        match List.find_opt has_neg rules with
+        | Some _ -> Some (Negation_dependency pred)
+        | None ->
+          support (pred :: seen)
+            (List.concat_map (fun (r : Ast.rule) -> Ast.body_preds r.body) rules
+            @ rest)
+      end
+  in
+  List.iter
+    (fun (r : Ast.rule) ->
+      let head = r.head in
+      let remote_capable =
+        match head.Ast.head_loc with
+        | None -> false
+        | Some i -> (
+          let head_var =
+            match List.nth_opt head.Ast.head_args i with
+            | Some (Ast.Plain (Ast.Var x)) -> Some x
+            | _ -> None
+          in
+          let body_var =
+            List.find_map
+              (function
+                | Ast.Pos a | Ast.Neg a -> Ndlog.Localize.loc_var_of_atom a
+                | _ -> None)
+              r.body
+          in
+          match head_var, body_var with
+          | Some h, Some b -> h <> b
+          | _ -> true)
+      in
+      if remote_capable && not (is_soft head.Ast.head_pred) then begin
+        let cause =
+          if has_neg r then Some (Negation_dependency head.Ast.head_pred)
+          else support [] (Ast.body_preds r.body)
+        in
+        match cause with
+        | None -> ()
+        | Some rv_cause ->
+          let rv_rule =
+            match r.Ast.rule_name with
+            | Some n -> n
+            | None -> head.Ast.head_pred
+          in
+          raise
+            (Remote_view_deletion
+               { rv_pred = head.Ast.head_pred; rv_rule; rv_cause })
+      end)
+    view_program.Ast.rules
+
+let rec create ?(seed = 42) ?(batch_inbox = true) (topo : Netsim.Topology.t)
+    (program : Ast.program) : t =
   (match Ndlog.Localize.check_localized program with
   | Ok () -> ()
   | Error e -> raise (Not_localized (Fmt.str "%a" Ndlog.Localize.pp_error e)));
@@ -113,9 +261,15 @@ let rec create ?(seed = 42) (topo : Netsim.Topology.t) (program : Ast.program) :
           store = Store.empty;
           expiry = Softstate.Expiry.create program.Ast.decls;
           inserts = 0;
+          inbox = [];
+          flush_scheduled = false;
+          received = Store.empty;
+          shipped = Hashtbl.create 4;
+          renewing = Hashtbl.create 4;
         })
     (Netsim.Topology.nodes topo);
   let view_preds, view_program, pipeline_program = split_views program in
+  check_remote_views program view_program;
   let strands = Hashtbl.create 32 in
   List.iter
     (fun (st : Ndlog.Plan.strand) ->
@@ -139,18 +293,22 @@ let rec create ?(seed = 42) (topo : Netsim.Topology.t) (program : Ast.program) :
       info;
       sim;
       nodes;
+      node_names = List.sort String.compare (Netsim.Topology.nodes topo);
+      batch_inbox;
       view_preds;
       view_program;
       strands = strands';
       joins = Eval.counters ();
+      wire = Eval.counters ();
       refresh_pending = false;
     }
   in
-  (* Wire the message handler: a received tuple is inserted locally. *)
+  (* Wire the message handler: a received tuple is inserted locally —
+     directly in per-message mode, through the inbox otherwise. *)
   List.iter
     (fun n ->
       Netsim.Sim.set_handler sim n (fun _sim ~self ~src:_ m ->
-          insert t self m.pred m.tuple))
+          receive t self m.pred m.tuple))
     (Netsim.Topology.nodes topo);
   t
 
@@ -169,12 +327,13 @@ and emit t (self : string) (loc : int option) pred tuple =
 (* Pipelined semi-naive: react to one freshly inserted tuple by running
    the strands triggered by its predicate (the Click execution model;
    strand execution is differentially tested against [Eval.body_envs]
-   in the plan test suite).  Each strand runs through the batched
-   executor with a singleton batch: the runtime reacts per message, so
-   deltas arrive one tuple at a time and groups are singletons — view
-   refreshes, which re-run the full evaluator, batch across whole
-   rounds. *)
+   in the plan test suite).  Local recursion reacts per tuple, so these
+   batches are singletons; message bursts go through [flush], which
+   hands each strand the whole per-predicate delta at once. *)
 and propagate t (self : string) pred (tuple : Store.Tuple.t) =
+  run_strands t self pred [ tuple ]
+
+and run_strands t (self : string) pred (delta : Store.Tuple.t list) =
   let ns = node t self in
   match Hashtbl.find_opt t.strands pred with
   | None -> ()
@@ -184,8 +343,9 @@ and propagate t (self : string) pred (tuple : Store.Tuple.t) =
         let head = st.Ndlog.Plan.strand_rule.Ast.head in
         List.iter
           (fun ht -> emit t self head.Ast.head_loc head.Ast.head_pred ht)
-          (Ndlog.Plan.execute_batch ~stats:t.joins ns.store
-             ~delta_tuples:[ tuple ] st))
+          (List.sort_uniq Store.Tuple.compare
+             (Ndlog.Plan.execute_batch ~stats:t.wire ns.store
+                ~delta_tuples:delta st)))
       strands
 
 and insert t (self : string) pred (tuple : Store.Tuple.t) =
@@ -197,9 +357,68 @@ and insert t (self : string) pred (tuple : Store.Tuple.t) =
   if not (Store.mem pred tuple ns.store) then begin
     ns.store <- Store.add pred tuple ns.store;
     ns.inserts <- ns.inserts + 1;
+    if List.mem pred t.view_preds then
+      ns.received <- Store.add pred tuple ns.received;
     propagate t self pred tuple;
     if t.view_preds <> [] then request_refresh t
   end
+
+(* A message delivery: the inbox buffers it and a zero-delay flush
+   drains every delivery landing at this instant together (the event
+   queue breaks time ties in insertion order, so the flush runs after
+   all already-enqueued same-time deliveries). *)
+and receive t (self : string) pred (tuple : Store.Tuple.t) =
+  if not t.batch_inbox then insert t self pred tuple
+  else begin
+    let ns = node t self in
+    ns.inbox <- (pred, tuple) :: ns.inbox;
+    if not ns.flush_scheduled then begin
+      ns.flush_scheduled <- true;
+      Netsim.Sim.schedule t.sim ~delay:0.0 (fun () -> flush t self)
+    end
+  end
+
+(* Drain the inbox: process buffered deliveries in arrival order (lease
+   refreshes and insertion bookkeeping see the same sequence the
+   per-message runtime did), then run each triggered strand once with
+   the full per-predicate delta of genuinely-new tuples. *)
+and flush t (self : string) =
+  let ns = node t self in
+  ns.flush_scheduled <- false;
+  let arrivals = List.rev ns.inbox in
+  ns.inbox <- [];
+  let now = Netsim.Sim.now t.sim in
+  let any_soft = ref false in
+  let fresh_rev = ref [] in
+  List.iter
+    (fun (pred, tuple) ->
+      ns.expiry <- Softstate.Expiry.insert ns.expiry ~now pred tuple;
+      if Softstate.Expiry.is_soft ns.expiry pred then any_soft := true;
+      if not (Store.mem pred tuple ns.store) then begin
+        ns.store <- Store.add pred tuple ns.store;
+        ns.inserts <- ns.inserts + 1;
+        if List.mem pred t.view_preds then
+          ns.received <- Store.add pred tuple ns.received;
+        fresh_rev := (pred, tuple) :: !fresh_rev
+      end)
+    arrivals;
+  if !any_soft then schedule_expiry t self;
+  (* Group the new tuples by predicate, preserving first-arrival order
+     of the predicates and arrival order within each. *)
+  let order_rev = ref [] in
+  let deltas : (string, Store.Tuple.t list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (pred, tuple) ->
+      match Hashtbl.find_opt deltas pred with
+      | Some l -> l := tuple :: !l
+      | None ->
+        Hashtbl.add deltas pred (ref [ tuple ]);
+        order_rev := pred :: !order_rev)
+    (List.rev !fresh_rev);
+  List.iter
+    (fun pred -> run_strands t self pred (List.rev !(Hashtbl.find deltas pred)))
+    (List.rev !order_rev);
+  if !fresh_rev <> [] && t.view_preds <> [] then request_refresh t
 
 (* Schedule a sweep at the node's next soft-state deadline. *)
 and schedule_expiry t self =
@@ -214,6 +433,8 @@ and sweep t self =
   let ns = node t self in
   let now = Netsim.Sim.now t.sim in
   let store', expiry' = Softstate.Expiry.sweep ns.expiry ~now ns.store in
+  let received', _ = Softstate.Expiry.sweep ns.expiry ~now ns.received in
+  ns.received <- received';
   if not (Store.equal store' ns.store) then begin
     ns.store <- store';
     ns.expiry <- expiry';
@@ -232,8 +453,9 @@ and request_refresh t =
   end
 
 and refresh_views t =
-  Hashtbl.iter
-    (fun self ns ->
+  List.iter
+    (fun self ->
+      let ns = node t self in
       (* Recompute views from the non-view part of the local store. *)
       let base =
         Store.restrict
@@ -246,7 +468,10 @@ and refresh_views t =
       let info = t.info in
       let result = Eval.seminaive ~stats:t.joins t.view_program info base in
       let fresh = result.Eval.db in
-      (* Replace local view relations; ship remote view tuples. *)
+      (* Replace local view relations — keeping tuples shipped in from
+         other nodes, which the local base cannot re-derive and whose
+         retirement is their own lease's business — and ship the remote
+         view tuples the destination has not already been sent. *)
       let locs = loc_index_map t.view_program in
       List.iter
         (fun pred ->
@@ -268,17 +493,64 @@ and refresh_views t =
                 | None -> false)
               new_rel
           in
+          let local_new =
+            Store.Tset.union local_new (Store.relation pred ns.received)
+          in
           if not (Store.Tset.equal local_new old_rel) then
             ns.store <- Store.set_relation pred local_new ns.store;
+          let already =
+            match Hashtbl.find_opt ns.shipped pred with
+            | Some s -> s
+            | None -> Store.Tset.empty
+          in
           Store.Tset.iter
             (fun tuple ->
               ignore
                 (Netsim.Sim.send t.sim ~src:self
                    ~dst:(Option.get (tuple_location (Hashtbl.find_opt locs pred) tuple))
                    { pred; tuple }))
-            remote_new)
+            (Store.Tset.diff remote_new already);
+          Hashtbl.replace ns.shipped pred remote_new;
+          (* A shipped *soft* view tuple lives at the receiver on a
+             lease; with redeliveries suppressed, the source must renew
+             it for as long as the tuple is still derived. *)
+          (match Softstate.Expiry.lifetime_of ns.expiry pred with
+          | Ast.Lifetime l when not (Store.Tset.is_empty remote_new) ->
+            ensure_renewal t self pred l
+          | _ -> ()))
         t.view_preds)
-    t.nodes
+    t.node_names
+
+(* Lease renewal for soft view tuples shipped to other nodes: at every
+   half-lifetime, re-send whatever is still in the shipped set (the
+   last refresh's remote view) and re-arm.  Once the source stops
+   deriving a tuple the refresh drops it from the shipped set, the
+   renewals stop, and the receiver's lease lapses — soft-state expiry,
+   at renewal cadence instead of per-refresh redelivery. *)
+and ensure_renewal t self pred lifetime =
+  let ns = node t self in
+  if not (Hashtbl.mem ns.renewing pred) then begin
+    Hashtbl.replace ns.renewing pred ();
+    Netsim.Sim.schedule t.sim ~delay:(lifetime /. 2.0) (fun () ->
+        renew t self pred lifetime)
+  end
+
+and renew t self pred lifetime =
+  let ns = node t self in
+  Hashtbl.remove ns.renewing pred;
+  match Hashtbl.find_opt ns.shipped pred with
+  | None -> ()
+  | Some set when Store.Tset.is_empty set -> ()
+  | Some set ->
+    let locs = loc_index_map t.view_program in
+    Store.Tset.iter
+      (fun tuple ->
+        ignore
+          (Netsim.Sim.send t.sim ~src:self
+             ~dst:(Option.get (tuple_location (Hashtbl.find_opt locs pred) tuple))
+             { pred; tuple }))
+      set;
+    ensure_renewal t self pred lifetime
 
 (* ------------------------------------------------------------------ *)
 (* Driving a run. *)
@@ -294,27 +566,42 @@ let load_facts t =
         Netsim.Sim.schedule t.sim ~delay:0.0 (fun () ->
             insert t owner f.Ast.fact_pred tuple)
       | None ->
-        (* Unlocated facts are broadcast to every node. *)
-        Hashtbl.iter
-          (fun owner _ ->
+        (* Unlocated facts are broadcast to every node, in sorted node
+           order so the event queue's tie-breaker sees a deterministic
+           sequence. *)
+        List.iter
+          (fun owner ->
             Netsim.Sim.schedule t.sim ~delay:0.0 (fun () ->
                 insert t owner f.Ast.fact_pred tuple))
-          t.nodes)
+          t.node_names)
     t.program.Ast.facts
 
 type run_report = {
   stats : Netsim.Sim.stats;
   total_inserts : int;
   eval_stats : Eval.stats;
+  wire_stats : Eval.stats;
 }
 
+let diff_stats (a : Eval.stats) (b : Eval.stats) : Eval.stats =
+  {
+    Eval.index_hits = a.Eval.index_hits - b.Eval.index_hits;
+    scans = a.Eval.scans - b.Eval.scans;
+    enumerated = a.Eval.enumerated - b.Eval.enumerated;
+    matched = a.Eval.matched - b.Eval.matched;
+    groups = a.Eval.groups - b.Eval.groups;
+    group_probes = a.Eval.group_probes - b.Eval.group_probes;
+    delta_tuples = a.Eval.delta_tuples - b.Eval.delta_tuples;
+  }
+
 let run ?(until = infinity) ?(max_events = 1_000_000) t =
-  (* Strand execution and view refresh both accumulate into the
-     runtime's own counters; the delta across the run is this run's
-     join profile. *)
-  let before = Eval.snapshot t.joins in
+  (* Strand execution and view refresh accumulate into the runtime's
+     own counters; the deltas across the run are this run's join
+     profile, with the strand (wire) path reported separately. *)
+  let before_joins = Eval.snapshot t.joins in
+  let before_wire = Eval.snapshot t.wire in
   let stats = Netsim.Sim.run ~until ~max_events t.sim in
-  let after = Eval.snapshot t.joins in
+  let wire_stats = diff_stats (Eval.snapshot t.wire) before_wire in
   let total_inserts =
     Hashtbl.fold (fun _ ns acc -> acc + ns.inserts) t.nodes 0
   in
@@ -322,14 +609,8 @@ let run ?(until = infinity) ?(max_events = 1_000_000) t =
     stats;
     total_inserts;
     eval_stats =
-      {
-        Eval.index_hits = after.Eval.index_hits - before.Eval.index_hits;
-        scans = after.Eval.scans - before.Eval.scans;
-        enumerated = after.Eval.enumerated - before.Eval.enumerated;
-        matched = after.Eval.matched - before.Eval.matched;
-        groups = after.Eval.groups - before.Eval.groups;
-        group_probes = after.Eval.group_probes - before.Eval.group_probes;
-      };
+      Eval.add_stats (diff_stats (Eval.snapshot t.joins) before_joins) wire_stats;
+    wire_stats;
   }
 
 (* The union of all node stores: the global database the distributed

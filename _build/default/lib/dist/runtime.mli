@@ -8,11 +8,27 @@
     located at the executing node recurse locally, heads located
     elsewhere become network messages.
 
+    Message deliveries drain through a per-node inbox: every delivery
+    landing at the same simulated instant is buffered and flushed
+    together, so each triggered strand runs once with the full
+    per-predicate delta (the batched join's group-at-a-time savings on
+    the wire path).  [~batch_inbox:false] restores the per-message
+    runtime; both modes compute identical fixpoints, per-node stores,
+    and insertion counts (qcheck property in the dist test suite).
+
     Aggregate strata are maintained as locally refreshed views, so
     non-monotonic updates (a better best-path displacing a worse one)
     are handled by replacement rather than distributed deletion; view
-    tuples located at other nodes ship as inserts.  Soft-state tuples
-    expire per their [materialize] lifetimes, with leases refreshed on
+    tuples located at other nodes ship as inserts, each tuple once (a
+    per-(node, predicate) shipped set suppresses redelivery), and
+    persist at the receiver until their own lease lapses; soft view
+    tuples are re-shipped at half-lifetime cadence for as long as the
+    source still derives them, so their remote copies stay leased
+    while supported and expire once support is gone.  Programs
+    whose remote-shipped view tuples are hard state but could be
+    non-monotonically withdrawn (soft-state or negation-dependent
+    support) are rejected at {!create}.  Soft-state tuples expire per
+    their [materialize] lifetimes, with leases refreshed on
     re-insertion. *)
 
 (** A tuple on the wire. *)
@@ -25,25 +41,57 @@ type t
 
 exception Not_localized of string
 
-val create : ?seed:int -> Netsim.Topology.t -> Ndlog.Ast.program -> t
-(** @raise Not_localized when some rule body spans locations (run
+(** Why a program's remote-located view head cannot be supported:
+    its (hard-state) tuples could be withdrawn at the deriving node
+    with no way to delete the already-shipped remote copies. *)
+type rv_cause =
+  | Soft_dependency of string
+      (** a soft-state predicate in the view's support can expire *)
+  | Negation_dependency of string
+      (** a negation in the view's support can flip as tuples arrive *)
+
+type remote_view_error = {
+  rv_pred : string;  (** the offending view head predicate *)
+  rv_rule : string;  (** the rule shipping it *)
+  rv_cause : rv_cause;
+}
+
+exception Remote_view_deletion of remote_view_error
+
+val pp_remote_view_error : remote_view_error Fmt.t
+
+val create :
+  ?seed:int -> ?batch_inbox:bool -> Netsim.Topology.t -> Ndlog.Ast.program -> t
+(** [batch_inbox] (default [true]) drains each node's same-instant
+    message deliveries as one batch per triggered strand; [false] is
+    the per-message baseline.
+    @raise Not_localized when some rule body spans locations (run
     {!Ndlog.Localize.rewrite_program} first).
+    @raise Remote_view_deletion when a hard-state view head is shipped
+    away from its deriving node but its support can shrink
+    non-monotonically (soft-state or negation dependence).
     @raise Invalid_argument on analysis failure. *)
 
 val load_facts : t -> unit
 (** Schedule the program's facts for insertion at their owning nodes at
-    time zero (unlocated facts broadcast). *)
+    time zero (unlocated facts broadcast, in sorted node order). *)
 
 val insert : t -> string -> string -> Ndlog.Store.Tuple.t -> unit
-(** [insert t node pred tuple]: immediate local insertion (also the
-    message handler). *)
+(** [insert t node pred tuple]: immediate local insertion.  (Message
+    deliveries go through the inbox instead when [batch_inbox] is
+    on.) *)
 
 type run_report = {
   stats : Netsim.Sim.stats;
   total_inserts : int;  (** local tuple insertions across all nodes *)
   eval_stats : Ndlog.Eval.stats;
-      (** join profile of the run: strand execution and view refresh
-          counted through {!Ndlog.Eval.stats} *)
+      (** join profile of the whole run: strand execution and view
+          refresh counted through {!Ndlog.Eval.stats} *)
+  wire_stats : Ndlog.Eval.stats;
+      (** the strand-path share of [eval_stats] — inbox flushes and
+          local recursion, excluding view refreshes;
+          [wire_stats.delta_tuples / wire_stats.groups] is the mean
+          delta-group size the inbox batching achieved *)
 }
 
 val run : ?until:float -> ?max_events:int -> t -> run_report

@@ -1,1 +1,1 @@
-lib/ndlog/softstate.ml: Analysis Ast Eval List Map Printf Store String Value
+lib/ndlog/softstate.ml: Analysis Ast Eval Float List Map Printf Store String Value

@@ -52,6 +52,7 @@ type stats = {
   matched : int;  (* candidates that unified with the pattern *)
   groups : int;  (* delta groups formed by the batched join *)
   group_probes : int;  (* grouped delta probes issued *)
+  delta_tuples : int;  (* delta tuples fed through delta joins *)
 }
 
 type outcome = {
@@ -70,6 +71,7 @@ let zero_stats =
     matched = 0;
     groups = 0;
     group_probes = 0;
+    delta_tuples = 0;
   }
 
 let add_stats a b =
@@ -80,6 +82,7 @@ let add_stats a b =
     matched = a.matched + b.matched;
     groups = a.groups + b.groups;
     group_probes = a.group_probes + b.group_probes;
+    delta_tuples = a.delta_tuples + b.delta_tuples;
   }
 
 (* A mutable accumulator for one evaluation run.  Each run (and each
@@ -92,6 +95,7 @@ type counters = {
   mutable c_matched : int;
   mutable c_groups : int;
   mutable c_group_probes : int;
+  mutable c_delta_tuples : int;
 }
 
 let counters () =
@@ -102,6 +106,7 @@ let counters () =
     c_matched = 0;
     c_groups = 0;
     c_group_probes = 0;
+    c_delta_tuples = 0;
   }
 
 let snapshot c =
@@ -112,6 +117,7 @@ let snapshot c =
     matched = c.c_matched;
     groups = c.c_groups;
     group_probes = c.c_group_probes;
+    delta_tuples = c.c_delta_tuples;
   }
 
 let accumulate c (s : stats) =
@@ -120,12 +126,15 @@ let accumulate c (s : stats) =
   c.c_enumerated <- c.c_enumerated + s.enumerated;
   c.c_matched <- c.c_matched + s.matched;
   c.c_groups <- c.c_groups + s.groups;
-  c.c_group_probes <- c.c_group_probes + s.group_probes
+  c.c_group_probes <- c.c_group_probes + s.group_probes;
+  c.c_delta_tuples <- c.c_delta_tuples + s.delta_tuples
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "index_hits=%d scans=%d enumerated=%d matched=%d groups=%d group_probes=%d"
+    "index_hits=%d scans=%d enumerated=%d matched=%d groups=%d \
+     group_probes=%d delta_tuples=%d"
     s.index_hits s.scans s.enumerated s.matched s.groups s.group_probes
+    s.delta_tuples
 
 let use_indexes = ref true
 let use_reordering = ref true
@@ -436,6 +445,8 @@ let batched_delta_envs st (db : Store.t) ~card (delta_atom : Ast.atom)
   let ordered = order_body ~card ~bound:(atom_binds delta_atom) rest in
   let shared, per_tuple = split_shared gvars ordered in
   st.c_group_probes <- st.c_group_probes + 1;
+  st.c_delta_tuples <-
+    st.c_delta_tuples + Store.cardinal delta_atom.Ast.pred delta_db;
   List.fold_left
     (fun acc (key, tuples) ->
       st.c_groups <- st.c_groups + 1;
@@ -479,14 +490,15 @@ let delta_envs ?(stats = counters ()) ?(card = fun _ -> 0) db
     =
   if !use_batching then
     batched_delta_envs stats db ~card delta_atom rest delta_db
-  else
+  else begin
+    let d = Store.relation delta_atom.Ast.pred delta_db in
+    stats.c_delta_tuples <- stats.c_delta_tuples + Store.Tset.cardinal d;
     let body =
       Ast.Pos delta_atom
       :: order_body ~card ~bound:(atom_binds delta_atom) rest
     in
-    body_envs_c stats db
-      ~delta:(0, Store.relation delta_atom.Ast.pred delta_db)
-      body
+    body_envs_c stats db ~delta:(0, d) body
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Aggregates. *)
@@ -714,12 +726,15 @@ let apply_plain_rules st db ?deltas ~rec_preds rules ~count =
               if !use_batching then
                 produce acc
                   (batched_delta_envs st db ~card delta_atom rest delta_db)
-              else
+              else begin
+                st.c_delta_tuples <-
+                  st.c_delta_tuples + Store.Tset.cardinal d;
                 let body =
                   delta_lit
                   :: order_body ~card ~bound:(atom_binds delta_atom) rest
                 in
-                produce acc (body_envs_c st db ~delta:(0, d) body))
+                produce acc (body_envs_c st db ~delta:(0, d) body)
+              end)
           acc positions)
     Store.empty rules
 

@@ -36,6 +36,9 @@ type stats = {
   matched : int;  (** candidates that unified with the pattern *)
   groups : int;  (** delta groups formed by the batched join *)
   group_probes : int;  (** grouped delta probes issued *)
+  delta_tuples : int;
+      (** delta tuples fed through delta joins; [delta_tuples / groups]
+          is the mean delta-group size a batched run achieved *)
 }
 
 (** The result of an evaluation. *)

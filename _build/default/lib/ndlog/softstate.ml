@@ -104,6 +104,15 @@ let soft_preds_of (p : Ast.program) =
       | Ast.Lifetime_forever -> None)
     p.decls
 
+(* Liveness guards compare an integer timestamp column against the
+   integer [clock] relation, but [materialize] lifetimes are reals.
+   For integers [Ts] and [T], [Ts + l > T] holds iff
+   [Ts + ceil(l) > T], so rounding the lifetime {e up} reproduces
+   {!Expiry}'s float deadline semantics exactly on the integer clock
+   domain; truncating ([int_of_float]) would kill tuples with
+   fractional lifetimes one clock tick early. *)
+let guard_lifetime l = int_of_float (Float.ceil l)
+
 (* Fresh timestamp variable names, one per rewritten atom. *)
 let ts_var i = Printf.sprintf "Ts_%d" i
 
@@ -136,7 +145,9 @@ let to_hard_state (p : Ast.program) : rewrite_report =
               Ast.Cond
                 ( Ast.Gt,
                   Ast.Binop
-                    (Ast.Add, Ast.Var tv, Ast.Const (Value.Int (int_of_float lifetime))),
+                    ( Ast.Add,
+                      Ast.Var tv,
+                      Ast.Const (Value.Int (guard_lifetime lifetime)) ),
                   Ast.Var now_var )
             in
             (Ast.Pos a' :: body_rev, guard :: guards)
@@ -203,7 +214,9 @@ let to_hard_state (p : Ast.program) : rewrite_report =
                   Ast.Cond
                     ( Ast.Gt,
                       Ast.Binop
-                        (Ast.Add, ts, Ast.Const (Value.Int (int_of_float lifetime))),
+                        ( Ast.Add,
+                          ts,
+                          Ast.Const (Value.Int (guard_lifetime lifetime)) ),
                       Ast.Var now_var );
                 ];
             })

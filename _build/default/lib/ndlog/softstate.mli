@@ -47,6 +47,11 @@ val to_hard_state : Ast.program -> rewrite_report
     timestamp column; rules deriving soft predicates read [clock(T)];
     every soft body atom gains a liveness guard [Ts + lifetime > T];
     negated soft atoms go through generated [_live] projection rules.
+    Lifetimes are rounded {e up} to an integer in the guards: for the
+    rewrite's integer timestamps and clock, [Ts + l > T] iff
+    [Ts + ceil l > T], so guard liveness agrees with {!Expiry}'s float
+    deadlines at every integer clock value, fractional lifetimes
+    included.
     The paper calls the result "heavy-weight and cumbersome" —
     experiment E8 quantifies the inflation. *)
 

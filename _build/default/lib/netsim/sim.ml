@@ -70,6 +70,7 @@ let send t ~src ~dst msg =
       false
     end
     else begin
+      if t.tracing then record t "send %s->%s" src dst;
       Event_queue.push t.queue ~time:(t.now +. l.Topology.delay)
         (Deliver { src; dst; msg });
       true
@@ -107,6 +108,7 @@ let step t =
     (match ev with
     | Deliver { src; dst; msg } -> (
       t.delivered <- t.delivered + 1;
+      if t.tracing then record t "deliver %s->%s" src dst;
       match Hashtbl.find_opt t.handlers dst with
       | Some h -> h t ~self:dst ~src msg
       | None -> record t "no handler at %s" dst)

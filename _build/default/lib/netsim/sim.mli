@@ -23,6 +23,10 @@ val record : 'msg t -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** Append a trace line (no-op unless tracing). *)
 
 val trace : 'msg t -> (float * string) list
+(** Trace lines recorded so far (oldest first).  With tracing on, the
+    simulator itself records every send, delivery, loss, drop, and
+    link state change — the full message trace, usable as a
+    determinism witness. *)
 
 val set_handler :
   'msg t -> string -> ('msg t -> self:string -> src:string -> 'msg -> unit) -> unit

@@ -148,6 +148,296 @@ let test_dist_soft_state_expiry () =
   checki "expired later" 0 (alive_at "n1")
 
 (* ------------------------------------------------------------------ *)
+(* Inbox batching: the batched and per-message runtimes must agree. *)
+
+let prop_batch_inbox_equivalence =
+  QCheck.Test.make
+    ~name:
+      "batched inbox = per-message (fixpoint, node stores, total_inserts)"
+    ~count:18
+    QCheck.(triple (int_range 0 3) (int_range 3 7) (int_range 0 3))
+    (fun (which, n, extra) ->
+      let links =
+        match which with
+        | 0 -> Programs.ring_links n
+        | 1 -> Programs.grid_links (2 + (n mod 2))
+        | 2 -> Programs.star_links n
+        | _ -> Programs.random_links ~seed:((13 * n) + extra) ~extra n
+      in
+      let prog =
+        match which with
+        | 0 | 3 -> Programs.path_vector ()
+        | 1 -> Programs.reachability ()
+        | _ -> Programs.bounded_distance_vector ~max_hops:(n + 1)
+      in
+      let p = localized (Programs.with_links prog links) in
+      let go ~batch_inbox =
+        let rt = Runtime.create ~batch_inbox (topo_of_links links) p in
+        Runtime.load_facts rt;
+        let rep = Runtime.run rt in
+        (rt, rep)
+      in
+      let rt_b, rep_b = go ~batch_inbox:true in
+      let rt_p, rep_p = go ~batch_inbox:false in
+      let nodes = Topo.nodes (topo_of_links links) in
+      rep_b.Runtime.stats.Netsim.Sim.quiesced
+      && rep_p.Runtime.stats.Netsim.Sim.quiesced
+      && Store.equal (Runtime.global_store rt_b) (Runtime.global_store rt_p)
+      && rep_b.Runtime.total_inserts = rep_p.Runtime.total_inserts
+      && List.for_all
+           (fun nm ->
+             Store.equal (Runtime.node_store rt_b nm)
+               (Runtime.node_store rt_p nm))
+           nodes)
+
+(* Two messages sent at the same instant over the same link land in one
+   flush: the receiving strand runs once with a delta of two tuples
+   (one group), where the per-message runtime runs it twice. *)
+let test_same_instant_burst_groups () =
+  let src =
+    {|
+materialize(t, infinity).
+materialize(s, infinity).
+materialize(u, infinity).
+
+b1 s(@D,X) :- t(@S,X,D).
+b2 u(@D,X) :- s(@D,X).
+|}
+  in
+  let p = Programs.parse_exn src in
+  let p =
+    {
+      p with
+      Ast.facts =
+        [
+          Ast.fact ~loc:0 "t" [ V.Addr "n0"; V.Int 1; V.Addr "n1" ];
+          Ast.fact ~loc:0 "t" [ V.Addr "n0"; V.Int 2; V.Addr "n1" ];
+        ];
+    }
+  in
+  let topo () =
+    let topo = Topo.create () in
+    Topo.add_duplex topo "n0" "n1";
+    topo
+  in
+  let go ~batch_inbox =
+    let rt = Runtime.create ~batch_inbox (topo ()) p in
+    Runtime.load_facts rt;
+    let rep = Runtime.run rt in
+    (rt, rep)
+  in
+  let rt_b, rep_b = go ~batch_inbox:true in
+  let rt_p, rep_p = go ~batch_inbox:false in
+  (* Both modes compute u(n1,1), u(n1,2) at n1. *)
+  checki "u derived at n1 (batched)" 2
+    (Store.cardinal "u" (Runtime.node_store rt_b "n1"));
+  checkb "same fixpoint" true
+    (Store.equal (Runtime.global_store rt_b) (Runtime.global_store rt_p));
+  let wb = rep_b.Runtime.wire_stats and wp = rep_p.Runtime.wire_stats in
+  (* Batched: two singleton b1 activations at n0 plus ONE b2 flush at
+     n1 covering both deliveries — 3 groups for 4 delta tuples. *)
+  checki "batched delta tuples" 4 wb.Eval.delta_tuples;
+  checki "batched groups" 3 wb.Eval.groups;
+  checkb "groups strictly below delta count" true
+    (wb.Eval.groups < wb.Eval.delta_tuples);
+  (* Per-message: every activation is a singleton group. *)
+  checki "per-message delta tuples" 4 wp.Eval.delta_tuples;
+  checki "per-message groups" 4 wp.Eval.groups
+
+(* The full message trace of a run is deterministic: two identically
+   configured runtimes produce identical traces. *)
+let test_trace_determinism () =
+  let links = Programs.ring_links 5 in
+  let p = localized (Programs.with_links (Programs.path_vector ()) links) in
+  let go () =
+    let rt = Runtime.create (topo_of_links links) p in
+    Netsim.Sim.set_tracing (Runtime.simulator rt) true;
+    Runtime.load_facts rt;
+    ignore (Runtime.run rt);
+    Netsim.Sim.trace (Runtime.simulator rt)
+  in
+  let t1 = go () in
+  let t2 = go () in
+  checkb "trace nonempty" true (t1 <> []);
+  checkb "identical message traces" true (t1 = t2)
+
+(* Whole-network iterations walk nodes in sorted name order, so the
+   trace cannot depend on hash-table internals: runtimes built from
+   permuted node-insertion orders behave identically. *)
+let det_view_src =
+  {|
+materialize(obs, infinity).
+materialize(noise, infinity).
+materialize(best, infinity).
+materialize(rep, 10).
+
+v1 best(@S, D, min<C>) :- obs(@S, D, C).
+v2 rep(@D, S, C) :- best(@S, D, C).
+|}
+
+let test_node_order_determinism () =
+  let mk order =
+    let topo = Topo.create () in
+    List.iter (Topo.add_node topo) order;
+    List.iter
+      (fun (a, b) -> Topo.add_duplex topo a b)
+      [ ("n0", "n1"); ("n1", "n2"); ("n2", "n0") ];
+    let p = Programs.parse_exn det_view_src in
+    let p =
+      {
+        p with
+        Ast.facts =
+          [
+            Ast.fact ~loc:0 "obs" [ V.Addr "n0"; V.Addr "n1"; V.Int 5 ];
+            Ast.fact ~loc:0 "obs" [ V.Addr "n1"; V.Addr "n2"; V.Int 5 ];
+            Ast.fact ~loc:0 "obs" [ V.Addr "n2"; V.Addr "n0"; V.Int 5 ];
+            (* unlocated: exercises the broadcast path *)
+            Ast.fact "noise" [ V.Int 0 ];
+          ];
+      }
+    in
+    let rt = Runtime.create topo p in
+    Netsim.Sim.set_tracing (Runtime.simulator rt) true;
+    Runtime.load_facts rt;
+    ignore (Runtime.run rt ~until:3.0);
+    (Netsim.Sim.trace (Runtime.simulator rt), Runtime.global_store rt)
+  in
+  let t1, db1 = mk [ "n0"; "n1"; "n2" ] in
+  let t2, db2 = mk [ "n2"; "n0"; "n1" ] in
+  let t3, db3 = mk [ "n1"; "n2"; "n0" ] in
+  checkb "trace nonempty" true (t1 <> []);
+  checkb "permuted insertion: same trace (1=2)" true (t1 = t2);
+  checkb "permuted insertion: same trace (1=3)" true (t1 = t3);
+  checkb "same stores" true (Store.equal db1 db2 && Store.equal db1 db3)
+
+(* ------------------------------------------------------------------ *)
+(* View shipping: diff-only, with soft leases renewed while derived. *)
+
+let ship_view_src =
+  {|
+materialize(link, infinity).
+materialize(obs, 3).
+materialize(noise, infinity).
+materialize(best, infinity).
+materialize(rep, 10).
+
+v1 best(@S, D, min<C>) :- obs(@S, D, C).
+v2 rep(@D, S, C) :- best(@S, D, C).
+|}
+
+let test_view_shipping_diff_and_expiry () =
+  let links = Programs.both "n0" "n1" 1 in
+  let p = Programs.with_links (Programs.parse_exn ship_view_src) links in
+  let p =
+    {
+      p with
+      Ast.facts =
+        p.Ast.facts
+        @ [ Ast.fact ~loc:0 "obs" [ V.Addr "n0"; V.Addr "n1"; V.Int 7 ] ];
+    }
+  in
+  let rt = Runtime.create (topo_of_links links) p in
+  Runtime.load_facts rt;
+  let r1 = Runtime.run rt ~until:2.0 in
+  (* The soft remote view tuple arrived and is held at n1.  (The old
+     runtime wiped received view tuples on the receiver's next refresh
+     and re-shipped them from the source forever.) *)
+  checki "rep shipped to n1" 1
+    (Store.cardinal "rep" (Runtime.node_store rt "n1"));
+  let m1 = r1.Runtime.stats.Netsim.Sim.messages_sent in
+  (* Repeated refreshes (each insertion schedules one) must not re-ship
+     the already-shipped view tuple: messages stay flat. *)
+  Runtime.insert rt "n0" "noise" [| V.Int 1 |];
+  ignore (Runtime.run rt ~until:2.2);
+  Runtime.insert rt "n0" "noise" [| V.Int 2 |];
+  Runtime.insert rt "n1" "noise" [| V.Int 3 |];
+  let r2 = Runtime.run rt ~until:2.4 in
+  checki "refreshes do not re-ship" m1 r2.Runtime.stats.Netsim.Sim.messages_sent;
+  (* Once the source's support (obs, lifetime 3) expires, the source
+     stops deriving rep, renewals stop, and n1's lease lapses: the soft
+     remote view tuple actually expires. *)
+  let r3 = Runtime.run rt ~until:60.0 in
+  checkb "quiesced" true r3.Runtime.stats.Netsim.Sim.quiesced;
+  checki "best withdrawn at n0" 0
+    (Store.cardinal "best" (Runtime.node_store rt "n0"));
+  checki "remote soft view expired at n1" 0
+    (Store.cardinal "rep" (Runtime.node_store rt "n1"));
+  checki "no shipping storm" m1 r3.Runtime.stats.Netsim.Sim.messages_sent
+
+(* ------------------------------------------------------------------ *)
+(* The remote-view-deletion check. *)
+
+let soft_dep_src =
+  {|
+materialize(link, infinity).
+materialize(obs, 5).
+materialize(cnt, infinity).
+materialize(rep, infinity).
+
+c1 cnt(@S, D, min<C>) :- obs(@S, D, C).
+c2 rep(@D, S, C) :- cnt(@S, D, C).
+|}
+
+let neg_dep_src =
+  {|
+materialize(link, infinity).
+materialize(flag, infinity).
+materialize(m, infinity).
+materialize(warn, infinity).
+
+g1 m(@S, min<C>) :- link(@S, D, C).
+g2 warn(@D, S) :- m(@S, C), link(@S, D, C2), !flag(@S, D).
+|}
+
+let test_remote_view_check_rejects () =
+  (* Hard view head shipped remotely over soft support: rejected. *)
+  (match
+     Runtime.create
+       (topo_of_links (Programs.both "n0" "n1" 1))
+       (Programs.parse_exn soft_dep_src)
+   with
+  | exception Runtime.Remote_view_deletion e ->
+    checkb "soft cause names obs" true
+      (match e.Runtime.rv_cause with
+      | Runtime.Soft_dependency "obs" -> true
+      | _ -> false);
+    checkb "names the view pred" true (e.Runtime.rv_pred = "rep")
+  | _ -> Alcotest.fail "expected Remote_view_deletion (soft support)");
+  (* Hard view head shipped remotely with negation in support. *)
+  match
+    Runtime.create
+      (topo_of_links (Programs.both "n0" "n1" 1))
+      (Programs.parse_exn neg_dep_src)
+  with
+  | exception Runtime.Remote_view_deletion e ->
+    checkb "negation cause" true
+      (match e.Runtime.rv_cause with
+      | Runtime.Negation_dependency _ -> true
+      | _ -> false)
+  | _ -> Alcotest.fail "expected Remote_view_deletion (negation)"
+
+let test_remote_view_check_accepts_canonical () =
+  let links = Programs.ring_links 4 in
+  List.iter
+    (fun prog ->
+      let p = localized (Programs.with_links prog links) in
+      ignore (Runtime.create (topo_of_links links) p))
+    [
+      Programs.path_vector ();
+      Programs.distance_vector ();
+      Programs.bounded_distance_vector ~max_hops:4;
+      Programs.reachability ();
+      Programs.link_state ~max_hops:4;
+      Programs.heartbeat ~lifetime:5;
+    ];
+  (* Soft view heads shipped remotely are fine: lease expiry is the
+     remote deletion mechanism. *)
+  ignore
+    (Runtime.create
+       (topo_of_links (Programs.both "n0" "n1" 1))
+       (Programs.parse_exn ship_view_src))
+
+(* ------------------------------------------------------------------ *)
 (* Distance-vector protocol: convergence and count-to-infinity. *)
 
 let test_dv_converges () =
@@ -224,6 +514,24 @@ let () =
             test_dist_rejects_unlocalized;
           Alcotest.test_case "soft state expiry" `Quick
             test_dist_soft_state_expiry;
+        ] );
+      ( "batching",
+        [
+          QCheck_alcotest.to_alcotest prop_batch_inbox_equivalence;
+          Alcotest.test_case "same-instant burst groups" `Quick
+            test_same_instant_burst_groups;
+          Alcotest.test_case "trace determinism" `Quick test_trace_determinism;
+          Alcotest.test_case "node-order determinism" `Quick
+            test_node_order_determinism;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "shipping diff + soft expiry" `Quick
+            test_view_shipping_diff_and_expiry;
+          Alcotest.test_case "remote deletion rejected" `Quick
+            test_remote_view_check_rejects;
+          Alcotest.test_case "canonical programs accepted" `Quick
+            test_remote_view_check_accepts_canonical;
         ] );
       ( "distance_vector",
         [

@@ -825,6 +825,64 @@ let test_hard_state_rewrite_expires () =
   | Ok o -> checki "expired at 50" 0 (Store.cardinal "aliveNeighbor" o.Eval.db)
   | Error e -> Alcotest.failf "eval failed: %a" Analysis.pp_error e
 
+let test_fractional_lifetime_guard () =
+  (* materialize(obs, 2.5): the rewrite's integer liveness guard must
+     agree with Expiry's float deadline at every integer clock value.
+     Truncating the lifetime (the old [int_of_float]) kills the tuple
+     at clock 2, where the 2.5-second lease is still live. *)
+  let decls =
+    [
+      Ast.decl ~lifetime:(Ast.Lifetime 2.5) "obs";
+      Ast.decl "probe";
+      Ast.decl "quiet";
+    ]
+  in
+  let rule =
+    Ast.rule ~name:"q1"
+      {
+        Ast.head_pred = "quiet";
+        head_loc = None;
+        head_args = [ Ast.Plain (Ast.Var "X") ];
+      }
+      [
+        Ast.Pos { Ast.pred = "probe"; loc = None; args = [ Ast.Var "X" ] };
+        Ast.Neg { Ast.pred = "obs"; loc = None; args = [ Ast.Var "X" ] };
+      ]
+  in
+  let p =
+    {
+      Ast.decls;
+      facts =
+        [ Ast.fact "probe" [ V.Addr "a" ]; Ast.fact "obs" [ V.Addr "a" ] ];
+      rules = [ rule ];
+    }
+  in
+  let report = Softstate.to_hard_state p in
+  let tup = tuple [ V.Addr "a" ] in
+  let expiry =
+    Softstate.Expiry.insert (Softstate.Expiry.create decls) ~now:0.0 "obs" tup
+  in
+  let db0 = Store.add "obs" tup Store.empty in
+  List.iter
+    (fun now ->
+      let swept, _ =
+        Softstate.Expiry.sweep expiry ~now:(float_of_int now) db0
+      in
+      let live_expiry = Store.cardinal "obs" swept > 0 in
+      match Softstate.run_at_clock report.Softstate.rewritten ~now with
+      | Ok o ->
+        let live_rewrite = Store.cardinal "obs_live" o.Eval.db > 0 in
+        checkb
+          (Printf.sprintf "liveness agrees at clock %d" now)
+          live_expiry live_rewrite;
+        (* the negation downstream flips in the same instant *)
+        checki
+          (Printf.sprintf "quiet tracks expiry at clock %d" now)
+          (if live_expiry then 0 else 1)
+          (Store.cardinal "quiet" o.Eval.db)
+      | Error e -> Alcotest.failf "eval failed: %a" Analysis.pp_error e)
+    [ 0; 1; 2; 3; 4 ]
+
 (* ------------------------------------------------------------------ *)
 (* Plans (rule strands). *)
 
@@ -1570,5 +1628,7 @@ let () =
             test_hard_state_rewrite_runs;
           Alcotest.test_case "hard-state rewrite expires" `Quick
             test_hard_state_rewrite_expires;
+          Alcotest.test_case "fractional lifetime guard" `Quick
+            test_fractional_lifetime_guard;
         ] );
     ]
