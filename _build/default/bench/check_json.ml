@@ -1,14 +1,16 @@
 (* Smoke check for the benchmark ledger: BENCH_ndlog.json must parse
-   as a schema-4 document carrying a non-empty E7 sweep (indexed vs.
+   as a schema-5 document carrying a non-empty E7 sweep (indexed vs.
    baseline timings), an E8 sharded sweep with per-domain timings, an
    E11 sweep (batched vs. per-tuple delta joins, with the enumeration
    reduction recorded per row), an E12 sweep (the distributed
    runtime's inbox batching vs. per-message deliveries, with the wire
-   delta-group sizes recorded per row), and a run-history array.  Run
-   by the @bench-smoke alias so a broken emitter (or a regression that
-   stops a sweep from completing, a run diverging from its baseline
-   fixpoint, or batching losing its enumeration win) fails the build
-   loudly. *)
+   delta-group sizes recorded per row), an E13 sweep (incremental view
+   refresh vs. from-scratch recomputation, with skipped strata and
+   view-path enumeration recorded per row), and a run-history array.
+   Run by the @bench-smoke alias so a broken emitter (or a regression
+   that stops a sweep from completing, a run diverging from its
+   baseline fixpoint, or batching/incrementality losing its
+   enumeration win) fails the build loudly. *)
 
 let fail fmt = Fmt.kstr (fun m -> prerr_endline m; exit 1) fmt
 
@@ -36,14 +38,17 @@ let () =
   | Error e -> fail "%s: does not parse: %s" path e
   | Ok v ->
     (match Json.member "schema" v with
-    | Some (Json.Int 4) -> ()
-    | _ -> fail "%s: missing schema=4" path);
+    | Some (Json.Int 5) -> ()
+    | _ -> fail "%s: missing schema=5" path);
     List.iter
       (fun k ->
         match Json.member k v with
         | Some _ -> ()
         | None -> fail "%s: missing top-level %S" path k)
-      [ "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "e11"; "e12"; "history" ];
+      [
+        "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "e11"; "e12"; "e13";
+        "history";
+      ];
     (* E7: index layer on vs. off. *)
     let e7 = Option.get (Json.member "e7" v) in
     let sweeps = nonempty_sweeps path "e7" e7 in
@@ -133,6 +138,38 @@ let () =
             fail "%s: e12 row %d lost the wire enumeration reduction" path i
         end)
       inbox_sweeps;
+    (* E13: incremental view refresh vs. from-scratch recomputation.
+       Every row must record the identical fixpoint (which the bench
+       itself asserts covers per-node stores and message counts); ring
+       rows at n >= 8 must also record skipped strata and a strict
+       view-path enumeration reduction. *)
+    let e13 = Option.get (Json.member "e13" v) in
+    let incr_sweeps = nonempty_sweeps path "e13" e13 in
+    List.iteri
+      (fun i row ->
+        require_fields path "e13" i row
+          [
+            "program"; "topology"; "n"; "nodes"; "tuples"; "messages";
+            "incremental_ms"; "scratch_ms"; "speedup"; "strata_skipped";
+            "refresh_fallbacks"; "enumerated_incremental";
+            "enumerated_scratch"; "enum_reduced"; "same_fixpoint";
+          ];
+        require_same_fixpoint path "e13" i row;
+        let strict =
+          match (Json.member "topology" row, Json.member "n" row) with
+          | Some (Json.Str "ring"), Some (Json.Int n) -> n >= 8
+          | _ -> false
+        in
+        if strict then begin
+          (match Json.member "strata_skipped" row with
+          | Some (Json.Int s) when s > 0 -> ()
+          | _ -> fail "%s: e13 row %d skipped no strata" path i);
+          match Json.member "enum_reduced" row with
+          | Some (Json.Bool true) -> ()
+          | _ ->
+            fail "%s: e13 row %d lost the view enumeration reduction" path i
+        end)
+      incr_sweeps;
     (* History: at least the run that wrote this file. *)
     let history =
       match Option.bind (Json.member "history" v) Json.as_arr with
@@ -145,8 +182,8 @@ let () =
           [ "unix_time"; "quick"; "host_cores" ])
       history;
     Fmt.pr
-      "%s: ok (%d e7 rows, %d e8 rows, %d e11 rows, %d e12 rows, %d history \
-       entries)@."
+      "%s: ok (%d e7 rows, %d e8 rows, %d e11 rows, %d e12 rows, %d e13 \
+       rows, %d history entries)@."
       path (List.length sweeps) (List.length shard_sweeps)
       (List.length batch_sweeps) (List.length inbox_sweeps)
-      (List.length history)
+      (List.length incr_sweeps) (List.length history)

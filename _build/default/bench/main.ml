@@ -815,7 +815,144 @@ let inbox_point ~prog_name ~topo_name ~n ~nodes ~strict prog links : inbox_row =
   }
 
 (* ------------------------------------------------------------------ *)
-(* The machine-readable ledger (BENCH_ndlog.json, schema 4).
+(* E13 machinery: incremental view refresh vs. from-scratch in the
+   distributed runtime.  Both modes drive the identical insertion
+   schedule (initial facts, then a few mid-run link churns); the
+   incremental runtime must reach the same fixpoint with the same
+   message count while skipping untouched strata and enumerating
+   strictly fewer tuples on the view path. *)
+
+type incr_row = {
+  iv_prog : string;
+  iv_topo : string;
+  iv_n : int;
+  iv_nodes : int;
+  iv_tuples : int;  (* global fixpoint database size *)
+  iv_msgs : int;  (* messages sent (identical in both modes) *)
+  iv_incr_ms : float;
+  iv_scratch_ms : float;
+  iv_skipped : int;  (* incremental run: untouched strata skipped *)
+  iv_fallbacks : int;  (* incremental run: from-scratch fallbacks *)
+  iv_enum_incr : int;  (* view-path tuples enumerated, incremental *)
+  iv_enum_scratch : int;  (* view-path tuples enumerated, from-scratch *)
+  iv_same : bool;  (* identical global fixpoint, stores, messages *)
+}
+
+let iv_speedup r = r.iv_scratch_ms /. Float.max 1e-6 r.iv_incr_ms
+
+let iv_enum_saved r =
+  if r.iv_enum_scratch = 0 then 0.0
+  else
+    100.
+    *. float_of_int (r.iv_enum_scratch - r.iv_enum_incr)
+    /. float_of_int r.iv_enum_scratch
+
+let incr_point ~prog_name ~topo_name ~n ~nodes ~strict prog links : incr_row =
+  let loc =
+    match
+      Ndlog.Localize.rewrite_program (Ndlog.Programs.with_links prog links)
+    with
+    | Ok r -> r.Ndlog.Localize.program
+    | Error _ -> assert false
+  in
+  (* A handful of spread-out link re-insertions at new costs: each one
+     dirties a single node, so most of the network's strata are
+     untouched at the refresh it triggers. *)
+  let endpoints =
+    List.filter_map
+      (fun (f : Ndlog.Ast.fact) ->
+        match f.Ndlog.Ast.fact_args with
+        | [ s; d; _ ] ->
+          Some (Ndlog.Value.as_addr s, Ndlog.Value.as_addr d)
+        | _ -> None)
+      links
+  in
+  let stride = max 1 (List.length endpoints / 3) in
+  let churn = List.filteri (fun i _ -> i mod stride = 0) endpoints in
+  let go ~incremental_views =
+    let rt =
+      Dist.Runtime.create ~incremental_views (topo_of_link_facts links) loc
+    in
+    Dist.Runtime.load_facts rt;
+    let view = ref Ndlog.Eval.zero_stats in
+    let quiesced = ref true in
+    let last = ref None in
+    let (), t =
+      wall (fun () ->
+          let step rep =
+            view := Ndlog.Eval.add_stats !view rep.Dist.Runtime.view_stats;
+            quiesced := !quiesced && rep.Dist.Runtime.stats.Netsim.Sim.quiesced;
+            last := Some rep
+          in
+          step (Dist.Runtime.run rt);
+          List.iteri
+            (fun i (s, d) ->
+              Dist.Runtime.insert rt s "link"
+                [| Ndlog.Value.Addr s; Ndlog.Value.Addr d;
+                   Ndlog.Value.Int (2 + i) |];
+              step (Dist.Runtime.run rt))
+            churn)
+    in
+    (rt, Option.get !last, !view, !quiesced, t)
+  in
+  let rt_i, rep_i, view_i, q_i, t_i = go ~incremental_views:true in
+  let rt_s, rep_s, view_s, q_s, t_s = go ~incremental_views:false in
+  let msgs_i = rep_i.Dist.Runtime.stats.Netsim.Sim.messages_sent in
+  let msgs_s = rep_s.Dist.Runtime.stats.Netsim.Sim.messages_sent in
+  let same =
+    q_i && q_s
+    && Ndlog.Store.equal
+         (Dist.Runtime.global_store rt_i)
+         (Dist.Runtime.global_store rt_s)
+    && msgs_i = msgs_s
+    && List.for_all
+         (fun nm ->
+           Ndlog.Store.equal
+             (Dist.Runtime.node_store rt_i nm)
+             (Dist.Runtime.node_store rt_s nm))
+         (Netsim.Topology.nodes (topo_of_link_facts links))
+  in
+  (* The equivalence claim is part of the benchmark: a divergence fails
+     the run (and the bench-smoke alias) loudly. *)
+  if not same then
+    failwith
+      (Fmt.str
+         "E13 %s/%s %d: incremental refresh diverged from from-scratch"
+         prog_name topo_name n);
+  (* On the big rings the incrementality claim itself is asserted:
+     untouched strata must actually be skipped, and view-path
+     enumeration must strictly drop. *)
+  if strict then begin
+    if view_i.Ndlog.Eval.strata_skipped = 0 then
+      failwith
+        (Fmt.str "E13 %s/%s %d: incremental refresh skipped no strata"
+           prog_name topo_name n);
+    if view_i.Ndlog.Eval.enumerated >= view_s.Ndlog.Eval.enumerated then
+      failwith
+        (Fmt.str
+           "E13 %s/%s %d: incremental refresh did not reduce view \
+            enumeration (%d >= %d)"
+           prog_name topo_name n view_i.Ndlog.Eval.enumerated
+           view_s.Ndlog.Eval.enumerated)
+  end;
+  {
+    iv_prog = prog_name;
+    iv_topo = topo_name;
+    iv_n = n;
+    iv_nodes = nodes;
+    iv_tuples = Ndlog.Store.total_tuples (Dist.Runtime.global_store rt_i);
+    iv_msgs = msgs_i;
+    iv_incr_ms = t_i *. 1e3;
+    iv_scratch_ms = t_s *. 1e3;
+    iv_skipped = view_i.Ndlog.Eval.strata_skipped;
+    iv_fallbacks = view_i.Ndlog.Eval.refresh_fallbacks;
+    iv_enum_incr = view_i.Ndlog.Eval.enumerated;
+    iv_enum_scratch = view_s.Ndlog.Eval.enumerated;
+    iv_same = same;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The machine-readable ledger (BENCH_ndlog.json, schema 5).
 
    E7, E8, E11 and E12 stash their sweep rows here; the driver emits one
    document at the end of the run.  The previous ledger's run history is
@@ -828,6 +965,7 @@ let e7_sweeps : sweep_row list ref = ref []
 let e8_rows : shard_row list ref = ref []
 let e11_rows : batch_row list ref = ref []
 let e12_rows : inbox_row list ref = ref []
+let e13_rows : incr_row list ref = ref []
 
 let emit_bench_json () =
   let e7_row r =
@@ -949,6 +1087,27 @@ let emit_bench_json () =
       Json.Bool
         (List.for_all (fun r -> r.bt_enum_batched < r.bt_enum_per_tuple) rows)
   in
+  let e13_row r =
+    Json.Obj
+      [
+        ("program", Json.Str r.iv_prog);
+        ("topology", Json.Str r.iv_topo);
+        ("n", Json.Int r.iv_n);
+        ("nodes", Json.Int r.iv_nodes);
+        ("tuples", Json.Int r.iv_tuples);
+        ("messages", Json.Int r.iv_msgs);
+        ("incremental_ms", Json.Float r.iv_incr_ms);
+        ("scratch_ms", Json.Float r.iv_scratch_ms);
+        ("speedup", Json.Float (iv_speedup r));
+        ("strata_skipped", Json.Int r.iv_skipped);
+        ("refresh_fallbacks", Json.Int r.iv_fallbacks);
+        ("enumerated_incremental", Json.Int r.iv_enum_incr);
+        ("enumerated_scratch", Json.Int r.iv_enum_scratch);
+        ("enum_saved_pct", Json.Float (iv_enum_saved r));
+        ("enum_reduced", Json.Bool (r.iv_enum_incr < r.iv_enum_scratch));
+        ("same_fixpoint", Json.Bool r.iv_same);
+      ]
+  in
   let e12_max_mean_group =
     match !e12_rows with
     | [] -> Json.Null
@@ -960,6 +1119,24 @@ let emit_bench_json () =
     match !e12_rows with
     | [] -> Json.Null
     | rows -> Json.Bool (List.for_all (fun r -> r.ib_same) rows)
+  in
+  let e13_total_skipped =
+    match !e13_rows with
+    | [] -> Json.Null
+    | rows ->
+      Json.Int (List.fold_left (fun acc r -> acc + r.iv_skipped) 0 rows)
+  in
+  let e13_max_saved =
+    match !e13_rows with
+    | [] -> Json.Null
+    | rows ->
+      Json.Float
+        (List.fold_left (fun acc r -> Float.max acc (iv_enum_saved r)) 0.0 rows)
+  in
+  let e13_all_same =
+    match !e13_rows with
+    | [] -> Json.Null
+    | rows -> Json.Bool (List.for_all (fun r -> r.iv_same) rows)
   in
   let now = int_of_float (Unix.time ()) in
   let host_cores = Domain.recommended_domain_count () in
@@ -988,12 +1165,14 @@ let emit_bench_json () =
         ("e11_max_enum_saved_pct", e11_max_saved);
         ("e12_rows", Json.Int (List.length !e12_rows));
         ("e12_max_mean_group_size", e12_max_mean_group);
+        ("e13_rows", Json.Int (List.length !e13_rows));
+        ("e13_total_strata_skipped", e13_total_skipped);
       ]
   in
   Json.to_file bench_json_path
     (Json.Obj
        [
-         ("schema", Json.Int 4);
+         ("schema", Json.Int 5);
          ("quick", Json.Bool !quick);
          ("host_cores", Json.Int host_cores);
          ("unix_time", Json.Int now);
@@ -1024,6 +1203,14 @@ let emit_bench_json () =
                ("all_same_fixpoint", e12_all_same);
                ("max_mean_group_size", e12_max_mean_group);
                ("sweeps", Json.Arr (List.map e12_row !e12_rows));
+             ] );
+         ( "e13",
+           Json.Obj
+             [
+               ("all_same_fixpoint", e13_all_same);
+               ("total_strata_skipped", e13_total_skipped);
+               ("max_enum_saved_pct", e13_max_saved);
+               ("sweeps", Json.Arr (List.map e13_row !e13_rows));
              ] );
          ("history", Json.Arr (prior_history @ [ entry ]));
        ]);
@@ -1324,6 +1511,70 @@ let e12 () =
      strict wire-path enumeration reduction are asserted too.@."
 
 (* ------------------------------------------------------------------ *)
+(* E13: incremental view refresh with dirty-predicate tracking. *)
+
+let e13 () =
+  banner "e13" "incremental view refresh in the distributed runtime"
+    "dirty-predicate tracking lets a refresh skip every view stratum whose \
+     support did not change, without altering fixpoints or message traffic";
+  let ring_sizes = if !quick then [ 4; 8; 16 ] else [ 4; 8; 16; 24 ] in
+  let grid_sides = if !quick then [ 3 ] else [ 3; 4 ] in
+  let star_sizes = if !quick then [ 8 ] else [ 8; 16 ] in
+  let rows =
+    List.map
+      (fun n ->
+        incr_point ~prog_name:"path-vector" ~topo_name:"ring" ~n ~nodes:n
+          ~strict:(n >= 8)
+          (Ndlog.Programs.path_vector ())
+          (Ndlog.Programs.ring_links n))
+      ring_sizes
+    @ List.map
+        (fun k ->
+          incr_point ~prog_name:"bounded-dv" ~topo_name:"grid" ~n:k
+            ~nodes:(k * k) ~strict:false
+            (Ndlog.Programs.bounded_distance_vector ~max_hops:(2 * k))
+            (Ndlog.Programs.grid_links k))
+        grid_sides
+    @ List.map
+        (fun n ->
+          incr_point ~prog_name:"bounded-dv" ~topo_name:"star" ~n ~nodes:n
+            ~strict:false
+            (Ndlog.Programs.bounded_distance_vector ~max_hops:3)
+            (Ndlog.Programs.star_links n))
+        star_sizes
+  in
+  e13_rows := rows;
+  Fmt.pr
+    "distributed runtime, incremental view refresh on vs. off (from-scratch \
+     recomputation), identical insertion schedules with mid-run link churn:@.";
+  table
+    [
+      "program"; "topology"; "tuples"; "msgs"; "incr"; "scratch"; "speedup";
+      "skipped"; "fallbacks"; "enum incr/scratch"; "enum saved"; "same fixpoint";
+    ]
+    (List.map
+       (fun r ->
+         [
+           r.iv_prog;
+           Fmt.str "%s %d" r.iv_topo r.iv_n;
+           string_of_int r.iv_tuples;
+           string_of_int r.iv_msgs;
+           Fmt.str "%.1f ms" r.iv_incr_ms;
+           Fmt.str "%.1f ms" r.iv_scratch_ms;
+           Fmt.str "%.1fx" (iv_speedup r);
+           string_of_int r.iv_skipped;
+           string_of_int r.iv_fallbacks;
+           Fmt.str "%d/%d" r.iv_enum_incr r.iv_enum_scratch;
+           Fmt.str "%.0f%%" (iv_enum_saved r);
+           string_of_bool r.iv_same;
+         ])
+       rows);
+  Fmt.pr
+    "global fixpoint, per-node stores and message counts are asserted \
+     identical per row; on rings >= 8 skipped strata > 0 and a strict \
+     view-path enumeration reduction are asserted too.@."
+
+(* ------------------------------------------------------------------ *)
 (* E9: soft-state rewrite overhead. *)
 
 let e9 () =
@@ -1547,7 +1798,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("a1", a1); ("a2", a2); ("a3", a3);
+    ("e12", e12); ("e13", e13); ("a1", a1); ("a2", a2); ("a3", a3);
   ]
 
 let () =

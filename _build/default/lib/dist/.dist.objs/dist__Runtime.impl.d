@@ -1,1 +1,1 @@
-lib/dist/runtime.ml: Array Fmt Hashtbl List Ndlog Netsim Option String
+lib/dist/runtime.ml: Array Fmt Hashtbl List Ndlog Netsim Printexc String Sys

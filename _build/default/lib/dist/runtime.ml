@@ -18,9 +18,27 @@
 
    Aggregate strata are maintained as local views: whenever the local
    store changes, aggregate rules (and the local rules downstream of
-   them) are recomputed from scratch and their relations replaced, so
-   non-monotonic updates (a better best-path displacing a worse one)
-   are handled by view refresh rather than by distributed deletion.
+   them) are re-derived and their relations replaced, so non-monotonic
+   updates (a better best-path displacing a worse one) are handled by
+   view refresh rather than by distributed deletion.
+
+   View refresh is incremental by default ([~incremental_views:true]):
+   each node tracks its *dirty* base predicates — those whose relations
+   changed since its last refresh, marked by local insertions, the
+   inbox flush path, and expiry sweeps — and a refresh walks the view
+   program's refresh strata ({!Ndlog.Eval.refresh_strata}) bottom-up,
+   skipping every stratum whose transitive support saw no dirty
+   predicate (its previous relations are still exact), seeding plain
+   strata with their previous relations plus the support deltas
+   (delta-driven re-derivation through {!Ndlog.Plan.refresh_stratum}),
+   and falling back to from-scratch recomputation for strata with
+   aggregates or negation, or whose support lost tuples — all
+   non-monotone under seeding.  Skips and fallbacks are counted
+   ([strata_skipped] / [refresh_fallbacks] in {!Ndlog.Eval.stats}).
+   [~incremental_views:false] restores the from-scratch refresh, kept
+   as the differential oracle: both modes produce bit-identical node
+   stores, fixpoints, message traces, and lease tables (qcheck property
+   in the dist test suite).
    View tuples located at other nodes are shipped as inserts — each
    tuple once, against a per-(node, predicate) shipped set — and kept
    at the receiver until their own lease lapses; remote view deletion
@@ -38,6 +56,7 @@ module Env = Ndlog.Env
 module Analysis = Ndlog.Analysis
 module Value = Ndlog.Value
 module Softstate = Ndlog.Softstate
+module Sset = Ast.Sset
 
 type msg = {
   pred : string;
@@ -63,6 +82,20 @@ type node_state = {
   (* Soft view predicates with a pending lease-renewal timer (see
      [ensure_renewal]). *)
   renewing : (string, unit) Hashtbl.t;
+  (* Dirty-predicate tracking for incremental view refresh (only
+     maintained when [incremental_views] is on).  Invariant at every
+     refresh: a base predicate is in [dirty] iff its relation changed
+     since this node's last refresh; [dirty_delta] holds the tuples
+     added (and still present), [dirty_deleted] the predicates that
+     lost tuples (expiry) — deletions force the from-scratch fallback
+     for every stratum they support. *)
+  mutable dirty : Sset.t;
+  mutable dirty_delta : Store.t;
+  mutable dirty_deleted : Sset.t;
+  (* The previous refresh's view fixpoint (local- and remote-owned
+     derived tuples, pre ship/received splitting): the seed for
+     incremental re-derivation and the baseline for skip decisions. *)
+  mutable last_fresh : Store.t;
 }
 
 type t = {
@@ -82,6 +115,11 @@ type t = {
   (* Compiled dataflow strands of the pipelined rules, indexed by their
      trigger (delta) predicate: the Click execution model. *)
   strands : (string, Ndlog.Plan.strand list) Hashtbl.t;
+  (* Incremental view refresh: dirty-predicate tracking plus the view
+     program's refresh strata, each with its delta strands.  Off: the
+     from-scratch refresh, kept as the differential oracle. *)
+  incremental_views : bool;
+  refresh_plan : (Eval.refresh_stratum * Ndlog.Plan.strand list) list;
   (* Join counters, split by path (per-runtime: concurrent runtimes
      never interfere): [wire] counts pipelined strand executions —
      inbox flushes and local recursion — [joins] counts view
@@ -124,6 +162,34 @@ let pp_remote_view_error ppf e =
    {!Ndlog.Shard} owns the tuple-to-owner mapping. *)
 let tuple_location = Ndlog.Shard.tuple_location
 let loc_index_map = Ndlog.Shard.loc_index_map
+
+exception
+  Missing_tuple_location of {
+    mtl_pred : string;
+    mtl_tuple : Store.Tuple.t;
+  }
+
+let pp_missing_tuple_location ppf (pred, tuple) =
+  Fmt.pf ppf
+    "internal error: view tuple %s%a reached a ship path without a \
+     resolvable location"
+    pred Store.Tuple.pp tuple
+
+let () =
+  Printexc.register_printer (function
+    | Missing_tuple_location { mtl_pred; mtl_tuple } ->
+      Some (Fmt.str "%a" pp_missing_tuple_location (mtl_pred, mtl_tuple))
+    | _ -> None)
+
+(* The ship paths below only ever see tuples the remote split filtered
+   on [tuple_location = Some owner]; a location-less tuple reaching a
+   send is an internal invariant violation, reported as a typed error
+   carrying the predicate and tuple instead of a bare [Option.get]. *)
+let owner_exn loc pred tuple =
+  match tuple_location loc tuple with
+  | Some owner -> owner
+  | None ->
+    raise (Missing_tuple_location { mtl_pred = pred; mtl_tuple = tuple })
 
 (* Split the program: aggregate rules and every rule transitively
    depending on an aggregate head become "view" rules, refreshed from
@@ -245,8 +311,17 @@ let check_remote_views (p : Ast.program) (view_program : Ast.program) =
       end)
     view_program.Ast.rules
 
-let rec create ?(seed = 42) ?(batch_inbox = true) (topo : Netsim.Topology.t)
-    (program : Ast.program) : t =
+(* The default refresh mode: incremental, unless the environment says
+   otherwise (the test suite's second `dune runtest` pass sets
+   FVN_INCREMENTAL_VIEWS=0 to re-run everything against the
+   from-scratch oracle). *)
+let incremental_views_default () =
+  match Sys.getenv_opt "FVN_INCREMENTAL_VIEWS" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | _ -> true
+
+let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views
+    (topo : Netsim.Topology.t) (program : Ast.program) : t =
   (match Ndlog.Localize.check_localized program with
   | Ok () -> ()
   | Error e -> raise (Not_localized (Fmt.str "%a" Ndlog.Localize.pp_error e)));
@@ -266,6 +341,10 @@ let rec create ?(seed = 42) ?(batch_inbox = true) (topo : Netsim.Topology.t)
           received = Store.empty;
           shipped = Hashtbl.create 4;
           renewing = Hashtbl.create 4;
+          dirty = Sset.empty;
+          dirty_delta = Store.empty;
+          dirty_deleted = Sset.empty;
+          last_fresh = Store.empty;
         })
     (Netsim.Topology.nodes topo);
   let view_preds, view_program, pipeline_program = split_views program in
@@ -287,6 +366,26 @@ let rec create ?(seed = 42) ?(batch_inbox = true) (topo : Netsim.Topology.t)
   Hashtbl.iter
     (fun pred l -> Hashtbl.replace strands' pred (List.rev l))
     strands;
+  let incremental_views =
+    match incremental_views with
+    | Some b -> b
+    | None -> incremental_views_default ()
+  in
+  (* Refresh strata of the view program, bottom-up, each with the delta
+     strands of its rules (empty for aggregate strata — those fall back
+     to from-scratch recomputation whenever touched). *)
+  let refresh_plan =
+    List.map
+      (fun (rs : Eval.refresh_stratum) ->
+        let strands =
+          if rs.Eval.rs_has_agg then []
+          else
+            Ndlog.Plan.compile_program
+              { view_program with Ast.rules = rs.Eval.rs_rules }
+        in
+        (rs, strands))
+      (Eval.refresh_strata view_program)
+  in
   let t =
     {
       program = pipeline_program;
@@ -298,6 +397,8 @@ let rec create ?(seed = 42) ?(batch_inbox = true) (topo : Netsim.Topology.t)
       view_preds;
       view_program;
       strands = strands';
+      incremental_views;
+      refresh_plan;
       joins = Eval.counters ();
       wire = Eval.counters ();
       refresh_pending = false;
@@ -348,6 +449,16 @@ and run_strands t (self : string) pred (delta : Store.Tuple.t list) =
                 ~delta_tuples:delta st)))
       strands
 
+(* Record a base-relation addition for incremental refresh.  View-pred
+   arrivals (shipped-in tuples) are not marked: the refresh derives
+   views from the base store only and re-unions [received] afterwards,
+   so they cannot change any stratum's recomputation. *)
+and mark_dirty t ns pred tuple =
+  if t.incremental_views && not (List.mem pred t.view_preds) then begin
+    ns.dirty <- Sset.add pred ns.dirty;
+    ns.dirty_delta <- Store.add pred tuple ns.dirty_delta
+  end
+
 and insert t (self : string) pred (tuple : Store.Tuple.t) =
   let ns = node t self in
   let now = Netsim.Sim.now t.sim in
@@ -359,6 +470,7 @@ and insert t (self : string) pred (tuple : Store.Tuple.t) =
     ns.inserts <- ns.inserts + 1;
     if List.mem pred t.view_preds then
       ns.received <- Store.add pred tuple ns.received;
+    mark_dirty t ns pred tuple;
     propagate t self pred tuple;
     if t.view_preds <> [] then request_refresh t
   end
@@ -399,6 +511,7 @@ and flush t (self : string) =
         ns.inserts <- ns.inserts + 1;
         if List.mem pred t.view_preds then
           ns.received <- Store.add pred tuple ns.received;
+        mark_dirty t ns pred tuple;
         fresh_rev := (pred, tuple) :: !fresh_rev
       end)
     arrivals;
@@ -432,15 +545,39 @@ and schedule_expiry t self =
 and sweep t self =
   let ns = node t self in
   let now = Netsim.Sim.now t.sim in
-  let store', expiry' = Softstate.Expiry.sweep ns.expiry ~now ns.store in
+  let store', removed, expiry' =
+    Softstate.Expiry.sweep_report ns.expiry ~now ns.store
+  in
   let received', _ = Softstate.Expiry.sweep ns.expiry ~now ns.received in
   ns.received <- received';
-  if not (Store.equal store' ns.store) then begin
+  if removed <> [] then begin
+    (* An expired base tuple dirties its predicate and forces the
+       from-scratch fallback for every stratum it supports: deletions
+       are non-monotone under seeded re-derivation.  (Expired *view*
+       tuples are shipped-in leases pruned from [received] above; the
+       base-only refresh never re-derives them, so they stay
+       unmarked.) *)
+    if t.incremental_views then
+      List.iter
+        (fun (pred, tuple) ->
+          if not (List.mem pred t.view_preds) then begin
+            ns.dirty <- Sset.add pred ns.dirty;
+            ns.dirty_deleted <- Sset.add pred ns.dirty_deleted;
+            ns.dirty_delta <- Store.remove pred tuple ns.dirty_delta
+          end)
+        removed;
     ns.store <- store';
     ns.expiry <- expiry';
     if t.view_preds <> [] then request_refresh t
   end
-  else ns.expiry <- expiry'
+  else ns.expiry <- expiry';
+  (* Re-arm for the next pending deadline: a sweep only drops leases
+     lapsed *now*, and without this the later deadlines would only be
+     swept if some insertion happened to re-arm the timer (tuples past
+     their lease would otherwise linger forever — caught by the
+     incremental-refresh differential harness, which found renewals for
+     never-expiring support running unbounded in both refresh modes). *)
+  schedule_expiry t self
 
 (* View refresh is batched through a zero-delay event so that a burst of
    insertions triggers one recomputation. *)
@@ -452,74 +589,169 @@ and request_refresh t =
         refresh_views t)
   end
 
-and refresh_views t =
+and refresh_views t = List.iter (fun self -> refresh_node t self) t.node_names
+
+(* One node's incremental view fixpoint: walk the refresh strata
+   bottom-up over a working database seeded with the current base.
+   [changed] / [delta] / [deleted] start from the node's dirty sets and
+   grow with each recomputed stratum's own movement, so downstream
+   strata see exactly the support change that concerns them.  The
+   result agrees with the from-scratch evaluation of the whole view
+   program (differentially tested): a skipped stratum's support is
+   unchanged since the last refresh, so its previous relations are
+   still its fixpoint; a seeded stratum is plain and monotone over
+   purely additive support change, where semi-naive iteration from the
+   previous fixpoint reaches the same fixpoint as from scratch; and
+   everything else is recomputed from scratch. *)
+and incremental_fresh t ns base =
+  let prev = ns.last_fresh in
+  (* Fold a recomputed stratum's per-predicate movement into the change
+     tracking for downstream strata. *)
+  let diff_changes ~track_deletions st preds =
+    List.fold_left
+      (fun ((db, changed, delta, deleted) as acc) pred ->
+        let new_rel = Store.relation pred db in
+        let old_rel = Store.relation pred prev in
+        if Store.Tset.equal new_rel old_rel then acc
+        else
+          let changed = Sset.add pred changed in
+          let delta =
+            Store.Tset.fold
+              (fun tuple d -> Store.add pred tuple d)
+              (Store.Tset.diff new_rel old_rel)
+              delta
+          in
+          let deleted =
+            if
+              track_deletions
+              && not (Store.Tset.is_empty (Store.Tset.diff old_rel new_rel))
+            then Sset.add pred deleted
+            else deleted
+          in
+          (db, changed, delta, deleted))
+      st preds
+  in
+  let db, _, _, _ =
+    List.fold_left
+      (fun (db, changed, delta, deleted)
+           ((rs : Eval.refresh_stratum), strands) ->
+        if not (Sset.exists (fun p -> Sset.mem p changed) rs.Eval.rs_support)
+        then begin
+          (* Untouched: the previous relations are still exact — no
+             evaluation work at all. *)
+          Eval.note_stratum_skipped t.joins;
+          ( Store.union db (Store.restrict rs.Eval.rs_preds prev),
+            changed,
+            delta,
+            deleted )
+        end
+        else if
+          rs.Eval.rs_has_agg || rs.Eval.rs_has_neg
+          || Sset.exists (fun p -> Sset.mem p deleted) rs.Eval.rs_support
+        then begin
+          (* Aggregates and negation are non-monotone in their support,
+             and deletions are non-monotone under seeding: recompute the
+             stratum from scratch on the working database. *)
+          Eval.note_refresh_fallback t.joins;
+          let db, _converged =
+            Eval.seminaive_stratum ~stats:t.joins t.view_program
+              rs.Eval.rs_preds db
+          in
+          diff_changes ~track_deletions:true
+            (db, changed, delta, deleted)
+            rs.Eval.rs_preds
+        end
+        else begin
+          (* Plain monotone stratum over additive support change: seed
+             with the previous relations and re-derive from the deltas
+             only. *)
+          let db = Store.union db (Store.restrict rs.Eval.rs_preds prev) in
+          let db =
+            Ndlog.Plan.refresh_stratum ~stats:t.joins db ~strands ~delta
+          in
+          diff_changes ~track_deletions:false
+            (db, changed, delta, deleted)
+            rs.Eval.rs_preds
+        end)
+      (base, ns.dirty, ns.dirty_delta, ns.dirty_deleted)
+      t.refresh_plan
+  in
+  db
+
+and refresh_node t self =
+  let ns = node t self in
+  (* Recompute views from the non-view part of the local store. *)
+  let base =
+    Store.restrict
+      (List.filter
+         (fun p -> not (List.mem p t.view_preds))
+         (Store.preds ns.store))
+      ns.store
+  in
+  (* Evaluate view rules against the base store: incrementally by
+     default, from scratch as the oracle. *)
+  let fresh =
+    if t.incremental_views then begin
+      let fresh = incremental_fresh t ns base in
+      ns.last_fresh <- Store.restrict t.view_preds fresh;
+      ns.dirty <- Sset.empty;
+      ns.dirty_delta <- Store.empty;
+      ns.dirty_deleted <- Sset.empty;
+      fresh
+    end
+    else (Eval.seminaive ~stats:t.joins t.view_program t.info base).Eval.db
+  in
+  (* Replace local view relations — keeping tuples shipped in from
+     other nodes, which the local base cannot re-derive and whose
+     retirement is their own lease's business — and ship the remote
+     view tuples the destination has not already been sent. *)
+  let locs = loc_index_map t.view_program in
   List.iter
-    (fun self ->
-      let ns = node t self in
-      (* Recompute views from the non-view part of the local store. *)
-      let base =
-        Store.restrict
-          (List.filter
-             (fun p -> not (List.mem p t.view_preds))
-             (Store.preds ns.store))
-          ns.store
+    (fun pred ->
+      let new_rel = Store.relation pred fresh in
+      let old_rel = Store.relation pred ns.store in
+      let local_new =
+        Store.Tset.filter
+          (fun tuple ->
+            match tuple_location (Hashtbl.find_opt locs pred) tuple with
+            | Some owner -> owner = self
+            | None -> true)
+          new_rel
       in
-      (* Evaluate view rules against the base store. *)
-      let info = t.info in
-      let result = Eval.seminaive ~stats:t.joins t.view_program info base in
-      let fresh = result.Eval.db in
-      (* Replace local view relations — keeping tuples shipped in from
-         other nodes, which the local base cannot re-derive and whose
-         retirement is their own lease's business — and ship the remote
-         view tuples the destination has not already been sent. *)
-      let locs = loc_index_map t.view_program in
-      List.iter
-        (fun pred ->
-          let new_rel = Store.relation pred fresh in
-          let old_rel = Store.relation pred ns.store in
-          let local_new =
-            Store.Tset.filter
-              (fun tuple ->
-                match tuple_location (Hashtbl.find_opt locs pred) tuple with
-                | Some owner -> owner = self
-                | None -> true)
-              new_rel
-          in
-          let remote_new =
-            Store.Tset.filter
-              (fun tuple ->
-                match tuple_location (Hashtbl.find_opt locs pred) tuple with
-                | Some owner -> owner <> self
-                | None -> false)
-              new_rel
-          in
-          let local_new =
-            Store.Tset.union local_new (Store.relation pred ns.received)
-          in
-          if not (Store.Tset.equal local_new old_rel) then
-            ns.store <- Store.set_relation pred local_new ns.store;
-          let already =
-            match Hashtbl.find_opt ns.shipped pred with
-            | Some s -> s
-            | None -> Store.Tset.empty
-          in
-          Store.Tset.iter
-            (fun tuple ->
-              ignore
-                (Netsim.Sim.send t.sim ~src:self
-                   ~dst:(Option.get (tuple_location (Hashtbl.find_opt locs pred) tuple))
-                   { pred; tuple }))
-            (Store.Tset.diff remote_new already);
-          Hashtbl.replace ns.shipped pred remote_new;
-          (* A shipped *soft* view tuple lives at the receiver on a
-             lease; with redeliveries suppressed, the source must renew
-             it for as long as the tuple is still derived. *)
-          (match Softstate.Expiry.lifetime_of ns.expiry pred with
-          | Ast.Lifetime l when not (Store.Tset.is_empty remote_new) ->
-            ensure_renewal t self pred l
-          | _ -> ()))
-        t.view_preds)
-    t.node_names
+      let remote_new =
+        Store.Tset.filter
+          (fun tuple ->
+            match tuple_location (Hashtbl.find_opt locs pred) tuple with
+            | Some owner -> owner <> self
+            | None -> false)
+          new_rel
+      in
+      let local_new =
+        Store.Tset.union local_new (Store.relation pred ns.received)
+      in
+      if not (Store.Tset.equal local_new old_rel) then
+        ns.store <- Store.set_relation pred local_new ns.store;
+      let already =
+        match Hashtbl.find_opt ns.shipped pred with
+        | Some s -> s
+        | None -> Store.Tset.empty
+      in
+      Store.Tset.iter
+        (fun tuple ->
+          ignore
+            (Netsim.Sim.send t.sim ~src:self
+               ~dst:(owner_exn (Hashtbl.find_opt locs pred) pred tuple)
+               { pred; tuple }))
+        (Store.Tset.diff remote_new already);
+      Hashtbl.replace ns.shipped pred remote_new;
+      (* A shipped *soft* view tuple lives at the receiver on a
+         lease; with redeliveries suppressed, the source must renew
+         it for as long as the tuple is still derived. *)
+      (match Softstate.Expiry.lifetime_of ns.expiry pred with
+      | Ast.Lifetime l when not (Store.Tset.is_empty remote_new) ->
+        ensure_renewal t self pred l
+      | _ -> ()))
+    t.view_preds
 
 (* Lease renewal for soft view tuples shipped to other nodes: at every
    half-lifetime, re-send whatever is still in the shipped set (the
@@ -547,7 +779,7 @@ and renew t self pred lifetime =
       (fun tuple ->
         ignore
           (Netsim.Sim.send t.sim ~src:self
-             ~dst:(Option.get (tuple_location (Hashtbl.find_opt locs pred) tuple))
+             ~dst:(owner_exn (Hashtbl.find_opt locs pred) pred tuple)
              { pred; tuple }))
       set;
     ensure_renewal t self pred lifetime
@@ -581,6 +813,7 @@ type run_report = {
   total_inserts : int;
   eval_stats : Eval.stats;
   wire_stats : Eval.stats;
+  view_stats : Eval.stats;
 }
 
 let diff_stats (a : Eval.stats) (b : Eval.stats) : Eval.stats =
@@ -592,25 +825,29 @@ let diff_stats (a : Eval.stats) (b : Eval.stats) : Eval.stats =
     groups = a.Eval.groups - b.Eval.groups;
     group_probes = a.Eval.group_probes - b.Eval.group_probes;
     delta_tuples = a.Eval.delta_tuples - b.Eval.delta_tuples;
+    strata_skipped = a.Eval.strata_skipped - b.Eval.strata_skipped;
+    refresh_fallbacks = a.Eval.refresh_fallbacks - b.Eval.refresh_fallbacks;
   }
 
 let run ?(until = infinity) ?(max_events = 1_000_000) t =
   (* Strand execution and view refresh accumulate into the runtime's
      own counters; the deltas across the run are this run's join
-     profile, with the strand (wire) path reported separately. *)
+     profile, with the strand (wire) and view-refresh paths reported
+     separately. *)
   let before_joins = Eval.snapshot t.joins in
   let before_wire = Eval.snapshot t.wire in
   let stats = Netsim.Sim.run ~until ~max_events t.sim in
   let wire_stats = diff_stats (Eval.snapshot t.wire) before_wire in
+  let view_stats = diff_stats (Eval.snapshot t.joins) before_joins in
   let total_inserts =
     Hashtbl.fold (fun _ ns acc -> acc + ns.inserts) t.nodes 0
   in
   {
     stats;
     total_inserts;
-    eval_stats =
-      Eval.add_stats (diff_stats (Eval.snapshot t.joins) before_joins) wire_stats;
+    eval_stats = Eval.add_stats view_stats wire_stats;
     wire_stats;
+    view_stats;
   }
 
 (* The union of all node stores: the global database the distributed
@@ -619,5 +856,10 @@ let global_store t =
   Hashtbl.fold (fun _ ns acc -> Store.union ns.store acc) t.nodes Store.empty
 
 let node_store t name = (node t name).store
+
+(* Introspection for the incremental-refresh test harness. *)
+let dirty_preds t name = Sset.elements (node t name).dirty
+let node_leases t name = Softstate.Expiry.bindings (node t name).expiry
+let incremental t = t.incremental_views
 
 let simulator t = t.sim

@@ -29,7 +29,23 @@
     non-monotonically withdrawn (soft-state or negation-dependent
     support) are rejected at {!create}.  Soft-state tuples expire per
     their [materialize] lifetimes, with leases refreshed on
-    re-insertion. *)
+    re-insertion.
+
+    View refresh is {e incremental} by default: each node tracks its
+    dirty base predicates (those whose relations changed since its last
+    refresh — marked by local insertions, inbox flushes, and expiry
+    sweeps), and a refresh walks the view program's refresh strata
+    ({!Ndlog.Eval.refresh_strata}) bottom-up, skipping strata whose
+    transitive support saw no dirty predicate, seeding plain strata
+    with their previous relations plus the support deltas
+    ({!Ndlog.Plan.refresh_stratum}), and recomputing from scratch
+    strata with aggregates or negation, or whose support lost tuples.
+    Skips and fallbacks are counted ([strata_skipped] /
+    [refresh_fallbacks]).  [~incremental_views:false] (or environment
+    variable [FVN_INCREMENTAL_VIEWS=0]) restores the from-scratch
+    refresh, kept as the differential oracle: both modes produce
+    bit-identical node stores, fixpoints, message traces, and lease
+    tables (qcheck property in the dist test suite). *)
 
 (** A tuple on the wire. *)
 type msg = {
@@ -60,11 +76,32 @@ exception Remote_view_deletion of remote_view_error
 
 val pp_remote_view_error : remote_view_error Fmt.t
 
+exception
+  Missing_tuple_location of {
+    mtl_pred : string;
+    mtl_tuple : Ndlog.Store.Tuple.t;
+  }
+(** Internal invariant violation: a view tuple reached a ship path
+    (refresh shipping or lease renewal) without a resolvable location.
+    The ship paths only ever see tuples already filtered on a resolved
+    owner, so this is unreachable for well-formed programs — raised
+    instead of a bare [Option.get] so a violation names the predicate
+    and tuple. *)
+
 val create :
-  ?seed:int -> ?batch_inbox:bool -> Netsim.Topology.t -> Ndlog.Ast.program -> t
+  ?seed:int ->
+  ?batch_inbox:bool ->
+  ?incremental_views:bool ->
+  Netsim.Topology.t ->
+  Ndlog.Ast.program ->
+  t
 (** [batch_inbox] (default [true]) drains each node's same-instant
     message deliveries as one batch per triggered strand; [false] is
     the per-message baseline.
+    [incremental_views] selects the view refresh mode (default: [true],
+    unless environment variable [FVN_INCREMENTAL_VIEWS] is set to [0],
+    [false], [no], or [off] — the hook the test suite's oracle pass
+    uses).
     @raise Not_localized when some rule body spans locations (run
     {!Ndlog.Localize.rewrite_program} first).
     @raise Remote_view_deletion when a hard-state view head is shipped
@@ -92,6 +129,12 @@ type run_report = {
           local recursion, excluding view refreshes;
           [wire_stats.delta_tuples / wire_stats.groups] is the mean
           delta-group size the inbox batching achieved *)
+  view_stats : Ndlog.Eval.stats;
+      (** the view-refresh share of [eval_stats]; under incremental
+          refresh, [view_stats.strata_skipped] counts untouched strata
+          skipped outright and [view_stats.refresh_fallbacks] counts
+          touched strata recomputed from scratch (aggregates, negation,
+          or deletions in support) *)
 }
 
 val run : ?until:float -> ?max_events:int -> t -> run_report
@@ -102,4 +145,17 @@ val global_store : t -> Ndlog.Store.t
     evaluator). *)
 
 val node_store : t -> string -> Ndlog.Store.t
+
+val dirty_preds : t -> string -> string list
+(** The node's currently dirty base predicates (sorted) — empty right
+    after a refresh, and always empty when incremental refresh is off.
+    Introspection for the dirty-set lifecycle tests. *)
+
+val node_leases : t -> string -> ((string * Ndlog.Store.Tuple.t) * float) list
+(** The node's soft-state lease table (key-sorted, with deadlines) —
+    compared across refresh modes by the differential harness. *)
+
+val incremental : t -> bool
+(** Whether this runtime refreshes views incrementally. *)
+
 val simulator : t -> msg Netsim.Sim.t

@@ -53,6 +53,8 @@ type stats = {
   groups : int;  (* delta groups formed by the batched join *)
   group_probes : int;  (* grouped delta probes issued *)
   delta_tuples : int;  (* delta tuples fed through delta joins *)
+  strata_skipped : int;  (* view strata skipped by dirty tracking *)
+  refresh_fallbacks : int;  (* touched strata recomputed from scratch *)
 }
 
 type outcome = {
@@ -72,6 +74,8 @@ let zero_stats =
     groups = 0;
     group_probes = 0;
     delta_tuples = 0;
+    strata_skipped = 0;
+    refresh_fallbacks = 0;
   }
 
 let add_stats a b =
@@ -83,6 +87,8 @@ let add_stats a b =
     groups = a.groups + b.groups;
     group_probes = a.group_probes + b.group_probes;
     delta_tuples = a.delta_tuples + b.delta_tuples;
+    strata_skipped = a.strata_skipped + b.strata_skipped;
+    refresh_fallbacks = a.refresh_fallbacks + b.refresh_fallbacks;
   }
 
 (* A mutable accumulator for one evaluation run.  Each run (and each
@@ -96,6 +102,8 @@ type counters = {
   mutable c_groups : int;
   mutable c_group_probes : int;
   mutable c_delta_tuples : int;
+  mutable c_strata_skipped : int;
+  mutable c_refresh_fallbacks : int;
 }
 
 let counters () =
@@ -107,6 +115,8 @@ let counters () =
     c_groups = 0;
     c_group_probes = 0;
     c_delta_tuples = 0;
+    c_strata_skipped = 0;
+    c_refresh_fallbacks = 0;
   }
 
 let snapshot c =
@@ -118,6 +128,8 @@ let snapshot c =
     groups = c.c_groups;
     group_probes = c.c_group_probes;
     delta_tuples = c.c_delta_tuples;
+    strata_skipped = c.c_strata_skipped;
+    refresh_fallbacks = c.c_refresh_fallbacks;
   }
 
 let accumulate c (s : stats) =
@@ -127,14 +139,19 @@ let accumulate c (s : stats) =
   c.c_matched <- c.c_matched + s.matched;
   c.c_groups <- c.c_groups + s.groups;
   c.c_group_probes <- c.c_group_probes + s.group_probes;
-  c.c_delta_tuples <- c.c_delta_tuples + s.delta_tuples
+  c.c_delta_tuples <- c.c_delta_tuples + s.delta_tuples;
+  c.c_strata_skipped <- c.c_strata_skipped + s.strata_skipped;
+  c.c_refresh_fallbacks <- c.c_refresh_fallbacks + s.refresh_fallbacks
+
+let note_stratum_skipped c = c.c_strata_skipped <- c.c_strata_skipped + 1
+let note_refresh_fallback c = c.c_refresh_fallbacks <- c.c_refresh_fallbacks + 1
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "index_hits=%d scans=%d enumerated=%d matched=%d groups=%d \
-     group_probes=%d delta_tuples=%d"
+     group_probes=%d delta_tuples=%d strata_skipped=%d refresh_fallbacks=%d"
     s.index_hits s.scans s.enumerated s.matched s.groups s.group_probes
-    s.delta_tuples
+    s.delta_tuples s.strata_skipped s.refresh_fallbacks
 
 let use_indexes = ref true
 let use_reordering = ref true
@@ -822,6 +839,148 @@ let seminaive ?max_rounds ?stats p info db =
 
 let naive ?max_rounds ?stats p info db =
   eval_with eval_stratum_naive ?max_rounds ?stats p info db
+
+(* ------------------------------------------------------------------ *)
+(* Refresh strata: the dependency analysis behind incremental view
+   refresh.
+
+   {!Analysis.strata} is as coarse as stratified semantics allows: a
+   plain rule reading an aggregate head lands in the *same* stratum as
+   the aggregate (the edge is non-strict).  For incremental maintenance
+   that coarseness is costly — a stratum containing any aggregate must
+   be recomputed from scratch whenever touched.  Refresh strata refine
+   the relaxation with one extra strict edge: a dependency *on* an
+   aggregate-defined predicate.  Aggregate heads then sit in strata of
+   their own and their plain consumers land strictly above, where they
+   can be maintained by seeded delta re-derivation.  The refinement
+   respects {!Analysis.strata} (every strict edge there is strict
+   here), so bottom-up evaluation per refresh stratum reaches the same
+   fixpoint. *)
+
+type refresh_stratum = {
+  rs_preds : string list;  (* head predicates of this stratum, sorted *)
+  rs_rules : Ast.rule list;  (* their rules, in program order *)
+  rs_support : Sset.t;  (* transitive body predicates (incl. negated) *)
+  rs_has_agg : bool;
+  rs_has_neg : bool;
+}
+
+let refresh_strata (p : Ast.program) : refresh_stratum list =
+  let heads =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Ast.rule) -> r.head.head_pred) p.rules)
+  in
+  let agg_defined =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun (r : Ast.rule) ->
+           if Ast.has_aggregate r.head then Some r.head.head_pred else None)
+         p.rules)
+  in
+  let rules_of q =
+    List.filter (fun (r : Ast.rule) -> r.head.head_pred = q) p.rules
+  in
+  let neg_preds (r : Ast.rule) =
+    List.filter_map
+      (function Ast.Neg a -> Some a.Ast.pred | _ -> None)
+      r.body
+  in
+  let has_neg r = neg_preds r <> [] in
+  (* Rank heads by relaxation; base predicates rank 0.  An edge
+     head <- q is strict when the head is aggregated, q is negated in
+     the rule, or q is aggregate-defined. *)
+  let rank = Hashtbl.create 16 in
+  let rank_of q = Option.value (Hashtbl.find_opt rank q) ~default:0 in
+  let n = List.length heads in
+  let limit = ((n + 2) * (n + 2)) + 2 in
+  let iters = ref 0 in
+  let changed = ref true in
+  while !changed && !iters <= limit do
+    changed := false;
+    incr iters;
+    List.iter
+      (fun (r : Ast.rule) ->
+        let h = r.head.head_pred in
+        let negs = neg_preds r in
+        List.iter
+          (fun q ->
+            let strict =
+              Ast.has_aggregate r.head || List.mem q negs
+              || List.mem q agg_defined
+            in
+            let lo = rank_of q + if strict then 1 else 0 in
+            if rank_of h < lo then begin
+              Hashtbl.replace rank h lo;
+              changed := true
+            end)
+          (Ast.body_preds r.body))
+      p.rules
+  done;
+  let support_of rules =
+    let direct rs =
+      List.concat_map (fun (r : Ast.rule) -> Ast.body_preds r.body) rs
+    in
+    let rec close seen = function
+      | [] -> seen
+      | q :: rest ->
+        if Sset.mem q seen then close seen rest
+        else close (Sset.add q seen) (direct (rules_of q) @ rest)
+    in
+    close Sset.empty (direct rules)
+  in
+  let group ranked_heads =
+    List.map
+      (fun (_, preds) ->
+        let rules =
+          List.filter
+            (fun (r : Ast.rule) -> List.mem r.head.head_pred preds)
+            p.rules
+        in
+        {
+          rs_preds = preds;
+          rs_rules = rules;
+          rs_support = support_of rules;
+          rs_has_agg =
+            List.exists (fun (r : Ast.rule) -> Ast.has_aggregate r.head) rules;
+          rs_has_neg = List.exists has_neg rules;
+        })
+      ranked_heads
+  in
+  if !changed then
+    (* The extra strict edges closed a cycle the ordinary stratification
+       tolerates (plain mutual recursion through an aggregate-defined
+       predicate).  Collapse to one stratum: always recomputed from
+       scratch when touched — correct, just never incremental. *)
+    group [ (0, heads) ]
+  else
+    let module Imap = Map.Make (Int) in
+    let by_rank =
+      List.fold_left
+        (fun m h ->
+          Imap.update (rank_of h)
+            (function Some l -> Some (h :: l) | None -> Some [ h ])
+            m)
+        Imap.empty heads
+    in
+    group
+      (Imap.fold
+         (fun r preds acc -> (r, List.sort String.compare preds) :: acc)
+         by_rank []
+      |> List.rev)
+
+(* Evaluate one stratum of [p] to fixpoint on [db] (aggregate rules
+   once at entry, plain rules semi-naively): the from-scratch fallback
+   of incremental view refresh, also usable on refresh strata since
+   they refine the analysis strata. *)
+let seminaive_stratum ?(max_rounds = 10_000) ?stats (p : Ast.program)
+    (stratum : string list) (db : Store.t) : Store.t * bool =
+  let st = counters () in
+  let rounds = ref 0 and count = ref 0 in
+  let db, converged =
+    eval_stratum_seminaive st db stratum p ~max_rounds ~rounds ~count
+  in
+  Option.iter (fun c -> accumulate c (snapshot st)) stats;
+  (db, converged)
 
 (* ------------------------------------------------------------------ *)
 (* Sharded evaluation.

@@ -39,6 +39,16 @@ type stats = {
   delta_tuples : int;
       (** delta tuples fed through delta joins; [delta_tuples / groups]
           is the mean delta-group size a batched run achieved *)
+  strata_skipped : int;
+      (** view strata skipped by dirty-predicate tracking (incremental
+          refresh in {!Dist.Runtime}): no predicate in the stratum's
+          transitive support changed, so its previous relations were
+          reused without any evaluation work *)
+  refresh_fallbacks : int;
+      (** touched view strata recomputed from scratch instead of
+          incrementally: strata with aggregates or negation, or whose
+          support lost tuples (soft-state expiry) — both non-monotone
+          under seeded re-derivation *)
 }
 
 (** The result of an evaluation. *)
@@ -72,6 +82,14 @@ val snapshot : counters -> stats
 
 val accumulate : counters -> stats -> unit
 (** Add a snapshot into an accumulator. *)
+
+val note_stratum_skipped : counters -> unit
+(** Count one view stratum skipped by dirty-predicate tracking.  The
+    skip decision lives in the refresh loop ({!Dist.Runtime}), not in
+    an evaluation run, so it is recorded directly on the accumulator. *)
+
+val note_refresh_fallback : counters -> unit
+(** Count one touched view stratum recomputed from scratch. *)
 
 val use_indexes : bool ref
 (** Consult secondary indexes for ground argument positions and grouped
@@ -178,6 +196,46 @@ val naive :
   outcome
 (** Naive evaluation; same fixpoint as {!seminaive} (differentially
     tested), used as the E7 baseline. *)
+
+(** {1 Refresh strata}
+
+    The dependency analysis behind incremental view refresh
+    ({!Dist.Runtime}): {!Analysis.strata} refined with one extra strict
+    edge — a dependency {e on} an aggregate-defined predicate — so
+    aggregate heads sit in strata of their own and their plain
+    consumers land strictly above, where seeded delta re-derivation is
+    sound.  Bottom-up evaluation per refresh stratum reaches the same
+    fixpoint as the analysis strata (every strict analysis edge stays
+    strict here). *)
+
+type refresh_stratum = {
+  rs_preds : string list;  (** head predicates of this stratum, sorted *)
+  rs_rules : Ast.rule list;  (** their rules, in program order *)
+  rs_support : Ast.Sset.t;
+      (** transitive support: every predicate (negated included, lower
+          view heads included) whose change can affect this stratum —
+          the skip test is [support ∩ changed = ∅] *)
+  rs_has_agg : bool;
+  rs_has_neg : bool;
+}
+
+val refresh_strata : Ast.program -> refresh_stratum list
+(** Bottom-up refresh strata of a (view) program.  If the refinement's
+    extra strict edges close a cycle the ordinary stratification
+    tolerates, everything collapses into a single stratum (correct,
+    just never incremental). *)
+
+val seminaive_stratum :
+  ?max_rounds:int ->
+  ?stats:counters ->
+  Ast.program ->
+  string list ->
+  Store.t ->
+  Store.t * bool
+(** [seminaive_stratum p preds db]: evaluate the single stratum of [p]
+    whose heads are [preds] to fixpoint on [db] — aggregate rules once
+    at entry, plain rules semi-naively.  The from-scratch fallback of
+    incremental view refresh. *)
 
 val seminaive_sharded :
   ?max_rounds:int ->

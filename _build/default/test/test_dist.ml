@@ -16,6 +16,11 @@ module Dv = Dist.Dv
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
 (* Build the simulator topology matching a set of link facts. *)
 let topo_of_links links =
   let t = Topo.create () in
@@ -438,6 +443,360 @@ let test_remote_view_check_accepts_canonical () =
        (Programs.parse_exn ship_view_src))
 
 (* ------------------------------------------------------------------ *)
+(* Incremental view refresh: the dirty-predicate tracking path must be
+   observationally identical to the from-scratch oracle, and must
+   actually skip work. *)
+
+(* Differential property: over random localized view programs ×
+   topologies × refresh/expiry interleavings, the incremental and
+   from-scratch runtimes produce bit-identical per-node stores, global
+   fixpoints, message traces, and lease tables.  The generator is pure
+   ints, so every failure is replayable from the printed seed. *)
+let prop_incremental_equivalence =
+  QCheck.Test.make
+    ~name:
+      "incremental = from-scratch refresh (stores, traces, leases)"
+    ~count:15
+    QCheck.(
+      quad (int_range 0 2) (int_range 0 2) (int_range 3 6) (int_range 0 4))
+    (fun (prog_i, topo_i, n, extra) ->
+      let links =
+        match topo_i with
+        | 0 -> Programs.ring_links n
+        | 1 -> Programs.grid_links (2 + (n mod 2))
+        | _ -> Programs.star_links n
+      in
+      let endpoints =
+        List.filter_map
+          (fun (f : Ast.fact) ->
+            match f.Ast.fact_args with
+            | [ s; d; _ ] -> Some (V.as_addr s, V.as_addr d)
+            | _ -> None)
+          links
+      in
+      (* A deterministic slice of the links drives the staged
+         mid-run insertions (new costs / refreshed observations). *)
+      let staged =
+        List.filteri (fun i _ -> i mod 3 = extra mod 3) endpoints
+      in
+      let soft = prog_i = 2 in
+      let p =
+        match prog_i with
+        | 0 ->
+          localized (Programs.with_links (Programs.path_vector ()) links)
+        | 1 ->
+          localized
+            (Programs.with_links
+               (Programs.bounded_distance_vector ~max_hops:(n + 1))
+               links)
+        | _ ->
+          (* Soft support under a shipped soft view: obs expires, best
+             is withdrawn, rep's remote lease lapses. *)
+          let p = Programs.with_links (Programs.parse_exn ship_view_src) links in
+          {
+            p with
+            Ast.facts =
+              p.Ast.facts
+              @ List.map
+                  (fun (s, d) ->
+                    Ast.fact ~loc:0 "obs" [ V.Addr s; V.Addr d; V.Int 7 ])
+                  staged;
+          }
+      in
+      let go ~incremental_views =
+        let rt = Runtime.create ~incremental_views (topo_of_links links) p in
+        Netsim.Sim.set_tracing (Runtime.simulator rt) true;
+        Runtime.load_facts rt;
+        ignore (Runtime.run rt ~until:1.0);
+        (* Interleave insertions with partial runs so refreshes land
+           between (and during) lease windows. *)
+        List.iteri
+          (fun i (s, d) ->
+            if soft then
+              Runtime.insert rt s "obs" [| V.Addr s; V.Addr d; V.Int (9 + i) |]
+            else
+              Runtime.insert rt s "link" [| V.Addr s; V.Addr d; V.Int (2 + i) |];
+            ignore (Runtime.run rt ~until:(1.5 +. (0.5 *. float_of_int i))))
+          staged;
+        let rep = Runtime.run rt ~until:80.0 in
+        (rt, rep)
+      in
+      let rt_i, rep_i = go ~incremental_views:true in
+      let rt_s, rep_s = go ~incremental_views:false in
+      let nodes = Topo.nodes (topo_of_links links) in
+      rep_i.Runtime.stats.Netsim.Sim.quiesced
+      && rep_s.Runtime.stats.Netsim.Sim.quiesced
+      && Store.equal (Runtime.global_store rt_i) (Runtime.global_store rt_s)
+      && rep_i.Runtime.total_inserts = rep_s.Runtime.total_inserts
+      && Netsim.Sim.trace (Runtime.simulator rt_i)
+         = Netsim.Sim.trace (Runtime.simulator rt_s)
+      && List.for_all
+           (fun nm ->
+             Store.equal (Runtime.node_store rt_i nm)
+               (Runtime.node_store rt_s nm)
+             && Runtime.node_leases rt_i nm = Runtime.node_leases rt_s nm)
+           nodes)
+
+(* A view program whose support splits cleanly: [best]/[seen] depend on
+   [obs] only, so a [noise] insertion must touch no view stratum. *)
+let split_view_src =
+  {|
+materialize(obs, infinity).
+materialize(noise, infinity).
+materialize(best, infinity).
+materialize(seen, infinity).
+
+v1 best(@S, D, min<C>) :- obs(@S, D, C).
+v2 seen(@S, D) :- best(@S, D, C).
+|}
+
+let split_view_runtime () =
+  let topo = Topo.create () in
+  Topo.add_duplex topo "n0" "n1";
+  let p = Programs.parse_exn split_view_src in
+  let p =
+    {
+      p with
+      Ast.facts =
+        [
+          Ast.fact ~loc:0 "obs" [ V.Addr "n0"; V.Addr "n1"; V.Int 5 ];
+          Ast.fact ~loc:0 "obs" [ V.Addr "n0"; V.Addr "n1"; V.Int 3 ];
+        ];
+    }
+  in
+  let rt = Runtime.create ~incremental_views:true topo p in
+  Runtime.load_facts rt;
+  rt
+
+(* Dirty-set lifecycle: an insertion marks exactly its base predicate,
+   a refresh clears the mark, and view-pred arrivals are never
+   marked. *)
+let test_dirty_marks_and_clears () =
+  let rt = split_view_runtime () in
+  ignore (Runtime.run rt);
+  Alcotest.(check (list string))
+    "refresh cleared the dirty set" [] (Runtime.dirty_preds rt "n0");
+  Runtime.insert rt "n0" "obs" [| V.Addr "n0"; V.Addr "n1"; V.Int 9 |];
+  Alcotest.(check (list string))
+    "insertion marked exactly obs" [ "obs" ]
+    (Runtime.dirty_preds rt "n0");
+  Alcotest.(check (list string))
+    "other nodes untouched" [] (Runtime.dirty_preds rt "n1");
+  ignore (Runtime.run rt);
+  Alcotest.(check (list string))
+    "refresh cleared it again" [] (Runtime.dirty_preds rt "n0")
+
+(* Expiry sweeps mark the predicates whose tuples actually lapsed. *)
+let test_dirty_marks_expiry () =
+  let topo = Topo.create () in
+  Topo.add_duplex topo "n0" "n1";
+  let p = Programs.parse_exn ship_view_src in
+  let p =
+    {
+      p with
+      Ast.facts = [ Ast.fact ~loc:0 "obs" [ V.Addr "n0"; V.Addr "n1"; V.Int 7 ] ];
+    }
+  in
+  let rt = Runtime.create ~incremental_views:true topo p in
+  Runtime.load_facts rt;
+  ignore (Runtime.run rt ~until:1.0);
+  checkb "converged with empty dirty set" true
+    (Runtime.dirty_preds rt "n0" = []);
+  (* Step the simulator event by event: the first re-dirtying of n0 is
+     the expiry sweep dropping obs (lifetime 3), before the refresh it
+     schedules has run. *)
+  let sim = Runtime.simulator rt in
+  let steps = ref 0 in
+  while
+    Runtime.dirty_preds rt "n0" = [] && !steps < 10_000 && Netsim.Sim.step sim
+  do
+    incr steps
+  done;
+  Alcotest.(check (list string))
+    "sweep marked exactly the expired pred" [ "obs" ]
+    (Runtime.dirty_preds rt "n0");
+  ignore (Runtime.run rt ~until:60.0);
+  Alcotest.(check (list string))
+    "refresh cleared it" [] (Runtime.dirty_preds rt "n0");
+  checki "support gone: view withdrawn" 0
+    (Store.cardinal "best" (Runtime.node_store rt "n0"))
+
+(* An inbox flush marks exactly the predicates it delivered. *)
+let test_dirty_marks_flush () =
+  let src =
+    {|
+materialize(t, infinity).
+materialize(s, infinity).
+materialize(agg, infinity).
+
+b1 s(@D,X) :- t(@S,X,D).
+v1 agg(@D, min<X>) :- s(@D,X).
+|}
+  in
+  let p = Programs.parse_exn src in
+  let p =
+    {
+      p with
+      Ast.facts = [ Ast.fact ~loc:0 "t" [ V.Addr "n0"; V.Int 1; V.Addr "n1" ] ];
+    }
+  in
+  let topo = Topo.create () in
+  Topo.add_duplex topo "n0" "n1";
+  let rt = Runtime.create ~incremental_views:true topo p in
+  Runtime.load_facts rt;
+  let sim = Runtime.simulator rt in
+  let steps = ref 0 in
+  while
+    Runtime.dirty_preds rt "n1" = [] && !steps < 10_000 && Netsim.Sim.step sim
+  do
+    incr steps
+  done;
+  Alcotest.(check (list string))
+    "flush marked exactly the delivered pred" [ "s" ]
+    (Runtime.dirty_preds rt "n1");
+  ignore (Runtime.run rt);
+  checki "delivered tuple derived the view" 1
+    (Store.cardinal "agg" (Runtime.node_store rt "n1"))
+
+(* An untouched stratum costs zero evaluation work: a [noise] insertion
+   outside every view's support refreshes with all strata skipped and
+   nothing enumerated. *)
+let test_untouched_stratum_zero_work () =
+  let rt = split_view_runtime () in
+  ignore (Runtime.run rt);
+  Runtime.insert rt "n0" "noise" [| V.Int 1 |];
+  let rep = Runtime.run rt in
+  let vs = rep.Runtime.view_stats in
+  checkb "strata were skipped" true (vs.Eval.strata_skipped > 0);
+  checki "no fallbacks" 0 vs.Eval.refresh_fallbacks;
+  checki "zero tuples enumerated by refresh" 0 vs.Eval.enumerated;
+  checki "zero index probes by refresh" 0 vs.Eval.index_hits;
+  (* A support insertion, by contrast, recomputes the aggregate stratum
+     (fallback) and seeds the plain one. *)
+  Runtime.insert rt "n0" "obs" [| V.Addr "n0"; V.Addr "n1"; V.Int 1 |];
+  let rep2 = Runtime.run rt in
+  let vs2 = rep2.Runtime.view_stats in
+  checkb "aggregate stratum fell back" true (vs2.Eval.refresh_fallbacks > 0);
+  let n0 = Runtime.node_store rt "n0" in
+  checkb "new minimum took over" true
+    (Store.tuples "best" n0
+    |> List.exists (fun t -> V.equal t.(2) (V.Int 1)));
+  checki "seen maintained through the seeded stratum" 1
+    (Store.cardinal "seen" n0)
+
+(* The ship paths guard tuple-location resolution with a typed internal
+   error instead of a bare [Option.get]; for well-formed programs the
+   branch is unreachable — location-less view tuples are classified
+   local and never shipped. *)
+let test_missing_tuple_location_unreachable () =
+  let src =
+    {|
+materialize(obs, infinity).
+materialize(best, infinity).
+
+v1 best(S, D, min<C>) :- obs(@S, D, C).
+|}
+  in
+  let p = Programs.parse_exn src in
+  let p =
+    {
+      p with
+      Ast.facts =
+        [
+          Ast.fact ~loc:0 "obs" [ V.Addr "n0"; V.Addr "n1"; V.Int 4 ];
+          Ast.fact ~loc:0 "obs" [ V.Addr "n1"; V.Addr "n0"; V.Int 6 ];
+        ];
+    }
+  in
+  let topo = Topo.create () in
+  Topo.add_duplex topo "n0" "n1";
+  let rt = Runtime.create topo p in
+  Runtime.load_facts rt;
+  (* The unlocated view head refreshes and ships nothing — no
+     Missing_tuple_location escapes. *)
+  let rep = Runtime.run rt in
+  checkb "quiesced without internal error" true
+    rep.Runtime.stats.Netsim.Sim.quiesced;
+  checki "unlocated view stays local" 1
+    (Store.cardinal "best" (Runtime.node_store rt "n0"));
+  (* The error itself names the predicate and tuple. *)
+  let msg =
+    Printexc.to_string
+      (Runtime.Missing_tuple_location
+         { mtl_pred = "best"; mtl_tuple = [| V.Addr "n0"; V.Int 3 |] })
+  in
+  checkb "message names the predicate" true
+    (contains ~affix:"best" msg);
+  checkb "message names the tuple" true
+    (contains ~affix:"n0" msg)
+
+(* Remote_view_deletion: printable, and the accept/reject table over
+   (head softness × support kind) is exactly as documented. *)
+let test_remote_view_printer_and_table () =
+  (* Printer: both causes render the predicate chain. *)
+  let soft_msg =
+    Fmt.str "%a" Runtime.pp_remote_view_error
+      { Runtime.rv_pred = "rep"; rv_rule = "c2"; rv_cause = Runtime.Soft_dependency "obs" }
+  in
+  checkb "soft message names rule, pred, cause" true
+    (contains ~affix:"c2" soft_msg
+    && contains ~affix:"rep" soft_msg
+    && contains ~affix:"obs" soft_msg
+    && contains ~affix:"expires" soft_msg);
+  let neg_msg =
+    Fmt.str "%a" Runtime.pp_remote_view_error
+      {
+        Runtime.rv_pred = "warn";
+        rv_rule = "g2";
+        rv_cause = Runtime.Negation_dependency "warn";
+      }
+  in
+  checkb "negation message names rule and flip" true
+    (contains ~affix:"g2" neg_msg
+    && contains ~affix:"negation" neg_msg);
+  (* Accept/reject table.  Rejections (hard head over shrinkable
+     support) are covered by [test_remote_view_check_rejects]; the
+     accepting rows: *)
+  let topo () = topo_of_links (Programs.both "n0" "n1" 1) in
+  let accepts src =
+    match Runtime.create (topo ()) (Programs.parse_exn src) with
+    | _ -> true
+    | exception Runtime.Remote_view_deletion _ -> false
+  in
+  (* soft head × soft support: lease expiry deletes remote copies. *)
+  checkb "soft head / soft support accepted" true (accepts ship_view_src);
+  (* soft head × negation support: same mechanism covers flips. *)
+  checkb "soft head / negation support accepted" true
+    (accepts
+       {|
+materialize(link, infinity).
+materialize(flag, infinity).
+materialize(m, infinity).
+materialize(warn, 10).
+
+g1 m(@S, min<C>) :- link(@S, D, C).
+g2 warn(@D, S) :- m(@S, C), link(@S, D, C2), !flag(@S, D).
+|});
+  (* hard head × hard monotone support: stale-view caveat, not a
+     deletion — accepted. *)
+  checkb "hard head / hard support accepted" true
+    (accepts
+       {|
+materialize(link, infinity).
+materialize(obs, infinity).
+materialize(cnt, infinity).
+materialize(rep, infinity).
+
+c1 cnt(@S, D, min<C>) :- obs(@S, D, C).
+c2 rep(@D, S, C) :- cnt(@S, D, C).
+|});
+  (* hard head × soft support: rejected (the one deletion would need). *)
+  checkb "hard head / soft support rejected" true
+    (not (accepts soft_dep_src));
+  checkb "hard head / negation support rejected" true
+    (not (accepts neg_dep_src))
+
+(* ------------------------------------------------------------------ *)
 (* Distance-vector protocol: convergence and count-to-infinity. *)
 
 let test_dv_converges () =
@@ -532,6 +891,21 @@ let () =
             test_remote_view_check_rejects;
           Alcotest.test_case "canonical programs accepted" `Quick
             test_remote_view_check_accepts_canonical;
+        ] );
+      ( "incremental",
+        [
+          QCheck_alcotest.to_alcotest prop_incremental_equivalence;
+          Alcotest.test_case "dirty marks and clears" `Quick
+            test_dirty_marks_and_clears;
+          Alcotest.test_case "dirty marks expiry" `Quick
+            test_dirty_marks_expiry;
+          Alcotest.test_case "dirty marks flush" `Quick test_dirty_marks_flush;
+          Alcotest.test_case "untouched stratum zero work" `Quick
+            test_untouched_stratum_zero_work;
+          Alcotest.test_case "missing location unreachable" `Quick
+            test_missing_tuple_location_unreachable;
+          Alcotest.test_case "remote-view printer and table" `Quick
+            test_remote_view_printer_and_table;
         ] );
       ( "distance_vector",
         [
