@@ -1,0 +1,1 @@
+bench/test_json.ml: Fmt Int64 Json List

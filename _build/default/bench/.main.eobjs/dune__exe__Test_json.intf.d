@@ -1,0 +1,1 @@
+bench/test_json.mli:

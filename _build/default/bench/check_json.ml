@@ -1,16 +1,19 @@
 (* Smoke check for the benchmark ledger: BENCH_ndlog.json must parse
-   as a schema-5 document carrying a non-empty E7 sweep (indexed vs.
+   as a schema-6 document carrying a non-empty E7 sweep (indexed vs.
    baseline timings), an E8 sharded sweep with per-domain timings, an
    E11 sweep (batched vs. per-tuple delta joins, with the enumeration
    reduction recorded per row), an E12 sweep (the distributed
    runtime's inbox batching vs. per-message deliveries, with the wire
    delta-group sizes recorded per row), an E13 sweep (incremental view
    refresh vs. from-scratch recomputation, with skipped strata and
-   view-path enumeration recorded per row), and a run-history array.
-   Run by the @bench-smoke alias so a broken emitter (or a regression
-   that stops a sweep from completing, a run diverging from its
-   baseline fixpoint, or batching/incrementality losing its
-   enumeration win) fails the build loudly. *)
+   view-path enumeration recorded per row), an E14 churn section (one
+   interned and one boxed run of the sustained link/route churn
+   workload, with identical final stores attested by matching insert
+   and tuple counts), and a run-history array.  Run by the
+   @bench-smoke alias so a broken emitter (or a regression that stops
+   a sweep from completing, a run diverging from its baseline
+   fixpoint, or batching/incrementality losing its enumeration win)
+   fails the build loudly. *)
 
 let fail fmt = Fmt.kstr (fun m -> prerr_endline m; exit 1) fmt
 
@@ -38,8 +41,8 @@ let () =
   | Error e -> fail "%s: does not parse: %s" path e
   | Ok v ->
     (match Json.member "schema" v with
-    | Some (Json.Int 5) -> ()
-    | _ -> fail "%s: missing schema=5" path);
+    | Some (Json.Int 6) -> ()
+    | _ -> fail "%s: missing schema=6" path);
     List.iter
       (fun k ->
         match Json.member k v with
@@ -47,7 +50,7 @@ let () =
         | None -> fail "%s: missing top-level %S" path k)
       [
         "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "e11"; "e12"; "e13";
-        "history";
+        "e14"; "history";
       ];
     (* E7: index layer on vs. off. *)
     let e7 = Option.get (Json.member "e7" v) in
@@ -170,6 +173,57 @@ let () =
             fail "%s: e13 row %d lost the view enumeration reduction" path i
         end)
       incr_sweeps;
+    (* E14: sustained churn, one interned and one boxed run (field-wise
+       medians over interleaved repetitions).  The bench itself aborts
+       if any repetition's final stores diverge; the ledger re-attests
+       that by carrying identical insert and tuple counts per mode, and
+       the throughput / latency fields must be positive (a zero means
+       the measurement window never ran). *)
+    let e14 = Option.get (Json.member "e14" v) in
+    let e14_runs =
+      match Option.bind (Json.member "runs" e14) Json.as_arr with
+      | Some (_ :: _ as r) -> r
+      | _ -> fail "%s: empty or missing e14 runs" path
+    in
+    let churn_num row k =
+      match Json.member k row with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int n) -> float_of_int n
+      | _ -> fail "%s: e14 run lacks numeric %S" path k
+    in
+    List.iteri
+      (fun i row ->
+        require_fields path "e14" i row
+          [
+            "mode"; "nodes"; "events"; "measured_events"; "inserts";
+            "wall_s"; "tuples_per_sec"; "events_per_sec"; "p50_us"; "p99_us";
+            "max_us"; "live_words"; "heap_words"; "interned_values";
+            "messages"; "tuples";
+          ];
+        List.iter
+          (fun k ->
+            if churn_num row k <= 0.0 then
+              fail "%s: e14 run %d has non-positive %S" path i k)
+          [ "inserts"; "tuples_per_sec"; "p99_us"; "live_words"; "tuples" ])
+      e14_runs;
+    let e14_mode m =
+      match
+        List.find_opt
+          (fun row -> Json.member "mode" row = Some (Json.Str m))
+          e14_runs
+      with
+      | Some row -> row
+      | None -> fail "%s: e14 lacks a %S run" path m
+    in
+    let interned = e14_mode "interned" and boxed = e14_mode "boxed" in
+    List.iter
+      (fun k ->
+        if churn_num interned k <> churn_num boxed k then
+          fail "%s: e14 interned and boxed runs disagree on %S" path k)
+      [ "nodes"; "events"; "measured_events"; "inserts"; "tuples" ];
+    (match Json.member "speedup" e14 with
+    | Some (Json.Float s) when s > 0.0 -> ()
+    | _ -> fail "%s: e14 lacks a positive speedup" path);
     (* History: at least the run that wrote this file. *)
     let history =
       match Option.bind (Json.member "history" v) Json.as_arr with
@@ -183,7 +237,8 @@ let () =
       history;
     Fmt.pr
       "%s: ok (%d e7 rows, %d e8 rows, %d e11 rows, %d e12 rows, %d e13 \
-       rows, %d history entries)@."
+       rows, %d e14 runs, %d history entries)@."
       path (List.length sweeps) (List.length shard_sweeps)
       (List.length batch_sweeps) (List.length inbox_sweeps)
-      (List.length incr_sweeps) (List.length history)
+      (List.length incr_sweeps) (List.length e14_runs)
+      (List.length history)

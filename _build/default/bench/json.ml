@@ -38,8 +38,31 @@ let rec emit b ~indent v =
   | Bool x -> Buffer.add_string b (string_of_bool x)
   | Int n -> Buffer.add_string b (string_of_int n)
   | Float f ->
-    (* %.17g round-trips; trim to something readable for the ledger. *)
-    Buffer.add_string b (Printf.sprintf "%.6g" f)
+    (* Shortest representation that parses back to the same float: try
+       the readable precisions first and fall back to %.17g, which is
+       always exact.  A fixed %.6g looked fine in the ledger but
+       silently lost precision on reparse — a p99 of 433.10972…
+       re-emitted as 433.11, so every regeneration perturbed carried
+       history rows. *)
+    let exact p =
+      let s = Printf.sprintf p f in
+      if float_of_string s = f then Some s else None
+    in
+    let s =
+      match exact "%.6g" with
+      | Some s -> s
+      | None -> (
+        match exact "%.12g" with
+        | Some s -> s
+        | None -> Printf.sprintf "%.17g" f)
+    in
+    (* Keep floats syntactically floats: %g prints 2.0 as "2", which
+       would reparse as an Int and change the tree's shape. *)
+    let s =
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+      else s ^ ".0"
+    in
+    Buffer.add_string b s
   | Str s ->
     Buffer.add_char b '"';
     Buffer.add_string b (escape s);

@@ -952,8 +952,289 @@ let incr_point ~prog_name ~topo_name ~n ~nodes ~strict prog links : incr_row =
   }
 
 (* ------------------------------------------------------------------ *)
-(* The machine-readable ledger (BENCH_ndlog.json, schema 5).
+(* E14 machinery: sustained churn against the storage layer.
 
+   A soft-state bounded-cost routing program runs on a ring while a
+   long event stream (~10^6 events in the full configuration) drives
+   link up/down churn and route injections: every tuple lives on a
+   lease, link offers flap their cost each pass and are periodically
+   withheld so leases lapse (down events) and the next offer is
+   genuinely new (up events), and route advertisements are injected
+   directly into the cost relation.  The live tuple set stays bounded
+   — the stream endlessly replaces state instead of growing it — which
+   is exactly the regime where tuple storage, not fixpoint evaluation,
+   is the bottleneck.  The same deterministic stream runs once on the interned
+   representation and once on the boxed oracle (FVN_INTERNING=0
+   semantics, toggled in-process); the fixpoints must be bit-identical
+   and the measured difference is pure representation cost. *)
+
+type churn_row = {
+  ch_mode : string;  (* "interned" | "boxed" *)
+  ch_nodes : int;
+  ch_events : int;  (* events driven, including warmup *)
+  ch_measured : int;  (* events in the measurement window *)
+  ch_inserts : int;  (* store insertions during the window *)
+  ch_wall_s : float;  (* wall clock of the window *)
+  ch_tuples_per_sec : float;  (* window insertions / window wall *)
+  ch_events_per_sec : float;
+  ch_p50_us : float;  (* per-event latency percentiles over the window *)
+  ch_p99_us : float;
+  ch_max_us : float;
+  ch_live_words : int;  (* Gc live words after the run (post full major) *)
+  ch_heap_words : int;  (* Gc.quick_stat heap words *)
+  ch_interned : int;  (* intern table population at end of run *)
+  ch_msgs : int;  (* simulator messages sent over the whole run *)
+  ch_tuples : int;  (* live global store size at cut-off *)
+}
+
+(* The routing program with every relation on a lease: the paper's
+   path-vector protocol (Section 2.2) with a hop bound so churn stays
+   local, and every materialize declaration rewritten to the given
+   lifetime.  Path vectors matter here: every refresh re-derives its
+   path lists from scratch, so the boxed representation keeps
+   re-allocating and re-comparing structurally equal lists while the
+   interned one collapses them to shared representatives — the
+   allocation/comparison traffic this benchmark is designed to
+   expose. *)
+let churn_program_src =
+  {|
+materialize(link, infinity).
+materialize(path, infinity).
+materialize(bestPathCost, infinity).
+materialize(bestPath, infinity).
+materialize(promise, infinity).
+materialize(audit, infinity).
+
+r1 path(@S,D,P,C,H) :- link(@S,D,C), P=f_init(S,D), H=1.
+r2 path(@S,D,P,C,H) :- link(@S,Z,C1), path(@Z,D,P2,C2,H2),
+                       C=C1+C2, P=f_concatPath(S,P2),
+                       f_inPath(P2,S)=false, H=H2+1, H2<2.
+r3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C,H).
+r4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C,H).
+r5 audit(@S,D,P) :- promise(@S,P,D), path(@S,D,P,C,H).
+|}
+
+let churn_program ~lifetime =
+  let p = Ndlog.Programs.parse_exn churn_program_src in
+  {
+    p with
+    Ndlog.Ast.decls =
+      List.map
+        (fun d ->
+          { d with Ndlog.Ast.decl_lifetime = Ndlog.Ast.Lifetime lifetime })
+        p.Ndlog.Ast.decls;
+  }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* Drive one mode through the event stream.  Returns the row plus the
+   digest used for the cross-mode equivalence check (global store,
+   per-node stores, cumulative counters) — the runtime itself is
+   dropped so the next mode's heap measurement does not retain this
+   one's simulator. *)
+let churn_run ~interned ~n ~events ~warmup ~lifetime ~dt =
+  let saved = !Ndlog.Eval.use_interning in
+  Ndlog.Eval.use_interning := interned;
+  Fun.protect ~finally:(fun () -> Ndlog.Eval.use_interning := saved)
+  @@ fun () ->
+  (* Ring plus (i, i+5) chords: the chord offers in the event stream
+     need topology edges to ship their derived paths over. *)
+  let chord_fact s d =
+    {
+      Ndlog.Ast.fact_pred = "link";
+      fact_loc = Some 0;
+      fact_args =
+        [ Ndlog.Value.Addr s; Ndlog.Value.Addr d; Ndlog.Value.Int 1 ];
+    }
+  in
+  let links =
+    Ndlog.Programs.ring_links n
+    @ List.concat
+        (List.init n (fun i ->
+             let a = Ndlog.Programs.node i
+             and b = Ndlog.Programs.node ((i + 5) mod n) in
+             [ chord_fact a b; chord_fact b a ]))
+  in
+  let loc =
+    match Ndlog.Localize.rewrite_program (churn_program ~lifetime) with
+    | Ok r -> r.Ndlog.Localize.program
+    | Error _ -> assert false
+  in
+  let rt = Dist.Runtime.create (topo_of_link_facts links) loc in
+  Dist.Runtime.load_facts rt;
+  Gc.full_major ();
+  let live_start = (Gc.stat ()).Gc.live_words in
+  let nd i = Ndlog.Programs.node (i mod n) in
+  let samples = Array.make events 0.0 in
+  let last = ref None in
+  let sim_events = ref 0 in
+  let warm_inserts = ref 0 and warm_msgs = ref 0 and warm_wall = ref 0.0 in
+  let t_start = Unix.gettimeofday () in
+  for e = 0 to events - 1 do
+    let i = e / 2 mod n in
+    let pass = e / (2 * n) in
+    let t_sim = float_of_int (e + 1) *. dt in
+    let t0 = Unix.gettimeofday () in
+    (* Even events offer a link, odd events inject a route.  Costs flap
+       with the pass, so a kept lease is usually replaced rather than
+       renewed; every fourth pass an offer is withheld, letting the
+       lease lapse (a down event) so the following offer is an up. *)
+    (match e land 1 with
+    | 0 ->
+      (* Ring links on even passes, chord links on odd ones: each node
+         keeps several live neighbours, so the 2-hop path relation per
+         node holds dozens of tuples rather than a handful. *)
+      if (pass + i) mod 4 <> 0 then
+        Dist.Runtime.insert rt (nd i) "link"
+          [|
+            Ndlog.Value.Addr (nd i);
+            Ndlog.Value.Addr (nd (i + if pass land 1 = 0 then 1 else 5));
+            Ndlog.Value.Int (1 + (pass mod 3));
+          |]
+    | _ ->
+      (* A route promise from outside the protocol: an external peer
+         announces the exact path vector it expects node i to compute;
+         rule r5 audits the announcement by joining it against the
+         computed [path] relation on the full path list — the
+         verification-flavoured, list-keyed join this benchmark uses to
+         exercise flat (id-keyed) secondary indexes.  Ring routes on
+         even passes, chord routes on odd ones, so several distinct
+         promises stay live per node. *)
+      if (pass + i) mod 4 <> 2 then
+        let hop, dst = if pass land 1 = 0 then (1, 2) else (5, 10) in
+        Dist.Runtime.insert rt (nd i) "promise"
+          [|
+            Ndlog.Value.Addr (nd i);
+            Ndlog.Value.List
+              [
+                Ndlog.Value.Addr (nd i);
+                Ndlog.Value.Addr (nd (i + hop));
+                Ndlog.Value.Addr (nd (i + dst));
+              ];
+            Ndlog.Value.Addr (nd (i + dst));
+          |]);
+    let rep = Dist.Runtime.run rt ~until:t_sim in
+    last := Some rep;
+    sim_events := !sim_events + rep.Dist.Runtime.stats.Netsim.Sim.events;
+    samples.(e) <- Unix.gettimeofday () -. t0;
+    if e + 1 = warmup then begin
+      warm_inserts := rep.Dist.Runtime.total_inserts;
+      warm_msgs := rep.Dist.Runtime.stats.Netsim.Sim.messages_sent;
+      warm_wall := Unix.gettimeofday () -. t_start
+    end
+  done;
+  let wall_total = Unix.gettimeofday () -. t_start in
+  let rep = Option.get !last in
+  (* Live heap *retained by this run* — the growth over the post-setup
+     baseline, so the digest kept alive from a previous mode's run does
+     not pollute the measurement.  [Gc.quick_stat] is free but zeroes
+     [live_words]; the full [Gc.stat] after a major collection gives the
+     real figure, and [heap_words] comes from the cheap counters. *)
+  Gc.full_major ();
+  let live_words = max 0 ((Gc.stat ()).Gc.live_words - live_start) in
+  let heap_words = (Gc.quick_stat ()).Gc.heap_words in
+  let window = Array.sub samples warmup (events - warmup) in
+  Array.sort Stdlib.compare window;
+  let wall = wall_total -. !warm_wall in
+  let inserts = rep.Dist.Runtime.total_inserts - !warm_inserts in
+  let measured = events - warmup in
+  let global = Dist.Runtime.global_store rt in
+  let node_stores =
+    List.map
+      (fun nm -> (nm, Dist.Runtime.node_store rt nm))
+      (Netsim.Topology.nodes (topo_of_link_facts links))
+  in
+  let row =
+    {
+      ch_mode = (if interned then "interned" else "boxed");
+      ch_nodes = n;
+      ch_events = events;
+      ch_measured = measured;
+      ch_inserts = inserts;
+      ch_wall_s = wall;
+      ch_tuples_per_sec = float_of_int inserts /. Float.max 1e-9 wall;
+      ch_events_per_sec = float_of_int measured /. Float.max 1e-9 wall;
+      ch_p50_us = percentile window 0.50 *. 1e6;
+      ch_p99_us = percentile window 0.99 *. 1e6;
+      ch_max_us = percentile window 1.0 *. 1e6;
+      ch_live_words = live_words;
+      ch_heap_words = heap_words;
+      ch_interned = Ndlog.Intern.size ();
+      ch_msgs = rep.Dist.Runtime.stats.Netsim.Sim.messages_sent;
+      ch_tuples = Ndlog.Store.total_tuples global;
+    }
+  in
+  (row, (global, node_stores, rep.Dist.Runtime.total_inserts))
+
+(* Field-wise median across repetitions of one mode.  The counters that
+   are deterministic (inserts, messages, tuples, events) are asserted
+   identical across repetitions by the digest check, so taking them
+   from the first row is exact; the timing-dependent fields get the
+   median, which a single outlier repetition cannot move. *)
+let churn_median (rows : churn_row list) : churn_row =
+  let medf proj =
+    let a = Array.of_list (List.map proj rows) in
+    Array.sort Stdlib.compare a;
+    a.(Array.length a / 2)
+  in
+  {
+    (List.hd rows) with
+    ch_wall_s = medf (fun r -> r.ch_wall_s);
+    ch_tuples_per_sec = medf (fun r -> r.ch_tuples_per_sec);
+    ch_events_per_sec = medf (fun r -> r.ch_events_per_sec);
+    ch_p50_us = medf (fun r -> r.ch_p50_us);
+    ch_p99_us = medf (fun r -> r.ch_p99_us);
+    ch_max_us = medf (fun r -> r.ch_max_us);
+    ch_live_words = int_of_float (medf (fun r -> float_of_int r.ch_live_words));
+    ch_heap_words = int_of_float (medf (fun r -> float_of_int r.ch_heap_words));
+  }
+
+let churn_point ~n ~events ~reps : churn_row * churn_row =
+  (* Offers recur every 2n events (dt = 1): a 3n lifetime outlives a
+     kept offer cycle but lapses across a withheld one. *)
+  let dt = 1.0 in
+  let lifetime = 3.0 *. float_of_int n *. dt in
+  let warmup = max (2 * n) (events / 10) in
+  let warmup = min warmup (events / 2) in
+  (* Interleaved repetitions, alternating which mode runs first within
+     each pair: back-to-back runs on a shared machine show run-to-run
+     spread well above the effect under measurement, and the mode that
+     runs second inherits a grown GC heap — alternation cancels the
+     order bias, the per-mode median (churn_median) tames the noise. *)
+  let rows_b = ref [] and rows_i = ref [] in
+  let digest = ref None in
+  for rep = 0 to reps - 1 do
+    List.iter
+      (fun interned ->
+        let row, (g, ns, ins) =
+          churn_run ~interned ~n ~events ~warmup ~lifetime ~dt
+        in
+        (* The equivalence claim is part of the benchmark: every run
+           drives the identical deterministic stream to the identical
+           simulated instant, so any divergence — across modes or
+           across repetitions — fails the run loudly. *)
+        (match !digest with
+        | None -> digest := Some (g, ns, ins)
+        | Some (g0, ns0, ins0) ->
+          if
+            not
+              (Ndlog.Store.equal g g0
+              && ins = ins0
+              && List.for_all2
+                   (fun (nm, s) (nm0, s0) ->
+                     nm = nm0 && Ndlog.Store.equal s s0)
+                   ns ns0)
+          then failwith "E14: runs diverged across modes or repetitions");
+        if interned then rows_i := row :: !rows_i
+        else rows_b := row :: !rows_b)
+      (if rep land 1 = 0 then [ false; true ] else [ true; false ])
+  done;
+  (churn_median !rows_i, churn_median !rows_b)
+
+(* The machine-readable ledger (BENCH_ndlog.json, schema 6).
    E7, E8, E11 and E12 stash their sweep rows here; the driver emits one
    document at the end of the run.  The previous ledger's run history is
    carried forward and the finished run appended, so the committed file
@@ -966,6 +1247,7 @@ let e8_rows : shard_row list ref = ref []
 let e11_rows : batch_row list ref = ref []
 let e12_rows : inbox_row list ref = ref []
 let e13_rows : incr_row list ref = ref []
+let e14_rows : churn_row list ref = ref []
 
 let emit_bench_json () =
   let e7_row r =
@@ -1138,6 +1420,42 @@ let emit_bench_json () =
     | [] -> Json.Null
     | rows -> Json.Bool (List.for_all (fun r -> r.iv_same) rows)
   in
+  let e14_row r =
+    Json.Obj
+      [
+        ("mode", Json.Str r.ch_mode);
+        ("nodes", Json.Int r.ch_nodes);
+        ("events", Json.Int r.ch_events);
+        ("measured_events", Json.Int r.ch_measured);
+        ("inserts", Json.Int r.ch_inserts);
+        ("wall_s", Json.Float r.ch_wall_s);
+        ("tuples_per_sec", Json.Float r.ch_tuples_per_sec);
+        ("events_per_sec", Json.Float r.ch_events_per_sec);
+        ("p50_us", Json.Float r.ch_p50_us);
+        ("p99_us", Json.Float r.ch_p99_us);
+        ("max_us", Json.Float r.ch_max_us);
+        ("live_words", Json.Int r.ch_live_words);
+        ("heap_words", Json.Int r.ch_heap_words);
+        ("interned_values", Json.Int r.ch_interned);
+        ("messages", Json.Int r.ch_msgs);
+        ("tuples", Json.Int r.ch_tuples);
+      ]
+  in
+  (* Each stat pairs the interned row with its boxed oracle; e14_rows is
+     [interned; boxed] when e14 ran, [] otherwise. *)
+  let e14_find mode f =
+    match List.find_opt (fun r -> r.ch_mode = mode) !e14_rows with
+    | Some r -> f r
+    | None -> Json.Null
+  in
+  let e14_speedup =
+    match
+      ( List.find_opt (fun r -> r.ch_mode = "interned") !e14_rows,
+        List.find_opt (fun r -> r.ch_mode = "boxed") !e14_rows )
+    with
+    | Some i, Some b -> Json.Float (i.ch_tuples_per_sec /. b.ch_tuples_per_sec)
+    | _ -> Json.Null
+  in
   let now = int_of_float (Unix.time ()) in
   let host_cores = Domain.recommended_domain_count () in
   (* Carry the previous ledger's history forward; a missing, unreadable
@@ -1167,12 +1485,18 @@ let emit_bench_json () =
         ("e12_max_mean_group_size", e12_max_mean_group);
         ("e13_rows", Json.Int (List.length !e13_rows));
         ("e13_total_strata_skipped", e13_total_skipped);
+        ("e14_rows", Json.Int (List.length !e14_rows));
+        ("e14_speedup", e14_speedup);
+        ( "e14_tuples_per_sec_interned",
+          e14_find "interned" (fun r -> Json.Float r.ch_tuples_per_sec) );
+        ( "e14_p99_us_interned",
+          e14_find "interned" (fun r -> Json.Float r.ch_p99_us) );
       ]
   in
   Json.to_file bench_json_path
     (Json.Obj
        [
-         ("schema", Json.Int 5);
+         ("schema", Json.Int 6);
          ("quick", Json.Bool !quick);
          ("host_cores", Json.Int host_cores);
          ("unix_time", Json.Int now);
@@ -1211,6 +1535,29 @@ let emit_bench_json () =
                ("total_strata_skipped", e13_total_skipped);
                ("max_enum_saved_pct", e13_max_saved);
                ("sweeps", Json.Arr (List.map e13_row !e13_rows));
+             ] );
+         ( "e14",
+           Json.Obj
+             [
+               ("speedup", e14_speedup);
+               ( "nodes",
+                 e14_find "interned" (fun r -> Json.Int r.ch_nodes) );
+               ( "events",
+                 e14_find "interned" (fun r -> Json.Int r.ch_events) );
+               ( "tuples_per_sec_interned",
+                 e14_find "interned" (fun r -> Json.Float r.ch_tuples_per_sec)
+               );
+               ( "tuples_per_sec_boxed",
+                 e14_find "boxed" (fun r -> Json.Float r.ch_tuples_per_sec) );
+               ( "p99_us_interned",
+                 e14_find "interned" (fun r -> Json.Float r.ch_p99_us) );
+               ( "p99_us_boxed",
+                 e14_find "boxed" (fun r -> Json.Float r.ch_p99_us) );
+               ( "live_words_interned",
+                 e14_find "interned" (fun r -> Json.Int r.ch_live_words) );
+               ( "live_words_boxed",
+                 e14_find "boxed" (fun r -> Json.Int r.ch_live_words) );
+               ("runs", Json.Arr (List.map e14_row !e14_rows));
              ] );
          ("history", Json.Arr (prior_history @ [ entry ]));
        ]);
@@ -1575,6 +1922,54 @@ let e13 () =
      view-path enumeration reduction are asserted too.@."
 
 (* ------------------------------------------------------------------ *)
+(* E14: sustained churn under interned vs. boxed tuple storage. *)
+
+let e14 () =
+  banner "e14" "sustained link/route churn with value interning"
+    "hash-consed values and flat int-keyed indexes keep a long-running \
+     soft-state router fast and compact without changing a single tuple";
+  (* Quick mode is sized for the @bench-smoke alias (~15 s of churn);
+     the full run sustains a million events per repetition on a
+     192-node chorded ring. *)
+  let n = if !quick then 64 else 192 in
+  let events = if !quick then 20_000 else 1_000_000 in
+  let reps = 3 in
+  let row_i, row_b = churn_point ~n ~events ~reps in
+  e14_rows := [ row_i; row_b ];
+  Fmt.pr
+    "chorded ring of %d nodes, bounded path-vector with a promise-audit \
+     rule, all predicates soft; %d alternating link-offer / route-promise \
+     events with withheld offers and flapping costs, %d interleaved \
+     repetitions per storage mode, medians reported (p50/p99 over the %d \
+     post-warmup events):@."
+    n events reps row_i.ch_measured;
+  table
+    [
+      "storage"; "events"; "inserts"; "wall"; "tuples/s"; "events/s";
+      "p50"; "p99"; "max"; "live heap"; "interned";
+    ]
+    (List.map
+       (fun r ->
+         [
+           r.ch_mode;
+           string_of_int r.ch_events;
+           string_of_int r.ch_inserts;
+           Fmt.str "%.1f s" r.ch_wall_s;
+           Fmt.str "%.0f" r.ch_tuples_per_sec;
+           Fmt.str "%.0f" r.ch_events_per_sec;
+           Fmt.str "%.0f us" r.ch_p50_us;
+           Fmt.str "%.0f us" r.ch_p99_us;
+           Fmt.str "%.0f us" r.ch_max_us;
+           Fmt.str "%dk words" (r.ch_live_words / 1000);
+           string_of_int r.ch_interned;
+         ])
+       [ row_i; row_b ]);
+  Fmt.pr
+    "throughput ratio interned/boxed: %.2fx; identical global fixpoint, \
+     per-node stores and insert counts are asserted across the two runs.@."
+    (row_i.ch_tuples_per_sec /. row_b.ch_tuples_per_sec)
+
+(* ------------------------------------------------------------------ *)
 (* E9: soft-state rewrite overhead. *)
 
 let e9 () =
@@ -1798,7 +2193,8 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("a1", a1); ("a2", a2); ("a3", a3);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("a1", a1); ("a2", a2);
+    ("a3", a3);
   ]
 
 let () =
@@ -1811,7 +2207,7 @@ let () =
           quick := true;
           false
         | "json" ->
-          (* Emit the machine-readable E7/E8/E11/E12 ledger
+          (* Emit the machine-readable E7/E8/E11–E14 ledger
              (BENCH_ndlog.json). *)
           json_out := true;
           false

@@ -96,6 +96,23 @@ type node_state = {
      derived tuples, pre ship/received splitting): the seed for
      incremental re-derivation and the baseline for skip decisions. *)
   mutable last_fresh : Store.t;
+  (* Whether this node's store has changed since its last refresh (new
+     tuples, including shipped-in view arrivals, or expiry removals).
+     A refresh walks only stale nodes when incremental refresh is on:
+     refreshing a non-stale node is a no-op — every stratum would be
+     skipped and every relation left as-is — so the walk is skipped
+     wholesale (and accounted as the per-stratum skips it replaces).
+     Under churn on a large network this turns each refresh from
+     O(nodes) into O(touched nodes). *)
+  mutable stale : bool;
+  (* Deadline of the one live sweep timer, or [infinity] when none is
+     pending.  Every soft insert used to arm a fresh timer chain whose
+     sweep re-armed itself forever, so the timer population — and with
+     it the per-event cost of a long-running simulation — grew without
+     bound.  [schedule_expiry] now arms only when it would fire earlier
+     than the live timer, and a firing timer whose deadline no longer
+     matches is stale: it dies without sweeping or re-arming. *)
+  mutable sweep_armed : float;
 }
 
 type t = {
@@ -345,6 +362,8 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views
           dirty_delta = Store.empty;
           dirty_deleted = Sset.empty;
           last_fresh = Store.empty;
+          stale = false;
+          sweep_armed = infinity;
         })
     (Netsim.Topology.nodes topo);
   let view_preds, view_program, pipeline_program = split_views program in
@@ -468,6 +487,7 @@ and insert t (self : string) pred (tuple : Store.Tuple.t) =
   if not (Store.mem pred tuple ns.store) then begin
     ns.store <- Store.add pred tuple ns.store;
     ns.inserts <- ns.inserts + 1;
+    ns.stale <- true;
     if List.mem pred t.view_preds then
       ns.received <- Store.add pred tuple ns.received;
     mark_dirty t ns pred tuple;
@@ -509,6 +529,7 @@ and flush t (self : string) =
       if not (Store.mem pred tuple ns.store) then begin
         ns.store <- Store.add pred tuple ns.store;
         ns.inserts <- ns.inserts + 1;
+        ns.stale <- true;
         if List.mem pred t.view_preds then
           ns.received <- Store.add pred tuple ns.received;
         mark_dirty t ns pred tuple;
@@ -533,14 +554,23 @@ and flush t (self : string) =
     (List.rev !order_rev);
   if !fresh_rev <> [] && t.view_preds <> [] then request_refresh t
 
-(* Schedule a sweep at the node's next soft-state deadline. *)
+(* Schedule a sweep at the node's next soft-state deadline — unless the
+   node's live timer already fires at or before it, in which case that
+   timer's own re-arm covers this deadline too (see [sweep_armed]). *)
 and schedule_expiry t self =
   let ns = node t self in
   match Softstate.Expiry.next_deadline ns.expiry with
   | None -> ()
   | Some deadline ->
-    let delay = max 0.0 (deadline -. Netsim.Sim.now t.sim) +. 1e-9 in
-    Netsim.Sim.schedule t.sim ~delay (fun () -> sweep t self)
+    if deadline < ns.sweep_armed then begin
+      ns.sweep_armed <- deadline;
+      let delay = max 0.0 (deadline -. Netsim.Sim.now t.sim) +. 1e-9 in
+      Netsim.Sim.schedule t.sim ~delay (fun () ->
+          if ns.sweep_armed = deadline then begin
+            ns.sweep_armed <- infinity;
+            sweep t self
+          end)
+    end
 
 and sweep t self =
   let ns = node t self in
@@ -568,6 +598,7 @@ and sweep t self =
         removed;
     ns.store <- store';
     ns.expiry <- expiry';
+    ns.stale <- true;
     if t.view_preds <> [] then request_refresh t
   end
   else ns.expiry <- expiry';
@@ -589,7 +620,23 @@ and request_refresh t =
         refresh_views t)
   end
 
-and refresh_views t = List.iter (fun self -> refresh_node t self) t.node_names
+(* Incremental mode refreshes only stale nodes: a non-stale node's
+   store is exactly what its last refresh left, so walking it would
+   skip every stratum and change nothing — the avoided strata are still
+   credited to [strata_skipped], keeping the accounting identical to
+   the full walk.  The from-scratch oracle keeps walking every node
+   (recomputation on an unchanged base is its definition of correct,
+   and it has no staleness bookkeeping to trust). *)
+and refresh_views t =
+  List.iter
+    (fun self ->
+      let ns = node t self in
+      if ns.stale || not t.incremental_views then refresh_node t self
+      else
+        List.iter
+          (fun _ -> Eval.note_stratum_skipped t.joins)
+          t.refresh_plan)
+    t.node_names
 
 (* One node's incremental view fixpoint: walk the refresh strata
    bottom-up over a working database seeded with the current base.
@@ -751,7 +798,8 @@ and refresh_node t self =
       | Ast.Lifetime l when not (Store.Tset.is_empty remote_new) ->
         ensure_renewal t self pred l
       | _ -> ()))
-    t.view_preds
+    t.view_preds;
+  ns.stale <- false
 
 (* Lease renewal for soft view tuples shipped to other nodes: at every
    half-lifetime, re-send whatever is still in the shipped set (the
@@ -783,6 +831,20 @@ and renew t self pred lifetime =
              { pred; tuple }))
       set;
     ensure_renewal t self pred lifetime
+
+(* The public injection entry is the system boundary: tuples arriving
+   from outside (the driver, a benchmark's event stream, program facts)
+   get canonicalized here, once, so everything downstream — store
+   residency, derived heads built from matched bindings, in-process
+   message payloads — carries canonical elements by construction.  The
+   internal callers ([emit], [receive], [flush]) bypass this wrapper:
+   their tuples are already canonical, and re-probing the intern table
+   on the hot fixpoint path costs more than it saves. *)
+let insert t self pred tuple =
+  let tuple =
+    if !Ndlog.Intern.enabled then Ndlog.Intern.tuple tuple else tuple
+  in
+  insert t self pred tuple
 
 (* ------------------------------------------------------------------ *)
 (* Driving a run. *)

@@ -1,1 +1,1 @@
-lib/ndlog/env.ml: Array Ast Builtins List Map String Value
+lib/ndlog/env.ml: Array Ast Builtins Intern List Map String Value

@@ -1,1 +1,1 @@
-lib/ndlog/eval.ml: Analysis Array Ast Domain Env Fmt Hashtbl Int List Map Option Parser Pool Seq Set Shard Stdlib Store String Value
+lib/ndlog/eval.ml: Analysis Array Ast Domain Env Fmt Hashtbl Int Intern List Map Option Parser Pool Seq Set Shard Stdlib Store String Value

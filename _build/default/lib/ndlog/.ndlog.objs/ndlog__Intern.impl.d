@@ -1,0 +1,1 @@
+lib/ndlog/intern.ml: Array Hashtbl List Mutex Printf Sys Value

@@ -1,0 +1,1 @@
+lib/ndlog/intern.mli: Value

@@ -1,1 +1,1 @@
-lib/ndlog/store.ml: Array Ast Fmt Hashtbl List Map Option Set Stdlib String Value
+lib/ndlog/store.ml: Array Ast Fmt Hashtbl Intern List Map Mutex Option Set Stdlib String Sys Value

@@ -52,7 +52,16 @@ let rec eval env (e : Ast.expr) : Value.t =
   match e with
   | Ast.Var x -> find x env
   | Ast.Const v -> v
-  | Ast.Call (f, args) -> Builtins.apply f (List.map (eval env) args)
+  | Ast.Call (f, args) -> (
+    match Builtins.apply f (List.map (eval env) args) with
+    (* Canonicalize freshly built lists at the construction site: a
+       fixpoint re-derives the same path vectors over and over, and
+       interning here makes each re-derivation physically equal to the
+       resident copy — every later comparison short-circuits on
+       pointer equality instead of walking the spine.  Scalars are
+       left alone: a hash-cons probe costs more than their compare. *)
+    | Value.List _ as v when !Intern.enabled -> Intern.canon v
+    | v -> v)
   | Ast.Binop (op, a, b) -> arith op (eval env a) (eval env b)
 
 let eval_cmp (c : Ast.cmp) a b =

@@ -157,6 +157,11 @@ let use_indexes = ref true
 let use_reordering = ref true
 let use_batching = ref true
 
+(* Value interning / flat index representation lives in {!Store}; the
+   switch is re-exported here so all evaluator knobs sit in one place
+   (FVN_INTERNING=0 selects the boxed oracle, see {!Intern.enabled}). *)
+let use_interning = Intern.enabled
+
 (* ------------------------------------------------------------------ *)
 (* Rule application. *)
 

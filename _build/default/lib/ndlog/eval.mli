@@ -100,6 +100,15 @@ val use_reordering : bool ref
 (** Reorder rule bodies most-bound-first before evaluation (default
     [true]). *)
 
+val use_interning : bool ref
+(** Hash-cons values and key secondary indexes by interned ids (default
+    [true]; re-export of {!Intern.enabled}, switched off by
+    [FVN_INTERNING=0]).  On: {!Store.add} canonicalizes tuples so
+    resident values are physically shared and index probes compare
+    machine ints.  Off: the boxed-value oracle path.  The fixpoint,
+    derivation counts and statistics are identical either way (checked
+    by property). *)
+
 val use_batching : bool ref
 (** Join delta activations group-at-a-time (default [true]): each
     round's delta relation is grouped by the columns the rest of the

@@ -1,0 +1,173 @@
+(* Hash-consed interning of runtime values.
+
+   Every distinct {!Value.t} that passes through the interner is mapped
+   to a single canonical representative and a dense integer id.  Two
+   things fall out:
+
+   - *Sharing*: stores hold one physical copy of each address string /
+     path list, so equality checks between resident values hit the
+     physical-equality fast path in {!Value.compare} and the live heap
+     shrinks under churn (duplicate strings collapse).
+   - *Flat keys*: secondary-index keys can be lists of ids instead of
+     boxed values, turning the string comparisons on an index probe's
+     tree descent into machine-int comparisons ({!Store}'s [Flat]
+     index representation).
+
+   The tables here are process-global caches, exactly like the
+   secondary-index caches in {!Store}: they never participate in store
+   equality, comparison, or hashing, so model-checker state identity is
+   untouched.  Ids are *not* ordered consistently with
+   {!Value.compare} — they are allocation-ordered — so they are only
+   ever used where equality is the question (hash-cons hits, index-key
+   identity); anything that needs the canonical order converts back to
+   boxed values first.
+
+   [id] and [canon] always intern, regardless of {!enabled}: the flag
+   only tells {!Store} whether to canonicalize incoming tuples and
+   build flat indexes.  That way flipping the flag mid-run (as the
+   benchmarks do) can never make an id lookup miss a value interned
+   under the other setting.
+
+   Thread safety: a single mutex guards the tables, making interning
+   safe from the sharded evaluator's worker domains.  The critical
+   sections are a hash-table probe or insert — uncontended locking is
+   cheap next to the work saved. *)
+
+(* Interning defaults on; FVN_INTERNING=0 (or false/no/off) restores
+   the boxed-value oracle path. *)
+let enabled =
+  ref
+    (match Sys.getenv_opt "FVN_INTERNING" with
+    | Some ("0" | "false" | "no" | "off") -> false
+    | _ -> true)
+
+(* The hash-cons table must use Value's own equality and hash —
+   Value.hash is structural over the List constructor, and a generic
+   Hashtbl.hash would be a second, divergent notion of value identity. *)
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let lock = Mutex.create ()
+let table : (int * Value.t) Vtbl.t = Vtbl.create 4096
+
+(* id -> canonical representative, grown geometrically. *)
+let reverse : Value.t array ref = ref (Array.make 4096 (Value.Int 0))
+let count = ref 0
+
+let register rep =
+  let id = !count in
+  let cap = Array.length !reverse in
+  if id >= cap then begin
+    let bigger = Array.make (2 * cap) (Value.Int 0) in
+    Array.blit !reverse 0 bigger 0 cap;
+    reverse := bigger
+  end;
+  !reverse.(id) <- rep;
+  incr count;
+  id
+
+(* Canonicalize [v], interning it (and, for lists, every suffix of its
+   spine via the recursive rebuild) on first sight.  Runs under [lock];
+   does not recurse through the lock. *)
+let rec canon_locked (v : Value.t) : Value.t =
+  match Vtbl.find_opt table v with
+  | Some (_, rep) -> rep
+  | None ->
+    let rep =
+      match v with
+      | Value.List vs -> Value.List (List.map canon_locked vs)
+      | _ -> v
+    in
+    let id = register rep in
+    Vtbl.add table v (id, rep);
+    rep
+
+let id_locked (v : Value.t) : int =
+  match Vtbl.find_opt table v with
+  | Some (id, _) -> id
+  | None ->
+    let rep =
+      match v with
+      | Value.List vs -> Value.List (List.map canon_locked vs)
+      | _ -> v
+    in
+    let id = register rep in
+    Vtbl.add table v (id, rep);
+    id
+
+let canon v =
+  Mutex.lock lock;
+  let rep = canon_locked v in
+  Mutex.unlock lock;
+  rep
+
+let id v =
+  Mutex.lock lock;
+  let i = id_locked v in
+  Mutex.unlock lock;
+  i
+
+let of_id i =
+  Mutex.lock lock;
+  let n = !count in
+  let v = if i >= 0 && i < n then Some !reverse.(i) else None in
+  Mutex.unlock lock;
+  match v with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Intern.of_id: unknown id %d" i)
+
+(* Canonicalize a tuple in place of a fresh copy when every element is
+   already canonical — re-adding a resident tuple then allocates
+   nothing. *)
+let tuple (t : Value.t array) : Value.t array =
+  Mutex.lock lock;
+  let n = Array.length t in
+  let fresh = ref None in
+  for i = 0 to n - 1 do
+    let c = canon_locked t.(i) in
+    if c != t.(i) then begin
+      let out =
+        match !fresh with
+        | Some out -> out
+        | None ->
+          let out = Array.copy t in
+          fresh := Some out;
+          out
+      in
+      out.(i) <- c
+    end
+  done;
+  Mutex.unlock lock;
+  match !fresh with Some out -> out | None -> t
+
+let values_of_ids (ids : int list) : Value.t list =
+  Mutex.lock lock;
+  let n = !count in
+  let vs =
+    List.map
+      (fun i ->
+        if i >= 0 && i < n then !reverse.(i)
+        else begin
+          Mutex.unlock lock;
+          invalid_arg (Printf.sprintf "Intern.values_of_ids: unknown id %d" i)
+        end)
+      ids
+  in
+  Mutex.unlock lock;
+  vs
+
+let key_ids (key : Value.t list) : int list =
+  Mutex.lock lock;
+  let ids = List.map id_locked key in
+  Mutex.unlock lock;
+  ids
+
+let size () =
+  Mutex.lock lock;
+  let n = !count in
+  Mutex.unlock lock;
+  n

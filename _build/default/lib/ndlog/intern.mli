@@ -1,0 +1,50 @@
+(** Hash-consed interning of runtime values.
+
+    Maps every distinct {!Value.t} to one canonical representative and a
+    dense integer id, so resident values share structure (physical
+    equality makes {!Value.compare} short-circuit, duplicate strings
+    collapse on the heap) and secondary-index keys can compare as
+    machine ints ({!Store}'s flat indexes).
+
+    The interning tables are process-global caches in the same sense as
+    {!Store}'s secondary-index caches: they never influence store
+    [equal]/[compare]/[hash], so model-checker state identity is
+    unaffected.  Ids are allocation-ordered, {e not} consistent with
+    {!Value.compare}; use them only for equality.
+
+    All operations are thread-safe (a mutex guards the tables), so the
+    sharded evaluator's worker domains may intern concurrently. *)
+
+val enabled : bool ref
+(** Whether {!Store} canonicalizes incoming tuples and builds flat
+    (id-keyed) indexes.  Defaults to [true]; the environment switch
+    [FVN_INTERNING=0] selects the boxed-value oracle path.  Interning
+    itself ({!id}, {!canon}) always works regardless, so the flag can be
+    flipped mid-run safely. *)
+
+val canon : Value.t -> Value.t
+(** The canonical representative of a value, interning on first sight.
+    [canon v] is structurally equal to [v], and physically equal across
+    all calls with structurally equal arguments. *)
+
+val id : Value.t -> int
+(** The dense id of a value, interning on first sight.
+    [id a = id b] iff [Value.equal a b]. *)
+
+val of_id : int -> Value.t
+(** The canonical representative registered under an id.
+    @raise Invalid_argument on an id never returned by {!id}. *)
+
+val tuple : Value.t array -> Value.t array
+(** Canonicalize every element of a tuple.  Returns the argument itself
+    (no allocation) when all elements are already canonical. *)
+
+val key_ids : Value.t list -> int list
+(** [List.map id], under one lock acquisition. *)
+
+val values_of_ids : int list -> Value.t list
+(** [List.map of_id], under one lock acquisition.
+    @raise Invalid_argument on an id never returned by {!id}. *)
+
+val size : unit -> int
+(** Number of distinct values interned so far (diagnostics). *)

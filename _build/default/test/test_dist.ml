@@ -537,6 +537,100 @@ let prop_incremental_equivalence =
              && Runtime.node_leases rt_i nm = Runtime.node_leases rt_s nm)
            nodes)
 
+(* Differential property for the interned representation: over the same
+   random programs × topologies × interleavings as the refresh property,
+   a runtime on the interned path and one on the boxed oracle path
+   ([FVN_INTERNING=0]) produce bit-identical per-node stores, global
+   fixpoints, message traces, lease tables, and evaluator statistics —
+   interning is a representation change with no observable behavior. *)
+let prop_interned_equivalence =
+  QCheck.Test.make
+    ~name:"interned = boxed runtime (stores, traces, leases, stats)"
+    ~count:10
+    QCheck.(
+      quad (int_range 0 2) (int_range 0 2) (int_range 3 6) (int_range 0 4))
+    (fun (prog_i, topo_i, n, extra) ->
+      let links =
+        match topo_i with
+        | 0 -> Programs.ring_links n
+        | 1 -> Programs.grid_links (2 + (n mod 2))
+        | _ -> Programs.star_links n
+      in
+      let endpoints =
+        List.filter_map
+          (fun (f : Ast.fact) ->
+            match f.Ast.fact_args with
+            | [ s; d; _ ] -> Some (V.as_addr s, V.as_addr d)
+            | _ -> None)
+          links
+      in
+      let staged =
+        List.filteri (fun i _ -> i mod 3 = extra mod 3) endpoints
+      in
+      let soft = prog_i = 2 in
+      let p =
+        match prog_i with
+        | 0 ->
+          localized (Programs.with_links (Programs.path_vector ()) links)
+        | 1 ->
+          localized
+            (Programs.with_links
+               (Programs.bounded_distance_vector ~max_hops:(n + 1))
+               links)
+        | _ ->
+          let p = Programs.with_links (Programs.parse_exn ship_view_src) links in
+          {
+            p with
+            Ast.facts =
+              p.Ast.facts
+              @ List.map
+                  (fun (s, d) ->
+                    Ast.fact ~loc:0 "obs" [ V.Addr s; V.Addr d; V.Int 7 ])
+                  staged;
+          }
+      in
+      let go interning =
+        let saved = !Eval.use_interning in
+        Eval.use_interning := interning;
+        Fun.protect
+          ~finally:(fun () -> Eval.use_interning := saved)
+          (fun () ->
+            let rt = Runtime.create (topo_of_links links) p in
+            Netsim.Sim.set_tracing (Runtime.simulator rt) true;
+            Runtime.load_facts rt;
+            ignore (Runtime.run rt ~until:1.0);
+            List.iteri
+              (fun i (s, d) ->
+                if soft then
+                  Runtime.insert rt s "obs"
+                    [| V.Addr s; V.Addr d; V.Int (9 + i) |]
+                else
+                  Runtime.insert rt s "link"
+                    [| V.Addr s; V.Addr d; V.Int (2 + i) |];
+                ignore (Runtime.run rt ~until:(1.5 +. (0.5 *. float_of_int i))))
+              staged;
+            let rep = Runtime.run rt ~until:80.0 in
+            (rt, rep))
+      in
+      let rt_i, rep_i = go true in
+      let rt_b, rep_b = go false in
+      let nodes = Topo.nodes (topo_of_links links) in
+      rep_i.Runtime.stats.Netsim.Sim.quiesced
+      && rep_b.Runtime.stats.Netsim.Sim.quiesced
+      && Store.equal (Runtime.global_store rt_i) (Runtime.global_store rt_b)
+      && rep_i.Runtime.total_inserts = rep_b.Runtime.total_inserts
+      && rep_i.Runtime.eval_stats = rep_b.Runtime.eval_stats
+      && rep_i.Runtime.wire_stats = rep_b.Runtime.wire_stats
+      && rep_i.Runtime.view_stats = rep_b.Runtime.view_stats
+      && Netsim.Sim.trace (Runtime.simulator rt_i)
+         = Netsim.Sim.trace (Runtime.simulator rt_b)
+      && List.for_all
+           (fun nm ->
+             Store.equal (Runtime.node_store rt_i nm)
+               (Runtime.node_store rt_b nm)
+             && Runtime.node_leases rt_i nm = Runtime.node_leases rt_b nm)
+           nodes)
+
 (* A view program whose support splits cleanly: [best]/[seen] depend on
    [obs] only, so a [noise] insertion must touch no view stratum. *)
 let split_view_src =
@@ -895,6 +989,7 @@ let () =
       ( "incremental",
         [
           QCheck_alcotest.to_alcotest prop_incremental_equivalence;
+          QCheck_alcotest.to_alcotest prop_interned_equivalence;
           Alcotest.test_case "dirty marks and clears" `Quick
             test_dirty_marks_and_clears;
           Alcotest.test_case "dirty marks expiry" `Quick

@@ -229,6 +229,48 @@ let test_explore_index_independence () =
   checkb "cache-cold twin is the same state" true
     (Mcheck.Explore.Table.mem tbl cold)
 
+(* Interning independence: hash-consed tuples and flat index keys are a
+   representation change, so exploration under the interned path and
+   under the boxed oracle ([FVN_INTERNING=0]) must visit the same state
+   space, and an interned store must be the same visited-table state as
+   its boxed twin. *)
+let test_explore_interning_independence () =
+  let program =
+    Programs.with_links (Programs.path_vector ()) (Programs.line_links 3)
+  in
+  let explore () =
+    Mcheck.Explore.explore ~max_states:5_000 (Mcheck.Ndlog_ts.system program)
+  in
+  let saved = !Ndlog.Eval.use_interning in
+  let under flag =
+    Ndlog.Eval.use_interning := flag;
+    Fun.protect ~finally:(fun () -> Ndlog.Eval.use_interning := saved) explore
+  in
+  let on = under true and off = under false in
+  checki "states independent of interning" off.Mcheck.Explore.states
+    on.Mcheck.Explore.states;
+  checki "transitions independent of interning" off.Mcheck.Explore.transitions
+    on.Mcheck.Explore.transitions;
+  checki "depth independent of interning" off.Mcheck.Explore.max_depth
+    on.Mcheck.Explore.max_depth;
+  let rows = List.init 20 (fun i -> [| V.Addr ("n" ^ string_of_int i) |]) in
+  let build () = Store.add_list "r" rows Store.empty in
+  Ndlog.Eval.use_interning := true;
+  let interned =
+    Fun.protect ~finally:(fun () -> Ndlog.Eval.use_interning := saved) build
+  in
+  Ndlog.Eval.use_interning := false;
+  let boxed =
+    Fun.protect ~finally:(fun () -> Ndlog.Eval.use_interning := saved) build
+  in
+  ignore (Store.lookup "r" ~cols:[ 0 ] ~key:[ V.Addr "n3" ] interned);
+  let tbl =
+    Mcheck.Explore.Table.create ~equal:Store.equal ~hash:Store.hash ()
+  in
+  Mcheck.Explore.Table.add tbl interned 0;
+  checkb "boxed twin is the same state" true
+    (Mcheck.Explore.Table.mem tbl boxed)
+
 let test_explore_bucket_distribution () =
   (* 600 large states differing in one tuple: [Hashtbl.hash]'s
      depth/size truncation collapsed these into a handful of buckets
@@ -361,6 +403,8 @@ let () =
           Alcotest.test_case "invariant holds" `Quick test_model_check_invariant;
           Alcotest.test_case "counterexample" `Quick
             test_model_check_counterexample;
+          Alcotest.test_case "state identity vs interning" `Quick
+            test_explore_interning_independence;
           Alcotest.test_case "state identity vs index cache" `Quick
             test_explore_index_independence;
           Alcotest.test_case "bucket distribution" `Quick

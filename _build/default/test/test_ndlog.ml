@@ -1477,6 +1477,155 @@ let test_agg_fast_path () =
   checki "no scan" 0 st.Eval.scans
 
 (* ------------------------------------------------------------------ *)
+(* Value interning and flat storage: the interned representation must
+   be invisible — same tuples, same canonical order, same equality and
+   hash, same evaluation results — while ids stay stable. *)
+
+module Intern = Ndlog.Intern
+
+let with_interning flag f =
+  let saved = !Eval.use_interning in
+  Eval.use_interning := flag;
+  Fun.protect ~finally:(fun () -> Eval.use_interning := saved) f
+
+(* Duplicate interning is stable: structurally equal values get the
+   same id and the same physically shared representative, however many
+   times and from however many boxes they are interned. *)
+let test_intern_id_stable () =
+  let mk () =
+    (* String.concat defeats literal sharing: [a] and [b] are distinct
+       boxes of the same value. *)
+    V.List [ V.Addr (String.concat "" [ "n"; "1" ]); V.Int 3 ]
+  in
+  let a = mk () and b = mk () in
+  checkb "distinct boxes" true (a != b);
+  checki "same id" (Intern.id a) (Intern.id b);
+  checkb "same representative" true (Intern.canon a == Intern.canon b);
+  checkb "representative equals the value" true (V.equal (Intern.canon a) a);
+  checkb "ids injective" true (Intern.id a <> Intern.id (V.Addr "n1"))
+
+let test_intern_roundtrip () =
+  List.iter
+    (fun v ->
+      checkb "of_id (id v) = v" true (V.equal (Intern.of_id (Intern.id v)) v))
+    [
+      V.Int 42;
+      V.Str "payload";
+      V.Bool false;
+      V.Addr "n9";
+      V.List [ V.Addr "a"; V.List [ V.Int 1; V.Str "x" ] ];
+    ];
+  Alcotest.check_raises "unknown id rejected"
+    (Invalid_argument "Intern.of_id: unknown id -1") (fun () ->
+      ignore (Intern.of_id (-1)))
+
+(* Force the flat (interned-id) index representation regardless of the
+   adaptive probe:build gate, so tests cover it deterministically. *)
+let with_flat_forced f =
+  let saved = !Store.flat_probe_threshold in
+  Store.flat_probe_threshold := 0;
+  Fun.protect ~finally:(fun () -> Store.flat_probe_threshold := saved) f
+
+(* [Store.tuples] must enumerate in canonical (Tuple.compare) order,
+   and [lookup] must return identical sets, whatever representation the
+   store's indexes were built under.  The tuples carry a list column so
+   the deep-key gate lets a forced flat index actually build. *)
+let test_intern_store_order () =
+  let tuples =
+    List.init 40 (fun i ->
+        [|
+          V.Addr (Printf.sprintf "n%02d" (37 * i mod 40));
+          V.List [ V.Addr (Printf.sprintf "n%02d" (i mod 5)); V.Int (i mod 7) ];
+          V.Str (string_of_int (i mod 3));
+        |])
+  in
+  let build () =
+    List.fold_left (fun db t -> Store.add "r" t db) Store.empty tuples
+  in
+  let probe db =
+    Store.lookup "r" ~cols:[ 1 ]
+      ~key:[ V.List [ V.Addr "n02"; V.Int 2 ] ]
+      db
+  in
+  let flat = with_interning true build in
+  let boxed = with_interning false build in
+  (* Build the index flat on the interned store, boxed on the oracle. *)
+  let hits_flat = with_interning true (fun () -> with_flat_forced (fun () -> probe flat)) in
+  let hits_boxed = with_interning false (fun () -> probe boxed) in
+  checkb "flat and boxed lookups agree" true
+    (Store.Tset.equal hits_flat hits_boxed);
+  checkb "flat lookup finds the probe key" false (Store.Tset.is_empty hits_flat);
+  let elems = Store.tuples "r" flat in
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+      Store.Tuple.compare a b < 0 && ascending rest
+    | _ -> true
+  in
+  checkb "flat enumeration is canonically sorted" true (ascending elems);
+  checkb "flat and boxed enumerate identically" true
+    (List.length elems = List.length (Store.tuples "r" boxed)
+    && List.for_all2 Store.Tuple.equal elems (Store.tuples "r" boxed))
+
+(* Mirror of the model checker's warm-vs-cold-cache regression: an
+   interned store with warmed flat indexes and a boxed store built in
+   another insertion order are the same state under
+   [Store.equal]/[compare]/[hash]. *)
+let test_intern_equal_hash_across_representations () =
+  let tuples =
+    List.init 25 (fun i ->
+        [|
+          V.Addr ("n" ^ string_of_int (i mod 5));
+          V.List [ V.Addr ("n" ^ string_of_int ((i + 3) mod 5)) ];
+          V.Int (i mod 4);
+        |])
+  in
+  let build order () =
+    List.fold_left (fun db t -> Store.add "link" t db) Store.empty order
+  in
+  let interned = with_interning true (build tuples) in
+  let boxed = with_interning false (build (List.rev tuples)) in
+  (* Warm the interned store's caches with a genuinely flat index
+     (deep key, forced threshold); boxed stays cold. *)
+  with_interning true (fun () ->
+      with_flat_forced (fun () ->
+          ignore
+            (Store.lookup "link" ~cols:[ 1 ]
+               ~key:[ V.List [ V.Addr "n1" ] ]
+               interned)));
+  let gi = Store.groups "link" ~cols:[ 1 ] interned in
+  checkb "equal across representations" true (Store.equal interned boxed);
+  checki "hash across representations" (Store.hash boxed) (Store.hash interned);
+  checki "compare across representations" 0 (Store.compare interned boxed);
+  (* Flat group enumeration re-sorts id-ordered keys into the boxed
+     path's canonical key order. *)
+  let gb = with_interning false (fun () -> Store.groups "link" ~cols:[ 1 ] boxed) in
+  checkb "groups in canonical key order" true
+    (List.map fst gi = List.map fst gb)
+
+(* Differential property: the interned and boxed paths produce
+   bit-identical fixpoints, rounds, convergence, and join statistics
+   over random programs and topologies. *)
+let prop_interned_equals_boxed =
+  QCheck.Test.make ~name:"interned = boxed evaluation (db, rounds, stats)"
+    ~count:20
+    QCheck.(triple (int_range 0 2) (int_range 3 7) (int_range 0 3))
+    (fun (prog_i, n, extra) ->
+      let links = Programs.random_links ~seed:((17 * n) + extra) ~extra n in
+      let prog =
+        match prog_i with
+        | 0 -> Programs.path_vector ()
+        | 1 -> Programs.bounded_distance_vector ~max_hops:(n + 1)
+        | _ -> Programs.link_state ~max_hops:(n + 1)
+      in
+      let p = Programs.with_links prog links in
+      let run flag = with_interning flag (fun () -> Eval.run_exn p) in
+      let a = run true and b = run false in
+      Store.equal a.Eval.db b.Eval.db
+      && a.Eval.rounds = b.Eval.rounds
+      && a.Eval.converged = b.Eval.converged
+      && a.Eval.stats = b.Eval.stats)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -1554,6 +1703,15 @@ let () =
           Alcotest.test_case "union/diff" `Quick test_store_union_diff;
           Alcotest.test_case "determinism" `Quick test_store_determinism;
         ] );
+      ( "intern",
+        [
+          Alcotest.test_case "id stability" `Quick test_intern_id_stable;
+          Alcotest.test_case "round trip" `Quick test_intern_roundtrip;
+          Alcotest.test_case "canonical order" `Quick test_intern_store_order;
+          Alcotest.test_case "equal/hash across representations" `Quick
+            test_intern_equal_hash_across_representations;
+        ]
+        @ qsuite [ prop_interned_equals_boxed ] );
       ( "index",
         [
           Alcotest.test_case "lookup" `Quick test_store_lookup;

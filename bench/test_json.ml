@@ -1,0 +1,72 @@
+(* Unit tests for the ledger's JSON layer.  The one property that bit
+   us in practice: [Json.to_string] must emit floats that reparse to
+   the exact same float, and re-emitting the parsed tree must reproduce
+   the same text (a fixpoint), or every ledger regeneration perturbs
+   the carried history rows. *)
+
+let fail fmt = Fmt.kstr (fun m -> prerr_endline m; exit 1) fmt
+
+let reparse s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> fail "reparse failed: %s (input %S)" e s
+
+(* emit -> parse must preserve the float bit-exactly, and a second
+   emit must be textually identical to the first. *)
+let roundtrip f =
+  let s1 = Json.to_string (Json.Float f) in
+  (match reparse s1 with
+  | Json.Float f'
+    when Int64.equal (Int64.bits_of_float f') (Int64.bits_of_float f) ->
+    ()
+  | Json.Float f' -> fail "float %h reparsed as %h (text %S)" f f' s1
+  | _ -> fail "float %h reparsed as a non-float (text %S)" f s1);
+  let s2 = Json.to_string (reparse s1) in
+  if s1 <> s2 then fail "float %h not an emit fixpoint: %S then %S" f s1 s2
+
+let () =
+  List.iter roundtrip
+    [
+      0.0;
+      1.0;
+      -1.5;
+      (* The p99 that exposed the bug: six significant digits lose the
+         tail, so a fixed %.6g emitter perturbed it on every rewrite. *)
+      433.10972437525304;
+      (* Needs all 17 digits. *)
+      0.1 +. 0.2;
+      1.0 /. 3.0;
+      (* Tiny / huge magnitudes exercise the exponent path. *)
+      1e-300;
+      1.7976931348623157e308;
+      2.2250738585072014e-308;
+      (* Throughput- and latency-shaped values from real runs. *)
+      26009.4217;
+      77.125;
+      1.0937284561230412;
+    ];
+  (* Whole-document fixpoint: a ledger-shaped tree must survive
+     emit -> parse -> emit unchanged. *)
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Int 6);
+        ("speedup", Json.Float (26009.4217 /. 23883.991));
+        ( "runs",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ("mode", Json.Str "interned");
+                  ("p99_us", Json.Float 433.10972437525304);
+                  ("ok", Json.Bool true);
+                  ("note", Json.Str "quotes \" and \\ and\nnewlines");
+                  ("nothing", Json.Null);
+                ];
+            ] );
+      ]
+  in
+  let s1 = Json.to_string doc in
+  let s2 = Json.to_string (reparse s1) in
+  if s1 <> s2 then fail "document not an emit fixpoint:\n%s\nvs\n%s" s1 s2;
+  print_endline "json round-trip: ok"

@@ -12,32 +12,39 @@ type t =
   | Addr of string
   | List of t list
 
+(* Physical equality short-circuits: interned (hash-consed) values are
+   physically shared, so comparisons between resident store values hit
+   this fast path without looking at the structure. *)
 let rec compare a b =
-  match a, b with
-  | Int x, Int y -> Stdlib.compare x y
-  | Int _, _ -> -1
-  | _, Int _ -> 1
-  | Str x, Str y -> String.compare x y
-  | Str _, _ -> -1
-  | _, Str _ -> 1
-  | Bool x, Bool y -> Stdlib.compare x y
-  | Bool _, _ -> -1
-  | _, Bool _ -> 1
-  | Addr x, Addr y -> String.compare x y
-  | Addr _, _ -> -1
-  | _, Addr _ -> 1
-  | List x, List y -> compare_list x y
+  if a == b then 0
+  else
+    match a, b with
+    | Int x, Int y -> Stdlib.compare x y
+    | Int _, _ -> -1
+    | _, Int _ -> 1
+    | Str x, Str y -> String.compare x y
+    | Str _, _ -> -1
+    | _, Str _ -> 1
+    | Bool x, Bool y -> Stdlib.compare x y
+    | Bool _, _ -> -1
+    | _, Bool _ -> 1
+    | Addr x, Addr y -> String.compare x y
+    | Addr _, _ -> -1
+    | _, Addr _ -> 1
+    | List x, List y -> compare_list x y
 
 and compare_list xs ys =
-  match xs, ys with
-  | [], [] -> 0
-  | [], _ :: _ -> -1
-  | _ :: _, [] -> 1
-  | x :: xs', y :: ys' ->
-    let c = compare x y in
-    if c <> 0 then c else compare_list xs' ys'
+  if xs == ys then 0
+  else
+    match xs, ys with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c <> 0 then c else compare_list xs' ys'
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let rec pp ppf = function
   | Int n -> Fmt.int ppf n
