@@ -1,5 +1,5 @@
 (* Smoke check for the benchmark ledger: BENCH_ndlog.json must parse
-   as a schema-6 document carrying a non-empty E7 sweep (indexed vs.
+   as a schema-7 document carrying a non-empty E7 sweep (indexed vs.
    baseline timings), an E8 sharded sweep with per-domain timings, an
    E11 sweep (batched vs. per-tuple delta joins, with the enumeration
    reduction recorded per row), an E12 sweep (the distributed
@@ -7,13 +7,15 @@
    delta-group sizes recorded per row), an E13 sweep (incremental view
    refresh vs. from-scratch recomputation, with skipped strata and
    view-path enumeration recorded per row), an E14 churn section (one
-   interned and one boxed run of the sustained link/route churn
+   id-native and one boxed run of the sustained link/route churn
    workload, with identical final stores attested by matching insert
-   and tuple counts), and a run-history array.  Run by the
-   @bench-smoke alias so a broken emitter (or a regression that stops
-   a sweep from completing, a run diverging from its baseline
-   fixpoint, or batching/incrementality losing its enumeration win)
-   fails the build loudly. *)
+   and tuple counts), an E15 section (per-probe representation costs,
+   every operation with a positive ns/op and a positive id-probe
+   speedup), and a run-history array.  Run by the @bench-smoke alias
+   so a broken emitter (or a regression that stops a sweep from
+   completing, a run diverging from its baseline fixpoint, or
+   batching/incrementality losing its enumeration win) fails the
+   build loudly. *)
 
 let fail fmt = Fmt.kstr (fun m -> prerr_endline m; exit 1) fmt
 
@@ -41,8 +43,8 @@ let () =
   | Error e -> fail "%s: does not parse: %s" path e
   | Ok v ->
     (match Json.member "schema" v with
-    | Some (Json.Int 6) -> ()
-    | _ -> fail "%s: missing schema=6" path);
+    | Some (Json.Int 7) -> ()
+    | _ -> fail "%s: missing schema=7" path);
     List.iter
       (fun k ->
         match Json.member k v with
@@ -50,7 +52,7 @@ let () =
         | None -> fail "%s: missing top-level %S" path k)
       [
         "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "e11"; "e12"; "e13";
-        "e14"; "history";
+        "e14"; "e15"; "history";
       ];
     (* E7: index layer on vs. off. *)
     let e7 = Option.get (Json.member "e7" v) in
@@ -173,7 +175,7 @@ let () =
             fail "%s: e13 row %d lost the view enumeration reduction" path i
         end)
       incr_sweeps;
-    (* E14: sustained churn, one interned and one boxed run (field-wise
+    (* E14: sustained churn, one id-native and one boxed run (field-wise
        medians over interleaved repetitions).  The bench itself aborts
        if any repetition's final stores diverge; the ledger re-attests
        that by carrying identical insert and tuple counts per mode, and
@@ -215,15 +217,36 @@ let () =
       | Some row -> row
       | None -> fail "%s: e14 lacks a %S run" path m
     in
-    let interned = e14_mode "interned" and boxed = e14_mode "boxed" in
+    let ids = e14_mode "ids" and boxed = e14_mode "boxed" in
     List.iter
       (fun k ->
-        if churn_num interned k <> churn_num boxed k then
-          fail "%s: e14 interned and boxed runs disagree on %S" path k)
+        if churn_num ids k <> churn_num boxed k then
+          fail "%s: e14 id-native and boxed runs disagree on %S" path k)
       [ "nodes"; "events"; "measured_events"; "inserts"; "tuples" ];
     (match Json.member "speedup" e14 with
     | Some (Json.Float s) when s > 0.0 -> ()
     | _ -> fail "%s: e14 lacks a positive speedup" path);
+    (* E15: per-probe representation costs.  Every op must carry a
+       positive ns/op, and the headline id-probe speedup must be a
+       positive ratio. *)
+    let e15 = Option.get (Json.member "e15" v) in
+    let e15_ops =
+      match Option.bind (Json.member "ops" e15) Json.as_arr with
+      | Some (_ :: _ as l) -> l
+      | _ -> fail "%s: empty or missing e15 ops" path
+    in
+    List.iteri
+      (fun i row ->
+        (match Json.member "op" row with
+        | Some (Json.Str _) -> ()
+        | _ -> fail "%s: e15 op %d lacks a name" path i);
+        match Json.member "ns_per_op" row with
+        | Some (Json.Float f) when f > 0.0 -> ()
+        | _ -> fail "%s: e15 op %d has non-positive ns_per_op" path i)
+      e15_ops;
+    (match Json.member "probe_speedup" e15 with
+    | Some (Json.Float s) when s > 0.0 -> ()
+    | _ -> fail "%s: e15 lacks a positive probe_speedup" path);
     (* History: at least the run that wrote this file. *)
     let history =
       match Option.bind (Json.member "history" v) Json.as_arr with
@@ -237,8 +260,8 @@ let () =
       history;
     Fmt.pr
       "%s: ok (%d e7 rows, %d e8 rows, %d e11 rows, %d e12 rows, %d e13 \
-       rows, %d e14 runs, %d history entries)@."
+       rows, %d e14 runs, %d e15 ops, %d history entries)@."
       path (List.length sweeps) (List.length shard_sweeps)
       (List.length batch_sweeps) (List.length inbox_sweeps)
       (List.length incr_sweeps) (List.length e14_runs)
-      (List.length history)
+      (List.length e15_ops) (List.length history)

@@ -963,13 +963,16 @@ let incr_point ~prog_name ~topo_name ~n ~nodes ~strict prog links : incr_row =
    directly into the cost relation.  The live tuple set stays bounded
    — the stream endlessly replaces state instead of growing it — which
    is exactly the regime where tuple storage, not fixpoint evaluation,
-   is the bottleneck.  The same deterministic stream runs once on the interned
-   representation and once on the boxed oracle (FVN_INTERNING=0
-   semantics, toggled in-process); the fixpoints must be bit-identical
-   and the measured difference is pure representation cost. *)
+   is the bottleneck.  The same deterministic stream runs once on the
+   id-native runtime (flat int-array tuples, integer joins) and once
+   on the boxed-store oracle (FVN_TUPLE_IDS=0 semantics, selected per
+   runtime); the fixpoints must be bit-identical and the measured
+   difference is pure representation cost.  (Earlier regenerations of
+   this experiment compared interned vs. uninterned boxed stores; that
+   comparison lives on in the ledger history.) *)
 
 type churn_row = {
-  ch_mode : string;  (* "interned" | "boxed" *)
+  ch_mode : string;  (* "ids" | "boxed" *)
   ch_nodes : int;
   ch_events : int;  (* events driven, including warmup *)
   ch_measured : int;  (* events in the measurement window *)
@@ -1035,11 +1038,7 @@ let percentile sorted q =
    per-node stores, cumulative counters) — the runtime itself is
    dropped so the next mode's heap measurement does not retain this
    one's simulator. *)
-let churn_run ~interned ~n ~events ~warmup ~lifetime ~dt =
-  let saved = !Ndlog.Eval.use_interning in
-  Ndlog.Eval.use_interning := interned;
-  Fun.protect ~finally:(fun () -> Ndlog.Eval.use_interning := saved)
-  @@ fun () ->
+let churn_run ~ids ~n ~events ~warmup ~lifetime ~dt =
   (* Ring plus (i, i+5) chords: the chord offers in the event stream
      need topology edges to ship their derived paths over. *)
   let chord_fact s d =
@@ -1063,7 +1062,7 @@ let churn_run ~interned ~n ~events ~warmup ~lifetime ~dt =
     | Ok r -> r.Ndlog.Localize.program
     | Error _ -> assert false
   in
-  let rt = Dist.Runtime.create (topo_of_link_facts links) loc in
+  let rt = Dist.Runtime.create ~tuple_ids:ids (topo_of_link_facts links) loc in
   Dist.Runtime.load_facts rt;
   Gc.full_major ();
   let live_start = (Gc.stat ()).Gc.live_words in
@@ -1149,7 +1148,7 @@ let churn_run ~interned ~n ~events ~warmup ~lifetime ~dt =
   in
   let row =
     {
-      ch_mode = (if interned then "interned" else "boxed");
+      ch_mode = (if ids then "ids" else "boxed");
       ch_nodes = n;
       ch_events = events;
       ch_measured = measured;
@@ -1208,9 +1207,9 @@ let churn_point ~n ~events ~reps : churn_row * churn_row =
   let digest = ref None in
   for rep = 0 to reps - 1 do
     List.iter
-      (fun interned ->
+      (fun ids ->
         let row, (g, ns, ins) =
-          churn_run ~interned ~n ~events ~warmup ~lifetime ~dt
+          churn_run ~ids ~n ~events ~warmup ~lifetime ~dt
         in
         (* The equivalence claim is part of the benchmark: every run
            drives the identical deterministic stream to the identical
@@ -1228,14 +1227,14 @@ let churn_point ~n ~events ~reps : churn_row * churn_row =
                      nm = nm0 && Ndlog.Store.equal s s0)
                    ns ns0)
           then failwith "E14: runs diverged across modes or repetitions");
-        if interned then rows_i := row :: !rows_i
+        if ids then rows_i := row :: !rows_i
         else rows_b := row :: !rows_b)
       (if rep land 1 = 0 then [ false; true ] else [ true; false ])
   done;
   (churn_median !rows_i, churn_median !rows_b)
 
-(* The machine-readable ledger (BENCH_ndlog.json, schema 6).
-   E7, E8, E11 and E12 stash their sweep rows here; the driver emits one
+(* The machine-readable ledger (BENCH_ndlog.json, schema 7).
+   E7, E8, E11–E15 stash their sweep rows here; the driver emits one
    document at the end of the run.  The previous ledger's run history is
    carried forward and the finished run appended, so the committed file
    records how the numbers moved across regenerations. *)
@@ -1248,6 +1247,22 @@ let e11_rows : batch_row list ref = ref []
 let e12_rows : inbox_row list ref = ref []
 let e13_rows : incr_row list ref = ref []
 let e14_rows : churn_row list ref = ref []
+
+(* E15 machinery: where the id/boxed boundary may sit, in nanoseconds.
+
+   The id-native executor keeps tuples as int arrays end to end and
+   translates to boxed values only at true system boundaries (builtins,
+   provenance, printers, the wire's canonical sort).  This experiment
+   prices the alternatives per operation: an id equality probe vs. the
+   boxed structural compare it replaces, and the hash-cons translation
+   ([Intern.tuple_ids]) a design that boxed per probe — or translated
+   per probe — would pay inside the join loop.  The rows feed the
+   ledger; the headline ratios are the id probe's speedup over the
+   boxed probe and the translation's cost relative to the boxed probe
+   it would hypothetically replace. *)
+type xlate_row = { xl_op : string; xl_ns : float }
+
+let e15_rows : xlate_row list ref = ref []
 
 let emit_bench_json () =
   let e7_row r =
@@ -1441,8 +1456,8 @@ let emit_bench_json () =
         ("tuples", Json.Int r.ch_tuples);
       ]
   in
-  (* Each stat pairs the interned row with its boxed oracle; e14_rows is
-     [interned; boxed] when e14 ran, [] otherwise. *)
+  (* Each stat pairs the id-native row with its boxed oracle; e14_rows
+     is [ids; boxed] when e14 ran, [] otherwise. *)
   let e14_find mode f =
     match List.find_opt (fun r -> r.ch_mode = mode) !e14_rows with
     | Some r -> f r
@@ -1450,11 +1465,28 @@ let emit_bench_json () =
   in
   let e14_speedup =
     match
-      ( List.find_opt (fun r -> r.ch_mode = "interned") !e14_rows,
+      ( List.find_opt (fun r -> r.ch_mode = "ids") !e14_rows,
         List.find_opt (fun r -> r.ch_mode = "boxed") !e14_rows )
     with
     | Some i, Some b -> Json.Float (i.ch_tuples_per_sec /. b.ch_tuples_per_sec)
     | _ -> Json.Null
+  in
+  let e15_row r =
+    Json.Obj [ ("op", Json.Str r.xl_op); ("ns_per_op", Json.Float r.xl_ns) ]
+  in
+  let e15_ns op =
+    match List.find_opt (fun r -> r.xl_op = op) !e15_rows with
+    | Some r -> Some r.xl_ns
+    | None -> None
+  in
+  let e15_ratio num den =
+    match (e15_ns num, e15_ns den) with
+    | Some a, Some b when b > 0.0 -> Json.Float (a /. b)
+    | _ -> Json.Null
+  in
+  let e15_probe_speedup = e15_ratio "boxed tuple equal" "id tuple equal" in
+  let e15_translation_overhead =
+    e15_ratio "translate boxed->ids (tuple_ids)" "boxed tuple equal"
   in
   let now = int_of_float (Unix.time ()) in
   let host_cores = Domain.recommended_domain_count () in
@@ -1487,16 +1519,18 @@ let emit_bench_json () =
         ("e13_total_strata_skipped", e13_total_skipped);
         ("e14_rows", Json.Int (List.length !e14_rows));
         ("e14_speedup", e14_speedup);
-        ( "e14_tuples_per_sec_interned",
-          e14_find "interned" (fun r -> Json.Float r.ch_tuples_per_sec) );
-        ( "e14_p99_us_interned",
-          e14_find "interned" (fun r -> Json.Float r.ch_p99_us) );
+        ( "e14_tuples_per_sec_ids",
+          e14_find "ids" (fun r -> Json.Float r.ch_tuples_per_sec) );
+        ( "e14_p99_us_ids",
+          e14_find "ids" (fun r -> Json.Float r.ch_p99_us) );
+        ("e15_rows", Json.Int (List.length !e15_rows));
+        ("e15_probe_speedup", e15_probe_speedup);
       ]
   in
   Json.to_file bench_json_path
     (Json.Obj
        [
-         ("schema", Json.Int 6);
+         ("schema", Json.Int 7);
          ("quick", Json.Bool !quick);
          ("host_cores", Json.Int host_cores);
          ("unix_time", Json.Int now);
@@ -1541,23 +1575,30 @@ let emit_bench_json () =
              [
                ("speedup", e14_speedup);
                ( "nodes",
-                 e14_find "interned" (fun r -> Json.Int r.ch_nodes) );
+                 e14_find "ids" (fun r -> Json.Int r.ch_nodes) );
                ( "events",
-                 e14_find "interned" (fun r -> Json.Int r.ch_events) );
-               ( "tuples_per_sec_interned",
-                 e14_find "interned" (fun r -> Json.Float r.ch_tuples_per_sec)
-               );
+                 e14_find "ids" (fun r -> Json.Int r.ch_events) );
+               ( "tuples_per_sec_ids",
+                 e14_find "ids" (fun r -> Json.Float r.ch_tuples_per_sec) );
                ( "tuples_per_sec_boxed",
                  e14_find "boxed" (fun r -> Json.Float r.ch_tuples_per_sec) );
-               ( "p99_us_interned",
-                 e14_find "interned" (fun r -> Json.Float r.ch_p99_us) );
+               ( "p99_us_ids",
+                 e14_find "ids" (fun r -> Json.Float r.ch_p99_us) );
                ( "p99_us_boxed",
                  e14_find "boxed" (fun r -> Json.Float r.ch_p99_us) );
-               ( "live_words_interned",
-                 e14_find "interned" (fun r -> Json.Int r.ch_live_words) );
+               ( "live_words_ids",
+                 e14_find "ids" (fun r -> Json.Int r.ch_live_words) );
                ( "live_words_boxed",
                  e14_find "boxed" (fun r -> Json.Int r.ch_live_words) );
                ("runs", Json.Arr (List.map e14_row !e14_rows));
+             ] );
+         ( "e15",
+           Json.Obj
+             [
+               ("probe_speedup", e15_probe_speedup);
+               ( "translation_overhead_vs_boxed_probe",
+                 e15_translation_overhead );
+               ("ops", Json.Arr (List.map e15_row !e15_rows));
              ] );
          ("history", Json.Arr (prior_history @ [ entry ]));
        ]);
@@ -1925,8 +1966,8 @@ let e13 () =
 (* E14: sustained churn under interned vs. boxed tuple storage. *)
 
 let e14 () =
-  banner "e14" "sustained link/route churn with value interning"
-    "hash-consed values and flat int-keyed indexes keep a long-running \
+  banner "e14" "sustained link/route churn, id-native vs. boxed evaluation"
+    "flat int-array tuples and integer joins keep a long-running \
      soft-state router fast and compact without changing a single tuple";
   (* Quick mode is sized for the @bench-smoke alias (~15 s of churn);
      the full run sustains a million events per repetition on a
@@ -1965,9 +2006,95 @@ let e14 () =
          ])
        [ row_i; row_b ]);
   Fmt.pr
-    "throughput ratio interned/boxed: %.2fx; identical global fixpoint, \
+    "throughput ratio id-native/boxed: %.2fx; identical global fixpoint, \
      per-node stores and insert counts are asserted across the two runs.@."
     (row_i.ch_tuples_per_sec /. row_b.ch_tuples_per_sec)
+
+(* ------------------------------------------------------------------ *)
+(* E15: the per-probe price of each representation choice. *)
+
+let e15 () =
+  banner "e15" "per-probe cost of id joins vs. boxed joins vs. translation"
+    "design choice: integer joins win only because boxing is hoisted out \
+     of the probe loop — translating per probe would cost more than the \
+     structural compare it replaces";
+  let module Intern = Ndlog.Intern in
+  let module Fset = Ndlog.Flat.Fset in
+  let k = 256 in
+  (* Path-vector-shaped tuples (the churn workload's hot relation):
+     two addresses, a three-hop path list, a cost, a hop count. *)
+  let mk i =
+    let nd j = Ndlog.Value.Addr (Ndlog.Programs.node (j mod k)) in
+    [|
+      nd i; nd (i + 1);
+      Ndlog.Value.List [ nd i; nd (i + 1); nd (i + 2) ];
+      Ndlog.Value.Int (i mod 7);
+      Ndlog.Value.Int (1 + (i mod 3));
+    |]
+  in
+  (* Two structurally equal corpora in distinct boxes, so the boxed
+     compares below actually walk the spine instead of hitting physical
+     equality; the id corpora are likewise distinct arrays. *)
+  let a = Array.init k mk in
+  let b = Array.init k mk in
+  let ia = Array.map Intern.tuple_ids a in
+  let ib = Array.map (fun t -> Array.copy (Intern.tuple_ids t)) b in
+  let tset =
+    Array.fold_left
+      (fun s t -> Ndlog.Store.Tset.add t s)
+      Ndlog.Store.Tset.empty a
+  in
+  let fset = Fset.create () in
+  Array.iter (fun t -> ignore (Fset.add fset t)) ia;
+  let per_op name f =
+    let ns = ns_per_run ~name (fun () -> f ()) /. float_of_int k in
+    { xl_op = name; xl_ns = ns }
+  in
+  let sink = ref 0 in
+  let rows =
+    [
+      per_op "id tuple equal" (fun () ->
+          for i = 0 to k - 1 do
+            if Fset.tuple_eq ia.(i) ib.(i) then incr sink
+          done);
+      per_op "boxed tuple equal" (fun () ->
+          for i = 0 to k - 1 do
+            if Ndlog.Store.Tuple.equal a.(i) b.(i) then incr sink
+          done);
+      per_op "id set probe (Fset.mem)" (fun () ->
+          for i = 0 to k - 1 do
+            if Fset.mem fset ib.(i) then incr sink
+          done);
+      per_op "boxed set probe (Tset.mem)" (fun () ->
+          for i = 0 to k - 1 do
+            if Ndlog.Store.Tset.mem b.(i) tset then incr sink
+          done);
+      per_op "translate boxed->ids (tuple_ids)" (fun () ->
+          for i = 0 to k - 1 do
+            sink := !sink + Array.length (Intern.tuple_ids b.(i))
+          done);
+      per_op "translate ids->boxed (tuple_of_ids)" (fun () ->
+          for i = 0 to k - 1 do
+            sink := !sink + Array.length (Intern.tuple_of_ids ia.(i))
+          done);
+    ]
+  in
+  ignore (Sys.opaque_identity !sink);
+  e15_rows := rows;
+  table
+    [ "operation"; "ns/op" ]
+    (List.map (fun r -> [ r.xl_op; Fmt.str "%.1f" r.xl_ns ]) rows);
+  let ns op = (List.find (fun r -> r.xl_op = op) rows).xl_ns in
+  Fmt.pr
+    "id probe speedup over boxed probe: %.1fx (equal), %.1fx (set \
+     membership)@."
+    (ns "boxed tuple equal" /. ns "id tuple equal")
+    (ns "boxed set probe (Tset.mem)" /. ns "id set probe (Fset.mem)");
+  Fmt.pr
+    "hash-cons translation costs %.1fx a boxed structural compare — paying \
+     it per probe would erase the join win, which is why the id-native \
+     path translates only at system boundaries.@."
+    (ns "translate boxed->ids (tuple_ids)" /. ns "boxed tuple equal")
 
 (* ------------------------------------------------------------------ *)
 (* E9: soft-state rewrite overhead. *)
@@ -2193,8 +2320,8 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("a1", a1); ("a2", a2);
-    ("a3", a3);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("a1", a1);
+    ("a2", a2); ("a3", a3);
   ]
 
 let () =
@@ -2207,7 +2334,7 @@ let () =
           quick := true;
           false
         | "json" ->
-          (* Emit the machine-readable E7/E8/E11–E14 ledger
+          (* Emit the machine-readable E7/E8/E11–E15 ledger
              (BENCH_ndlog.json). *)
           json_out := true;
           false

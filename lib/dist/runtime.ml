@@ -56,11 +56,19 @@ module Env = Ndlog.Env
 module Analysis = Ndlog.Analysis
 module Value = Ndlog.Value
 module Softstate = Ndlog.Softstate
+module Intern = Ndlog.Intern
+module Flat = Ndlog.Flat
+module Fset = Flat.Fset
+module Ideval = Ndlog.Ideval
 module Sset = Ast.Sset
 
 type msg = {
   pred : string;
   tuple : Store.Tuple.t;
+  (* The flat payload when the sender runs id-natively: the receiver
+     inserts by ids without re-probing the intern table.  [tuple] is
+     always the canonical boxed form — traces and debugging read it. *)
+  ids : int array option;
 }
 
 type node_state = {
@@ -70,7 +78,7 @@ type node_state = {
   mutable inserts : int;  (* local tuple insertions *)
   (* Pending message deliveries, newest first; drained in arrival order
      by [flush]. *)
-  mutable inbox : (string * Store.Tuple.t) list;
+  mutable inbox : (string * Store.Tuple.t * int array option) list;
   mutable flush_scheduled : bool;
   (* View tuples shipped in from other nodes: preserved across local
      view refreshes (the local recomputation cannot re-derive them) and
@@ -113,6 +121,18 @@ type node_state = {
      than the live timer, and a firing timer whose deadline no longer
      matches is stale: it dies without sweeping or re-arming. *)
   mutable sweep_armed : float;
+  (* Id-native state ([tuple_ids] mode).  The flat database is the
+     authoritative store — [store] is not maintained — and its twins
+     mirror [received] / [dirty_delta] / [last_fresh] / [shipped].
+     [store_cache] memoizes boxed materializations by flat version, so
+     observation points ([node_store], [global_store]) pay the cheap
+     id-to-value translation once per quiescent state. *)
+  fdb : Flat.t;
+  freceived : Flat.t;
+  mutable fdirty_delta : Flat.t;
+  mutable flast_fresh : Flat.t;
+  fshipped : (string, Fset.t) Hashtbl.t;
+  mutable store_cache : (int * Store.t) option;
 }
 
 type t = {
@@ -132,11 +152,19 @@ type t = {
   (* Compiled dataflow strands of the pipelined rules, indexed by their
      trigger (delta) predicate: the Click execution model. *)
   strands : (string, Ndlog.Plan.strand list) Hashtbl.t;
+  (* Id-native evaluation ([FVN_TUPLE_IDS], default on): environments
+     bind interned ids, joins compare ints, and node state lives in
+     flat databases.  The compiled istrands below mirror [strands];
+     the boxed path stays intact as the differential oracle. *)
+  tuple_ids : bool;
+  istrands : (string, Ideval.istrand list) Hashtbl.t;
   (* Incremental view refresh: dirty-predicate tracking plus the view
-     program's refresh strata, each with its delta strands.  Off: the
-     from-scratch refresh, kept as the differential oracle. *)
+     program's refresh strata, each with its delta strands (boxed and
+     id-native twins).  Off: the from-scratch refresh, kept as the
+     differential oracle. *)
   incremental_views : bool;
-  refresh_plan : (Eval.refresh_stratum * Ndlog.Plan.strand list) list;
+  refresh_plan :
+    (Eval.refresh_stratum * Ndlog.Plan.strand list * Ideval.istrand list) list;
   (* Join counters, split by path (per-runtime: concurrent runtimes
      never interfere): [wire] counts pipelined strand executions —
      inbox flushes and local recursion — [joins] counts view
@@ -337,7 +365,14 @@ let incremental_views_default () =
   | Some ("0" | "false" | "no" | "off") -> false
   | _ -> true
 
-let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views
+(* The id twin of {!Ndlog.Shard.tuple_location}: the location column is
+   one array read plus an address check, no tuple materialization. *)
+let owner_of_ids (loc : int option) (ids : int array) : string option =
+  match loc with
+  | Some i when i < Array.length ids -> Some (Value.as_addr (Intern.get ids.(i)))
+  | _ -> None
+
+let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views ?tuple_ids
     (topo : Netsim.Topology.t) (program : Ast.program) : t =
   (match Ndlog.Localize.check_localized program with
   | Ok () -> ()
@@ -364,6 +399,12 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views
           last_fresh = Store.empty;
           stale = false;
           sweep_armed = infinity;
+          fdb = Flat.create ();
+          freceived = Flat.create ();
+          fdirty_delta = Flat.create ();
+          flast_fresh = Flat.create ();
+          fshipped = Hashtbl.create 4;
+          store_cache = None;
         })
     (Netsim.Topology.nodes topo);
   let view_preds, view_program, pipeline_program = split_views program in
@@ -390,6 +431,17 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views
     | Some b -> b
     | None -> incremental_views_default ()
   in
+  let tuple_ids =
+    match tuple_ids with Some b -> b | None -> !Ideval.enabled
+  in
+  (* Compiled id-native twins of the wire strands (id mode only — the
+     compilation is cardinality-independent, so one istrand serves
+     every batch for the runtime's lifetime). *)
+  let istrands = Hashtbl.create 32 in
+  if tuple_ids then
+    Hashtbl.iter
+      (fun pred l -> Hashtbl.replace istrands pred (List.map Ideval.of_strand l))
+      strands';
   (* Refresh strata of the view program, bottom-up, each with the delta
      strands of its rules (empty for aggregate strata — those fall back
      to from-scratch recomputation whenever touched). *)
@@ -402,7 +454,10 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views
             Ndlog.Plan.compile_program
               { view_program with Ast.rules = rs.Eval.rs_rules }
         in
-        (rs, strands))
+        let istrands =
+          if tuple_ids then List.map Ideval.of_strand strands else []
+        in
+        (rs, strands, istrands))
       (Eval.refresh_strata view_program)
   in
   let t =
@@ -416,6 +471,8 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views
       view_preds;
       view_program;
       strands = strands';
+      tuple_ids;
+      istrands;
       incremental_views;
       refresh_plan;
       joins = Eval.counters ();
@@ -427,8 +484,7 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views
      directly in per-message mode, through the inbox otherwise. *)
   List.iter
     (fun n ->
-      Netsim.Sim.set_handler sim n (fun _sim ~self ~src:_ m ->
-          receive t self m.pred m.tuple))
+      Netsim.Sim.set_handler sim n (fun _sim ~self ~src:_ m -> receive t self m))
     (Netsim.Topology.nodes topo);
   t
 
@@ -441,8 +497,17 @@ and node t name =
 and emit t (self : string) (loc : int option) pred tuple =
   match tuple_location loc tuple with
   | Some owner when owner <> self ->
-    ignore (Netsim.Sim.send t.sim ~src:self ~dst:owner { pred; tuple })
+    ignore (Netsim.Sim.send t.sim ~src:self ~dst:owner { pred; tuple; ids = None })
   | _ -> insert t self pred tuple
+
+(* Id twin of [emit]: the message carries both forms — the boxed tuple
+   for traces, the ids for the receiver's flat store. *)
+and emit_ids t (self : string) (loc : int option) pred tuple ids =
+  match tuple_location loc tuple with
+  | Some owner when owner <> self ->
+    ignore
+      (Netsim.Sim.send t.sim ~src:self ~dst:owner { pred; tuple; ids = Some ids })
+  | _ -> insert_ids t self pred ids tuple
 
 (* Pipelined semi-naive: react to one freshly inserted tuple by running
    the strands triggered by its predicate (the Click execution model;
@@ -468,6 +533,32 @@ and run_strands t (self : string) pred (delta : Store.Tuple.t list) =
                 ~delta_tuples:delta st)))
       strands
 
+(* Id twin of [propagate]/[run_strands]: joins run over the node's flat
+   store through the compiled istrands; heads materialize boxed only at
+   emission, where they are sorted canonically — message enqueue order
+   (and hence the trace) is identical to the boxed path's. *)
+and propagate_ids t (self : string) pred (ids : int array) =
+  run_strands_ids t self pred [ ids ]
+
+and run_strands_ids t (self : string) pred (delta : int array list) =
+  let ns = node t self in
+  match Hashtbl.find_opt t.istrands pred with
+  | None -> ()
+  | Some strands ->
+    List.iter
+      (fun ist ->
+        let loc = Ideval.head_loc ist and hp = Ideval.head_pred ist in
+        let heads =
+          List.sort_uniq
+            (fun (a, _) (b, _) -> Store.Tuple.compare a b)
+            (List.map
+               (fun ids -> (Intern.tuple_of_ids ids, ids))
+               (Ideval.execute_batch ~stats:t.wire ns.fdb ~delta_tuples:delta
+                  ist))
+        in
+        List.iter (fun (tuple, ids) -> emit_ids t self loc hp tuple ids) heads)
+      strands
+
 (* Record a base-relation addition for incremental refresh.  View-pred
    arrivals (shipped-in tuples) are not marked: the refresh derives
    views from the base store only and re-unions [received] afterwards,
@@ -476,6 +567,12 @@ and mark_dirty t ns pred tuple =
   if t.incremental_views && not (List.mem pred t.view_preds) then begin
     ns.dirty <- Sset.add pred ns.dirty;
     ns.dirty_delta <- Store.add pred tuple ns.dirty_delta
+  end
+
+and mark_dirty_ids t ns pred ids =
+  if t.incremental_views && not (List.mem pred t.view_preds) then begin
+    ns.dirty <- Sset.add pred ns.dirty;
+    ignore (Flat.add ns.fdirty_delta pred ids)
   end
 
 and insert t (self : string) pred (tuple : Store.Tuple.t) =
@@ -495,15 +592,40 @@ and insert t (self : string) pred (tuple : Store.Tuple.t) =
     if t.view_preds <> [] then request_refresh t
   end
 
+(* Id twin of [insert].  The lease table stays boxed-keyed (it is part
+   of the observable state compared across modes); everything on the
+   derivation path — membership, storage, dirty tracking, strand
+   triggering — runs on ids. *)
+and insert_ids t (self : string) pred (ids : int array)
+    (tuple : Store.Tuple.t) =
+  let ns = node t self in
+  let now = Netsim.Sim.now t.sim in
+  ns.expiry <- Softstate.Expiry.insert ns.expiry ~now pred tuple;
+  if Softstate.Expiry.is_soft ns.expiry pred then schedule_expiry t self;
+  if Flat.add ns.fdb pred ids then begin
+    ns.inserts <- ns.inserts + 1;
+    ns.stale <- true;
+    if List.mem pred t.view_preds then ignore (Flat.add ns.freceived pred ids);
+    mark_dirty_ids t ns pred ids;
+    propagate_ids t self pred ids;
+    if t.view_preds <> [] then request_refresh t
+  end
+
 (* A message delivery: the inbox buffers it and a zero-delay flush
    drains every delivery landing at this instant together (the event
    queue breaks time ties in insertion order, so the flush runs after
    all already-enqueued same-time deliveries). *)
-and receive t (self : string) pred (tuple : Store.Tuple.t) =
-  if not t.batch_inbox then insert t self pred tuple
+and receive t (self : string) (m : msg) =
+  if not t.batch_inbox then
+    if t.tuple_ids then
+      let ids =
+        match m.ids with Some ids -> ids | None -> Intern.tuple_ids m.tuple
+      in
+      insert_ids t self m.pred ids m.tuple
+    else insert t self m.pred m.tuple
   else begin
     let ns = node t self in
-    ns.inbox <- (pred, tuple) :: ns.inbox;
+    ns.inbox <- (m.pred, m.tuple, m.ids) :: ns.inbox;
     if not ns.flush_scheduled then begin
       ns.flush_scheduled <- true;
       Netsim.Sim.schedule t.sim ~delay:0.0 (fun () -> flush t self)
@@ -515,6 +637,54 @@ and receive t (self : string) pred (tuple : Store.Tuple.t) =
    per-message runtime did), then run each triggered strand once with
    the full per-predicate delta of genuinely-new tuples. *)
 and flush t (self : string) =
+  if t.tuple_ids then flush_ids t self
+  else begin
+    let ns = node t self in
+    ns.flush_scheduled <- false;
+    let arrivals = List.rev ns.inbox in
+    ns.inbox <- [];
+    let now = Netsim.Sim.now t.sim in
+    let any_soft = ref false in
+    let fresh_rev = ref [] in
+    List.iter
+      (fun (pred, tuple, _) ->
+        ns.expiry <- Softstate.Expiry.insert ns.expiry ~now pred tuple;
+        if Softstate.Expiry.is_soft ns.expiry pred then any_soft := true;
+        if not (Store.mem pred tuple ns.store) then begin
+          ns.store <- Store.add pred tuple ns.store;
+          ns.inserts <- ns.inserts + 1;
+          ns.stale <- true;
+          if List.mem pred t.view_preds then
+            ns.received <- Store.add pred tuple ns.received;
+          mark_dirty t ns pred tuple;
+          fresh_rev := (pred, tuple) :: !fresh_rev
+        end)
+      arrivals;
+    if !any_soft then schedule_expiry t self;
+    (* Group the new tuples by predicate, preserving first-arrival order
+       of the predicates and arrival order within each. *)
+    let order_rev = ref [] in
+    let deltas : (string, Store.Tuple.t list ref) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    List.iter
+      (fun (pred, tuple) ->
+        match Hashtbl.find_opt deltas pred with
+        | Some l -> l := tuple :: !l
+        | None ->
+          Hashtbl.add deltas pred (ref [ tuple ]);
+          order_rev := pred :: !order_rev)
+      (List.rev !fresh_rev);
+    List.iter
+      (fun pred ->
+        run_strands t self pred (List.rev !(Hashtbl.find deltas pred)))
+      (List.rev !order_rev);
+    if !fresh_rev <> [] && t.view_preds <> [] then request_refresh t
+  end
+
+(* Id twin of [flush]: same drain order, same grouping, flat
+   membership and strand batches. *)
+and flush_ids t (self : string) =
   let ns = node t self in
   ns.flush_scheduled <- false;
   let arrivals = List.rev ns.inbox in
@@ -523,34 +693,35 @@ and flush t (self : string) =
   let any_soft = ref false in
   let fresh_rev = ref [] in
   List.iter
-    (fun (pred, tuple) ->
+    (fun (pred, tuple, ids) ->
       ns.expiry <- Softstate.Expiry.insert ns.expiry ~now pred tuple;
       if Softstate.Expiry.is_soft ns.expiry pred then any_soft := true;
-      if not (Store.mem pred tuple ns.store) then begin
-        ns.store <- Store.add pred tuple ns.store;
+      let ids =
+        match ids with Some ids -> ids | None -> Intern.tuple_ids tuple
+      in
+      if Flat.add ns.fdb pred ids then begin
         ns.inserts <- ns.inserts + 1;
         ns.stale <- true;
         if List.mem pred t.view_preds then
-          ns.received <- Store.add pred tuple ns.received;
-        mark_dirty t ns pred tuple;
-        fresh_rev := (pred, tuple) :: !fresh_rev
+          ignore (Flat.add ns.freceived pred ids);
+        mark_dirty_ids t ns pred ids;
+        fresh_rev := (pred, ids) :: !fresh_rev
       end)
     arrivals;
   if !any_soft then schedule_expiry t self;
-  (* Group the new tuples by predicate, preserving first-arrival order
-     of the predicates and arrival order within each. *)
   let order_rev = ref [] in
-  let deltas : (string, Store.Tuple.t list ref) Hashtbl.t = Hashtbl.create 4 in
+  let deltas : (string, int array list ref) Hashtbl.t = Hashtbl.create 4 in
   List.iter
-    (fun (pred, tuple) ->
+    (fun (pred, ids) ->
       match Hashtbl.find_opt deltas pred with
-      | Some l -> l := tuple :: !l
+      | Some l -> l := ids :: !l
       | None ->
-        Hashtbl.add deltas pred (ref [ tuple ]);
+        Hashtbl.add deltas pred (ref [ ids ]);
         order_rev := pred :: !order_rev)
     (List.rev !fresh_rev);
   List.iter
-    (fun pred -> run_strands t self pred (List.rev !(Hashtbl.find deltas pred)))
+    (fun pred ->
+      run_strands_ids t self pred (List.rev !(Hashtbl.find deltas pred)))
     (List.rev !order_rev);
   if !fresh_rev <> [] && t.view_preds <> [] then request_refresh t
 
@@ -573,6 +744,45 @@ and schedule_expiry t self =
     end
 
 and sweep t self =
+  if t.tuple_ids then sweep_ids t self
+  else begin
+    sweep_boxed t self;
+    schedule_expiry t self
+  end
+
+(* Id twin of [sweep]: the dead-lease list comes straight from the
+   expiry table ({!Softstate.Expiry.expired}) and each dead tuple pays
+   one boxed-to-id translation — expiry batches are rare and small, so
+   this boundary crossing stays off the hot path. *)
+and sweep_ids t self =
+  let ns = node t self in
+  let now = Netsim.Sim.now t.sim in
+  let dead, expiry' = Softstate.Expiry.expired ns.expiry ~now in
+  let removed =
+    List.filter_map
+      (fun (pred, tuple) ->
+        let ids = Intern.tuple_ids tuple in
+        ignore (Flat.remove ns.freceived pred ids);
+        if Flat.remove ns.fdb pred ids then Some (pred, ids) else None)
+      dead
+  in
+  ns.expiry <- expiry';
+  if removed <> [] then begin
+    if t.incremental_views then
+      List.iter
+        (fun (pred, ids) ->
+          if not (List.mem pred t.view_preds) then begin
+            ns.dirty <- Sset.add pred ns.dirty;
+            ns.dirty_deleted <- Sset.add pred ns.dirty_deleted;
+            ignore (Flat.remove ns.fdirty_delta pred ids)
+          end)
+        removed;
+    ns.stale <- true;
+    if t.view_preds <> [] then request_refresh t
+  end;
+  schedule_expiry t self
+
+and sweep_boxed t self =
   let ns = node t self in
   let now = Netsim.Sim.now t.sim in
   let store', removed, expiry' =
@@ -601,14 +811,14 @@ and sweep t self =
     ns.stale <- true;
     if t.view_preds <> [] then request_refresh t
   end
-  else ns.expiry <- expiry';
-  (* Re-arm for the next pending deadline: a sweep only drops leases
-     lapsed *now*, and without this the later deadlines would only be
-     swept if some insertion happened to re-arm the timer (tuples past
-     their lease would otherwise linger forever — caught by the
-     incremental-refresh differential harness, which found renewals for
-     never-expiring support running unbounded in both refresh modes). *)
-  schedule_expiry t self
+  else ns.expiry <- expiry'
+(* Both sweeps re-arm for the next pending deadline (in [sweep]): a
+   sweep only drops leases lapsed *now*, and without this the later
+   deadlines would only be swept if some insertion happened to re-arm
+   the timer (tuples past their lease would otherwise linger forever —
+   caught by the incremental-refresh differential harness, which found
+   renewals for never-expiring support running unbounded in both
+   refresh modes). *)
 
 (* View refresh is batched through a zero-delay event so that a burst of
    insertions triggers one recomputation. *)
@@ -631,7 +841,8 @@ and refresh_views t =
   List.iter
     (fun self ->
       let ns = node t self in
-      if ns.stale || not t.incremental_views then refresh_node t self
+      if ns.stale || not t.incremental_views then
+        if t.tuple_ids then refresh_node_ids t self else refresh_node t self
       else
         List.iter
           (fun _ -> Eval.note_stratum_skipped t.joins)
@@ -681,7 +892,7 @@ and incremental_fresh t ns base =
   let db, _, _, _ =
     List.fold_left
       (fun (db, changed, delta, deleted)
-           ((rs : Eval.refresh_stratum), strands) ->
+           ((rs : Eval.refresh_stratum), strands, _) ->
         if not (Sset.exists (fun p -> Sset.mem p changed) rs.Eval.rs_support)
         then begin
           (* Untouched: the previous relations are still exact — no
@@ -724,6 +935,139 @@ and incremental_fresh t ns base =
       t.refresh_plan
   in
   db
+
+(* Id twin of [incremental_fresh]: the working database is mutated in
+   place, deltas accumulate in one flat database, and per-stratum
+   movement is detected by flat-set equality against the previous
+   fixpoint.  Same skip/seed/fallback decisions, same counters. *)
+and incremental_fresh_ids t ns (db : Flat.t) : Flat.t =
+  let prev = ns.flast_fresh in
+  let delta = Flat.copy ns.fdirty_delta in
+  let diff_changes ~track_deletions (changed, deleted) preds =
+    List.fold_left
+      (fun (changed, deleted) pred ->
+        let new_rel = Flat.relation db pred in
+        let old_rel = Flat.relation prev pred in
+        if Fset.equal new_rel old_rel then (changed, deleted)
+        else begin
+          Fset.iter
+            (fun ids ->
+              if not (Fset.mem old_rel ids) then
+                ignore (Flat.add delta pred ids))
+            new_rel;
+          let deleted =
+            if
+              track_deletions
+              && Fset.fold
+                   (fun ids lost -> lost || not (Fset.mem new_rel ids))
+                   old_rel false
+            then Sset.add pred deleted
+            else deleted
+          in
+          (Sset.add pred changed, deleted)
+        end)
+      (changed, deleted) preds
+  in
+  let _ =
+    List.fold_left
+      (fun (changed, deleted) ((rs : Eval.refresh_stratum), _, istrands) ->
+        if not (Sset.exists (fun p -> Sset.mem p changed) rs.Eval.rs_support)
+        then begin
+          Eval.note_stratum_skipped t.joins;
+          Flat.union_into db (Flat.restrict prev rs.Eval.rs_preds);
+          (changed, deleted)
+        end
+        else if
+          rs.Eval.rs_has_agg || rs.Eval.rs_has_neg
+          || Sset.exists (fun p -> Sset.mem p deleted) rs.Eval.rs_support
+        then begin
+          Eval.note_refresh_fallback t.joins;
+          ignore
+            (Ideval.seminaive_stratum ~stats:t.joins t.view_program
+               rs.Eval.rs_preds db);
+          diff_changes ~track_deletions:true (changed, deleted)
+            rs.Eval.rs_preds
+        end
+        else begin
+          Flat.union_into db (Flat.restrict prev rs.Eval.rs_preds);
+          Ideval.refresh_stratum ~stats:t.joins db ~strands:istrands ~delta;
+          diff_changes ~track_deletions:false (changed, deleted)
+            rs.Eval.rs_preds
+        end)
+      (ns.dirty, ns.dirty_deleted)
+      t.refresh_plan
+  in
+  db
+
+(* Id twin of [refresh_node]: the whole walk — base restriction,
+   fixpoint, local/remote split, wholesale relation replacement —
+   runs on flat databases; tuples materialize boxed only when a
+   message leaves the node, sorted canonically so the trace is
+   identical to the boxed path's. *)
+and refresh_node_ids t self =
+  let ns = node t self in
+  let base =
+    Flat.restrict ns.fdb
+      (List.filter (fun p -> not (List.mem p t.view_preds)) (Flat.preds ns.fdb))
+  in
+  let fresh =
+    if t.incremental_views then begin
+      let fresh = incremental_fresh_ids t ns base in
+      ns.flast_fresh <- Flat.restrict fresh t.view_preds;
+      ns.dirty <- Sset.empty;
+      ns.fdirty_delta <- Flat.create ();
+      ns.dirty_deleted <- Sset.empty;
+      fresh
+    end
+    else begin
+      ignore (Ideval.seminaive ~stats:t.joins t.view_program t.info base);
+      base
+    end
+  in
+  let locs = loc_index_map t.view_program in
+  List.iter
+    (fun pred ->
+      let locopt = Hashtbl.find_opt locs pred in
+      let new_rel = Flat.relation fresh pred in
+      let local_new = Fset.create () in
+      let remote_new = Fset.create () in
+      Fset.iter
+        (fun ids ->
+          match owner_of_ids locopt ids with
+          | Some owner when owner <> self -> ignore (Fset.add remote_new ids)
+          | _ -> ignore (Fset.add local_new ids))
+        new_rel;
+      Fset.iter
+        (fun ids -> ignore (Fset.add local_new ids))
+        (Flat.relation ns.freceived pred);
+      if not (Fset.equal local_new (Flat.relation ns.fdb pred)) then
+        Flat.set_relation ns.fdb pred local_new;
+      let already =
+        match Hashtbl.find_opt ns.fshipped pred with
+        | Some s -> s
+        | None -> Fset.create ()
+      in
+      let to_ship =
+        Fset.fold
+          (fun ids acc ->
+            if Fset.mem already ids then acc
+            else (Intern.tuple_of_ids ids, ids) :: acc)
+          remote_new []
+      in
+      List.iter
+        (fun (tuple, ids) ->
+          ignore
+            (Netsim.Sim.send t.sim ~src:self
+               ~dst:(owner_exn locopt pred tuple)
+               { pred; tuple; ids = Some ids }))
+        (List.sort (fun (a, _) (b, _) -> Store.Tuple.compare a b) to_ship);
+      Hashtbl.replace ns.fshipped pred remote_new;
+      (match Softstate.Expiry.lifetime_of ns.expiry pred with
+      | Ast.Lifetime l when not (Fset.is_empty remote_new) ->
+        ensure_renewal t self pred l
+      | _ -> ()))
+    t.view_preds;
+  ns.stale <- false
 
 and refresh_node t self =
   let ns = node t self in
@@ -788,7 +1132,7 @@ and refresh_node t self =
           ignore
             (Netsim.Sim.send t.sim ~src:self
                ~dst:(owner_exn (Hashtbl.find_opt locs pred) pred tuple)
-               { pred; tuple }))
+               { pred; tuple; ids = None }))
         (Store.Tset.diff remote_new already);
       Hashtbl.replace ns.shipped pred remote_new;
       (* A shipped *soft* view tuple lives at the receiver on a
@@ -816,20 +1160,46 @@ and ensure_renewal t self pred lifetime =
   end
 
 and renew t self pred lifetime =
+  if t.tuple_ids then renew_ids t self pred lifetime
+  else begin
+    let ns = node t self in
+    Hashtbl.remove ns.renewing pred;
+    match Hashtbl.find_opt ns.shipped pred with
+    | None -> ()
+    | Some set when Store.Tset.is_empty set -> ()
+    | Some set ->
+      let locs = loc_index_map t.view_program in
+      Store.Tset.iter
+        (fun tuple ->
+          ignore
+            (Netsim.Sim.send t.sim ~src:self
+               ~dst:(owner_exn (Hashtbl.find_opt locs pred) pred tuple)
+               { pred; tuple; ids = None }))
+        set;
+      ensure_renewal t self pred lifetime
+  end
+
+(* Id twin of [renew]: the shipped set holds ids; renewals materialize
+   boxed and go out in canonical order, like the boxed path. *)
+and renew_ids t self pred lifetime =
   let ns = node t self in
   Hashtbl.remove ns.renewing pred;
-  match Hashtbl.find_opt ns.shipped pred with
+  match Hashtbl.find_opt ns.fshipped pred with
   | None -> ()
-  | Some set when Store.Tset.is_empty set -> ()
+  | Some set when Fset.is_empty set -> ()
   | Some set ->
     let locs = loc_index_map t.view_program in
-    Store.Tset.iter
-      (fun tuple ->
+    List.iter
+      (fun (tuple, ids) ->
         ignore
           (Netsim.Sim.send t.sim ~src:self
              ~dst:(owner_exn (Hashtbl.find_opt locs pred) pred tuple)
-             { pred; tuple }))
-      set;
+             { pred; tuple; ids = Some ids }))
+      (List.sort
+         (fun (a, _) (b, _) -> Store.Tuple.compare a b)
+         (Fset.fold
+            (fun ids acc -> (Intern.tuple_of_ids ids, ids) :: acc)
+            set []));
     ensure_renewal t self pred lifetime
 
 (* The public injection entry is the system boundary: tuples arriving
@@ -841,10 +1211,17 @@ and renew t self pred lifetime =
    their tuples are already canonical, and re-probing the intern table
    on the hot fixpoint path costs more than it saves. *)
 let insert t self pred tuple =
-  let tuple =
-    if !Ndlog.Intern.enabled then Ndlog.Intern.tuple tuple else tuple
-  in
-  insert t self pred tuple
+  if t.tuple_ids then begin
+    (* One hash-cons pass translates the incoming tuple to ids; the
+       boxed form handed onward is the canonical materialization, so
+       lease keys and traces are byte-identical to the boxed mode's. *)
+    let ids = Intern.tuple_ids tuple in
+    insert_ids t self pred ids (Intern.tuple_of_ids ids)
+  end
+  else begin
+    let tuple = if !Intern.enabled then Intern.tuple tuple else tuple in
+    insert t self pred tuple
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Driving a run. *)
@@ -912,16 +1289,33 @@ let run ?(until = infinity) ?(max_events = 1_000_000) t =
     view_stats;
   }
 
+(* Boxed view of an id-native node store, memoized by flat version:
+   repeated observations of a quiescent node pay one materialization. *)
+let materialized ns =
+  let v = Flat.version ns.fdb in
+  match ns.store_cache with
+  | Some (v', s) when v' = v -> s
+  | _ ->
+    let s = Flat.to_store ns.fdb in
+    ns.store_cache <- Some (v, s);
+    s
+
 (* The union of all node stores: the global database the distributed
    execution computed; comparable against the centralized evaluator. *)
 let global_store t =
-  Hashtbl.fold (fun _ ns acc -> Store.union ns.store acc) t.nodes Store.empty
+  Hashtbl.fold
+    (fun _ ns acc ->
+      Store.union (if t.tuple_ids then materialized ns else ns.store) acc)
+    t.nodes Store.empty
 
-let node_store t name = (node t name).store
+let node_store t name =
+  let ns = node t name in
+  if t.tuple_ids then materialized ns else ns.store
 
 (* Introspection for the incremental-refresh test harness. *)
 let dirty_preds t name = Sset.elements (node t name).dirty
 let node_leases t name = Softstate.Expiry.bindings (node t name).expiry
 let incremental t = t.incremental_views
+let tuple_ids t = t.tuple_ids
 
 let simulator t = t.sim

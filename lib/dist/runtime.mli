@@ -47,10 +47,14 @@
     bit-identical node stores, fixpoints, message traces, and lease
     tables (qcheck property in the dist test suite). *)
 
-(** A tuple on the wire. *)
+(** A tuple on the wire.  [tuple] is always the canonical boxed form;
+    [ids] carries the flat (interned-id) payload when the sender runs
+    id-natively, so the receiver inserts without re-probing the intern
+    table. *)
 type msg = {
   pred : string;
   tuple : Ndlog.Store.Tuple.t;
+  ids : int array option;
 }
 
 type t
@@ -92,6 +96,7 @@ val create :
   ?seed:int ->
   ?batch_inbox:bool ->
   ?incremental_views:bool ->
+  ?tuple_ids:bool ->
   Netsim.Topology.t ->
   Ndlog.Ast.program ->
   t
@@ -102,6 +107,14 @@ val create :
     unless environment variable [FVN_INCREMENTAL_VIEWS] is set to [0],
     [false], [no], or [off] — the hook the test suite's oracle pass
     uses).
+    [tuple_ids] selects id-native evaluation (default: [true], unless
+    environment variable [FVN_TUPLE_IDS] is set to [0], [false], [no],
+    or [off]): node stores are flat id-tuple databases
+    ({!Ndlog.Flat}), strands run through the id-native executor
+    ({!Ndlog.Ideval}), and messages carry flat payloads; [false] is
+    the boxed-value oracle.  Both modes produce identical fixpoints,
+    node stores, message traces, lease tables, and join statistics
+    (qcheck property in the dist test suite).
     @raise Not_localized when some rule body spans locations (run
     {!Ndlog.Localize.rewrite_program} first).
     @raise Remote_view_deletion when a hard-state view head is shipped
@@ -157,5 +170,8 @@ val node_leases : t -> string -> ((string * Ndlog.Store.Tuple.t) * float) list
 
 val incremental : t -> bool
 (** Whether this runtime refreshes views incrementally. *)
+
+val tuple_ids : t -> bool
+(** Whether this runtime evaluates id-natively. *)
 
 val simulator : t -> msg Netsim.Sim.t

@@ -68,11 +68,24 @@ val zero_stats : stats
 val add_stats : stats -> stats -> stats
 val pp_stats : stats Fmt.t
 
-type counters
 (** A mutable accumulator threaded through one or more evaluations.
     Each run owns (or is handed) its own record — there is no global
     counter state, so runs never bleed into each other and per-shard
-    evaluations may proceed on separate domains. *)
+    evaluations may proceed on separate domains.  The fields are
+    exposed so the id-native twin of the rule-application core
+    ({!Ideval}) can bump exactly the same counts — its accounting must
+    be indistinguishable from this evaluator's (checked by property). *)
+type counters = {
+  mutable c_index_hits : int;
+  mutable c_scans : int;
+  mutable c_enumerated : int;
+  mutable c_matched : int;
+  mutable c_groups : int;
+  mutable c_group_probes : int;
+  mutable c_delta_tuples : int;
+  mutable c_strata_skipped : int;
+  mutable c_refresh_fallbacks : int;
+}
 
 val counters : unit -> counters
 (** A fresh zeroed accumulator. *)
@@ -136,6 +149,48 @@ val order_body :
 val atom_binds : Ast.atom -> Ast.Sset.t
 (** The variables a positive atom binds when evaluated first (its bare
     variable arguments). *)
+
+(** {2 Shared planning helpers}
+
+    The pure planning functions of the rule-application core, exposed
+    so the id-native twin ({!Ideval}) compiles rules with exactly the
+    same literal orders, group columns and shared/per-tuple splits —
+    the precondition for its join counters matching this evaluator's
+    bump for bump. *)
+
+val group_vars : Ast.atom -> Ast.lit list -> Ast.Sset.t
+(** Delta-atom variables read by the rest body's positive atoms: the
+    variables the batched join binds per delta group. *)
+
+val group_cols : Ast.atom -> Ast.Sset.t -> (int * string) list
+(** The delta-atom argument columns carrying the group variables (first
+    bare occurrence of each, ascending). *)
+
+val split_shared : Ast.Sset.t -> Ast.lit list -> Ast.lit list * Ast.lit list
+(** Split an ordered rest body into the phase evaluable once per delta
+    group and the per-tuple remainder. *)
+
+val delta_positions : Ast.Sset.t -> Ast.lit list -> int list
+(** Body positions whose positive atom's predicate is in the given
+    recursive-predicate set. *)
+
+val rules_of_stratum : Ast.program -> string list -> Ast.rule list
+val split_agg : Ast.rule list -> Ast.rule list * Ast.rule list
+
+(** Head-argument shape of the grouped-index aggregate fast path: each
+    head argument mapped to the body-atom column it reads. *)
+type agg_slot =
+  | Group of int  (** plain head argument: value of this body column *)
+  | Fold of Ast.agg * int  (** aggregate over this body column *)
+
+val agg_index_shape : Ast.rule -> (Ast.atom * agg_slot list) option
+(** [Some] when the rule's body is a single positive atom over distinct
+    bare variables and every head argument reads one of them — the
+    shape answered by a {!Store.groups} probe. *)
+
+val agg_fold : Ast.agg -> Value.t list -> Value.t
+(** Fold one aggregate over a non-empty group column.
+    @raise Eval_error on an empty group. *)
 
 val candidates :
   ?stats:counters -> Store.t -> Env.t -> string -> Ast.expr list -> Store.Tset.t

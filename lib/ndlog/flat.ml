@@ -1,0 +1,427 @@
+(* Flat (id-native) tuple storage: the hash-relation representation
+   behind the id-native evaluator ({!Ideval}).
+
+   A flat tuple is an [int array] of interned value ids ({!Intern}); a
+   relation is an open-addressing hash set of such tuples ({!Fset});
+   a database ({!t}) maps predicate names to relations, each carrying
+   id-keyed secondary indexes that are patched in place on every
+   [add]/[remove] instead of being rebuilt — the rebuild-in-place the
+   adaptive boxed indexes could not afford under churn.
+
+   Everything here is *mutable* and therefore usable only where
+   ownership is linear: the distributed runtime's per-node stores and
+   the working databases of a view refresh.  The persistent boxed
+   {!Store} remains the model checker's state representation — flat
+   databases convert to it at observation boundaries ([to_store]),
+   producing canonical tuples, so store identity (equal/compare/hash)
+   is untouched by the representation underneath.
+
+   Ids are allocation-ordered, not value-ordered, so nothing here
+   enumerates in a canonical order; callers that need one (message
+   emission, group probes feeding observable output) materialize boxed
+   tuples and sort with {!Store.Tuple.compare}. *)
+
+(* ------------------------------------------------------------------ *)
+(* Open-addressing hash sets of id tuples. *)
+
+module Fset = struct
+  (* Slot sentinels: statically allocated blocks compared physically.
+     They must not be [ [||] ] — every empty array literal is the same
+     runtime atom, so a genuine zero-arity tuple would alias it.  Real
+     tuples hold non-negative ids, so [min_int] can never collide. *)
+  let empty_slot : int array = [| min_int |]
+  let tombstone : int array = [| min_int + 1 |]
+
+  type t = {
+    mutable slots : int array array;
+    mutable size : int;  (* live tuples *)
+    mutable tombs : int;  (* deleted slots awaiting rehash *)
+  }
+
+  let tuple_eq (a : int array) (b : int array) =
+    a == b
+    ||
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  (* Multiplicative mix of a fold over the ids; the final shuffle
+     spreads consecutive ids (allocation order is dense) across the
+     table. *)
+  let tuple_hash (t : int array) =
+    let h = ref 17 in
+    for i = 0 to Array.length t - 1 do
+      h := (!h * 31) + t.(i)
+    done;
+    let h = !h in
+    let h = h lxor (h lsr 17) in
+    (h * 0x9e3779b1) land max_int
+
+  let rec ceil_pow2 n k = if k >= n then k else ceil_pow2 n (k * 2)
+
+  let create ?(capacity = 16) () =
+    { slots = Array.make (ceil_pow2 capacity 8) empty_slot; size = 0; tombs = 0 }
+
+  let cardinal s = s.size
+  let is_empty s = s.size = 0
+
+  (* Probe for [t]: the index holding it, or the first insertable slot
+     (a tombstone if one was passed, else the empty slot that ended the
+     probe).  The load factor below 1/2 guarantees termination. *)
+  let probe s (t : int array) : int =
+    let mask = Array.length s.slots - 1 in
+    let h = tuple_hash t land mask in
+    let first_tomb = ref (-1) in
+    let rec go i =
+      let u = Array.unsafe_get s.slots i in
+      if u == empty_slot then if !first_tomb >= 0 then !first_tomb else i
+      else if u == tombstone then begin
+        if !first_tomb < 0 then first_tomb := i;
+        go ((i + 1) land mask)
+      end
+      else if tuple_eq u t then i
+      else go ((i + 1) land mask)
+    in
+    go h
+
+  let mem s t =
+    let u = s.slots.(probe s t) in
+    u != empty_slot && u != tombstone
+
+  let resize s =
+    let old = s.slots in
+    let cap = Array.length old in
+    (* Grow only when live entries justify it; a tombstone-heavy table
+       rehashes at the same capacity. *)
+    let cap' = if s.size * 4 >= cap then cap * 2 else cap in
+    s.slots <- Array.make cap' empty_slot;
+    s.tombs <- 0;
+    let mask = cap' - 1 in
+    Array.iter
+      (fun u ->
+        if u != empty_slot && u != tombstone then begin
+          let rec place i =
+            if Array.unsafe_get s.slots i == empty_slot then s.slots.(i) <- u
+            else place ((i + 1) land mask)
+          in
+          place (tuple_hash u land mask)
+        end)
+      old
+
+  (* [true] when the tuple was not already present. *)
+  let add s t =
+    let i = probe s t in
+    let u = s.slots.(i) in
+    if u != empty_slot && u != tombstone then false
+    else begin
+      if u == tombstone then s.tombs <- s.tombs - 1;
+      s.slots.(i) <- t;
+      s.size <- s.size + 1;
+      if (s.size + s.tombs) * 2 >= Array.length s.slots then resize s;
+      true
+    end
+
+  (* [true] when the tuple was present. *)
+  let remove s t =
+    let i = probe s t in
+    let u = s.slots.(i) in
+    if u == empty_slot || u == tombstone then false
+    else begin
+      s.slots.(i) <- tombstone;
+      s.size <- s.size - 1;
+      s.tombs <- s.tombs + 1;
+      true
+    end
+
+  let iter f s =
+    Array.iter
+      (fun u -> if u != empty_slot && u != tombstone then f u)
+      s.slots
+
+  let fold f s acc =
+    let acc = ref acc in
+    iter (fun u -> acc := f u !acc) s;
+    !acc
+
+  let elements s = fold (fun t acc -> t :: acc) s []
+
+  let copy s = { slots = Array.copy s.slots; size = s.size; tombs = s.tombs }
+
+  let equal a b =
+    a.size = b.size
+    &&
+    let ok = ref true in
+    (try iter (fun t -> if not (mem b t) then (ok := false; raise Exit)) a
+     with Exit -> ());
+    !ok
+end
+
+(* ------------------------------------------------------------------ *)
+(* Id-keyed secondary indexes, patched in place. *)
+
+(* Index keys are the tuple's ids at the indexed columns, packed into a
+   fresh [int array]. *)
+module Ktbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = Fset.tuple_eq
+  let hash = Fset.tuple_hash
+end)
+
+(* Buckets are immutable lists replaced wholesale on update, so a
+   shallow [Hashtbl.copy] of an index shares them safely: a patch in
+   one copy installs a fresh list and never mutates the shared one. *)
+type idx = int array list Ktbl.t
+
+type rel = {
+  set : Fset.t;
+  mutable indexes : (int list * idx) list;  (* assoc by column list *)
+}
+
+type t = {
+  rels : (string, rel) Hashtbl.t;
+  mutable version : int;  (* bumped on every mutation: cache stamps *)
+}
+
+let create () = { rels = Hashtbl.create 16; version = 0 }
+
+let mkrel () = { set = Fset.create (); indexes = [] }
+
+let find_rel db pred = Hashtbl.find_opt db.rels pred
+
+let rel_of db pred =
+  match Hashtbl.find_opt db.rels pred with
+  | Some r -> r
+  | None ->
+    let r = mkrel () in
+    Hashtbl.replace db.rels pred r;
+    r
+
+let version db = db.version
+let touch db = db.version <- db.version + 1
+
+(* The key of [t] at [cols], or [None] when the tuple is too short —
+   mirroring {!Store.key_at}: such a tuple can never match a pattern
+   binding those positions. *)
+let key_at (cols : int list) (t : int array) : int array option =
+  let n = Array.length t in
+  let rec len = function [] -> 0 | _ :: r -> 1 + len r in
+  let k = len cols in
+  let out = Array.make (max k 1) 0 in
+  let rec go i = function
+    | [] -> true
+    | c :: rest ->
+      c < n
+      && begin
+        out.(i) <- t.(c);
+        go (i + 1) rest
+      end
+  in
+  if k = 0 then Some [||] else if go 0 cols then Some out else None
+
+let idx_add (cols, (idx : idx)) t =
+  match key_at cols t with
+  | None -> ()
+  | Some key ->
+    let bucket = match Ktbl.find_opt idx key with Some l -> l | None -> [] in
+    Ktbl.replace idx key (t :: bucket)
+
+let idx_remove (cols, (idx : idx)) t =
+  match key_at cols t with
+  | None -> ()
+  | Some key -> (
+    match Ktbl.find_opt idx key with
+    | None -> ()
+    | Some bucket -> (
+      match List.filter (fun u -> not (Fset.tuple_eq u t)) bucket with
+      | [] -> Ktbl.remove idx key
+      | bucket' -> Ktbl.replace idx key bucket'))
+
+(* ------------------------------------------------------------------ *)
+(* The database API. *)
+
+let relation db pred : Fset.t =
+  match find_rel db pred with
+  | Some r -> r.set
+  | None -> (mkrel ()).set
+
+let mem db pred t =
+  match find_rel db pred with Some r -> Fset.mem r.set t | None -> false
+
+(* [true] when newly added; every cached index is patched in place. *)
+let add db pred t : bool =
+  let r = rel_of db pred in
+  if Fset.add r.set t then begin
+    List.iter (fun ix -> idx_add ix t) r.indexes;
+    touch db;
+    true
+  end
+  else false
+
+let remove db pred t : bool =
+  match find_rel db pred with
+  | None -> false
+  | Some r ->
+    if Fset.remove r.set t then begin
+      List.iter (fun ix -> idx_remove ix t) r.indexes;
+      touch db;
+      true
+    end
+    else false
+
+let cardinal db pred =
+  match find_rel db pred with Some r -> Fset.cardinal r.set | None -> 0
+
+let preds db =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun p r acc -> if Fset.is_empty r.set then acc else p :: acc)
+       db.rels [])
+
+let total_tuples db =
+  Hashtbl.fold (fun _ r acc -> acc + Fset.cardinal r.set) db.rels 0
+
+let is_empty db =
+  Hashtbl.fold (fun _ r acc -> acc && Fset.is_empty r.set) db.rels true
+
+let iter_rel db pred f =
+  match find_rel db pred with Some r -> Fset.iter f r.set | None -> ()
+
+let fold_rel db pred f acc =
+  match find_rel db pred with Some r -> Fset.fold f r.set acc | None -> acc
+
+let iter db f =
+  List.iter (fun pred -> iter_rel db pred (fun t -> f pred t)) (preds db)
+
+(* Find or build the [(pred, cols)] index and answer a point probe.
+   Fresh indexes are built by one pass over the relation; thereafter
+   [add]/[remove] keep them exact. *)
+let lookup db pred ~(cols : int list) ~(key : int array) : int array list =
+  match find_rel db pred with
+  | None -> []
+  | Some r -> (
+    let idx =
+      match List.assoc_opt cols r.indexes with
+      | Some idx -> idx
+      | None ->
+        let idx = Ktbl.create 64 in
+        Fset.iter (fun t -> idx_add (cols, idx) t) r.set;
+        r.indexes <- (cols, idx) :: r.indexes;
+        idx
+    in
+    match Ktbl.find_opt idx key with Some bucket -> bucket | None -> [])
+
+(* Transient grouping of a (typically small) relation by [cols]:
+   the id-native twin of {!Store.groups}, in no particular order —
+   callers needing the canonical order sort boxed keys themselves. *)
+let group_set (set : Fset.t) ~(cols : int list) :
+    (int array * int array list) list =
+  let tbl : int array list Ktbl.t = Ktbl.create 16 in
+  let order = ref [] in
+  Fset.iter
+    (fun t ->
+      match key_at cols t with
+      | None -> ()
+      | Some key -> (
+        match Ktbl.find_opt tbl key with
+        | Some l -> Ktbl.replace tbl key (t :: l)
+        | None ->
+          Ktbl.replace tbl key [ t ];
+          order := key :: !order))
+    set;
+  List.rev_map (fun key -> (key, Ktbl.find tbl key)) !order
+
+let groups db pred ~(cols : int list) : (int array * int array list) list =
+  match find_rel db pred with
+  | None -> []
+  | Some r -> group_set r.set ~cols
+
+(* ------------------------------------------------------------------ *)
+(* Whole-database operations (working copies for view refresh). *)
+
+(* Deep-copies the tuple sets; indexes are shallow-copied hash tables
+   whose immutable buckets are shared (patches replace, never mutate). *)
+let copy db =
+  let rels = Hashtbl.create (Hashtbl.length db.rels) in
+  Hashtbl.iter
+    (fun pred r ->
+      Hashtbl.replace rels pred
+        {
+          set = Fset.copy r.set;
+          indexes = List.map (fun (cols, idx) -> (cols, Ktbl.copy idx)) r.indexes;
+        })
+    db.rels;
+  { rels; version = db.version }
+
+let restrict db keep =
+  let out = create () in
+  List.iter
+    (fun pred ->
+      match find_rel db pred with
+      | None -> ()
+      | Some r ->
+        Hashtbl.replace out.rels pred
+          {
+            set = Fset.copy r.set;
+            indexes =
+              List.map (fun (cols, idx) -> (cols, Ktbl.copy idx)) r.indexes;
+          })
+    keep;
+  out
+
+let union_into dst src =
+  Hashtbl.iter
+    (fun pred r -> Fset.iter (fun t -> ignore (add dst pred t)) r.set)
+    src.rels
+
+(* Replace one relation wholesale, patching cached indexes by the
+   symmetric difference — the flat counterpart of the boxed
+   [set_relation] rebuild-in-place. *)
+let set_relation db pred (s : Fset.t) =
+  let r = rel_of db pred in
+  let removed = Fset.fold (fun t acc -> if Fset.mem s t then acc else t :: acc) r.set [] in
+  let added = Fset.fold (fun t acc -> if Fset.mem r.set t then acc else t :: acc) s [] in
+  List.iter (fun t -> ignore (remove db pred t)) removed;
+  List.iter (fun t -> ignore (add db pred t)) added
+
+let equal a b =
+  let covered other p r =
+    Fset.is_empty r
+    ||
+    match find_rel other p with
+    | Some r' -> Fset.equal r r'.set
+    | None -> false
+  in
+  Hashtbl.fold (fun p r acc -> acc && covered b p r.set) a.rels true
+  && Hashtbl.fold (fun p r acc -> acc && covered a p r.set) b.rels true
+
+(* ------------------------------------------------------------------ *)
+(* Conversion at system boundaries. *)
+
+(* Materialize the canonical boxed store: id -> value is the cheap
+   translation direction (an array read per element).  The result's
+   tuples carry canonical representatives, so [Store.equal/compare/
+   hash] of materializations coincide with those of any structurally
+   equal boxed store. *)
+let to_store db : Store.t =
+  Hashtbl.fold
+    (fun pred r acc ->
+      Fset.fold
+        (fun t acc -> Store.add pred (Intern.tuple_of_ids t) acc)
+        r.set acc)
+    db.rels Store.empty
+
+(* The expensive direction — one hash-cons probe per element — used
+   only at true boundaries (loading an initial store, differential
+   tests). *)
+let of_store (s : Store.t) : t =
+  let db = create () in
+  List.iter
+    (fun pred ->
+      Store.iter_rel pred
+        (fun t -> ignore (add db pred (Intern.tuple_ids t)))
+        s)
+    (Store.preds s);
+  db

@@ -1,0 +1,93 @@
+(** Flat (id-native) tuple storage.
+
+    Tuples are [int array]s of interned value ids ({!Intern});
+    relations are open-addressing hash sets of them; databases are
+    mutable maps from predicate names to relations with id-keyed
+    secondary indexes that are patched in place on [add]/[remove].
+    Joins over this representation compare machine ints where the
+    boxed {!Store} walks value structure.
+
+    Mutable, so usable only under linear ownership (the distributed
+    runtime's per-node stores, view-refresh working databases); the
+    persistent {!Store} remains the model checker's canonical state.
+    Nothing here enumerates in canonical order (ids are
+    allocation-ordered): observable enumerations must materialize boxed
+    tuples ([to_store], {!Intern.tuple_of_ids}) and sort. *)
+
+(** Open-addressing hash sets of id tuples. *)
+module Fset : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val cardinal : t -> int
+  val is_empty : t -> bool
+  val mem : t -> int array -> bool
+
+  val add : t -> int array -> bool
+  (** [true] when the tuple was not already present. *)
+
+  val remove : t -> int array -> bool
+  (** [true] when the tuple was present. *)
+
+  val iter : (int array -> unit) -> t -> unit
+  val fold : (int array -> 'a -> 'a) -> t -> 'a -> 'a
+  val elements : t -> int array list
+  val copy : t -> t
+  val equal : t -> t -> bool
+
+  val tuple_eq : int array -> int array -> bool
+  val tuple_hash : int array -> int
+end
+
+type t
+
+val create : unit -> t
+
+val version : t -> int
+(** Bumped on every mutation — the stamp behind materialization
+    caches. *)
+
+val relation : t -> string -> Fset.t
+val mem : t -> string -> int array -> bool
+
+val add : t -> string -> int array -> bool
+(** [true] when newly added; cached indexes are patched in place. *)
+
+val remove : t -> string -> int array -> bool
+
+val cardinal : t -> string -> int
+val preds : t -> string list
+val total_tuples : t -> int
+val is_empty : t -> bool
+val iter_rel : t -> string -> (int array -> unit) -> unit
+val fold_rel : t -> string -> (int array -> 'a -> 'a) -> 'a -> 'a
+val iter : t -> (string -> int array -> unit) -> unit
+
+val lookup : t -> string -> cols:int list -> key:int array -> int array list
+(** Point probe of the [(pred, cols)] secondary index, built on first
+    use and patched exact thereafter.  The returned bucket is shared:
+    callers must not mutate it. *)
+
+val groups : t -> string -> cols:int list -> (int array * int array list) list
+(** Transient grouping by the given columns, in no particular order. *)
+
+val group_set : Fset.t -> cols:int list -> (int array * int array list) list
+(** {!groups} over a free-standing tuple set (a delta batch). *)
+
+val copy : t -> t
+val restrict : t -> string list -> t
+val union_into : t -> t -> unit
+
+val set_relation : t -> string -> Fset.t -> unit
+(** Replace one relation wholesale, patching cached indexes by the
+    symmetric difference. *)
+
+val equal : t -> t -> bool
+
+val to_store : t -> Store.t
+(** Materialize the canonical boxed store (cheap direction: an array
+    read per element). *)
+
+val of_store : Store.t -> t
+(** Translate a boxed store (expensive direction: one hash-cons probe
+    per element) — boundary use only. *)

@@ -144,6 +144,60 @@ let tuple (t : Value.t array) : Value.t array =
   Mutex.unlock lock;
   match !fresh with Some out -> out | None -> t
 
+(* ------------------------------------------------------------------ *)
+(* Whole-tuple translation: the id-native evaluator's system-boundary
+   conversions.  boxed -> id pays one hash-cons probe per element (the
+   expensive direction: hashing walks the value's structure); id ->
+   boxed is an array read per element (the cheap direction).  The E15
+   microbenchmark in bench/ keeps both costs measured. *)
+
+let tuple_ids (t : Value.t array) : int array =
+  Mutex.lock lock;
+  let out = Array.map id_locked t in
+  Mutex.unlock lock;
+  out
+
+let tuple_of_ids (ids : int array) : Value.t array =
+  Mutex.lock lock;
+  let n = !count in
+  let rev = !reverse in
+  Mutex.unlock lock;
+  Array.map
+    (fun i ->
+      if i >= 0 && i < n then rev.(i)
+      else invalid_arg (Printf.sprintf "Intern.tuple_of_ids: unknown id %d" i))
+    ids
+
+(* Unsynchronized id -> value read for the id-native evaluator's inner
+   loops.  Safe because [reverse] slots are written exactly once, before
+   their id is ever published (the registering thread holds the lock,
+   and the id reaches a reader only through a later synchronized
+   operation), and a stale [reverse] array read during a concurrent grow
+   still holds every already-published entry.  The bounds check against
+   an unsynchronized [count] is exact in the single-domain runtimes that
+   use this path. *)
+let get (i : int) : Value.t =
+  if i >= 0 && i < !count then !reverse.(i)
+  else invalid_arg (Printf.sprintf "Intern.get: unknown id %d" i)
+
+(* Small non-negative integers are the bulk of freshly computed values
+   (hop counts, path costs): memoize their ids in a direct-indexed
+   table so arithmetic on the id-native path skips the hash-cons probe.
+   -1 marks an unfilled slot (real ids are >= 0). *)
+let small_int_ids = Array.make 4096 (-1)
+
+let int_id (n : int) : int =
+  if n >= 0 && n < Array.length small_int_ids then begin
+    let cached = Array.unsafe_get small_int_ids n in
+    if cached >= 0 then cached
+    else begin
+      let i = id (Value.Int n) in
+      small_int_ids.(n) <- i;
+      i
+    end
+  end
+  else id (Value.Int n)
+
 let values_of_ids (ids : int list) : Value.t list =
   Mutex.lock lock;
   let n = !count in

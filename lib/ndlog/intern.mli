@@ -39,6 +39,32 @@ val tuple : Value.t array -> Value.t array
 (** Canonicalize every element of a tuple.  Returns the argument itself
     (no allocation) when all elements are already canonical. *)
 
+val tuple_ids : Value.t array -> int array
+(** [Array.map id], under one lock acquisition: translate a boxed tuple
+    into the id-native representation.  This is the {e expensive}
+    direction — each element pays a hash-cons probe that walks its
+    structure — so callers keep it off per-probe hot paths (E15
+    measures the cost). *)
+
+val tuple_of_ids : int array -> Value.t array
+(** [Array.map of_id], under one lock acquisition: rebuild the boxed
+    (canonical-representative) tuple.  The cheap direction — an array
+    read per element.
+    @raise Invalid_argument on an id never returned by {!id}. *)
+
+val get : int -> Value.t
+(** Unsynchronized {!of_id} for single-domain inner loops (the id-native
+    evaluator).  Reverse-table slots are written once, before their id
+    is published, so a reader that obtained the id through any
+    synchronized operation always sees the entry; only the bounds check
+    is unsynchronized.  Use {!of_id} from worker domains.
+    @raise Invalid_argument on an id never returned by {!id}. *)
+
+val int_id : int -> int
+(** [id (Value.Int n)], memoized in a direct-indexed table for small
+    non-negative [n] — freshly computed hop counts and path costs skip
+    the hash-cons probe. *)
+
 val key_ids : Value.t list -> int list
 (** [List.map id], under one lock acquisition. *)
 

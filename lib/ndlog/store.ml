@@ -302,10 +302,31 @@ let remove pred tuple (db : t) : t =
 
 let add_list pred ts db = List.fold_left (fun db t -> add pred t db) db ts
 
-(* Replacing a relation wholesale invalidates its indexes: they are
-   rebuilt lazily on the next lookup. *)
+(* Replacing a relation wholesale patches its cached indexes by the
+   symmetric difference instead of dropping them: view refresh replaces
+   the same (mostly unchanged) relations over and over, and rebuilding
+   a warm flat index from scratch on every replacement was measurably
+   the refresh loop's biggest hidden cost. *)
 let set_relation pred s (db : t) : t =
-  if Tset.is_empty s then Smap.remove pred db else Smap.add pred (mkrel s) db
+  if Tset.is_empty s then Smap.remove pred db
+  else
+    Smap.update pred
+      (function
+        | None -> Some (mkrel s)
+        | Some r ->
+          let removed = Tset.diff r.tuples s in
+          let added = Tset.diff s r.tuples in
+          Some
+            {
+              tuples = s;
+              indexes =
+                Cmap.mapi
+                  (fun cols idx ->
+                    Tset.fold (index_add cols) added
+                      (Tset.fold (index_remove cols) removed idx))
+                  r.indexes;
+            })
+      db
 
 let preds (db : t) = List.map fst (Smap.bindings db)
 

@@ -5,7 +5,7 @@
 
     Relations carry lazily built secondary indexes over column sets
     ({!lookup}), maintained incrementally across {!add} / {!remove} /
-    {!union} and invalidated by {!set_relation}.  Indexes are pure
+    {!union} / {!set_relation}.  Indexes are pure
     memoization: they never participate in {!equal}, {!compare} or
     {!hash}, so two stores with the same tuples remain the same
     model-checker state whatever joins have been run against them.
@@ -51,7 +51,10 @@ val remove : string -> Tuple.t -> t -> t
 val add_list : string -> Tuple.t list -> t -> t
 
 val set_relation : string -> Tset.t -> t -> t
-(** Replace a predicate's relation wholesale (used by view refresh). *)
+(** Replace a predicate's relation wholesale (used by view refresh).
+    Cached indexes are patched by the symmetric difference of old and
+    new relation, so warm indexes survive the repeated mostly-unchanged
+    replacements the refresh loop performs. *)
 
 val preds : t -> string list
 (** Predicates with at least one tuple, sorted. *)

@@ -631,6 +631,96 @@ let prop_interned_equivalence =
              && Runtime.node_leases rt_i nm = Runtime.node_leases rt_b nm)
            nodes)
 
+(* Differential property for id-native evaluation: over the same random
+   programs × topologies × interleavings, a runtime on the flat id-tuple
+   path ([~tuple_ids:true], the default) and one on the boxed oracle
+   path produce bit-identical per-node stores, global fixpoints, message
+   traces, lease tables, and evaluator statistics — the flat
+   representation is a storage/join change with no observable
+   behavior. *)
+let prop_tuple_ids_equivalence =
+  QCheck.Test.make
+    ~name:"id-native = boxed runtime (stores, traces, leases, stats)"
+    ~count:10
+    QCheck.(
+      quad (int_range 0 2) (int_range 0 2) (int_range 3 6) (int_range 0 4))
+    (fun (prog_i, topo_i, n, extra) ->
+      let links =
+        match topo_i with
+        | 0 -> Programs.ring_links n
+        | 1 -> Programs.grid_links (2 + (n mod 2))
+        | _ -> Programs.star_links n
+      in
+      let endpoints =
+        List.filter_map
+          (fun (f : Ast.fact) ->
+            match f.Ast.fact_args with
+            | [ s; d; _ ] -> Some (V.as_addr s, V.as_addr d)
+            | _ -> None)
+          links
+      in
+      let staged =
+        List.filteri (fun i _ -> i mod 3 = extra mod 3) endpoints
+      in
+      let soft = prog_i = 2 in
+      let p =
+        match prog_i with
+        | 0 ->
+          localized (Programs.with_links (Programs.path_vector ()) links)
+        | 1 ->
+          localized
+            (Programs.with_links
+               (Programs.bounded_distance_vector ~max_hops:(n + 1))
+               links)
+        | _ ->
+          let p = Programs.with_links (Programs.parse_exn ship_view_src) links in
+          {
+            p with
+            Ast.facts =
+              p.Ast.facts
+              @ List.map
+                  (fun (s, d) ->
+                    Ast.fact ~loc:0 "obs" [ V.Addr s; V.Addr d; V.Int 7 ])
+                  staged;
+          }
+      in
+      let go tuple_ids =
+        let rt = Runtime.create ~tuple_ids (topo_of_links links) p in
+        Netsim.Sim.set_tracing (Runtime.simulator rt) true;
+        Runtime.load_facts rt;
+        ignore (Runtime.run rt ~until:1.0);
+        List.iteri
+          (fun i (s, d) ->
+            if soft then
+              Runtime.insert rt s "obs" [| V.Addr s; V.Addr d; V.Int (9 + i) |]
+            else
+              Runtime.insert rt s "link" [| V.Addr s; V.Addr d; V.Int (2 + i) |];
+            ignore (Runtime.run rt ~until:(1.5 +. (0.5 *. float_of_int i))))
+          staged;
+        let rep = Runtime.run rt ~until:80.0 in
+        (rt, rep)
+      in
+      let rt_f, rep_f = go true in
+      let rt_b, rep_b = go false in
+      let nodes = Topo.nodes (topo_of_links links) in
+      Runtime.tuple_ids rt_f
+      && (not (Runtime.tuple_ids rt_b))
+      && rep_f.Runtime.stats.Netsim.Sim.quiesced
+      && rep_b.Runtime.stats.Netsim.Sim.quiesced
+      && Store.equal (Runtime.global_store rt_f) (Runtime.global_store rt_b)
+      && rep_f.Runtime.total_inserts = rep_b.Runtime.total_inserts
+      && rep_f.Runtime.eval_stats = rep_b.Runtime.eval_stats
+      && rep_f.Runtime.wire_stats = rep_b.Runtime.wire_stats
+      && rep_f.Runtime.view_stats = rep_b.Runtime.view_stats
+      && Netsim.Sim.trace (Runtime.simulator rt_f)
+         = Netsim.Sim.trace (Runtime.simulator rt_b)
+      && List.for_all
+           (fun nm ->
+             Store.equal (Runtime.node_store rt_f nm)
+               (Runtime.node_store rt_b nm)
+             && Runtime.node_leases rt_f nm = Runtime.node_leases rt_b nm)
+           nodes)
+
 (* A view program whose support splits cleanly: [best]/[seen] depend on
    [obs] only, so a [noise] insertion must touch no view stratum. *)
 let split_view_src =
@@ -990,6 +1080,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_incremental_equivalence;
           QCheck_alcotest.to_alcotest prop_interned_equivalence;
+          QCheck_alcotest.to_alcotest prop_tuple_ids_equivalence;
           Alcotest.test_case "dirty marks and clears" `Quick
             test_dirty_marks_and_clears;
           Alcotest.test_case "dirty marks expiry" `Quick

@@ -271,6 +271,33 @@ let test_explore_interning_independence () =
   checkb "boxed twin is the same state" true
     (Mcheck.Explore.Table.mem tbl boxed)
 
+(* Flat-representation independence: a store round-tripped through the
+   id-native flat database ([Flat.of_store] / [Flat.to_store] — the
+   path every id-mode runtime store takes) must be the same
+   model-checker state as the store it came from, with warm flat
+   indexes on either side. *)
+let test_explore_flat_independence () =
+  let module Flat = Ndlog.Flat in
+  let rows =
+    List.init 30 (fun i ->
+        [| V.Addr ("n" ^ string_of_int (i mod 6)); V.Int (i mod 7) |])
+  in
+  let plain = Store.add_list "r" (List.rev rows) Store.empty in
+  let fdb = Flat.of_store plain in
+  (* Warm the flat side's secondary index, then materialize. *)
+  ignore (Flat.lookup fdb "r" ~cols:[ 0 ] ~key:[| Ndlog.Intern.id (V.Addr "n3") |]);
+  let warmed = Flat.to_store fdb in
+  ignore (Store.lookup "r" ~cols:[ 0 ] ~key:[ V.Addr "n3" ] warmed);
+  checkb "flat round-trip is Store.equal" true (Store.equal plain warmed);
+  checki "flat round-trip hash" (Store.hash plain) (Store.hash warmed);
+  checki "flat round-trip compare" 0 (Store.compare plain warmed);
+  let tbl =
+    Mcheck.Explore.Table.create ~equal:Store.equal ~hash:Store.hash ()
+  in
+  Mcheck.Explore.Table.add tbl warmed 0;
+  checkb "plain twin is the same state" true
+    (Mcheck.Explore.Table.mem tbl plain)
+
 let test_explore_bucket_distribution () =
   (* 600 large states differing in one tuple: [Hashtbl.hash]'s
      depth/size truncation collapsed these into a handful of buckets
@@ -405,6 +432,8 @@ let () =
             test_model_check_counterexample;
           Alcotest.test_case "state identity vs interning" `Quick
             test_explore_interning_independence;
+          Alcotest.test_case "state identity vs flat round-trip" `Quick
+            test_explore_flat_independence;
           Alcotest.test_case "state identity vs index cache" `Quick
             test_explore_index_independence;
           Alcotest.test_case "bucket distribution" `Quick

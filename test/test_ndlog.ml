@@ -608,10 +608,19 @@ let test_index_maintenance () =
   let right = Store.add "p" (t 1 7) Store.empty in
   let u = Store.union db2 right in
   checki "after union" 4 (lk u);
-  (* set_relation drops the caches; the next lookup rebuilds *)
+  (* set_relation patches the caches by the symmetric difference: the
+     replaced relation keeps its warm index, and lookups stay exact *)
   let db4 = Store.set_relation "p" (Store.Tset.of_list [ t 1 5; t 2 6 ]) db3 in
-  checki "caches dropped" 0 (Store.index_count db4);
-  checki "rebuilt on lookup" 1 (lk db4)
+  checki "caches kept" 1 (Store.index_count db4);
+  checki "patched lookup" 1 (lk db4);
+  (* a replacement that only adds is visible through the patched index *)
+  let db5 =
+    Store.set_relation "p" (Store.Tset.of_list [ t 1 5; t 1 8; t 2 6 ]) db4
+  in
+  checki "patched after grow" 2 (lk db5);
+  (* replacing with the empty set still removes the relation *)
+  let db6 = Store.set_relation "p" Store.Tset.empty db5 in
+  checki "emptied" 0 (lk db6)
 
 let test_index_canonicity () =
   (* Materialized indexes are invisible to equal/compare/hash: stores
@@ -1626,6 +1635,194 @@ let prop_interned_equals_boxed =
       && a.Eval.stats = b.Eval.stats)
 
 (* ------------------------------------------------------------------ *)
+(* Flat (id-native) storage and the id-native evaluator.  [Flat] holds
+   int-array tuples in open-addressing sets with patched-in-place
+   indexes; [Ideval] is the faithful twin of the boxed rule core. *)
+
+module Flat = Ndlog.Flat
+module Ideval = Ndlog.Ideval
+module Fset = Flat.Fset
+
+(* Intern's flat boundary: [tuple_ids]/[tuple_of_ids] round-trip
+   through canonical representatives, [get] reads single ids, and
+   [int_id] agrees with [id] on small ints. *)
+let test_intern_tuple_ids () =
+  let t =
+    [| V.Addr "n4"; V.List [ V.Addr "n4"; V.Int 2 ]; V.Int 9; V.Str "s" |]
+  in
+  let ids = Intern.tuple_ids t in
+  checki "one id per column" (Array.length t) (Array.length ids);
+  Array.iteri (fun i v -> checki "column id" (Intern.id v) ids.(i)) t;
+  let back = Intern.tuple_of_ids ids in
+  checkb "round trip equal" true (Store.Tuple.equal t back);
+  Array.iteri
+    (fun i v ->
+      checkb "canonical representative" true (back.(i) == Intern.canon v);
+      checkb "get matches of_id" true (Intern.get ids.(i) == Intern.of_id ids.(i)))
+    t;
+  for i = -3 to 40 do
+    checki "int_id = id" (Intern.id (V.Int i)) (Intern.int_id i)
+  done
+
+let test_fset_ops () =
+  let s = Fset.create () in
+  let t i = Intern.tuple_ids [| V.Int i; V.Addr "x" |] in
+  checkb "empty" true (Fset.is_empty s);
+  checkb "fresh add" true (Fset.add s (t 1));
+  checkb "duplicate add" false (Fset.add s (t 1));
+  (* The probe compares by content, not by the array's identity. *)
+  checkb "distinct box, same tuple" true (Fset.mem s (Array.copy (t 1)));
+  for i = 2 to 200 do
+    ignore (Fset.add s (t i))
+  done;
+  checki "cardinal after growth" 200 (Fset.cardinal s);
+  checkb "remove present" true (Fset.remove s (t 7));
+  checkb "remove absent" false (Fset.remove s (t 7));
+  (* Tombstone reuse: re-adding a removed tuple finds the slot again. *)
+  checkb "re-add after remove" true (Fset.add s (t 7));
+  checkb "present after re-add" true (Fset.mem s (t 7));
+  checki "cardinal stable" 200 (Fset.cardinal s);
+  let c = Fset.copy s in
+  ignore (Fset.remove c (t 3));
+  checkb "copy is isolated" true (Fset.mem s (t 3) && not (Fset.mem c (t 3)));
+  checkb "equal to itself" true (Fset.equal s s);
+  checkb "unequal after divergence" false (Fset.equal s c);
+  checki "elements enumerate all" 200 (List.length (Fset.elements s))
+
+let test_flat_db_ops () =
+  let db = Flat.create () in
+  let t a b c = Intern.tuple_ids [| V.Addr a; V.Addr b; V.Int c |] in
+  checkb "fresh add" true (Flat.add db "link" (t "n0" "n1" 1));
+  checkb "duplicate add" false (Flat.add db "link" (t "n0" "n1" 1));
+  ignore (Flat.add db "link" (t "n0" "n2" 5));
+  ignore (Flat.add db "link" (t "n1" "n2" 2));
+  checki "cardinal" 3 (Flat.cardinal db "link");
+  let key = [| Intern.id (V.Addr "n0") |] in
+  let hits = Flat.lookup db "link" ~cols:[ 0 ] ~key in
+  checki "index probe" 2 (List.length hits);
+  (* The index is patched in place by subsequent mutations. *)
+  ignore (Flat.add db "link" (t "n0" "n3" 9));
+  checki "patched after add" 3
+    (List.length (Flat.lookup db "link" ~cols:[ 0 ] ~key));
+  ignore (Flat.remove db "link" (t "n0" "n2" 5));
+  checki "patched after remove" 2
+    (List.length (Flat.lookup db "link" ~cols:[ 0 ] ~key));
+  (* Grouping: one group per distinct source column. *)
+  let gs = Flat.groups db "link" ~cols:[ 0 ] in
+  checki "groups" 2 (List.length gs);
+  let total = List.fold_left (fun n (_, rows) -> n + List.length rows) 0 gs in
+  checki "groups cover relation" (Flat.cardinal db "link") total;
+  let free = Fset.create () in
+  ignore (Fset.add free (t "a" "b" 1));
+  ignore (Fset.add free (t "a" "c" 2));
+  checki "group_set on a free-standing delta" 1
+    (List.length (Flat.group_set free ~cols:[ 0 ]));
+  (* set_relation patches by symmetric difference and stays exact. *)
+  let rs = Fset.create () in
+  ignore (Fset.add rs (t "n0" "n1" 1));
+  ignore (Fset.add rs (t "n0" "n7" 7));
+  Flat.set_relation db "link" rs;
+  checki "replaced cardinal" 2 (Flat.cardinal db "link");
+  checki "patched after set_relation" 2
+    (List.length (Flat.lookup db "link" ~cols:[ 0 ] ~key));
+  checkb "old tuple gone" false (Flat.mem db "link" (t "n1" "n2" 2));
+  (* copy/restrict isolate: mutating the copy leaves the source. *)
+  let c = Flat.copy db in
+  ignore (Flat.remove c "link" (t "n0" "n1" 1));
+  checkb "copy isolated" true (Flat.mem db "link" (t "n0" "n1" 1));
+  let r = Flat.restrict db [ "link" ] in
+  ignore (Flat.add r "link" (t "z" "z" 0));
+  checkb "restrict isolated" false (Flat.mem db "link" (t "z" "z" 0));
+  checkb "equal up to empty relations" true
+    (let a = Flat.create () and b = Flat.create () in
+     ignore (Flat.add a "p" (t "x" "y" 1));
+     ignore (Flat.remove a "p" (t "x" "y" 1));
+     Flat.equal a b && Flat.equal b a);
+  (* Boundary round-trip: of_store/to_store is the identity on
+     content, and versions stamp every mutation. *)
+  let v0 = Flat.version db in
+  ignore (Flat.add db "link" (t "q" "r" 3));
+  checkb "version bumped" true (Flat.version db > v0);
+  let boxed = Flat.to_store db in
+  checkb "round trip through boxed store" true
+    (Flat.equal db (Flat.of_store boxed))
+
+(* The id-native strand executor produces the same head multiset as the
+   boxed one over the same delta batch. *)
+let test_ideval_execute_batch () =
+  let p = Programs.with_links (Programs.path_vector ()) (Programs.ring_links 4) in
+  let o = Eval.run_exn p in
+  let db = o.Eval.db in
+  let r2 = List.nth p.Ast.rules 1 in
+  let strand = Plan.compile_strand r2 ~delta:1 in
+  let istrand = Ideval.of_strand strand in
+  checki "delta pred" 0 (compare (Ideval.delta_pred istrand) "path");
+  checki "head pred" 0
+    (compare (Ideval.head_pred istrand) r2.Ast.head.Ast.head_pred);
+  let deltas = Store.tuples "path" db in
+  let fdb = Flat.of_store db in
+  let via_boxed =
+    Plan.execute_batch db ~delta_tuples:deltas strand
+    |> List.sort Store.Tuple.compare
+  in
+  let via_ids =
+    Ideval.execute_batch fdb
+      ~delta_tuples:(List.map Intern.tuple_ids deltas)
+      istrand
+    |> List.map Intern.tuple_of_ids
+    |> List.sort Store.Tuple.compare
+  in
+  checkb "id heads = boxed heads" true
+    (List.length via_boxed = List.length via_ids
+    && List.for_all2 Store.Tuple.equal via_boxed via_ids);
+  checki "empty batch" 0
+    (List.length (Ideval.execute_batch fdb ~delta_tuples:[] istrand))
+
+(* Differential property: the id-native evaluator is a faithful twin of
+   the boxed one — identical fixpoints, rounds, derivation counts, and
+   join statistics over random programs, topologies, and optimization
+   flag settings (indexes / reordering / batching). *)
+let prop_ideval_equals_eval =
+  QCheck.Test.make
+    ~name:"id-native = boxed evaluation (db, rounds, derivations, stats)"
+    ~count:20
+    QCheck.(
+      quad (int_range 0 2) (int_range 3 7) (int_range 0 3) (int_range 0 7))
+    (fun (prog_i, n, extra, flags) ->
+      let links = Programs.random_links ~seed:((23 * n) + extra) ~extra n in
+      let prog =
+        match prog_i with
+        | 0 -> Programs.path_vector ()
+        | 1 -> Programs.bounded_distance_vector ~max_hops:(n + 1)
+        | _ -> Programs.link_state ~max_hops:(n + 1)
+      in
+      let p = Programs.with_links prog links in
+      let saved =
+        (!Eval.use_indexes, !Eval.use_reordering, !Eval.use_batching)
+      in
+      Eval.use_indexes := flags land 1 = 0;
+      Eval.use_reordering := flags land 2 = 0;
+      Eval.use_batching := flags land 4 = 0;
+      Fun.protect
+        ~finally:(fun () ->
+          let i, r, b = saved in
+          Eval.use_indexes := i;
+          Eval.use_reordering := r;
+          Eval.use_batching := b)
+        (fun () ->
+          let boxed = Eval.run_exn p in
+          match Ideval.run_program p with
+          | Error e ->
+            QCheck.Test.fail_reportf "id-native analysis failed: %a"
+              Analysis.pp_error e
+          | Ok (db, oc) ->
+            Store.equal db boxed.Eval.db
+            && oc.Ideval.rounds = boxed.Eval.rounds
+            && oc.Ideval.derivations = boxed.Eval.derivations
+            && oc.Ideval.converged = boxed.Eval.converged
+            && oc.Ideval.stats = boxed.Eval.stats))
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -1712,6 +1909,15 @@ let () =
             test_intern_equal_hash_across_representations;
         ]
         @ qsuite [ prop_interned_equals_boxed ] );
+      ( "flat",
+        [
+          Alcotest.test_case "tuple id boundary" `Quick test_intern_tuple_ids;
+          Alcotest.test_case "fset ops" `Quick test_fset_ops;
+          Alcotest.test_case "flat db ops" `Quick test_flat_db_ops;
+          Alcotest.test_case "id strand batch executor" `Quick
+            test_ideval_execute_batch;
+        ]
+        @ qsuite [ prop_ideval_equals_eval ] );
       ( "index",
         [
           Alcotest.test_case "lookup" `Quick test_store_lookup;
