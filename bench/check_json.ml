@@ -1,5 +1,5 @@
 (* Smoke check for the benchmark ledger: BENCH_ndlog.json must parse
-   as a schema-7 document carrying a non-empty E7 sweep (indexed vs.
+   as a schema-8 document carrying a non-empty E7 sweep (indexed vs.
    baseline timings), an E8 sharded sweep with per-domain timings, an
    E11 sweep (batched vs. per-tuple delta joins, with the enumeration
    reduction recorded per row), an E12 sweep (the distributed
@@ -9,7 +9,10 @@
    view-path enumeration recorded per row), an E14 churn section (one
    id-native and one boxed run of the sustained link/route churn
    workload, with identical final stores attested by matching insert
-   and tuple counts), an E15 section (per-probe representation costs,
+   and tuple counts, and — new in schema 8 — each run's refresh-cost
+   breakdown: wall seconds inside view-refresh walks, the walk count,
+   and the refresh share of the measurement window), an E15 section
+   (per-probe representation costs,
    every operation with a positive ns/op and a positive id-probe
    speedup), and a run-history array.  Run by the @bench-smoke alias
    so a broken emitter (or a regression that stops a sweep from
@@ -43,8 +46,8 @@ let () =
   | Error e -> fail "%s: does not parse: %s" path e
   | Ok v ->
     (match Json.member "schema" v with
-    | Some (Json.Int 7) -> ()
-    | _ -> fail "%s: missing schema=7" path);
+    | Some (Json.Int 8) -> ()
+    | _ -> fail "%s: missing schema=8" path);
     List.iter
       (fun k ->
         match Json.member k v with
@@ -200,13 +203,23 @@ let () =
             "mode"; "nodes"; "events"; "measured_events"; "inserts";
             "wall_s"; "tuples_per_sec"; "events_per_sec"; "p50_us"; "p99_us";
             "max_us"; "live_words"; "heap_words"; "interned_values";
-            "messages"; "tuples";
+            "messages"; "tuples"; "refresh_s"; "refresh_walks";
+            "refresh_share";
           ];
         List.iter
           (fun k ->
             if churn_num row k <= 0.0 then
               fail "%s: e14 run %d has non-positive %S" path i k)
-          [ "inserts"; "tuples_per_sec"; "p99_us"; "live_words"; "tuples" ])
+          [
+            "inserts"; "tuples_per_sec"; "p99_us"; "live_words"; "tuples";
+            "refresh_s"; "refresh_walks";
+          ];
+        (* The refresh share is a proper fraction of the measurement
+           window: strictly positive (the churn workload refreshes
+           every node repeatedly) and strictly below the whole wall. *)
+        let share = churn_num row "refresh_share" in
+        if not (share > 0.0 && share < 1.0) then
+          fail "%s: e14 run %d refresh_share %g not in (0, 1)" path i share)
       e14_runs;
     let e14_mode m =
       match
@@ -226,6 +239,18 @@ let () =
     (match Json.member "speedup" e14 with
     | Some (Json.Float s) when s > 0.0 -> ()
     | _ -> fail "%s: e14 lacks a positive speedup" path);
+    (* Schema 8 summary: the per-mode refresh-cost pair must be present
+       and positive — the metric the journaled in-place refresh is
+       accountable to. *)
+    List.iter
+      (fun k ->
+        match Json.member k e14 with
+        | Some (Json.Float s) when s > 0.0 -> ()
+        | _ -> fail "%s: e14 lacks a positive %S" path k)
+      [
+        "refresh_s_ids"; "refresh_s_boxed"; "refresh_share_ids";
+        "refresh_share_boxed";
+      ];
     (* E15: per-probe representation costs.  Every op must carry a
        positive ns/op, and the headline id-probe speedup must be a
        positive ratio. *)

@@ -988,6 +988,8 @@ type churn_row = {
   ch_interned : int;  (* intern table population at end of run *)
   ch_msgs : int;  (* simulator messages sent over the whole run *)
   ch_tuples : int;  (* live global store size at cut-off *)
+  ch_refresh_s : float;  (* wall spent in view-refresh walks (window) *)
+  ch_refresh_walks : int;  (* refresh walks in the window *)
 }
 
 (* The routing program with every relation on a lease: the paper's
@@ -1071,6 +1073,7 @@ let churn_run ~ids ~n ~events ~warmup ~lifetime ~dt =
   let last = ref None in
   let sim_events = ref 0 in
   let warm_inserts = ref 0 and warm_msgs = ref 0 and warm_wall = ref 0.0 in
+  let warm_refresh_s = ref 0.0 and warm_refresh_walks = ref 0 in
   let t_start = Unix.gettimeofday () in
   for e = 0 to events - 1 do
     let i = e / 2 mod n in
@@ -1122,7 +1125,9 @@ let churn_run ~ids ~n ~events ~warmup ~lifetime ~dt =
     if e + 1 = warmup then begin
       warm_inserts := rep.Dist.Runtime.total_inserts;
       warm_msgs := rep.Dist.Runtime.stats.Netsim.Sim.messages_sent;
-      warm_wall := Unix.gettimeofday () -. t_start
+      warm_wall := Unix.gettimeofday () -. t_start;
+      warm_refresh_s := Dist.Runtime.refresh_seconds rt;
+      warm_refresh_walks := Dist.Runtime.refresh_walks rt
     end
   done;
   let wall_total = Unix.gettimeofday () -. t_start in
@@ -1164,6 +1169,8 @@ let churn_run ~ids ~n ~events ~warmup ~lifetime ~dt =
       ch_interned = Ndlog.Intern.size ();
       ch_msgs = rep.Dist.Runtime.stats.Netsim.Sim.messages_sent;
       ch_tuples = Ndlog.Store.total_tuples global;
+      ch_refresh_s = Dist.Runtime.refresh_seconds rt -. !warm_refresh_s;
+      ch_refresh_walks = Dist.Runtime.refresh_walks rt - !warm_refresh_walks;
     }
   in
   (row, (global, node_stores, rep.Dist.Runtime.total_inserts))
@@ -1189,6 +1196,7 @@ let churn_median (rows : churn_row list) : churn_row =
     ch_max_us = medf (fun r -> r.ch_max_us);
     ch_live_words = int_of_float (medf (fun r -> float_of_int r.ch_live_words));
     ch_heap_words = int_of_float (medf (fun r -> float_of_int r.ch_heap_words));
+    ch_refresh_s = medf (fun r -> r.ch_refresh_s);
   }
 
 let churn_point ~n ~events ~reps : churn_row * churn_row =
@@ -1233,7 +1241,7 @@ let churn_point ~n ~events ~reps : churn_row * churn_row =
   done;
   (churn_median !rows_i, churn_median !rows_b)
 
-(* The machine-readable ledger (BENCH_ndlog.json, schema 7).
+(* The machine-readable ledger (BENCH_ndlog.json, schema 8).
    E7, E8, E11–E15 stash their sweep rows here; the driver emits one
    document at the end of the run.  The previous ledger's run history is
    carried forward and the finished run appended, so the committed file
@@ -1454,6 +1462,10 @@ let emit_bench_json () =
         ("interned_values", Json.Int r.ch_interned);
         ("messages", Json.Int r.ch_msgs);
         ("tuples", Json.Int r.ch_tuples);
+        ("refresh_s", Json.Float r.ch_refresh_s);
+        ("refresh_walks", Json.Int r.ch_refresh_walks);
+        ( "refresh_share",
+          Json.Float (r.ch_refresh_s /. Float.max 1e-9 r.ch_wall_s) );
       ]
   in
   (* Each stat pairs the id-native row with its boxed oracle; e14_rows
@@ -1530,7 +1542,7 @@ let emit_bench_json () =
   Json.to_file bench_json_path
     (Json.Obj
        [
-         ("schema", Json.Int 7);
+         ("schema", Json.Int 8);
          ("quick", Json.Bool !quick);
          ("host_cores", Json.Int host_cores);
          ("unix_time", Json.Int now);
@@ -1590,6 +1602,22 @@ let emit_bench_json () =
                  e14_find "ids" (fun r -> Json.Int r.ch_live_words) );
                ( "live_words_boxed",
                  e14_find "boxed" (fun r -> Json.Int r.ch_live_words) );
+               (* Refresh-cost breakdown (schema 8): wall spent inside
+                  view-refresh walks and its share of the measurement
+                  window, per mode — the copy-tax metric the journaled
+                  in-place refresh is accountable to. *)
+               ( "refresh_s_ids",
+                 e14_find "ids" (fun r -> Json.Float r.ch_refresh_s) );
+               ( "refresh_s_boxed",
+                 e14_find "boxed" (fun r -> Json.Float r.ch_refresh_s) );
+               ( "refresh_share_ids",
+                 e14_find "ids" (fun r ->
+                     Json.Float (r.ch_refresh_s /. Float.max 1e-9 r.ch_wall_s))
+               );
+               ( "refresh_share_boxed",
+                 e14_find "boxed" (fun r ->
+                     Json.Float (r.ch_refresh_s /. Float.max 1e-9 r.ch_wall_s))
+               );
                ("runs", Json.Arr (List.map e14_row !e14_rows));
              ] );
          ( "e15",

@@ -133,6 +133,14 @@ type node_state = {
   mutable flast_fresh : Flat.t;
   fshipped : (string, Fset.t) Hashtbl.t;
   mutable store_cache : (int * Store.t) option;
+  (* Derived view tuples the expiry sweep removed from [fdb] since the
+     last refresh (a locally-derived tuple acquires a lease when a peer
+     re-sends it; its lapse sweeps a tuple the fixpoint still derives).
+     The boxed oracle restores such tuples implicitly — its refresh
+     replaces view relations wholesale from the recomputed fixpoint —
+     so the in-place seed must re-add them explicitly to re-establish
+     stored = previous fixpoint before the walk. *)
+  mutable fview_holes : (string * int array) list;
 }
 
 type t = {
@@ -146,8 +154,12 @@ type t = {
   node_names : string list;
   batch_inbox : bool;
   (* Predicates computed as refreshed views (aggregate strata and their
-     local downstream). *)
+     local downstream).  The list keeps program order for deterministic
+     iteration; [view_set] is the same collection as a set — membership
+     tests sit on per-tuple wire/insert/expiry paths, where a list walk
+     of string compares is measurable. *)
   view_preds : string list;
+  view_set : Sset.t;
   view_program : Ast.program;  (* the rules that define the views *)
   (* Compiled dataflow strands of the pipelined rules, indexed by their
      trigger (delta) predicate: the Click execution model. *)
@@ -172,6 +184,11 @@ type t = {
   joins : Eval.counters;
   wire : Eval.counters;
   mutable refresh_pending : bool;
+  (* Wall-clock spent inside [refresh_views] and the number of walks:
+     the refresh-cost breakdown the churn benchmark reports (ledger
+     schema 8). *)
+  mutable refresh_wall : float;
+  mutable refresh_walks : int;
 }
 
 exception Not_localized of string
@@ -405,6 +422,7 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views ?tuple_ids
           flast_fresh = Flat.create ();
           fshipped = Hashtbl.create 4;
           store_cache = None;
+          fview_holes = [];
         })
     (Netsim.Topology.nodes topo);
   let view_preds, view_program, pipeline_program = split_views program in
@@ -469,6 +487,7 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views ?tuple_ids
       node_names = List.sort String.compare (Netsim.Topology.nodes topo);
       batch_inbox;
       view_preds;
+      view_set = List.fold_left (fun s p -> Sset.add p s) Sset.empty view_preds;
       view_program;
       strands = strands';
       tuple_ids;
@@ -478,6 +497,8 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views ?tuple_ids
       joins = Eval.counters ();
       wire = Eval.counters ();
       refresh_pending = false;
+      refresh_wall = 0.0;
+      refresh_walks = 0;
     }
   in
   (* Wire the message handler: a received tuple is inserted locally —
@@ -564,13 +585,13 @@ and run_strands_ids t (self : string) pred (delta : int array list) =
    views from the base store only and re-unions [received] afterwards,
    so they cannot change any stratum's recomputation. *)
 and mark_dirty t ns pred tuple =
-  if t.incremental_views && not (List.mem pred t.view_preds) then begin
+  if t.incremental_views && not (Sset.mem pred t.view_set) then begin
     ns.dirty <- Sset.add pred ns.dirty;
     ns.dirty_delta <- Store.add pred tuple ns.dirty_delta
   end
 
 and mark_dirty_ids t ns pred ids =
-  if t.incremental_views && not (List.mem pred t.view_preds) then begin
+  if t.incremental_views && not (Sset.mem pred t.view_set) then begin
     ns.dirty <- Sset.add pred ns.dirty;
     ignore (Flat.add ns.fdirty_delta pred ids)
   end
@@ -585,7 +606,7 @@ and insert t (self : string) pred (tuple : Store.Tuple.t) =
     ns.store <- Store.add pred tuple ns.store;
     ns.inserts <- ns.inserts + 1;
     ns.stale <- true;
-    if List.mem pred t.view_preds then
+    if Sset.mem pred t.view_set then
       ns.received <- Store.add pred tuple ns.received;
     mark_dirty t ns pred tuple;
     propagate t self pred tuple;
@@ -605,7 +626,7 @@ and insert_ids t (self : string) pred (ids : int array)
   if Flat.add ns.fdb pred ids then begin
     ns.inserts <- ns.inserts + 1;
     ns.stale <- true;
-    if List.mem pred t.view_preds then ignore (Flat.add ns.freceived pred ids);
+    if Sset.mem pred t.view_set then ignore (Flat.add ns.freceived pred ids);
     mark_dirty_ids t ns pred ids;
     propagate_ids t self pred ids;
     if t.view_preds <> [] then request_refresh t
@@ -654,7 +675,7 @@ and flush t (self : string) =
           ns.store <- Store.add pred tuple ns.store;
           ns.inserts <- ns.inserts + 1;
           ns.stale <- true;
-          if List.mem pred t.view_preds then
+          if Sset.mem pred t.view_set then
             ns.received <- Store.add pred tuple ns.received;
           mark_dirty t ns pred tuple;
           fresh_rev := (pred, tuple) :: !fresh_rev
@@ -702,7 +723,7 @@ and flush_ids t (self : string) =
       if Flat.add ns.fdb pred ids then begin
         ns.inserts <- ns.inserts + 1;
         ns.stale <- true;
-        if List.mem pred t.view_preds then
+        if Sset.mem pred t.view_set then
           ignore (Flat.add ns.freceived pred ids);
         mark_dirty_ids t ns pred ids;
         fresh_rev := (pred, ids) :: !fresh_rev
@@ -768,15 +789,19 @@ and sweep_ids t self =
   in
   ns.expiry <- expiry';
   if removed <> [] then begin
-    if t.incremental_views then
-      List.iter
-        (fun (pred, ids) ->
-          if not (List.mem pred t.view_preds) then begin
-            ns.dirty <- Sset.add pred ns.dirty;
-            ns.dirty_deleted <- Sset.add pred ns.dirty_deleted;
-            ignore (Flat.remove ns.fdirty_delta pred ids)
-          end)
-        removed;
+    List.iter
+      (fun (pred, ids) ->
+        if Sset.mem pred t.view_set then
+          (* A swept view tuple the previous fixpoint may still derive:
+             remember it so the next refresh's in-place seed can restore
+             it (see [fview_holes]). *)
+          ns.fview_holes <- (pred, ids) :: ns.fview_holes
+        else if t.incremental_views then begin
+          ns.dirty <- Sset.add pred ns.dirty;
+          ns.dirty_deleted <- Sset.add pred ns.dirty_deleted;
+          ignore (Flat.remove ns.fdirty_delta pred ids)
+        end)
+      removed;
     ns.stale <- true;
     if t.view_preds <> [] then request_refresh t
   end;
@@ -800,7 +825,7 @@ and sweep_boxed t self =
     if t.incremental_views then
       List.iter
         (fun (pred, tuple) ->
-          if not (List.mem pred t.view_preds) then begin
+          if not (Sset.mem pred t.view_set) then begin
             ns.dirty <- Sset.add pred ns.dirty;
             ns.dirty_deleted <- Sset.add pred ns.dirty_deleted;
             ns.dirty_delta <- Store.remove pred tuple ns.dirty_delta
@@ -838,6 +863,7 @@ and request_refresh t =
    (recomputation on an unchanged base is its definition of correct,
    and it has no staleness bookkeeping to trust). *)
 and refresh_views t =
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun self ->
       let ns = node t self in
@@ -847,7 +873,9 @@ and refresh_views t =
         List.iter
           (fun _ -> Eval.note_stratum_skipped t.joins)
           t.refresh_plan)
-    t.node_names
+    t.node_names;
+  t.refresh_wall <- t.refresh_wall +. (Unix.gettimeofday () -. t0);
+  t.refresh_walks <- t.refresh_walks + 1
 
 (* One node's incremental view fixpoint: walk the refresh strata
    bottom-up over a working database seeded with the current base.
@@ -936,136 +964,213 @@ and incremental_fresh t ns base =
   in
   db
 
-(* Id twin of [incremental_fresh]: the working database is mutated in
-   place, deltas accumulate in one flat database, and per-stratum
-   movement is detected by flat-set equality against the previous
-   fixpoint.  Same skip/seed/fallback decisions, same counters. *)
-and incremental_fresh_ids t ns (db : Flat.t) : Flat.t =
-  let prev = ns.flast_fresh in
-  let delta = Flat.copy ns.fdirty_delta in
-  let diff_changes ~track_deletions (changed, deleted) preds =
+(* Id twin of [incremental_fresh], journaled and in place: the working
+   database IS the node's flat store, pre-seeded by [refresh_node_ids]
+   so that every view relation holds the previous fixpoint; the delta
+   accumulates into the node's own dirty-delta database (replaced
+   wholesale after the refresh); and per-stratum movement is read off
+   the undo journal ({!Flat.net_since}) instead of whole-relation set
+   comparison — the copy tax this replaces was [Flat.restrict] of the
+   previous fixpoint per stratum plus [Fset.equal] per predicate.
+   Same skip/seed/fallback decisions, same counters.
+
+   Returns the per-predicate net movement against the previous
+   fixpoint, which is exact because each touched stratum's relations
+   equal the previous fixpoint at its mark: the seed establishes that
+   for the whole database, strata never write outside their own
+   [rs_preds], and stratification keeps upper (still-seeded) relations
+   invisible to lower strata's evaluation. *)
+and incremental_fresh_ids t ns (db : Flat.t) :
+    (string * int array list * int array list) list =
+  let delta = ns.fdirty_delta in
+  let movement = ref [] in
+  let record acc ~track_deletions net =
     List.fold_left
-      (fun (changed, deleted) pred ->
-        let new_rel = Flat.relation db pred in
-        let old_rel = Flat.relation prev pred in
-        if Fset.equal new_rel old_rel then (changed, deleted)
+      (fun (changed, deleted) (pred, adds, rems) ->
+        if adds = [] && rems = [] then (changed, deleted)
         else begin
-          Fset.iter
-            (fun ids ->
-              if not (Fset.mem old_rel ids) then
-                ignore (Flat.add delta pred ids))
-            new_rel;
-          let deleted =
-            if
-              track_deletions
-              && Fset.fold
-                   (fun ids lost -> lost || not (Fset.mem new_rel ids))
-                   old_rel false
-            then Sset.add pred deleted
-            else deleted
-          in
-          (Sset.add pred changed, deleted)
+          List.iter (fun ids -> ignore (Flat.add delta pred ids)) adds;
+          movement := (pred, adds, rems) :: !movement;
+          ( Sset.add pred changed,
+            if track_deletions && rems <> [] then Sset.add pred deleted
+            else deleted )
         end)
-      (changed, deleted) preds
+      acc net
   in
   let _ =
     List.fold_left
-      (fun (changed, deleted) ((rs : Eval.refresh_stratum), _, istrands) ->
+      (fun ((changed, deleted) as acc) ((rs : Eval.refresh_stratum), _, istrands)
+           ->
         if not (Sset.exists (fun p -> Sset.mem p changed) rs.Eval.rs_support)
         then begin
+          (* Untouched: the seeded relations are still exact. *)
           Eval.note_stratum_skipped t.joins;
-          Flat.union_into db (Flat.restrict prev rs.Eval.rs_preds);
-          (changed, deleted)
+          acc
         end
         else if
           rs.Eval.rs_has_agg || rs.Eval.rs_has_neg
           || Sset.exists (fun p -> Sset.mem p deleted) rs.Eval.rs_support
         then begin
+          (* Non-monotone under seeding: recompute from scratch.  The
+             stratum's relations start empty, as the oracle's do. *)
           Eval.note_refresh_fallback t.joins;
+          let m = Flat.mark db in
+          List.iter (Flat.clear_rel db) rs.Eval.rs_preds;
           ignore
             (Ideval.seminaive_stratum ~stats:t.joins t.view_program
                rs.Eval.rs_preds db);
-          diff_changes ~track_deletions:true (changed, deleted)
-            rs.Eval.rs_preds
+          let net = Flat.net_since db m in
+          Flat.commit db m;
+          record acc ~track_deletions:true net
         end
         else begin
-          Flat.union_into db (Flat.restrict prev rs.Eval.rs_preds);
+          (* Plain monotone stratum over additive support change:
+             re-derive from the deltas on top of the seeded previous
+             relations.  Purely additive, so the journal holds only
+             genuine adds. *)
+          let m = Flat.mark db in
           Ideval.refresh_stratum ~stats:t.joins db ~strands:istrands ~delta;
-          diff_changes ~track_deletions:false (changed, deleted)
-            rs.Eval.rs_preds
+          let net = Flat.net_since db m in
+          Flat.commit db m;
+          record acc ~track_deletions:false net
         end)
       (ns.dirty, ns.dirty_deleted)
       t.refresh_plan
   in
-  db
+  !movement
 
-(* Id twin of [refresh_node]: the whole walk — base restriction,
-   fixpoint, local/remote split, wholesale relation replacement —
-   runs on flat databases; tuples materialize boxed only when a
-   message leaves the node, sorted canonically so the trace is
-   identical to the boxed path's. *)
+(* Id twin of [refresh_node], run *in place* on the node's flat store.
+   Instead of materializing a restricted base copy, computing a fresh
+   fixpoint beside it and replacing relations wholesale, the walk
+   below nudges the stored view relations to the previous fixpoint
+   (seed), lets the stratum walk mutate them under journal marks, and
+   replays only the *net movement* against the previous-fixpoint stash
+   and the shipped-set bookkeeping — O(changes + shipped + received)
+   where the old walk was O(store) in copies and comparisons.  Tuples
+   materialize boxed only when a message leaves the node, sorted
+   canonically, so the trace is identical to the boxed path's.
+
+   Store shape invariants, before and after: a view relation of [fdb]
+   holds the locally-owned part of the last fixpoint plus every live
+   shipped-in arrival ([freceived]); [fshipped.(pred)] is exactly the
+   remote-owned part of the last fixpoint; [flast_fresh] is the whole
+   last fixpoint. *)
 and refresh_node_ids t self =
   let ns = node t self in
-  let base =
-    Flat.restrict ns.fdb
-      (List.filter (fun p -> not (List.mem p t.view_preds)) (Flat.preds ns.fdb))
-  in
-  let fresh =
+  let db = ns.fdb in
+  let prev = ns.flast_fresh in
+  (* Seed: stored form -> previous fixpoint.  Arrivals the fixpoint
+     never derived leave, previously-shipped remote tuples re-enter,
+     and lease-flickered derived tuples are restored (see
+     [fview_holes]).  All three classes are small. *)
+  List.iter
+    (fun (pred, ids) ->
+      if Flat.mem prev pred ids then ignore (Flat.add db pred ids))
+    ns.fview_holes;
+  ns.fview_holes <- [];
+  List.iter
+    (fun pred ->
+      let prev_rel = Flat.relation prev pred in
+      Flat.iter_rel ns.freceived pred (fun ids ->
+          if not (Fset.mem prev_rel ids) then ignore (Flat.remove db pred ids));
+      match Hashtbl.find_opt ns.fshipped pred with
+      | Some s -> Fset.iter (fun ids -> ignore (Flat.add db pred ids)) s
+      | None -> ())
+    t.view_preds;
+  (* Fixpoint, in place, yielding the net movement against [prev]. *)
+  let movement =
     if t.incremental_views then begin
-      let fresh = incremental_fresh_ids t ns base in
-      ns.flast_fresh <- Flat.restrict fresh t.view_preds;
+      let movement = incremental_fresh_ids t ns db in
       ns.dirty <- Sset.empty;
       ns.fdirty_delta <- Flat.create ();
       ns.dirty_deleted <- Sset.empty;
-      fresh
+      movement
     end
     else begin
-      ignore (Ideval.seminaive ~stats:t.joins t.view_program t.info base);
-      base
+      let m = Flat.mark db in
+      List.iter (Flat.clear_rel db) t.view_preds;
+      ignore (Ideval.seminaive ~stats:t.joins t.view_program t.info db);
+      let net = Flat.net_since db m in
+      Flat.commit db m;
+      net
     end
   in
+  let net_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (pred, adds, rems) -> Hashtbl.replace net_tbl pred (adds, rems))
+    movement;
+  (* Commit: replay the net movement onto the previous-fixpoint stash
+     and the shipped sets, ship fresh remote-owned tuples (diff-only),
+     and return the stored relations to their between-refresh shape. *)
   let locs = loc_index_map t.view_program in
   List.iter
     (fun pred ->
       let locopt = Hashtbl.find_opt locs pred in
-      let new_rel = Flat.relation fresh pred in
-      let local_new = Fset.create () in
-      let remote_new = Fset.create () in
-      Fset.iter
-        (fun ids ->
-          match owner_of_ids locopt ids with
-          | Some owner when owner <> self -> ignore (Fset.add remote_new ids)
-          | _ -> ignore (Fset.add local_new ids))
-        new_rel;
-      Fset.iter
-        (fun ids -> ignore (Fset.add local_new ids))
-        (Flat.relation ns.freceived pred);
-      if not (Fset.equal local_new (Flat.relation ns.fdb pred)) then
-        Flat.set_relation ns.fdb pred local_new;
-      let already =
+      let adds, rems =
+        match Hashtbl.find_opt net_tbl pred with
+        | Some m -> m
+        | None -> ([], [])
+      in
+      List.iter (fun ids -> ignore (Flat.add ns.flast_fresh pred ids)) adds;
+      List.iter (fun ids -> ignore (Flat.remove ns.flast_fresh pred ids)) rems;
+      let shipped =
         match Hashtbl.find_opt ns.fshipped pred with
-        | Some s -> s
-        | None -> Fset.create ()
+        | Some s -> Some s
+        | None ->
+          (* Allocate the per-predicate shipped set only when a
+             remote-owned tuple actually appears. *)
+          if
+            List.exists
+              (fun ids ->
+                match owner_of_ids locopt ids with
+                | Some owner -> owner <> self
+                | None -> false)
+              adds
+          then begin
+            let s = Fset.create () in
+            Hashtbl.replace ns.fshipped pred s;
+            Some s
+          end
+          else None
       in
-      let to_ship =
-        Fset.fold
-          (fun ids acc ->
-            if Fset.mem already ids then acc
-            else (Intern.tuple_of_ids ids, ids) :: acc)
-          remote_new []
-      in
-      List.iter
-        (fun (tuple, ids) ->
-          ignore
-            (Netsim.Sim.send t.sim ~src:self
-               ~dst:(owner_exn locopt pred tuple)
-               { pred; tuple; ids = Some ids }))
-        (List.sort (fun (a, _) (b, _) -> Store.Tuple.compare a b) to_ship);
-      Hashtbl.replace ns.fshipped pred remote_new;
-      (match Softstate.Expiry.lifetime_of ns.expiry pred with
-      | Ast.Lifetime l when not (Fset.is_empty remote_new) ->
-        ensure_renewal t self pred l
-      | _ -> ()))
+      match shipped with
+      | None ->
+        (* Nothing shipped, nothing remote-owned: the stored relation
+           is already local ∪ received.  Re-adding received arrivals is
+           still needed — a fallback stratum may have cleared them. *)
+        Flat.iter_rel ns.freceived pred (fun ids ->
+            ignore (Flat.add db pred ids))
+      | Some shipped ->
+        let to_ship = ref [] in
+        List.iter
+          (fun ids ->
+            match owner_of_ids locopt ids with
+            | Some owner when owner <> self ->
+              if Fset.add shipped ids then
+                to_ship := (Intern.tuple_of_ids ids, ids) :: !to_ship
+            | _ -> ())
+          adds;
+        List.iter
+          (fun ids ->
+            match owner_of_ids locopt ids with
+            | Some owner when owner <> self -> ignore (Fset.remove shipped ids)
+            | _ -> ())
+          rems;
+        List.iter
+          (fun (tuple, ids) ->
+            ignore
+              (Netsim.Sim.send t.sim ~src:self
+                 ~dst:(owner_exn locopt pred tuple)
+                 { pred; tuple; ids = Some ids }))
+          (List.sort (fun (a, _) (b, _) -> Store.Tuple.compare a b) !to_ship);
+        (* Remote-owned tuples live at their owners, not here. *)
+        Fset.iter (fun ids -> ignore (Flat.remove db pred ids)) shipped;
+        Flat.iter_rel ns.freceived pred (fun ids ->
+            ignore (Flat.add db pred ids));
+        (match Softstate.Expiry.lifetime_of ns.expiry pred with
+        | Ast.Lifetime l when not (Fset.is_empty shipped) ->
+          ensure_renewal t self pred l
+        | _ -> ()))
     t.view_preds;
   ns.stale <- false
 
@@ -1075,7 +1180,7 @@ and refresh_node t self =
   let base =
     Store.restrict
       (List.filter
-         (fun p -> not (List.mem p t.view_preds))
+         (fun p -> not (Sset.mem p t.view_set))
          (Store.preds ns.store))
       ns.store
   in
@@ -1317,5 +1422,7 @@ let dirty_preds t name = Sset.elements (node t name).dirty
 let node_leases t name = Softstate.Expiry.bindings (node t name).expiry
 let incremental t = t.incremental_views
 let tuple_ids t = t.tuple_ids
+let refresh_seconds t = t.refresh_wall
+let refresh_walks t = t.refresh_walks
 
 let simulator t = t.sim

@@ -174,4 +174,11 @@ val incremental : t -> bool
 val tuple_ids : t -> bool
 (** Whether this runtime evaluates id-natively. *)
 
+val refresh_seconds : t -> float
+(** Cumulative wall-clock seconds spent in view-refresh walks since
+    {!create} — the refresh-cost share the churn benchmark reports. *)
+
+val refresh_walks : t -> int
+(** Number of view-refresh walks performed since {!create}. *)
+
 val simulator : t -> msg Netsim.Sim.t

@@ -32,10 +32,21 @@ module Fset = struct
   let empty_slot : int array = [| min_int |]
   let tombstone : int array = [| min_int + 1 |]
 
+  (* A journal entry: [true] = the tuple was added, [false] = removed.
+     Entries are kept newest-first; a mark is a journal length, so
+     rollback pops and inverts entries until the length matches —
+     O(changes) — and releasing the last mark drops the whole journal
+     in O(1). *)
+  type entry = bool * int array
+
   type t = {
     mutable slots : int array array;
     mutable size : int;  (* live tuples *)
     mutable tombs : int;  (* deleted slots awaiting rehash *)
+    mutable frozen : bool;  (* mutation is a programming error *)
+    mutable jnl : entry list;  (* newest-first; live iff jmarks > 0 *)
+    mutable jlen : int;
+    mutable jmarks : int;  (* outstanding marks *)
   }
 
   let tuple_eq (a : int array) (b : int array) =
@@ -62,10 +73,20 @@ module Fset = struct
   let rec ceil_pow2 n k = if k >= n then k else ceil_pow2 n (k * 2)
 
   let create ?(capacity = 16) () =
-    { slots = Array.make (ceil_pow2 capacity 8) empty_slot; size = 0; tombs = 0 }
+    {
+      slots = Array.make (ceil_pow2 capacity 8) empty_slot;
+      size = 0;
+      tombs = 0;
+      frozen = false;
+      jnl = [];
+      jlen = 0;
+      jmarks = 0;
+    }
 
   let cardinal s = s.size
   let is_empty s = s.size = 0
+  let capacity s = Array.length s.slots
+  let freeze s = s.frozen <- true
 
   (* Probe for [t]: the index holding it, or the first insertable slot
      (a tombstone if one was passed, else the empty slot that ended the
@@ -92,10 +113,11 @@ module Fset = struct
 
   let resize s =
     let old = s.slots in
-    let cap = Array.length old in
-    (* Grow only when live entries justify it; a tombstone-heavy table
-       rehashes at the same capacity. *)
-    let cap' = if s.size * 4 >= cap then cap * 2 else cap in
+    (* Size the fresh table by live entries alone: growth doubles as
+       before, while a tombstone-heavy table (churned down and no
+       longer adding) shrinks back toward its live size instead of
+       keeping its O(peak) slot array.  Live load stays under 1/2. *)
+    let cap' = ceil_pow2 (max 8 (s.size * 4)) 8 in
     s.slots <- Array.make cap' empty_slot;
     s.tombs <- 0;
     let mask = cap' - 1 in
@@ -110,15 +132,23 @@ module Fset = struct
         end)
       old
 
+  let journal s e =
+    if s.jmarks > 0 then begin
+      s.jnl <- e :: s.jnl;
+      s.jlen <- s.jlen + 1
+    end
+
   (* [true] when the tuple was not already present. *)
   let add s t =
     let i = probe s t in
     let u = s.slots.(i) in
     if u != empty_slot && u != tombstone then false
     else begin
+      if s.frozen then invalid_arg "Fset.add: frozen set";
       if u == tombstone then s.tombs <- s.tombs - 1;
       s.slots.(i) <- t;
       s.size <- s.size + 1;
+      journal s (true, t);
       if (s.size + s.tombs) * 2 >= Array.length s.slots then resize s;
       true
     end
@@ -129,10 +159,52 @@ module Fset = struct
     let u = s.slots.(i) in
     if u == empty_slot || u == tombstone then false
     else begin
+      if s.frozen then invalid_arg "Fset.remove: frozen set";
       s.slots.(i) <- tombstone;
       s.size <- s.size - 1;
       s.tombs <- s.tombs + 1;
+      journal s (false, t);
+      (* Compact once tombstones outnumber live entries, so probe
+         chains stay short after churn-down even if no add follows. *)
+      if s.tombs > s.size then resize s;
       true
+    end
+
+  (* Checkpoints.  Marks are positions in the journal and must be
+     released (rolled back or committed) LIFO, innermost first. *)
+  type mark = int
+
+  let mark s =
+    s.jmarks <- s.jmarks + 1;
+    s.jlen
+
+  (* O(1): drop the mark; once no marks remain the journal is dead
+     weight and is discarded wholesale. *)
+  let commit s (_ : mark) =
+    s.jmarks <- s.jmarks - 1;
+    if s.jmarks = 0 then begin
+      s.jnl <- [];
+      s.jlen <- 0
+    end
+
+  (* O(changes since the mark): pop entries newest-first and invert
+     each.  Set semantics make inverse replay exact: every journaled op
+     actually changed membership, so the inverse op restores it. *)
+  let rollback s (m : mark) =
+    let outer = s.jmarks - 1 in
+    s.jmarks <- 0 (* the undo ops themselves must not be journaled *);
+    while s.jlen > m do
+      match s.jnl with
+      | (was_add, t) :: rest ->
+        s.jnl <- rest;
+        s.jlen <- s.jlen - 1;
+        if was_add then ignore (remove s t) else ignore (add s t)
+      | [] -> assert false
+    done;
+    s.jmarks <- outer;
+    if s.jmarks = 0 then begin
+      s.jnl <- [];
+      s.jlen <- 0
     end
 
   let iter f s =
@@ -147,7 +219,18 @@ module Fset = struct
 
   let elements s = fold (fun t acc -> t :: acc) s []
 
-  let copy s = { slots = Array.copy s.slots; size = s.size; tombs = s.tombs }
+  (* The copy is an independent set: unfrozen, with no journal — the
+     original's outstanding marks do not transfer. *)
+  let copy s =
+    {
+      slots = Array.copy s.slots;
+      size = s.size;
+      tombs = s.tombs;
+      frozen = false;
+      jnl = [];
+      jlen = 0;
+      jmarks = 0;
+    }
 
   let equal a b =
     a.size = b.size
@@ -180,12 +263,19 @@ type rel = {
   mutable indexes : (int list * idx) list;  (* assoc by column list *)
 }
 
+(* A database journal entry: [true] = added, [false] = removed. *)
+type jentry = { jpred : string; jtup : int array; jadded : bool }
+
 type t = {
   rels : (string, rel) Hashtbl.t;
   mutable version : int;  (* bumped on every mutation: cache stamps *)
+  mutable jnl : jentry list;  (* newest-first; live iff jmarks > 0 *)
+  mutable jlen : int;
+  mutable jmarks : int;  (* outstanding marks *)
 }
 
-let create () = { rels = Hashtbl.create 16; version = 0 }
+let create () =
+  { rels = Hashtbl.create 16; version = 0; jnl = []; jlen = 0; jmarks = 0 }
 
 let mkrel () = { set = Fset.create (); indexes = [] }
 
@@ -242,13 +332,25 @@ let idx_remove (cols, (idx : idx)) t =
 (* ------------------------------------------------------------------ *)
 (* The database API. *)
 
+(* The one set every missing-predicate read shares.  Frozen, so a
+   caller that mutates what it thought was a live relation fails loudly
+   instead of updating an orphan the database never sees. *)
+let empty_relation : Fset.t =
+  let s = Fset.create ~capacity:8 () in
+  Fset.freeze s;
+  s
+
 let relation db pred : Fset.t =
-  match find_rel db pred with
-  | Some r -> r.set
-  | None -> (mkrel ()).set
+  match find_rel db pred with Some r -> r.set | None -> empty_relation
 
 let mem db pred t =
   match find_rel db pred with Some r -> Fset.mem r.set t | None -> false
+
+let journal db e =
+  if db.jmarks > 0 then begin
+    db.jnl <- e :: db.jnl;
+    db.jlen <- db.jlen + 1
+  end
 
 (* [true] when newly added; every cached index is patched in place. *)
 let add db pred t : bool =
@@ -256,6 +358,7 @@ let add db pred t : bool =
   if Fset.add r.set t then begin
     List.iter (fun ix -> idx_add ix t) r.indexes;
     touch db;
+    journal db { jpred = pred; jtup = t; jadded = true };
     true
   end
   else false
@@ -267,6 +370,7 @@ let remove db pred t : bool =
     if Fset.remove r.set t then begin
       List.iter (fun ix -> idx_remove ix t) r.indexes;
       touch db;
+      journal db { jpred = pred; jtup = t; jadded = false };
       true
     end
     else false
@@ -353,7 +457,7 @@ let copy db =
           indexes = List.map (fun (cols, idx) -> (cols, Ktbl.copy idx)) r.indexes;
         })
     db.rels;
-  { rels; version = db.version }
+  { rels; version = db.version; jnl = []; jlen = 0; jmarks = 0 }
 
 let restrict db keep =
   let out = create () in
@@ -369,6 +473,9 @@ let restrict db keep =
               List.map (fun (cols, idx) -> (cols, Ktbl.copy idx)) r.indexes;
           })
     keep;
+  (* A restriction is as fresh as its source, exactly like [copy] —
+     version stamps must never move backwards through a narrowing. *)
+  out.version <- db.version;
   out
 
 let union_into dst src =
@@ -385,6 +492,104 @@ let set_relation db pred (s : Fset.t) =
   let added = Fset.fold (fun t acc -> if Fset.mem r.set t then acc else t :: acc) s [] in
   List.iter (fun t -> ignore (remove db pred t)) removed;
   List.iter (fun t -> ignore (add db pred t)) added
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints: the undo journal behind in-place view refresh.
+
+   [mark] opens a checkpoint; every subsequent effective [add]/[remove]
+   is journaled.  [rollback] restores the database to the mark in
+   O(changes) by inverse replay (indexes are patched back through the
+   ordinary mutation path); [commit] drops the mark in O(1), and
+   releasing the last outstanding mark discards the journal wholesale.
+   Marks must be released LIFO, innermost first. *)
+
+type mark = int
+
+let mark db =
+  db.jmarks <- db.jmarks + 1;
+  db.jlen
+
+let commit db (_ : mark) =
+  db.jmarks <- db.jmarks - 1;
+  if db.jmarks = 0 then begin
+    db.jnl <- [];
+    db.jlen <- 0
+  end
+
+let rollback db (m : mark) =
+  let outer = db.jmarks - 1 in
+  db.jmarks <- 0 (* undo ops must not re-journal *);
+  while db.jlen > m do
+    match db.jnl with
+    | e :: rest ->
+      db.jnl <- rest;
+      db.jlen <- db.jlen - 1;
+      if e.jadded then ignore (remove db e.jpred e.jtup)
+      else ignore (add db e.jpred e.jtup)
+    | [] -> assert false
+  done;
+  db.jmarks <- outer;
+  if db.jmarks = 0 then begin
+    db.jnl <- [];
+    db.jlen <- 0
+  end
+
+(* The *net* movement since a mark, per touched predicate: a tuple
+   whose first journaled op is an add and whose last is an add moved
+   in; first-remove/last-remove moved out; anything else (add;remove,
+   remove;...;add) cancelled.  O(changes) — this is what replaces
+   [Fset.equal] whole-relation diffing in the refresh walk. *)
+let net_since db (m : mark) : (string * int array list * int array list) list =
+  (* Entries since the mark, oldest first. *)
+  let entries =
+    let rec take acc n l =
+      if n = 0 then acc
+      else
+        match l with
+        | e :: rest -> take (e :: acc) (n - 1) rest
+        | [] -> assert false
+    in
+    take [] (db.jlen - m) db.jnl
+  in
+  let preds = ref [] in
+  let tbl : (string, (bool * bool) ref Ktbl.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let kt =
+        match Hashtbl.find_opt tbl e.jpred with
+        | Some kt -> kt
+        | None ->
+          let kt = Ktbl.create 16 in
+          Hashtbl.replace tbl e.jpred kt;
+          preds := e.jpred :: !preds;
+          kt
+      in
+      match Ktbl.find_opt kt e.jtup with
+      | Some r -> r := (fst !r, e.jadded)
+      | None -> Ktbl.replace kt e.jtup (ref (e.jadded, e.jadded)))
+    entries;
+  List.rev_map
+    (fun pred ->
+      let kt = Hashtbl.find tbl pred in
+      let adds = ref [] and rems = ref [] in
+      Ktbl.iter
+        (fun t r ->
+          match !r with
+          | true, true -> adds := t :: !adds
+          | false, false -> rems := t :: !rems
+          | _ -> ())
+        kt;
+      (pred, !adds, !rems))
+    !preds
+
+(* Empty one relation through the journaled mutation path (indexes
+   patched, removals recorded).  The element snapshot is taken up
+   front: removal can trigger a compacting rehash mid-iteration. *)
+let clear_rel db pred =
+  match find_rel db pred with
+  | None -> ()
+  | Some r ->
+    List.iter (fun t -> ignore (remove db pred t)) (Fset.elements r.set)
 
 let equal a b =
   let covered other p r =

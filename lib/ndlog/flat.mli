@@ -32,8 +32,30 @@ module Fset : sig
   val iter : (int array -> unit) -> t -> unit
   val fold : (int array -> 'a -> 'a) -> t -> 'a -> 'a
   val elements : t -> int array list
+
   val copy : t -> t
+  (** The copy is independent: unfrozen, with an empty journal. *)
+
   val equal : t -> t -> bool
+
+  val capacity : t -> int
+  (** Current slot-array length (a power of two) — observable so tests
+      can pin growth and compaction behavior. *)
+
+  val freeze : t -> unit
+  (** Make every subsequent mutation raise [Invalid_argument].  Backs
+      the shared empty relation returned for missing predicates. *)
+
+  type mark
+  (** A checkpoint.  [mark] starts journaling every effective
+      [add]/[remove]; [rollback] restores the set to the mark by
+      inverse replay in O(changes); [commit] drops the mark in O(1)
+      (releasing the last outstanding mark discards the journal).
+      Marks must be released LIFO, innermost first. *)
+
+  val mark : t -> mark
+  val rollback : t -> mark -> unit
+  val commit : t -> mark -> unit
 
   val tuple_eq : int array -> int array -> bool
   val tuple_hash : int array -> int
@@ -48,6 +70,10 @@ val version : t -> int
     caches. *)
 
 val relation : t -> string -> Fset.t
+(** The relation for [pred].  A missing predicate yields one shared
+    {e frozen} empty set (no per-call allocation): mutating it raises,
+    so lost updates cannot hide — go through {!add}/{!remove}. *)
+
 val mem : t -> string -> int array -> bool
 
 val add : t -> string -> int array -> bool
@@ -75,12 +101,38 @@ val group_set : Fset.t -> cols:int list -> (int array * int array list) list
 (** {!groups} over a free-standing tuple set (a delta batch). *)
 
 val copy : t -> t
+(** The copy is independent, with an empty journal and no marks. *)
+
 val restrict : t -> string list -> t
+(** Deep-copy the named relations into a fresh database.  Preserves
+    the source's {!version}, exactly like {!copy}. *)
+
 val union_into : t -> t -> unit
 
 val set_relation : t -> string -> Fset.t -> unit
 (** Replace one relation wholesale, patching cached indexes by the
     symmetric difference. *)
+
+type mark
+(** A whole-database checkpoint: from [mark] on, every effective
+    {!add}/{!remove} is journaled.  {!rollback} restores the database
+    (relations {e and} cached indexes, via inverse replay through the
+    ordinary mutation path) in O(changes); {!commit} drops the mark in
+    O(1), and releasing the last outstanding mark discards the journal
+    wholesale.  Marks must be released LIFO, innermost first. *)
+
+val mark : t -> mark
+val rollback : t -> mark -> unit
+val commit : t -> mark -> unit
+
+val net_since : t -> mark -> (string * int array list * int array list) list
+(** [(pred, added, removed)] per predicate touched since the mark —
+    the *net* movement (an add cancelled by a later remove reports
+    nothing), computed from the journal in O(changes since mark).
+    Order of predicates and of tuples within a group is unspecified. *)
+
+val clear_rel : t -> string -> unit
+(** Empty one relation through the journaled mutation path. *)
 
 val equal : t -> t -> bool
 

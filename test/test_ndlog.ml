@@ -1747,6 +1747,173 @@ let test_flat_db_ops () =
   checkb "round trip through boxed store" true
     (Flat.equal db (Flat.of_store boxed))
 
+(* Removal-triggered compaction: a relation that churns down and never
+   adds again must shed its O(peak) slot array once tombstones
+   outnumber live entries, and stay exact through the rehash. *)
+let test_fset_compaction () =
+  let s = Fset.create () in
+  let t i = Intern.tuple_ids [| V.Int i; V.Int (i * 7) |] in
+  for i = 1 to 512 do
+    ignore (Fset.add s (t i))
+  done;
+  let peak = Fset.capacity s in
+  checkb "grew past the default" true (peak >= 1024);
+  for i = 1 to 500 do
+    ignore (Fset.remove s (t i))
+  done;
+  checki "cardinal after churn-down" 12 (Fset.cardinal s);
+  checkb "slot array shrank" true (Fset.capacity s < peak);
+  for i = 501 to 512 do
+    checkb "survivor present" true (Fset.mem s (t i))
+  done;
+  for i = 1 to 500 do
+    checkb "removed absent" false (Fset.mem s (t i))
+  done;
+  checkb "re-add after compaction" true (Fset.add s (t 1))
+
+(* Missing predicates read as one shared frozen empty set: no per-call
+   allocation, and a mutation of it — the lost-update footgun — raises
+   instead of silently updating an orphan. *)
+let test_flat_shared_empty () =
+  let db = Flat.create () in
+  let r1 = Flat.relation db "absent" in
+  let r2 = Flat.relation db "also_absent" in
+  checkb "one shared empty set" true (r1 == r2);
+  checkb "empty" true (Fset.is_empty r1);
+  (match Fset.add r1 (Intern.tuple_ids [| V.Int 1 |]) with
+  | _ -> checkb "add to shared empty raises" true false
+  | exception Invalid_argument _ -> ());
+  checkb "db untouched" true (Flat.is_empty db);
+  ignore (Flat.add db "p" (Intern.tuple_ids [| V.Int 1 |]));
+  checkb "live relation not frozen" true
+    (Fset.mem (Flat.relation db "p") (Intern.tuple_ids [| V.Int 1 |]))
+
+(* [restrict] preserves the source's version, exactly like [copy]:
+   version-stamped caches must never see a narrowing as "older". *)
+let test_flat_restrict_version () =
+  let db = Flat.create () in
+  let t i = Intern.tuple_ids [| V.Int i |] in
+  ignore (Flat.add db "p" (t 1));
+  ignore (Flat.add db "q" (t 2));
+  ignore (Flat.add db "p" (t 3));
+  let v = Flat.version db in
+  checkb "mutations stamped" true (v > 0);
+  checki "copy preserves version" v (Flat.version (Flat.copy db));
+  checki "restrict preserves version" v (Flat.version (Flat.restrict db [ "p" ]))
+
+(* The database undo journal: net movement since a mark, O(changes)
+   rollback through the index-patching mutation path, nested marks,
+   and journaled relation clearing. *)
+let test_flat_journal () =
+  let db = Flat.create () in
+  let t i = Intern.tuple_ids [| V.Int i; V.Addr "j" |] in
+  for i = 1 to 8 do
+    ignore (Flat.add db "p" (t i))
+  done;
+  ignore (Flat.add db "q" (t 0));
+  let key = [| Intern.id (V.Addr "j") |] in
+  checki "index before" 8 (List.length (Flat.lookup db "p" ~cols:[ 1 ] ~key));
+  let v0 = Flat.version db in
+  let m = Flat.mark db in
+  ignore (Flat.remove db "p" (t 1));
+  ignore (Flat.add db "p" (t 9));
+  ignore (Flat.add db "p" (t 10));
+  ignore (Flat.remove db "p" (t 10));
+  (* add;remove cancels *)
+  ignore (Flat.remove db "q" (t 0));
+  ignore (Flat.add db "q" (t 0));
+  (* remove;add cancels *)
+  let net = Flat.net_since db m in
+  let find p =
+    List.assoc_opt p (List.map (fun (p, a, r) -> (p, (a, r))) net)
+  in
+  (match find "p" with
+  | Some (adds, rems) ->
+    checki "net adds" 1 (List.length adds);
+    checki "net removes" 1 (List.length rems);
+    checkb "net add is t9" true (Fset.tuple_eq (List.hd adds) (t 9));
+    checkb "net remove is t1" true (Fset.tuple_eq (List.hd rems) (t 1))
+  | None -> checkb "p moved" true false);
+  (match find "q" with
+  | Some (adds, rems) ->
+    checki "q cancelled adds" 0 (List.length adds);
+    checki "q cancelled removes" 0 (List.length rems)
+  | None -> ());
+  Flat.rollback db m;
+  checkb "t1 restored" true (Flat.mem db "p" (t 1));
+  checkb "t9 undone" false (Flat.mem db "p" (t 9));
+  checki "cardinal restored" 8 (Flat.cardinal db "p");
+  checki "index restored" 8 (List.length (Flat.lookup db "p" ~cols:[ 1 ] ~key));
+  checkb "version moves forward through rollback" true (Flat.version db > v0);
+  let outer = Flat.mark db in
+  ignore (Flat.add db "p" (t 20));
+  let inner = Flat.mark db in
+  ignore (Flat.add db "p" (t 21));
+  Flat.commit db inner;
+  Flat.rollback db outer;
+  checkb "outer rollback undoes committed inner" false
+    (Flat.mem db "p" (t 20) || Flat.mem db "p" (t 21));
+  let m2 = Flat.mark db in
+  Flat.clear_rel db "p";
+  checki "cleared" 0 (Flat.cardinal db "p");
+  Flat.rollback db m2;
+  checki "clear rolled back" 8 (Flat.cardinal db "p")
+
+(* Model property: an [Fset] driven by random add/remove/mem and
+   mark/rollback/commit sequences agrees with a reference [Set.Make]
+   at every step — through growth, tombstone reuse, removal-triggered
+   compaction, and journal rollback. *)
+module Imodel = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+let prop_fset_model =
+  QCheck.Test.make
+    ~name:"Fset = Set.Make model (ops and journal through resizes)" ~count:300
+    QCheck.(list (pair (int_range 0 5) (int_range 0 40)))
+    (fun ops ->
+      let s = Fset.create ~capacity:8 () in
+      let model = ref Imodel.empty in
+      let marks = ref [] in
+      let ok = ref true in
+      let check b = ok := !ok && b in
+      List.iter
+        (fun (op, i) ->
+          (* Fresh boxes each call: membership must be by content. *)
+          let t = [| i land 7; i |] in
+          let k = [ i land 7; i ] in
+          match op with
+          | 0 ->
+            check (Fset.add s t = not (Imodel.mem k !model));
+            model := Imodel.add k !model
+          | 1 ->
+            check (Fset.remove s t = Imodel.mem k !model);
+            model := Imodel.remove k !model
+          | 2 -> check (Fset.mem s t = Imodel.mem k !model)
+          | 3 -> marks := (Fset.mark s, !model) :: !marks
+          | 4 -> (
+            match !marks with
+            | (m, snap) :: rest ->
+              Fset.rollback s m;
+              model := snap;
+              marks := rest
+            | [] -> ())
+          | _ -> (
+            match !marks with
+            | (m, _) :: rest ->
+              Fset.commit s m;
+              marks := rest
+            | [] -> ()))
+        ops;
+      let elems =
+        List.sort compare (List.map Array.to_list (Fset.elements s))
+      in
+      !ok
+      && Fset.cardinal s = Imodel.cardinal !model
+      && elems = Imodel.elements !model)
+
 (* The id-native strand executor produces the same head multiset as the
    boxed one over the same delta batch. *)
 let test_ideval_execute_batch () =
@@ -1913,11 +2080,17 @@ let () =
         [
           Alcotest.test_case "tuple id boundary" `Quick test_intern_tuple_ids;
           Alcotest.test_case "fset ops" `Quick test_fset_ops;
+          Alcotest.test_case "fset compaction" `Quick test_fset_compaction;
+          Alcotest.test_case "shared frozen empty relation" `Quick
+            test_flat_shared_empty;
+          Alcotest.test_case "restrict preserves version" `Quick
+            test_flat_restrict_version;
+          Alcotest.test_case "undo journal" `Quick test_flat_journal;
           Alcotest.test_case "flat db ops" `Quick test_flat_db_ops;
           Alcotest.test_case "id strand batch executor" `Quick
             test_ideval_execute_batch;
         ]
-        @ qsuite [ prop_ideval_equals_eval ] );
+        @ qsuite [ prop_fset_model; prop_ideval_equals_eval ] );
       ( "index",
         [
           Alcotest.test_case "lookup" `Quick test_store_lookup;
