@@ -1,5 +1,5 @@
 (* Smoke check for the benchmark ledger: BENCH_ndlog.json must parse
-   as a schema-8 document carrying a non-empty E7 sweep (indexed vs.
+   as a schema-9 document carrying a non-empty E7 sweep (indexed vs.
    baseline timings), an E8 sharded sweep with per-domain timings, an
    E11 sweep (batched vs. per-tuple delta joins, with the enumeration
    reduction recorded per row), an E12 sweep (the distributed
@@ -14,7 +14,11 @@
    and the refresh share of the measurement window), an E15 section
    (per-probe representation costs,
    every operation with a positive ns/op and a positive id-probe
-   speedup), and a run-history array.  Run by the @bench-smoke alias
+   speedup), an E16 section — new in schema 9 — (the socket transport:
+   one run per ring size, each across one real OS process per node,
+   with positive wall clock and wire traffic and the per-node
+   fixpoints attested equal to the simulator backend's), and a
+   run-history array.  Run by the @bench-smoke alias
    so a broken emitter (or a regression that stops a sweep from
    completing, a run diverging from its baseline fixpoint, or
    batching/incrementality losing its enumeration win) fails the
@@ -46,8 +50,8 @@ let () =
   | Error e -> fail "%s: does not parse: %s" path e
   | Ok v ->
     (match Json.member "schema" v with
-    | Some (Json.Int 8) -> ()
-    | _ -> fail "%s: missing schema=8" path);
+    | Some (Json.Int 9) -> ()
+    | _ -> fail "%s: missing schema=9" path);
     List.iter
       (fun k ->
         match Json.member k v with
@@ -55,7 +59,7 @@ let () =
         | None -> fail "%s: missing top-level %S" path k)
       [
         "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "e11"; "e12"; "e13";
-        "e14"; "e15"; "history";
+        "e14"; "e15"; "e16"; "history";
       ];
     (* E7: index layer on vs. off. *)
     let e7 = Option.get (Json.member "e7" v) in
@@ -272,6 +276,45 @@ let () =
     (match Json.member "probe_speedup" e15 with
     | Some (Json.Float s) when s > 0.0 -> ()
     | _ -> fail "%s: e15 lacks a positive probe_speedup" path);
+    (* E16 (schema 9): the socket transport across real OS processes.
+       Every run must carry positive wall clock and wire traffic, one
+       process per node, and the fixpoint-equality attestation against
+       the simulator backend. *)
+    let e16 = Option.get (Json.member "e16" v) in
+    let e16_runs =
+      match Option.bind (Json.member "runs" e16) Json.as_arr with
+      | Some (_ :: _ as r) -> r
+      | _ -> fail "%s: empty or missing e16 runs" path
+    in
+    let mp_num row k =
+      match Json.member k row with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int n) -> float_of_int n
+      | _ -> fail "%s: e16 run lacks numeric %S" path k
+    in
+    List.iteri
+      (fun i row ->
+        require_fields path "e16" i row
+          [
+            "nodes"; "processes"; "wall_s"; "sim_wall_s"; "data_frames";
+            "data_bytes"; "inserts"; "polls"; "sim_messages";
+            "same_fixpoint";
+          ];
+        List.iter
+          (fun k ->
+            if mp_num row k <= 0.0 then
+              fail "%s: e16 run %d has non-positive %S" path i k)
+          [
+            "wall_s"; "sim_wall_s"; "data_frames"; "data_bytes"; "inserts";
+            "polls";
+          ];
+        if mp_num row "processes" <> mp_num row "nodes" then
+          fail "%s: e16 run %d is not one process per node" path i;
+        require_same_fixpoint path "e16" i row)
+      e16_runs;
+    (match Json.member "all_same_fixpoint" e16 with
+    | Some (Json.Bool true) -> ()
+    | _ -> fail "%s: e16 fixpoints diverge from the simulator" path);
     (* History: at least the run that wrote this file. *)
     let history =
       match Option.bind (Json.member "history" v) Json.as_arr with
@@ -285,8 +328,8 @@ let () =
       history;
     Fmt.pr
       "%s: ok (%d e7 rows, %d e8 rows, %d e11 rows, %d e12 rows, %d e13 \
-       rows, %d e14 runs, %d e15 ops, %d history entries)@."
+       rows, %d e14 runs, %d e15 ops, %d e16 runs, %d history entries)@."
       path (List.length sweeps) (List.length shard_sweeps)
       (List.length batch_sweeps) (List.length inbox_sweeps)
       (List.length incr_sweeps) (List.length e14_runs)
-      (List.length e15_ops) (List.length history)
+      (List.length e15_ops) (List.length e16_runs) (List.length history)

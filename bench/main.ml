@@ -1241,8 +1241,8 @@ let churn_point ~n ~events ~reps : churn_row * churn_row =
   done;
   (churn_median !rows_i, churn_median !rows_b)
 
-(* The machine-readable ledger (BENCH_ndlog.json, schema 8).
-   E7, E8, E11–E15 stash their sweep rows here; the driver emits one
+(* The machine-readable ledger (BENCH_ndlog.json, schema 9).
+   E7, E8, E11–E16 stash their sweep rows here; the driver emits one
    document at the end of the run.  The previous ledger's run history is
    carried forward and the finished run appended, so the committed file
    records how the numbers moved across regenerations. *)
@@ -1271,6 +1271,24 @@ let e14_rows : churn_row list ref = ref []
 type xlate_row = { xl_op : string; xl_ns : float }
 
 let e15_rows : xlate_row list ref = ref []
+
+(* E16: the socket transport against the simulator backend.  One row
+   per ring size: the supervisor forks a real OS process per node and
+   the same program runs on the virtual-clock simulator; both fixpoints
+   must agree node by node. *)
+type mproc_row = {
+  mp_nodes : int;  (* ring size = worker process count *)
+  mp_wall_s : float;  (* fork to detected quiescence, wall clock *)
+  mp_sim_wall_s : float;  (* the simulator backend on the same input *)
+  mp_frames : int;  (* cross-process data frames *)
+  mp_bytes : int;  (* their wire bytes, length prefixes included *)
+  mp_inserts : int;  (* tuple insertions summed over workers *)
+  mp_polls : int;  (* quiescence polls until convergence *)
+  mp_sim_msgs : int;  (* messages the simulator shipped *)
+  mp_same : bool;  (* per-node fixpoints equal across backends *)
+}
+
+let e16_rows : mproc_row list ref = ref []
 
 let emit_bench_json () =
   let e7_row r =
@@ -1500,6 +1518,37 @@ let emit_bench_json () =
   let e15_translation_overhead =
     e15_ratio "translate boxed->ids (tuple_ids)" "boxed tuple equal"
   in
+  let e16_row r =
+    Json.Obj
+      [
+        ("nodes", Json.Int r.mp_nodes);
+        ("processes", Json.Int r.mp_nodes);
+        ("wall_s", Json.Float r.mp_wall_s);
+        ("sim_wall_s", Json.Float r.mp_sim_wall_s);
+        ("data_frames", Json.Int r.mp_frames);
+        ("data_bytes", Json.Int r.mp_bytes);
+        ("inserts", Json.Int r.mp_inserts);
+        ("polls", Json.Int r.mp_polls);
+        ("sim_messages", Json.Int r.mp_sim_msgs);
+        ("same_fixpoint", Json.Bool r.mp_same);
+      ]
+  in
+  let e16_largest =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some best when best.mp_nodes >= r.mp_nodes -> acc
+        | _ -> Some r)
+      None !e16_rows
+  in
+  let e16_all_same =
+    match !e16_rows with
+    | [] -> Json.Null
+    | rows -> Json.Bool (List.for_all (fun r -> r.mp_same) rows)
+  in
+  let e16_find f =
+    match e16_largest with Some r -> f r | None -> Json.Null
+  in
   let now = int_of_float (Unix.time ()) in
   let host_cores = Domain.recommended_domain_count () in
   (* Carry the previous ledger's history forward; a missing, unreadable
@@ -1537,12 +1586,16 @@ let emit_bench_json () =
           e14_find "ids" (fun r -> Json.Float r.ch_p99_us) );
         ("e15_rows", Json.Int (List.length !e15_rows));
         ("e15_probe_speedup", e15_probe_speedup);
+        ("e16_rows", Json.Int (List.length !e16_rows));
+        ("e16_largest_processes", e16_find (fun r -> Json.Int r.mp_nodes));
+        ("e16_largest_wall_s", e16_find (fun r -> Json.Float r.mp_wall_s));
+        ("e16_all_same_fixpoint", e16_all_same);
       ]
   in
   Json.to_file bench_json_path
     (Json.Obj
        [
-         ("schema", Json.Int 8);
+         ("schema", Json.Int 9);
          ("quick", Json.Bool !quick);
          ("host_cores", Json.Int host_cores);
          ("unix_time", Json.Int now);
@@ -1627,6 +1680,19 @@ let emit_bench_json () =
                ( "translation_overhead_vs_boxed_probe",
                  e15_translation_overhead );
                ("ops", Json.Arr (List.map e15_row !e15_rows));
+             ] );
+         (* Multi-process runs (schema 9): the socket transport's wall
+            clock and wire traffic, with the fixpoint-equality claim
+            against the simulator backend carried as data. *)
+         ( "e16",
+           Json.Obj
+             [
+               ("all_same_fixpoint", e16_all_same);
+               ("largest_processes", e16_find (fun r -> Json.Int r.mp_nodes));
+               ("largest_wall_s", e16_find (fun r -> Json.Float r.mp_wall_s));
+               ( "largest_data_bytes",
+                 e16_find (fun r -> Json.Int r.mp_bytes) );
+               ("runs", Json.Arr (List.map e16_row !e16_rows));
              ] );
          ("history", Json.Arr (prior_history @ [ entry ]));
        ]);
@@ -2125,6 +2191,82 @@ let e15 () =
     (ns "translate boxed->ids (tuple_ids)" /. ns "boxed tuple equal")
 
 (* ------------------------------------------------------------------ *)
+(* E16: real processes over real sockets. *)
+
+let e16 () =
+  banner "e16" "path vector across real OS processes"
+    "declarative networks execute on real distributed nodes, not just in \
+     simulation — the same program, unchanged, over a real transport \
+     (Section 3)";
+  let sizes = if !quick then [ 4; 6 ] else [ 4; 8; 12 ] in
+  let point n =
+    let links = Ndlog.Programs.ring_links n in
+    let loc =
+      match
+        Ndlog.Localize.rewrite_program
+          (Ndlog.Programs.with_links (Ndlog.Programs.path_vector ()) links)
+      with
+      | Ok r -> r.Ndlog.Localize.program
+      | Error _ -> assert false
+    in
+    let topo = topo_of_link_facts links in
+    let res, wall_s = wall (fun () -> Dist.Supervisor.run topo loc) in
+    let rt = Dist.Runtime.create topo loc in
+    Dist.Runtime.load_facts rt;
+    let rep, sim_wall_s = wall (fun () -> Dist.Runtime.run rt) in
+    if not rep.Dist.Runtime.stats.Netsim.Sim.quiesced then
+      failwith (Fmt.str "E16 ring %d: simulator run did not quiesce" n);
+    let same =
+      List.for_all
+        (fun (node, store) ->
+          Ndlog.Store.equal store (Dist.Runtime.node_store rt node))
+        res.Dist.Supervisor.stores
+      && List.length res.Dist.Supervisor.stores = n
+    in
+    (* The equivalence claim is part of the benchmark: a divergence
+       between the socket transport and the simulator fails the run
+       (and the bench-smoke alias) loudly. *)
+    if not same then
+      failwith (Fmt.str "E16 ring %d: socket fixpoints diverge from sim" n);
+    {
+      mp_nodes = n;
+      mp_wall_s = wall_s;
+      mp_sim_wall_s = sim_wall_s;
+      mp_frames = res.Dist.Supervisor.data_frames;
+      mp_bytes = res.Dist.Supervisor.data_bytes;
+      mp_inserts = res.Dist.Supervisor.total_inserts;
+      mp_polls = res.Dist.Supervisor.polls;
+      mp_sim_msgs = rep.Dist.Runtime.stats.Netsim.Sim.messages_sent;
+      mp_same = same;
+    }
+  in
+  let rows = List.map point sizes in
+  e16_rows := rows;
+  table
+    [
+      "ring n"; "procs"; "wall"; "sim wall"; "frames"; "wire bytes";
+      "inserts"; "polls"; "same fixpoint";
+    ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.mp_nodes;
+           string_of_int r.mp_nodes;
+           Fmt.str "%.3f s" r.mp_wall_s;
+           Fmt.str "%.3f s" r.mp_sim_wall_s;
+           string_of_int r.mp_frames;
+           string_of_int r.mp_bytes;
+           string_of_int r.mp_inserts;
+           string_of_int r.mp_polls;
+           string_of_bool r.mp_same;
+         ])
+       rows);
+  Fmt.pr
+    "every ring converged across real processes to the simulator's exact \
+     per-node fixpoints — the transport changes the clock and the wire, \
+     not the semantics@."
+
+(* ------------------------------------------------------------------ *)
 (* E9: soft-state rewrite overhead. *)
 
 let e9 () =
@@ -2344,12 +2486,16 @@ let a3 () =
     "the rewrite's overhead is one message per directed link — constant per \
      edge, independent of route churn@."
 
+(* E16 is listed (and must be selected) before E8: the supervisor
+   forks worker processes, and OCaml forbids [Unix.fork] once any
+   domain has been spawned — even a joined one.  E8's shard pool
+   spawns domains, so a run that does both must fork first. *)
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("a1", a1);
-    ("a2", a2); ("a3", a3);
+    ("e7", e7); ("e16", e16); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("a1", a1); ("a2", a2); ("a3", a3);
   ]
 
 let () =
@@ -2362,7 +2508,7 @@ let () =
           quick := true;
           false
         | "json" ->
-          (* Emit the machine-readable E7/E8/E11–E15 ledger
+          (* Emit the machine-readable E7/E8/E11–E16 ledger
              (BENCH_ndlog.json). *)
           json_out := true;
           false

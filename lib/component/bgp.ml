@@ -381,13 +381,19 @@ let run ?(max_rounds = 200) (c : config) ~(schedule : schedule) : outcome =
     | Sync -> pairs
     | Pair_round_robin -> [ List.nth pairs (round mod List.length pairs) ]
     | Pair_random _ ->
-      let st = Option.get rng in
+      let st =
+        Spp.Solver.schedule_rng ~component:"Component.Bgp.run"
+          ~schedule:"Pair_random" rng
+      in
       [ List.nth pairs (Random.State.int st (List.length pairs)) ]
     | Subset_random _ ->
       (* High activation probability: rounds are nearly synchronous, so
          conflicting ASes usually move together (sustaining the
          oscillation) and only occasional asymmetry resolves it. *)
-      let st = Option.get rng in
+      let st =
+        Spp.Solver.schedule_rng ~component:"Component.Bgp.run"
+          ~schedule:"Subset_random" rng
+      in
       let chosen =
         List.filter (fun _ -> Random.State.float st 1.0 < 0.85) pairs
       in

@@ -62,12 +62,16 @@ module Fset = Flat.Fset
 module Ideval = Ndlog.Ideval
 module Sset = Ast.Sset
 
-type msg = {
+(* The message type lives in {!Wire} (the framing layer needs it);
+   re-exported here so existing users keep reading [Runtime.msg]. *)
+type msg = Wire.msg = {
   pred : string;
   tuple : Store.Tuple.t;
   (* The flat payload when the sender runs id-natively: the receiver
      inserts by ids without re-probing the intern table.  [tuple] is
-     always the canonical boxed form — traces and debugging read it. *)
+     always the canonical boxed form — traces and debugging read it.
+     In-process only: cross-process frames drop it at encode (id
+     spaces are per-process; see {!Wire}). *)
   ids : int array option;
 }
 
@@ -146,11 +150,17 @@ type node_state = {
 type t = {
   program : Ast.program;
   info : Analysis.info;
-  sim : msg Netsim.Sim.t;
+  (* Where messages, timers, and the clock actually live: the
+     virtual-clock simulator by default ({!Transport.of_sim}), real
+     sockets under a supervisor ({!Socket.transport}).  All protocol
+     logic below is backend-agnostic. *)
+  transport : Transport.t;
   nodes : (string, node_state) Hashtbl.t;
-  (* Node names in sorted order: every whole-network iteration (view
-     refresh, fact broadcast) walks this list, so message enqueue order
-     never depends on hash-table internals. *)
+  (* Hosted node names in sorted order: every whole-network iteration
+     (view refresh, fact broadcast) walks this list, so message enqueue
+     order never depends on hash-table internals.  Under the default
+     transport this is every topology node; a multi-process run gives
+     each runtime its own subset ([?hosted]). *)
   node_names : string list;
   batch_inbox : bool;
   (* Predicates computed as refreshed views (aggregate strata and their
@@ -390,12 +400,27 @@ let owner_of_ids (loc : int option) (ids : int array) : string option =
   | _ -> None
 
 let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views ?tuple_ids
-    (topo : Netsim.Topology.t) (program : Ast.program) : t =
+    ?transport ?hosted (topo : Netsim.Topology.t) (program : Ast.program) : t =
   (match Ndlog.Localize.check_localized program with
   | Ok () -> ()
   | Error e -> raise (Not_localized (Fmt.str "%a" Ndlog.Localize.pp_error e)));
   let info = Analysis.analyze_exn program in
-  let sim = Netsim.Sim.create ~seed topo in
+  let transport =
+    match transport with
+    | Some tr -> tr
+    | None -> Transport.of_sim (Netsim.Sim.create ~seed topo)
+  in
+  (* The nodes this runtime actually hosts: all of them by default, a
+     subset when several runtimes (typically in several processes)
+     split the topology between them. *)
+  let hosted =
+    match hosted with Some l -> l | None -> Netsim.Topology.nodes topo
+  in
+  List.iter
+    (fun n ->
+      if not (List.mem n (Netsim.Topology.nodes topo)) then
+        invalid_arg ("Dist.Runtime: hosted node not in topology: " ^ n))
+    hosted;
   let nodes = Hashtbl.create 16 in
   List.iter
     (fun n ->
@@ -424,7 +449,7 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views ?tuple_ids
           store_cache = None;
           fview_holes = [];
         })
-    (Netsim.Topology.nodes topo);
+    hosted;
   let view_preds, view_program, pipeline_program = split_views program in
   check_remote_views program view_program;
   let strands = Hashtbl.create 32 in
@@ -482,9 +507,9 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views ?tuple_ids
     {
       program = pipeline_program;
       info;
-      sim;
+      transport;
       nodes;
-      node_names = List.sort String.compare (Netsim.Topology.nodes topo);
+      node_names = List.sort String.compare hosted;
       batch_inbox;
       view_preds;
       view_set = List.fold_left (fun s p -> Sset.add p s) Sset.empty view_preds;
@@ -505,8 +530,9 @@ let rec create ?(seed = 42) ?(batch_inbox = true) ?incremental_views ?tuple_ids
      directly in per-message mode, through the inbox otherwise. *)
   List.iter
     (fun n ->
-      Netsim.Sim.set_handler sim n (fun _sim ~self ~src:_ m -> receive t self m))
-    (Netsim.Topology.nodes topo);
+      t.transport.Transport.set_handler n (fun ~self ~src:_ m ->
+          receive t self m))
+    hosted;
   t
 
 and node t name =
@@ -518,7 +544,7 @@ and node t name =
 and emit t (self : string) (loc : int option) pred tuple =
   match tuple_location loc tuple with
   | Some owner when owner <> self ->
-    ignore (Netsim.Sim.send t.sim ~src:self ~dst:owner { pred; tuple; ids = None })
+    ignore (t.transport.Transport.send ~src:self ~dst:owner { pred; tuple; ids = None })
   | _ -> insert t self pred tuple
 
 (* Id twin of [emit]: the message carries both forms — the boxed tuple
@@ -527,7 +553,7 @@ and emit_ids t (self : string) (loc : int option) pred tuple ids =
   match tuple_location loc tuple with
   | Some owner when owner <> self ->
     ignore
-      (Netsim.Sim.send t.sim ~src:self ~dst:owner { pred; tuple; ids = Some ids })
+      (t.transport.Transport.send ~src:self ~dst:owner { pred; tuple; ids = Some ids })
   | _ -> insert_ids t self pred ids tuple
 
 (* Pipelined semi-naive: react to one freshly inserted tuple by running
@@ -598,7 +624,7 @@ and mark_dirty_ids t ns pred ids =
 
 and insert t (self : string) pred (tuple : Store.Tuple.t) =
   let ns = node t self in
-  let now = Netsim.Sim.now t.sim in
+  let now = t.transport.Transport.now () in
   (* Refresh the soft-state lease even when the tuple is known. *)
   ns.expiry <- Softstate.Expiry.insert ns.expiry ~now pred tuple;
   if Softstate.Expiry.is_soft ns.expiry pred then schedule_expiry t self;
@@ -620,7 +646,7 @@ and insert t (self : string) pred (tuple : Store.Tuple.t) =
 and insert_ids t (self : string) pred (ids : int array)
     (tuple : Store.Tuple.t) =
   let ns = node t self in
-  let now = Netsim.Sim.now t.sim in
+  let now = t.transport.Transport.now () in
   ns.expiry <- Softstate.Expiry.insert ns.expiry ~now pred tuple;
   if Softstate.Expiry.is_soft ns.expiry pred then schedule_expiry t self;
   if Flat.add ns.fdb pred ids then begin
@@ -649,7 +675,7 @@ and receive t (self : string) (m : msg) =
     ns.inbox <- (m.pred, m.tuple, m.ids) :: ns.inbox;
     if not ns.flush_scheduled then begin
       ns.flush_scheduled <- true;
-      Netsim.Sim.schedule t.sim ~delay:0.0 (fun () -> flush t self)
+      t.transport.Transport.schedule ~delay:0.0 (fun () -> flush t self)
     end
   end
 
@@ -664,7 +690,7 @@ and flush t (self : string) =
     ns.flush_scheduled <- false;
     let arrivals = List.rev ns.inbox in
     ns.inbox <- [];
-    let now = Netsim.Sim.now t.sim in
+    let now = t.transport.Transport.now () in
     let any_soft = ref false in
     let fresh_rev = ref [] in
     List.iter
@@ -710,7 +736,7 @@ and flush_ids t (self : string) =
   ns.flush_scheduled <- false;
   let arrivals = List.rev ns.inbox in
   ns.inbox <- [];
-  let now = Netsim.Sim.now t.sim in
+  let now = t.transport.Transport.now () in
   let any_soft = ref false in
   let fresh_rev = ref [] in
   List.iter
@@ -756,8 +782,8 @@ and schedule_expiry t self =
   | Some deadline ->
     if deadline < ns.sweep_armed then begin
       ns.sweep_armed <- deadline;
-      let delay = max 0.0 (deadline -. Netsim.Sim.now t.sim) +. 1e-9 in
-      Netsim.Sim.schedule t.sim ~delay (fun () ->
+      let delay = max 0.0 (deadline -. t.transport.Transport.now ()) +. 1e-9 in
+      t.transport.Transport.schedule ~delay (fun () ->
           if ns.sweep_armed = deadline then begin
             ns.sweep_armed <- infinity;
             sweep t self
@@ -777,7 +803,7 @@ and sweep t self =
    this boundary crossing stays off the hot path. *)
 and sweep_ids t self =
   let ns = node t self in
-  let now = Netsim.Sim.now t.sim in
+  let now = t.transport.Transport.now () in
   let dead, expiry' = Softstate.Expiry.expired ns.expiry ~now in
   let removed =
     List.filter_map
@@ -809,7 +835,7 @@ and sweep_ids t self =
 
 and sweep_boxed t self =
   let ns = node t self in
-  let now = Netsim.Sim.now t.sim in
+  let now = t.transport.Transport.now () in
   let store', removed, expiry' =
     Softstate.Expiry.sweep_report ns.expiry ~now ns.store
   in
@@ -850,7 +876,7 @@ and sweep_boxed t self =
 and request_refresh t =
   if not t.refresh_pending then begin
     t.refresh_pending <- true;
-    Netsim.Sim.schedule t.sim ~delay:0.0 (fun () ->
+    t.transport.Transport.schedule ~delay:0.0 (fun () ->
         t.refresh_pending <- false;
         refresh_views t)
   end
@@ -1159,7 +1185,7 @@ and refresh_node_ids t self =
         List.iter
           (fun (tuple, ids) ->
             ignore
-              (Netsim.Sim.send t.sim ~src:self
+              (t.transport.Transport.send ~src:self
                  ~dst:(owner_exn locopt pred tuple)
                  { pred; tuple; ids = Some ids }))
           (List.sort (fun (a, _) (b, _) -> Store.Tuple.compare a b) !to_ship);
@@ -1235,7 +1261,7 @@ and refresh_node t self =
       Store.Tset.iter
         (fun tuple ->
           ignore
-            (Netsim.Sim.send t.sim ~src:self
+            (t.transport.Transport.send ~src:self
                ~dst:(owner_exn (Hashtbl.find_opt locs pred) pred tuple)
                { pred; tuple; ids = None }))
         (Store.Tset.diff remote_new already);
@@ -1260,7 +1286,7 @@ and ensure_renewal t self pred lifetime =
   let ns = node t self in
   if not (Hashtbl.mem ns.renewing pred) then begin
     Hashtbl.replace ns.renewing pred ();
-    Netsim.Sim.schedule t.sim ~delay:(lifetime /. 2.0) (fun () ->
+    t.transport.Transport.schedule ~delay:(lifetime /. 2.0) (fun () ->
         renew t self pred lifetime)
   end
 
@@ -1277,7 +1303,7 @@ and renew t self pred lifetime =
       Store.Tset.iter
         (fun tuple ->
           ignore
-            (Netsim.Sim.send t.sim ~src:self
+            (t.transport.Transport.send ~src:self
                ~dst:(owner_exn (Hashtbl.find_opt locs pred) pred tuple)
                { pred; tuple; ids = None }))
         set;
@@ -1297,7 +1323,7 @@ and renew_ids t self pred lifetime =
     List.iter
       (fun (tuple, ids) ->
         ignore
-          (Netsim.Sim.send t.sim ~src:self
+          (t.transport.Transport.send ~src:self
              ~dst:(owner_exn (Hashtbl.find_opt locs pred) pred tuple)
              { pred; tuple; ids = Some ids }))
       (List.sort
@@ -1332,22 +1358,26 @@ let insert t self pred tuple =
 (* Driving a run. *)
 
 (* Load the program's facts into their owning nodes (at time zero, via
-   zero-delay self events so ordering is deterministic). *)
+   zero-delay self events so ordering is deterministic).  Facts owned
+   by nodes this runtime does not host are someone else's to load: in a
+   multi-process run every worker calls [load_facts] on the same
+   program and each fact lands exactly once, at its owner's host. *)
 let load_facts t =
   List.iter
     (fun (f : Ast.fact) ->
       let tuple = Array.of_list f.Ast.fact_args in
       match tuple_location f.Ast.fact_loc tuple with
-      | Some owner ->
-        Netsim.Sim.schedule t.sim ~delay:0.0 (fun () ->
+      | Some owner when Hashtbl.mem t.nodes owner ->
+        t.transport.Transport.schedule ~delay:0.0 (fun () ->
             insert t owner f.Ast.fact_pred tuple)
+      | Some _ -> ()
       | None ->
         (* Unlocated facts are broadcast to every node, in sorted node
            order so the event queue's tie-breaker sees a deterministic
            sequence. *)
         List.iter
           (fun owner ->
-            Netsim.Sim.schedule t.sim ~delay:0.0 (fun () ->
+            t.transport.Transport.schedule ~delay:0.0 (fun () ->
                 insert t owner f.Ast.fact_pred tuple))
           t.node_names)
     t.program.Ast.facts
@@ -1380,7 +1410,7 @@ let run ?(until = infinity) ?(max_events = 1_000_000) t =
      separately. *)
   let before_joins = Eval.snapshot t.joins in
   let before_wire = Eval.snapshot t.wire in
-  let stats = Netsim.Sim.run ~until ~max_events t.sim in
+  let stats = t.transport.Transport.run ~until ~max_events in
   let wire_stats = diff_stats (Eval.snapshot t.wire) before_wire in
   let view_stats = diff_stats (Eval.snapshot t.joins) before_joins in
   let total_inserts =
@@ -1417,6 +1447,9 @@ let node_store t name =
   let ns = node t name in
   if t.tuple_ids then materialized ns else ns.store
 
+let total_inserts t =
+  Hashtbl.fold (fun _ ns acc -> acc + ns.inserts) t.nodes 0
+
 (* Introspection for the incremental-refresh test harness. *)
 let dirty_preds t name = Sset.elements (node t name).dirty
 let node_leases t name = Softstate.Expiry.bindings (node t name).expiry
@@ -1425,4 +1458,10 @@ let tuple_ids t = t.tuple_ids
 let refresh_seconds t = t.refresh_wall
 let refresh_walks t = t.refresh_walks
 
-let simulator t = t.sim
+let simulator t =
+  match t.transport.Transport.sim with
+  | Some sim -> sim
+  | None ->
+    invalid_arg
+      "Dist.Runtime.simulator: this runtime is not backed by the simulator \
+       transport"

@@ -47,11 +47,13 @@
     bit-identical node stores, fixpoints, message traces, and lease
     tables (qcheck property in the dist test suite). *)
 
-(** A tuple on the wire.  [tuple] is always the canonical boxed form;
-    [ids] carries the flat (interned-id) payload when the sender runs
-    id-natively, so the receiver inserts without re-probing the intern
-    table. *)
-type msg = {
+(** A tuple on the wire (defined in {!Wire}, re-exported here).
+    [tuple] is always the canonical boxed form; [ids] carries the flat
+    (interned-id) payload when the sender runs id-natively, so the
+    receiver inserts without re-probing the intern table — in-process
+    only: cross-process frames drop it at encode (id spaces are
+    per-process). *)
+type msg = Wire.msg = {
   pred : string;
   tuple : Ndlog.Store.Tuple.t;
   ids : int array option;
@@ -97,12 +99,24 @@ val create :
   ?batch_inbox:bool ->
   ?incremental_views:bool ->
   ?tuple_ids:bool ->
+  ?transport:Transport.t ->
+  ?hosted:string list ->
   Netsim.Topology.t ->
   Ndlog.Ast.program ->
   t
 (** [batch_inbox] (default [true]) drains each node's same-instant
     message deliveries as one batch per triggered strand; [false] is
     the per-message baseline.
+    [transport] is where messages, timers, and the clock live: by
+    default a fresh virtual-clock simulator over [topo]
+    ({!Transport.of_sim} — bit-identical to the pre-transport runtime),
+    or a socket reactor ({!Socket.transport}) when this runtime is one
+    process of a multi-process run.  [seed] seeds the default
+    simulator and is ignored when [transport] is given.
+    [hosted] restricts this runtime to a subset of the topology's
+    nodes (default: all of them).  Only hosted nodes get stores,
+    handlers, fact loads, and view-refresh walks; messages to
+    non-hosted nodes go out through the transport.
     [incremental_views] selects the view refresh mode (default: [true],
     unless environment variable [FVN_INCREMENTAL_VIEWS] is set to [0],
     [false], [no], or [off] — the hook the test suite's oracle pass
@@ -159,6 +173,11 @@ val global_store : t -> Ndlog.Store.t
 
 val node_store : t -> string -> Ndlog.Store.t
 
+val total_inserts : t -> int
+(** Local tuple insertions across hosted nodes since {!create} (the
+    cumulative form of {!run_report}'s per-run field — what a worker
+    reports in its quiescence {!Wire.status}). *)
+
 val dirty_preds : t -> string -> string list
 (** The node's currently dirty base predicates (sorted) — empty right
     after a refresh, and always empty when incremental refresh is off.
@@ -182,3 +201,7 @@ val refresh_walks : t -> int
 (** Number of view-refresh walks performed since {!create}. *)
 
 val simulator : t -> msg Netsim.Sim.t
+(** The backing simulator — failure injection and tracing hooks for
+    tests and benchmarks.
+    @raise Invalid_argument when the runtime rides a non-simulator
+    transport (sockets have no virtual clock to script). *)

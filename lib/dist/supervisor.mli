@@ -1,0 +1,55 @@
+(** The node supervisor: one OS process per topology node, wired over
+    Unix-domain sockets.
+
+    {!run} forks a worker per node.  Workers host their node in a
+    {!Runtime} over the {!Socket} transport, connected by a
+    pre-created [socketpair] full mesh (no listeners, no connect
+    races); the program and topology reach them through the fork's
+    heap, so nothing is serialized to start a run — only tuples cross
+    process boundaries afterwards, in canonical boxed form
+    ({!Wire}).
+
+    Convergence is detected by a quiescence poll over per-worker
+    control channels: the run is converged when two consecutive polls
+    return identical snapshots in which every worker is idle and
+    Σ sent = Σ received across workers (an in-flight frame makes the
+    sums differ).  Sound for terminating (hard-state) programs; a
+    soft-state program with perpetual renewal timers never quiesces in
+    wall-clock time — run those on the simulator backend.  Every
+    control read is bounded by [read_timeout], so a dead or hung
+    worker fails the run with {!Wire.Frame_error} [Read_timeout]
+    instead of hanging it. *)
+
+type result = {
+  stores : (string * Ndlog.Store.t) list;
+      (** per node, the final fixpoint (re-interned supervisor-side) —
+          directly comparable against {!Runtime.node_store} of a
+          simulator-backed run on the same topology and program *)
+  wall_seconds : float;  (** fork to detected convergence *)
+  data_frames : int;
+      (** cross-process data frames, summed over workers *)
+  data_bytes : int;  (** their wire bytes, length prefixes included *)
+  total_inserts : int;  (** tuple insertions, summed over workers *)
+  polls : int;  (** quiescence polls until convergence *)
+  workers : int;
+}
+
+exception Convergence_timeout of { polls : int; last : Wire.status list }
+(** [max_polls] snapshots went by without two consecutive stable ones:
+    the program is still making progress (or never terminates). *)
+
+val run :
+  ?read_timeout:float ->
+  ?poll_interval:float ->
+  ?max_polls:int ->
+  Netsim.Topology.t ->
+  Ndlog.Ast.program ->
+  result
+(** Run [program] (localized; see {!Runtime.create}) to quiescence
+    across one process per node of [topo].  [read_timeout] (default
+    10s) bounds every control-channel read; [poll_interval] (default
+    20ms) spaces quiescence polls; [max_polls] (default 500) bounds
+    the convergence wait.
+    @raise Invalid_argument on fewer than two nodes.
+    @raise Convergence_timeout when the poll budget runs out.
+    @raise Wire.Frame_error when a worker dies or hangs. *)

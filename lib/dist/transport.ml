@@ -1,0 +1,31 @@
+(* The runtime's view of "the network": a record of closures, so the
+   distributed runtime is generic over where its messages actually go —
+   the in-process virtual-clock simulator ({!of_sim}, the default and
+   the differential oracle) or real sockets between real processes
+   ({!Socket.transport}).  A record rather than a functor keeps
+   {!Runtime.t} monomorphic and the backend swappable at runtime. *)
+
+type t = {
+  now : unit -> float;
+      (* the backend's clock: virtual for the simulator, wall-clock
+         (epoch-relative) for sockets *)
+  send : src:string -> dst:string -> Wire.msg -> bool;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  set_handler : string -> (self:string -> src:string -> Wire.msg -> unit) -> unit;
+  run : until:float -> max_events:int -> Netsim.Sim.stats;
+  sim : Wire.msg Netsim.Sim.t option;
+      (* the underlying simulator when there is one: failure injection
+         and tracing are simulator-only affordances *)
+}
+
+let of_sim (sim : Wire.msg Netsim.Sim.t) : t =
+  {
+    now = (fun () -> Netsim.Sim.now sim);
+    send = (fun ~src ~dst m -> Netsim.Sim.send sim ~src ~dst m);
+    schedule = (fun ~delay f -> Netsim.Sim.schedule sim ~delay f);
+    set_handler =
+      (fun node h ->
+        Netsim.Sim.set_handler sim node (fun _sim ~self ~src m -> h ~self ~src m));
+    run = (fun ~until ~max_events -> Netsim.Sim.run ~until ~max_events sim);
+    sim = Some sim;
+  }

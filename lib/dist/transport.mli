@@ -1,0 +1,35 @@
+(** The runtime's view of "the network".
+
+    {!Runtime} routes every message, timer, and clock read through one
+    of these, so the same runtime hosts nodes inside the deterministic
+    virtual-clock simulator ({!of_sim}, the default) or over real
+    sockets between real OS processes ({!Socket.transport}) without
+    changing a line of protocol logic.
+
+    A record of closures rather than a functor: {!Runtime.t} stays
+    monomorphic and the backend is chosen per instance at runtime. *)
+
+type t = {
+  now : unit -> float;
+      (** the backend's clock — virtual seconds for the simulator,
+          epoch-relative wall-clock seconds for sockets *)
+  send : src:string -> dst:string -> Wire.msg -> bool;
+      (** route one message; [false] means dropped (no live link) *)
+  schedule : delay:float -> (unit -> unit) -> unit;
+      (** run a callback [delay] clock units from now *)
+  set_handler :
+    string -> (self:string -> src:string -> Wire.msg -> unit) -> unit;
+      (** register the delivery handler for a hosted node *)
+  run : until:float -> max_events:int -> Netsim.Sim.stats;
+      (** drive the backend until quiescence or a limit; all counters
+          in the returned stats are per-run *)
+  sim : Wire.msg Netsim.Sim.t option;
+      (** the underlying simulator when there is one — failure
+          injection and tracing are simulator-only affordances *)
+}
+
+val of_sim : Wire.msg Netsim.Sim.t -> t
+(** The in-process backend: every closure delegates straight to
+    {!Netsim.Sim}, so a runtime on this transport is bit-identical to
+    the pre-transport code path (same event order, same trace, same
+    stats). *)

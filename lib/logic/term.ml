@@ -102,6 +102,8 @@ let rec eval : t -> Value.t option = function
     let vals = List.map eval args in
     if List.exists Option.is_none vals then None
     else
+      (* [Option.get] is guarded: the [exists is_none] check just
+         above guarantees every element is [Some]. *)
       let vals = List.map Option.get vals in
       match f, vals with
       | "+", [ Value.Int a; Value.Int b ] -> Some (Value.Int (a + b))

@@ -598,6 +598,8 @@ let agg_index_shape (r : Ast.rule) : (Ast.atom * agg_slot list) option =
         | Ast.Plain _ -> None
       in
       let slots = List.map slot r.head.head_args in
+      (* [Option.get] is guarded: the [exists is_none] check just
+         above guarantees every slot is [Some]. *)
       if List.exists Option.is_none slots then None
       else Some (a, List.map Option.get slots)
   | _ -> None

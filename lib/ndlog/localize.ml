@@ -86,8 +86,14 @@ let rewrite_rule relocations (r : Ast.rule) :
       Error
         (Not_link_restricted
            (r, "no body atom connects the two location variables"))
-    | Some link ->
-      let link_loc = Option.get (loc_var_of_atom link) in
+    | Some link -> (
+      (* The linking atom must itself be located: its location index
+         and variable drive the relocation below.  [mentions_both] only
+         checked its argument list, so an unannotated link atom is
+         still possible here — a typed error, not an [Option.get]. *)
+      match link.Ast.loc, loc_var_of_atom link with
+      | None, _ | _, None -> Error (Missing_location (r, link.Ast.pred))
+      | Some link_orig_idx, Some link_loc ->
       (* Every non-link atom must live at the same, single location. *)
       let other_locs =
         List.sort_uniq String.compare
@@ -113,8 +119,7 @@ let rewrite_rule relocations (r : Ast.rule) :
               | l -> l)
             r.body
         in
-        let orig_idx = Option.get link.Ast.loc in
-        let reloc = (link.Ast.pred, orig_idx, target_idx) in
+        let reloc = (link.Ast.pred, link_orig_idx, target_idx) in
         let relocations =
           if List.mem reloc relocations then relocations
           else reloc :: relocations
@@ -130,7 +135,7 @@ let rewrite_rule relocations (r : Ast.rule) :
       | _ ->
         Error
           (Not_link_restricted
-             (r, "non-link atoms span multiple locations"))))
+             (r, "non-link atoms span multiple locations")))))
   | _, _ ->
     Error
       (Not_link_restricted

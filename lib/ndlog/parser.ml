@@ -272,6 +272,8 @@ let parse_literal p : Ast.lit =
       let e1 = Ast.Const (Value.Addr name) in
       match Lexer.next p.lx with
       | tok, _ when cmp_of_token tok <> None ->
+        (* [Option.get] is guarded by the pattern guard on this very
+           token one line up. *)
         let c = Option.get (cmp_of_token tok) in
         Ast.Cond (c, e1, parse_expr p)
       | Lexer.EQ, _ -> Ast.Cond (Ast.Eq, e1, parse_expr p)

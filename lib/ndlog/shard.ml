@@ -89,6 +89,8 @@ let body_loc_var (plan : plan) (r : Ast.rule) : (string option, string) result =
       (Ast.body_atoms r.body)
   in
   let var_of (a : Ast.atom) =
+    (* [Option.get] is guarded: [var_of] is only applied to [located]
+       atoms, filtered just above on [loc_index <> None]. *)
     let i = Option.get (loc_index plan a.pred) in
     match List.nth_opt a.args i with
     | Some (Ast.Var x) -> Ok x

@@ -56,6 +56,13 @@ let pop q =
 let peek_time q =
   match q.heap with Leaf -> None | Node (_, k, _, _, _) -> Some k.time
 
+(* Clearing also resets the insertion sequence: tie ids only order
+   events against other events in the same queue content, and the queue
+   is empty here, so restarting from 0 is observationally equivalent —
+   and it keeps a long-lived, repeatedly-cleared queue's tie ids from
+   growing without bound.  (The model test covers clear-then-push
+   tie-breaking explicitly.) *)
 let clear q =
   q.heap <- Leaf;
+  q.seq <- 0;
   q.size <- 0

@@ -18,3 +18,7 @@ val peek_time : 'a t -> float option
 (** Time of the earliest event, without removing it. *)
 
 val clear : 'a t -> unit
+(** Empty the queue.  Also resets the insertion sequence, so FIFO
+    tie-breaking restarts from scratch for subsequently pushed events
+    (equivalent behaviour — tie ids only order events against
+    coexisting ones — stated here so the contract is explicit). *)

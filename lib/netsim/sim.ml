@@ -116,7 +116,14 @@ let step t =
     true
 
 let run ?(until = infinity) ?(max_events = 1_000_000) t =
+  (* All four counters in the returned stats are per-run: deltas against
+     the state at entry.  ([events] always was; the three message
+     counters used to leak the simulation-lifetime totals, so a second
+     [run] on the same sim reported phantom traffic.) *)
   let start_processed = t.processed in
+  let start_sent = t.sent in
+  let start_delivered = t.delivered in
+  let start_dropped = t.dropped in
   let rec loop () =
     if t.processed - start_processed >= max_events then false
     else
@@ -131,9 +138,9 @@ let run ?(until = infinity) ?(max_events = 1_000_000) t =
   {
     final_time = t.now;
     events = t.processed - start_processed;
-    messages_sent = t.sent;
-    messages_delivered = t.delivered;
-    messages_dropped = t.dropped;
+    messages_sent = t.sent - start_sent;
+    messages_delivered = t.delivered - start_delivered;
+    messages_dropped = t.dropped - start_dropped;
     quiesced;
   }
 

@@ -55,8 +55,10 @@ val step : 'msg t -> bool
 (** Process one event; false when the queue is empty. *)
 
 val run : ?until:float -> ?max_events:int -> 'msg t -> stats
-(** Counters in [stats] other than [events] are cumulative across
-    successive runs of the same simulation. *)
+(** All counters in [stats] are per-run: a second [run] on the same
+    simulation reports only the events and messages of its own
+    window.  ([final_time] is the simulation clock, which is
+    monotone across runs.) *)
 
 val fail_link_at : 'msg t -> time:float -> string -> string -> unit
 val restore_link_at : 'msg t -> time:float -> string -> string -> unit

@@ -14,6 +14,37 @@ type classification =
   | Unique
   | Multiple of int
 
+(* Randomized schedules construct their RNG at [run] entry; reaching a
+   random draw without one is an internal invariant violation.  The
+   guard below reports it as a typed error naming the drawing run loop
+   and the schedule in force — the same convention as the distributed
+   runtime's [Missing_tuple_location] — instead of a bare
+   [Option.get], whose [Invalid_argument "option is None"] names
+   nothing.  Shared by every schedule-driven run loop (SPVP here, the
+   BGP time loop in [Component.Bgp]). *)
+exception
+  Missing_schedule_rng of {
+    msr_component : string;
+    msr_schedule : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Missing_schedule_rng { msr_component; msr_schedule } ->
+      Some
+        (Fmt.str
+           "internal error: %s reached a random draw under schedule %s \
+            without an RNG"
+           msr_component msr_schedule)
+    | _ -> None)
+
+let schedule_rng ~component ~schedule = function
+  | Some st -> st
+  | None ->
+    raise
+      (Missing_schedule_rng
+         { msr_component = component; msr_schedule = schedule })
+
 (* Enumerate all assignments where each node picks one of its permitted
    paths or the empty path, keep the consistent & stable ones. *)
 let stable_solutions (t : Instance.t) : Instance.assignment list =
@@ -88,7 +119,7 @@ module Spvp = struct
         let u = 1 + (step mod (n - 1)) in
         activate t a u
       | Random _ ->
-        let st = Option.get rng in
+        let st = schedule_rng ~component:"Spp.Solver.Spvp.run" ~schedule:"Random" rng in
         let u = 1 + Random.State.int st (Instance.size t - 1) in
         activate t a u
     in

@@ -11,6 +11,26 @@ val stable_solutions : Instance.t -> Instance.assignment list
 
 val classify : Instance.t -> classification
 
+exception
+  Missing_schedule_rng of {
+    msr_component : string;  (** the run loop that tried to draw *)
+    msr_schedule : string;  (** the schedule constructor in force *)
+  }
+(** Internal invariant violation: a randomized schedule reached a
+    random draw without the RNG its run loop constructs at entry.
+    Raised instead of a bare [Option.get] so a violation names the
+    component and schedule. *)
+
+val schedule_rng :
+  component:string ->
+  schedule:string ->
+  Random.State.t option ->
+  Random.State.t
+(** The guard the schedule-driven run loops use (SPVP here, the BGP
+    time loop in [Component.Bgp]); exposed so the test suite can
+    exercise the raise.
+    @raise Missing_schedule_rng on [None]. *)
+
 (** The Simple Path Vector Protocol dynamics: nodes activate (recompute
     their best choice) under a schedule. *)
 module Spvp : sig

@@ -265,6 +265,40 @@ let test_spp_dynamics_agree_with_bgp () =
         checkb "spp oscillation matches" expect_osc spp.Spp.Solver.Spvp.oscillated)
     [ (Bgp.disagree, true); (Bgp.agree, false) ]
 
+(* The randomized-schedule RNG guard (PR 9): the run loops construct
+   their RNG at entry, and a draw without one must surface as the typed
+   [Missing_schedule_rng] — naming the component and schedule — rather
+   than [Option.get]'s anonymous [Invalid_argument]. *)
+let test_schedule_rng_guard () =
+  let st = Random.State.make [| 7 |] in
+  checkb "present rng passes through" true
+    (Spp.Solver.schedule_rng ~component:"test" ~schedule:"Random" (Some st)
+    == st);
+  (match
+     Spp.Solver.schedule_rng ~component:"Component.Bgp.run"
+       ~schedule:"Pair_random" None
+   with
+  | _ -> Alcotest.fail "expected Missing_schedule_rng"
+  | exception
+      Spp.Solver.Missing_schedule_rng { msr_component; msr_schedule } ->
+    Alcotest.(check string) "component named" "Component.Bgp.run" msr_component;
+    Alcotest.(check string) "schedule named" "Pair_random" msr_schedule);
+  (* And the registered printer renders the context. *)
+  match
+    Spp.Solver.schedule_rng ~component:"Spp.Solver.Spvp.run" ~schedule:"Random"
+      None
+  with
+  | _ -> Alcotest.fail "expected Missing_schedule_rng"
+  | exception e ->
+    let s = Printexc.to_string e in
+    let contains ~affix s =
+      let n = String.length affix and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+      n = 0 || go 0
+    in
+    checkb "printer names the run loop" true
+      (contains ~affix:"Spp.Solver.Spvp.run" s)
+
 let () =
   Alcotest.run "component"
     [
@@ -308,5 +342,7 @@ let () =
             test_spp_bridge_structure;
           Alcotest.test_case "dynamics agree" `Quick
             test_spp_dynamics_agree_with_bgp;
+          Alcotest.test_case "schedule rng guard" `Quick
+            test_schedule_rng_guard;
         ] );
     ]

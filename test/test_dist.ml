@@ -349,15 +349,16 @@ let test_view_shipping_diff_and_expiry () =
      and re-shipped them from the source forever.) *)
   checki "rep shipped to n1" 1
     (Store.cardinal "rep" (Runtime.node_store rt "n1"));
-  let m1 = r1.Runtime.stats.Netsim.Sim.messages_sent in
+  checkb "initial run shipped" true (r1.Runtime.stats.Netsim.Sim.messages_sent > 0);
   (* Repeated refreshes (each insertion schedules one) must not re-ship
-     the already-shipped view tuple: messages stay flat. *)
+     the already-shipped view tuple: the follow-up run windows see no
+     messages at all (run stats are per-run as of PR 9). *)
   Runtime.insert rt "n0" "noise" [| V.Int 1 |];
   ignore (Runtime.run rt ~until:2.2);
   Runtime.insert rt "n0" "noise" [| V.Int 2 |];
   Runtime.insert rt "n1" "noise" [| V.Int 3 |];
   let r2 = Runtime.run rt ~until:2.4 in
-  checki "refreshes do not re-ship" m1 r2.Runtime.stats.Netsim.Sim.messages_sent;
+  checki "refreshes do not re-ship" 0 r2.Runtime.stats.Netsim.Sim.messages_sent;
   (* Once the source's support (obs, lifetime 3) expires, the source
      stops deriving rep, renewals stop, and n1's lease lapses: the soft
      remote view tuple actually expires. *)
@@ -367,7 +368,7 @@ let test_view_shipping_diff_and_expiry () =
     (Store.cardinal "best" (Runtime.node_store rt "n0"));
   checki "remote soft view expired at n1" 0
     (Store.cardinal "rep" (Runtime.node_store rt "n1"));
-  checki "no shipping storm" m1 r3.Runtime.stats.Netsim.Sim.messages_sent
+  checki "no shipping storm" 0 r3.Runtime.stats.Netsim.Sim.messages_sent
 
 (* ------------------------------------------------------------------ *)
 (* The remote-view-deletion check. *)
@@ -1038,6 +1039,237 @@ let test_dv_converges_under_loss () =
   checkb "n0 still reaches n2" true (Dv.route_cost dv "n0" "n2" = Some 2);
   checkb "n2 still reaches n0" true (Dv.route_cost dv "n2" "n0" = Some 2)
 
+(* ------------------------------------------------------------------ *)
+(* The transport layer (PR 9): wire framing and the multi-process
+   supervisor. *)
+
+module Wire = Dist.Wire
+module Supervisor = Dist.Supervisor
+
+let sample_frames =
+  [
+    Wire.Data
+      {
+        src = "n0";
+        dst = "n1";
+        pred = "path";
+        tuple =
+          [|
+            V.Addr "n1";
+            V.Addr "n3";
+            V.List [ V.Addr "n1"; V.Addr "n2"; V.Addr "n3" ];
+            V.Int 7;
+            V.Str "via";
+            V.Bool true;
+            V.Int (-12345678901234);
+          |];
+      };
+    Wire.Poll;
+    Wire.Status
+      {
+        Wire.st_idle = true;
+        st_sent = 42;
+        st_received = 41;
+        st_bytes = 123456;
+        st_inserts = 9;
+      };
+    Wire.Dump;
+    Wire.Store_dump
+      [
+        ( "n0",
+          [
+            ("link", [ [| V.Addr "n0"; V.Addr "n1"; V.Int 1 |] ]);
+            ("empty", []);
+          ] );
+      ];
+    Wire.Bye;
+  ]
+
+let test_wire_roundtrip () =
+  (* Every frame variant and value sort survives encode -> decode, and
+     many frames concatenated in one feed pop out in order. *)
+  let d = Wire.Decoder.create () in
+  List.iter
+    (fun f ->
+      let b = Wire.encode f in
+      Wire.Decoder.feed d b 0 (Bytes.length b))
+    sample_frames;
+  List.iter
+    (fun expect ->
+      match Wire.Decoder.next d with
+      | Some got -> checkb "frame roundtrips" true (got = expect)
+      | None -> Alcotest.fail "decoder starved")
+    sample_frames;
+  checkb "decoder drained" true (Wire.Decoder.next d = None);
+  checki "nothing buffered" 0 (Wire.Decoder.buffered d)
+
+let test_wire_partial_reads () =
+  (* A socket delivering one byte at a time: no frame until the last
+     byte of each, then exactly that frame. *)
+  let d = Wire.Decoder.create () in
+  let popped = ref [] in
+  List.iter
+    (fun f ->
+      let b = Wire.encode f in
+      Bytes.iteri
+        (fun i c ->
+          Wire.Decoder.feed d (Bytes.make 1 c) 0 1;
+          match Wire.Decoder.next d with
+          | Some got ->
+            checki "frame completes on its last byte" (Bytes.length b - 1) i;
+            popped := got :: !popped
+          | None -> ())
+        b)
+    sample_frames;
+  checkb "all frames arrived" true (List.rev !popped = sample_frames)
+
+let test_wire_oversized_and_bad_tag () =
+  (* A corrupt length prefix must raise, not allocate. *)
+  let d = Wire.Decoder.create () in
+  let header = Bytes.create 4 in
+  Bytes.set header 0 (Char.chr 0x7f);
+  Bytes.set header 1 '\xff';
+  Bytes.set header 2 '\xff';
+  Bytes.set header 3 '\xff';
+  Wire.Decoder.feed d header 0 4;
+  (match Wire.Decoder.next d with
+  | exception Wire.Frame_error (Wire.Oversized_frame _) -> ()
+  | _ -> Alcotest.fail "expected Oversized_frame");
+  (* An unknown body tag is a typed error too. *)
+  let d = Wire.Decoder.create () in
+  let bad = Bytes.of_string "\x00\x00\x00\x01\x63" in
+  Wire.Decoder.feed d bad 0 (Bytes.length bad);
+  match Wire.Decoder.next d with
+  | exception Wire.Frame_error (Wire.Bad_tag 0x63) -> ()
+  | _ -> Alcotest.fail "expected Bad_tag"
+
+let test_wire_truncated_stream () =
+  (* Peer dies mid-frame: the reader gets a typed truncation, not a
+     hang or a short tuple. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let encoded = Wire.encode (List.hd sample_frames) in
+  let half = Bytes.length encoded / 2 in
+  ignore (Unix.write a encoded 0 half);
+  Unix.close a;
+  (match Wire.read_frame ~timeout:5.0 b with
+  | exception Wire.Frame_error Wire.Truncated_stream -> ()
+  | _ -> Alcotest.fail "expected Truncated_stream");
+  Unix.close b
+
+let test_wire_read_timeout () =
+  (* A silent peer fails the read within the deadline instead of
+     blocking forever. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let t0 = Unix.gettimeofday () in
+  (match Wire.read_frame ~timeout:0.2 b with
+  | exception Wire.Frame_error Wire.Read_timeout -> ()
+  | _ -> Alcotest.fail "expected Read_timeout");
+  checkb "deadline respected" true (Unix.gettimeofday () -. t0 < 2.0);
+  Unix.close a;
+  Unix.close b
+
+let test_wire_partial_writes () =
+  (* A frame bigger than the socket buffer: the writer must loop over
+     partial writes while a forked reader drains — one write_frame
+     call, one intact frame out the other end. *)
+  let big =
+    Wire.Store_dump
+      [
+        ( "n0",
+          [
+            ( "blob",
+              List.init 20_000 (fun i ->
+                  [| V.Int i; V.Str (String.make 40 'x') |]) );
+          ] );
+      ]
+  in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Unix.close a;
+    let ok =
+      match Wire.read_frame ~timeout:30.0 b with
+      | got -> got = big
+      | exception _ -> false
+    in
+    Unix._exit (if ok then 0 else 1)
+  | pid ->
+    Unix.close b;
+    let n = Wire.write_frame a big in
+    checkb "frame exceeds one socket buffer" true (n > 256 * 1024);
+    Unix.close a;
+    (match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> Alcotest.fail "reader did not receive the frame intact")
+
+let test_supervisor_matches_sim () =
+  (* The tentpole end-to-end: path vector across real processes over
+     real sockets converges to the same per-node fixpoints as the
+     virtual-clock simulator on the same topology. *)
+  let links = Programs.ring_links 4 in
+  let full = Programs.with_links (Programs.path_vector ()) links in
+  let loc = localized full in
+  let topo = topo_of_links links in
+  let res = Supervisor.run topo loc in
+  checki "one worker per node" 4 res.Supervisor.workers;
+  checkb "tuples crossed processes" true (res.Supervisor.data_frames > 0);
+  checkb "bytes were metered" true
+    (res.Supervisor.data_bytes > res.Supervisor.data_frames * 5);
+  let rt = Runtime.create topo loc in
+  Runtime.load_facts rt;
+  let report = Runtime.run rt in
+  checkb "sim quiesced" true report.Runtime.stats.Netsim.Sim.quiesced;
+  checki "every node dumped" 4 (List.length res.Supervisor.stores);
+  List.iter
+    (fun (node, store) ->
+      checkb
+        (Printf.sprintf "node %s fixpoint matches the simulator" node)
+        true
+        (Store.equal store (Runtime.node_store rt node)))
+    res.Supervisor.stores
+
+let test_runtime_rejects_foreign_hosted () =
+  let links = Programs.ring_links 3 in
+  let full = Programs.with_links (Programs.path_vector ()) links in
+  let loc = localized full in
+  let topo = topo_of_links links in
+  match Runtime.create ~hosted:[ "n9" ] topo loc with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for unknown hosted node"
+
+let test_simulator_accessor_guard () =
+  (* A runtime on a non-simulator transport has no virtual clock to
+     script: the accessor must say so, typed. *)
+  let links = Programs.ring_links 3 in
+  let full = Programs.with_links (Programs.path_vector ()) links in
+  let loc = localized full in
+  let topo = topo_of_links links in
+  let dummy =
+    {
+      Dist.Transport.now = (fun () -> 0.0);
+      send = (fun ~src:_ ~dst:_ _ -> false);
+      schedule = (fun ~delay:_ _ -> ());
+      set_handler = (fun _ _ -> ());
+      run =
+        (fun ~until:_ ~max_events:_ ->
+          {
+            Netsim.Sim.final_time = 0.0;
+            events = 0;
+            messages_sent = 0;
+            messages_delivered = 0;
+            messages_dropped = 0;
+            quiesced = true;
+          });
+      sim = None;
+    }
+  in
+  let rt = Runtime.create ~transport:dummy topo loc in
+  match Runtime.simulator rt with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument from simulator accessor"
+
 let () =
   Alcotest.run "dist"
     [
@@ -1105,5 +1337,22 @@ let () =
             test_dv_failure_with_alternate_path;
           Alcotest.test_case "converges under loss" `Quick
             test_dv_converges_under_loss;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "partial reads" `Quick test_wire_partial_reads;
+          Alcotest.test_case "oversized and bad tag" `Quick
+            test_wire_oversized_and_bad_tag;
+          Alcotest.test_case "truncated stream" `Quick
+            test_wire_truncated_stream;
+          Alcotest.test_case "read timeout" `Quick test_wire_read_timeout;
+          Alcotest.test_case "partial writes" `Quick test_wire_partial_writes;
+          Alcotest.test_case "supervisor matches simulator" `Quick
+            test_supervisor_matches_sim;
+          Alcotest.test_case "rejects foreign hosted" `Quick
+            test_runtime_rejects_foreign_hosted;
+          Alcotest.test_case "simulator accessor guard" `Quick
+            test_simulator_accessor_guard;
         ] );
     ]

@@ -49,6 +49,119 @@ let test_queue_interleaved () =
   checki "b" 3 b
 
 (* ------------------------------------------------------------------ *)
+(* Event queue vs. a sorted-list reference model.
+
+   The queue is the determinism keystone for both runtime backends (the
+   virtual-clock simulator orders deliveries with it; the socket
+   backend orders timers with it), so its contract — (time,
+   insertion-order) priority, [peek_time]/[pop] agreement, [size]
+   through interleaved push/pop/clear, tie-sequence reset on clear —
+   is checked against an executable model: a list of
+   [(time, tie, payload)] kept sorted by [(time, tie)], with the tie
+   counter mirroring the queue's insertion sequence. *)
+
+type model_op = Push of float | Pop | Clear
+
+let model_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* Coarse times force plenty of exact ties. *)
+        (6, map (fun t -> Push (float_of_int t)) (int_bound 8));
+        (3, return Pop);
+        (1, return Clear);
+      ])
+
+let pp_model_op = function
+  | Push t -> Printf.sprintf "Push %g" t
+  | Pop -> "Pop"
+  | Clear -> "Clear"
+
+let model_ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_model_op ops))
+    QCheck.Gen.(list_size (int_range 0 120) model_op_gen)
+
+let prop_queue_matches_model ops =
+  let q = Eq.create () in
+  (* Model: sorted insertion keeps (time, tie) order; [tie] mirrors the
+     queue's insertion sequence, resetting on clear exactly as the
+     queue's does. *)
+  let model = ref [] in
+  let tie = ref 0 in
+  let model_insert t payload =
+    let entry = (t, !tie, payload) in
+    incr tie;
+    let rec ins = function
+      | [] -> [ entry ]
+      | ((t', tie', _) as e) :: rest ->
+        if t' < t || (t' = t && tie' < !tie) then e :: ins rest
+        else entry :: e :: rest
+    in
+    model := ins !model
+  in
+  let next_payload = ref 0 in
+  List.iteri
+    (fun _ op ->
+      (match op with
+      | Push t ->
+        let payload = !next_payload in
+        incr next_payload;
+        Eq.push q ~time:t payload;
+        model_insert t payload
+      | Pop -> (
+        (* peek/pop agreement: the peeked time is the popped time. *)
+        let peeked = Eq.peek_time q in
+        match (Eq.pop q, !model) with
+        | None, [] ->
+          if peeked <> None then
+            QCheck.Test.fail_report "peek_time on empty queue"
+        | Some (t, v), (mt, _, mv) :: rest ->
+          model := rest;
+          if peeked <> Some t then
+            QCheck.Test.fail_reportf "peek %s <> pop %g"
+              (match peeked with None -> "None" | Some p -> string_of_float p)
+              t;
+          if t <> mt || v <> mv then
+            QCheck.Test.fail_reportf "pop (%g, %d) but model says (%g, %d)" t v
+              mt mv
+        | Some _, [] -> QCheck.Test.fail_report "queue popped, model empty"
+        | None, _ :: _ -> QCheck.Test.fail_report "queue empty, model not")
+      | Clear ->
+        Eq.clear q;
+        model := [];
+        tie := 0);
+      if Eq.length q <> List.length !model then
+        QCheck.Test.fail_reportf "size %d <> model %d" (Eq.length q)
+          (List.length !model);
+      if Eq.is_empty q <> (!model = []) then
+        QCheck.Test.fail_report "is_empty disagrees with model")
+    ops;
+  true
+
+let queue_model_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"queue = sorted-list model"
+       model_ops_arb prop_queue_matches_model)
+
+let test_queue_clear_resets_ties () =
+  (* The documented invariant: clear resets the insertion sequence, so
+     tie-breaking after a clear is FIFO among the new pushes alone. *)
+  let q = Eq.create () in
+  for i = 0 to 4 do
+    Eq.push q ~time:1.0 i
+  done;
+  Eq.clear q;
+  checki "cleared" 0 (Eq.length q);
+  checkb "empty" true (Eq.is_empty q);
+  for i = 10 to 14 do
+    Eq.push q ~time:1.0 i
+  done;
+  let order = List.init 5 (fun _ -> snd (Option.get (Eq.pop q))) in
+  Alcotest.(check (list int))
+    "fifo ties after clear" [ 10; 11; 12; 13; 14 ] order
+
+(* ------------------------------------------------------------------ *)
 (* Topology. *)
 
 let test_topology_basics () =
@@ -208,6 +321,40 @@ let test_sim_loss_deterministic () =
   in
   checki "same drops" (run_once ()) (run_once ())
 
+let test_sim_per_run_stats () =
+  (* Regression (PR 9): all four counters in [run]'s stats are per-run.
+     [events] always was, but the three message counters used to report
+     simulation-lifetime totals, so a second [run] on the same sim saw
+     the first run's traffic again. *)
+  let topo = Topo.line 2 in
+  let sim = Sim.create topo in
+  Sim.set_handler sim "n1" (fun _ ~self:_ ~src:_ _ -> ());
+  let burst n =
+    Sim.schedule sim ~delay:0.0 (fun () ->
+        for _ = 1 to n do
+          ignore (Sim.send sim ~src:"n0" ~dst:"n1" ());
+          ignore (Sim.send sim ~src:"n0" ~dst:"n2" ())  (* no link: drop *)
+        done)
+  in
+  (* [sent] counts every attempt, including ones that drop. *)
+  burst 3;
+  let s1 = Sim.run sim in
+  checki "run1 sent" 6 s1.Sim.messages_sent;
+  checki "run1 delivered" 3 s1.Sim.messages_delivered;
+  checki "run1 dropped" 3 s1.Sim.messages_dropped;
+  checkb "run1 events counted" true (s1.Sim.events > 0);
+  burst 2;
+  let s2 = Sim.run sim in
+  checki "run2 sent is per-run" 4 s2.Sim.messages_sent;
+  checki "run2 delivered is per-run" 2 s2.Sim.messages_delivered;
+  checki "run2 dropped is per-run" 2 s2.Sim.messages_dropped;
+  (* An idle third run sees no traffic at all. *)
+  let s3 = Sim.run sim in
+  checki "idle run sent" 0 s3.Sim.messages_sent;
+  checki "idle run delivered" 0 s3.Sim.messages_delivered;
+  checki "idle run dropped" 0 s3.Sim.messages_dropped;
+  checki "idle run events" 0 s3.Sim.events
+
 let test_sim_determinism () =
   (* Two identical simulations produce identical traces. *)
   let run_once () =
@@ -238,6 +385,9 @@ let () =
           Alcotest.test_case "time order" `Quick test_queue_order;
           Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
           Alcotest.test_case "interleaved" `Quick test_queue_interleaved;
+          Alcotest.test_case "clear resets ties" `Quick
+            test_queue_clear_resets_ties;
+          queue_model_test;
         ] );
       ( "topology",
         [
@@ -261,6 +411,7 @@ let () =
           Alcotest.test_case "lossy link" `Quick test_sim_lossy_link;
           Alcotest.test_case "loss determinism" `Quick
             test_sim_loss_deterministic;
+          Alcotest.test_case "per-run stats" `Quick test_sim_per_run_stats;
           Alcotest.test_case "determinism" `Quick test_sim_determinism;
         ] );
     ]
