@@ -17,7 +17,12 @@
    speedup), an E16 section — new in schema 9 — (the socket transport:
    one run per ring size, each across one real OS process per node,
    with positive wall clock and wire traffic and the per-node
-   fixpoints attested equal to the simulator backend's), and a
+   fixpoints attested equal to the simulator backend's), an E17 section
+   — new in schema 10 — (the model checker's reduction layer: one run
+   per system/program/topology/mode with visited-state counts and the
+   invariant verdict, verdict equality across each cell's completed
+   modes, and at least one cell where a reduced mode strictly beats a
+   completed plain baseline), and a
    run-history array.  Run by the @bench-smoke alias
    so a broken emitter (or a regression that stops a sweep from
    completing, a run diverging from its baseline fixpoint, or
@@ -50,8 +55,8 @@ let () =
   | Error e -> fail "%s: does not parse: %s" path e
   | Ok v ->
     (match Json.member "schema" v with
-    | Some (Json.Int 9) -> ()
-    | _ -> fail "%s: missing schema=9" path);
+    | Some (Json.Int 10) -> ()
+    | _ -> fail "%s: missing schema=10" path);
     List.iter
       (fun k ->
         match Json.member k v with
@@ -59,7 +64,7 @@ let () =
         | None -> fail "%s: missing top-level %S" path k)
       [
         "quick"; "host_cores"; "unix_time"; "e7"; "e8"; "e11"; "e12"; "e13";
-        "e14"; "e15"; "e16"; "history";
+        "e14"; "e15"; "e16"; "e17"; "history";
       ];
     (* E7: index layer on vs. off. *)
     let e7 = Option.get (Json.member "e7" v) in
@@ -315,6 +320,88 @@ let () =
     (match Json.member "all_same_fixpoint" e16 with
     | Some (Json.Bool true) -> ()
     | _ -> fail "%s: e16 fixpoints diverge from the simulator" path);
+    (* E17 (schema 10): the model checker's reduction layer.  Every run
+       names its mode and verdict; within each (system, program,
+       topology) cell the completed modes must agree on the verdict,
+       and at least one cell must show a reduced mode strictly below a
+       completed plain baseline — losing every reduction would make
+       the layer decorative. *)
+    let e17 = Option.get (Json.member "e17" v) in
+    let e17_runs =
+      match Option.bind (Json.member "runs" e17) Json.as_arr with
+      | Some (_ :: _ as r) -> r
+      | _ -> fail "%s: empty or missing e17 runs" path
+    in
+    let rd_str row k =
+      match Json.member k row with
+      | Some (Json.Str s) -> s
+      | _ -> fail "%s: e17 run lacks string %S" path k
+    in
+    let rd_int row k =
+      match Json.member k row with
+      | Some (Json.Int n) -> n
+      | _ -> fail "%s: e17 run lacks integer %S" path k
+    in
+    List.iteri
+      (fun i row ->
+        require_fields path "e17" i row
+          [
+            "system"; "program"; "topology"; "mode"; "states"; "transitions";
+            "truncated"; "wall_s"; "verdict"; "trace_len";
+          ];
+        (match rd_str row "mode" with
+        | "plain" | "por" | "por-footprint" | "sym" | "both" -> ()
+        | m -> fail "%s: e17 run %d has unknown mode %S" path i m);
+        match rd_str row "verdict" with
+        | "ok" | "truncated" -> ()
+        | "violation" ->
+          if rd_int row "trace_len" <= 0 then
+            fail "%s: e17 run %d: violation without a counterexample" path i
+        | s -> fail "%s: e17 run %d has unknown verdict %S" path i s)
+      e17_runs;
+    let e17_key row =
+      (rd_str row "system", rd_str row "program", rd_str row "topology")
+    in
+    let e17_keys = List.sort_uniq compare (List.map e17_key e17_runs) in
+    List.iter
+      (fun key ->
+        let verdicts =
+          List.filter_map
+            (fun row ->
+              if e17_key row = key then
+                match rd_str row "verdict" with
+                | "truncated" -> None
+                | s -> Some s
+              else None)
+            e17_runs
+        in
+        match verdicts with
+        | [] -> ()
+        | v :: rest ->
+          if not (List.for_all (String.equal v) rest) then
+            let s, p, t = key in
+            fail "%s: e17 cell %s/%s/%s verdicts disagree" path s p t)
+      e17_keys;
+    let e17_reduced =
+      List.exists
+        (fun row ->
+          rd_str row "mode" <> "plain"
+          && rd_int row "states" > 0
+          && List.exists
+               (fun p ->
+                 e17_key p = e17_key row
+                 && rd_str p "mode" = "plain"
+                 && Json.member "truncated" p = Some (Json.Bool false)
+                 && rd_int p "states" > rd_int row "states")
+               e17_runs)
+        e17_runs
+    in
+    if not e17_reduced then
+      fail "%s: e17 records no strict reduction over a completed plain run"
+        path;
+    (match Json.member "all_verdicts_agree" e17 with
+    | Some (Json.Bool true) -> ()
+    | _ -> fail "%s: e17 verdicts diverge across reduction modes" path);
     (* History: at least the run that wrote this file. *)
     let history =
       match Option.bind (Json.member "history" v) Json.as_arr with
@@ -328,8 +415,10 @@ let () =
       history;
     Fmt.pr
       "%s: ok (%d e7 rows, %d e8 rows, %d e11 rows, %d e12 rows, %d e13 \
-       rows, %d e14 runs, %d e15 ops, %d e16 runs, %d history entries)@."
+       rows, %d e14 runs, %d e15 ops, %d e16 runs, %d e17 runs, %d history \
+       entries)@."
       path (List.length sweeps) (List.length shard_sweeps)
       (List.length batch_sweeps) (List.length inbox_sweeps)
       (List.length incr_sweeps) (List.length e14_runs)
-      (List.length e15_ops) (List.length e16_runs) (List.length history)
+      (List.length e15_ops) (List.length e16_runs) (List.length e17_runs)
+      (List.length history)

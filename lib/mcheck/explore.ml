@@ -10,7 +10,10 @@
    - terminal-state collection (e.g. the stable assignments of an SPP);
    - lasso search: a reachable cycle lying entirely inside a region
      (e.g. the not-yet-converged states), which witnesses a possible
-     non-terminating execution — the oscillation detector used by E9.
+     non-terminating execution — the oscillation detector used by E9;
+   - two state-space reductions, both off by default: partial-order
+     reduction over labeled actions ([~por]) and symmetry reduction by
+     canonicalizing visited-table keys ([~canon]).
 
    State identity is the system's [equal]/[hash] pair.  The default
    (structural [(=)] / [Hashtbl.hash]) is only correct for pure-data
@@ -23,41 +26,78 @@
    would degrade to a linear scan — a full-depth [hash] keeps lookups
    O(bucket). *)
 
-type 'state system = {
+type ('state, 'action) sys = {
   initial : 'state list;
   successors : 'state -> 'state list;
+  actions : ('state -> ('action * 'state) list) option;
+  independent : ('state -> 'action -> 'action -> bool) option;
+  visible : ('state -> 'action -> bool) option;
   pp : 'state Fmt.t;
   equal : 'state -> 'state -> bool;
   hash : 'state -> int;
 }
 
-let make ?(pp = fun ppf _ -> Fmt.string ppf "<state>") ?(equal = ( = ))
-    ?(hash = Hashtbl.hash) ~initial ~successors () =
-  { initial; successors; pp; equal; hash }
+(* The unlabeled view every pre-reduction caller uses. *)
+type 'state system = ('state, unit) sys
+
+let default_pp ppf _ = Fmt.string ppf "<state>"
+
+let make ?(pp = default_pp) ?(equal = ( = )) ?(hash = Hashtbl.hash) ~initial
+    ~successors () =
+  {
+    initial;
+    successors;
+    actions = None;
+    independent = None;
+    visible = None;
+    pp;
+    equal;
+    hash;
+  }
+
+let make_labeled ?(pp = default_pp) ?(equal = ( = )) ?(hash = Hashtbl.hash)
+    ?independent ?visible ~initial ~actions () =
+  {
+    initial;
+    successors = (fun s -> List.map snd (actions s));
+    actions = Some actions;
+    independent;
+    visible;
+    pp;
+    equal;
+    hash;
+  }
 
 (* Visited-state table: a hashtable keyed by the state hash, with
-   bucket lists resolved by the state equality. *)
+   bucket lists resolved by the state equality.  An optional [canon]
+   maps every key to its orbit representative before hashing — the
+   symmetry quotient lives here, so exploration still works with real
+   states (and real traces) while the table identifies states up to
+   symmetry. *)
 module Table = struct
   type 'state t = {
     equal : 'state -> 'state -> bool;
     hash : 'state -> int;
+    canon : 'state -> 'state;
     tbl : (int, ('state * int) list ref) Hashtbl.t;
-    (* hash -> (state, visitation id) bucket *)
+    (* hash -> (canonical state, visitation id) bucket *)
   }
 
-  let create ?(equal = ( = )) ?(hash = Hashtbl.hash) () =
-    { equal; hash; tbl = Hashtbl.create 1024 }
+  let create ?(equal = ( = )) ?(hash = Hashtbl.hash) ?(canon = Fun.id) () =
+    { equal; hash; canon; tbl = Hashtbl.create 1024 }
 
-  let of_system (sys : 'state system) =
-    { equal = sys.equal; hash = sys.hash; tbl = Hashtbl.create 1024 }
+  let of_system ?canon (sys : ('state, 'action) sys) =
+    create ~equal:sys.equal ~hash:sys.hash ?canon ()
 
   let find (t : 'state t) s =
+    let s = t.canon s in
     match Hashtbl.find_opt t.tbl (t.hash s) with
     | None -> None
     | Some bucket ->
       List.find_opt (fun (s', _) -> t.equal s' s) !bucket |> Option.map snd
 
   let add (t : 'state t) s id =
+    let s = t.canon s in
     let h = t.hash s in
     match Hashtbl.find_opt t.tbl h with
     | None -> Hashtbl.replace t.tbl h (ref [ (s, id) ])
@@ -79,9 +119,68 @@ type 'state stats = {
   truncated : bool;  (* the state bound was hit *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction: expand an ample subset of the enabled
+   transitions instead of all of them.
+
+   We use singleton ample sets: an action [a] may stand for the whole
+   enabled set when the system's [independent] hook certifies it
+   against every other enabled action.  The hook carries a strong
+   contract (documented in the mli): independence must mean the two
+   actions commute to the same state, never disable each other, and
+   keep commuting along the pruned interleavings — which the NDlog
+   transition systems satisfy by monotonicity.  Two standard provisos
+   make the reduction sound for exploration and safety checking:
+
+   - closed-set proviso (the BFS variant of the cycle condition): the
+     ample successor must be new; expanding into the visited set could
+     postpone the pruned siblings forever, so we fall back to full
+     expansion instead;
+   - visibility: when checking an invariant, the ample action must be
+     invisible (unable to change the invariant's verdict), unless the
+     caller declares the invariant stable — once violated, violated in
+     every extension — in which case reaching the terminal fixpoint
+     is enough and the condition can be dropped. *)
+let expansion (sys : ('state, 'action) sys) ~por ~require_invisible visited s :
+    'state list =
+  match (sys.actions, sys.independent) with
+  | Some actions, Some indep when por -> (
+    let acts = actions s in
+    match acts with
+    | [] -> []
+    | [ (_, s') ] -> [ s' ]
+    | _ ->
+      let arr = Array.of_list acts in
+      let n = Array.length arr in
+      let invisible a =
+        (not require_invisible)
+        ||
+        match sys.visible with
+        | None -> false (* unknown visibility: assume visible *)
+        | Some vis -> not (vis s a)
+      in
+      let independent_of_all i a =
+        let ok = ref true in
+        Array.iteri (fun j (b, _) -> if j <> i && not (indep s a b) then ok := false) arr;
+        !ok
+      in
+      let rec pick i =
+        if i >= n then None
+        else
+          let a, s' = arr.(i) in
+          if invisible a && independent_of_all i a && not (Table.mem visited s')
+          then Some s'
+          else pick (i + 1)
+      in
+      (match pick 0 with
+      | Some s' -> [ s' ]
+      | None -> List.map snd acts))
+  | _ -> sys.successors s
+
 (* Breadth-first exploration. *)
-let explore ?(max_states = 100_000) (sys : 'state system) : 'state stats =
-  let visited = Table.of_system sys in
+let explore ?(max_states = 100_000) ?(por = false) ?canon
+    (sys : ('state, 'action) sys) : 'state stats =
+  let visited = Table.of_system ?canon sys in
   let queue = Queue.create () in
   let transitions = ref 0 in
   let max_depth = ref 0 in
@@ -99,7 +198,7 @@ let explore ?(max_states = 100_000) (sys : 'state system) : 'state stats =
   while not (Queue.is_empty queue) do
     let s, depth = Queue.pop queue in
     max_depth := max !max_depth depth;
-    let succs = sys.successors s in
+    let succs = expansion sys ~por ~require_invisible:false visited s in
     transitions := !transitions + List.length succs;
     if succs = [] then terminal := s :: !terminal;
     List.iter
@@ -129,10 +228,12 @@ type 'state violation = {
   violating : 'state;
 }
 
-let check_invariant ?(max_states = 100_000) (sys : 'state system)
-    (inv : 'state -> bool) : ('state stats, 'state violation) result =
-  (* BFS storing parent pointers for shortest counterexamples. *)
-  let visited = Table.of_system sys in
+let check_invariant ?(max_states = 100_000) ?(por = false) ?canon
+    ?(stable = false) (sys : ('state, 'action) sys) (inv : 'state -> bool) :
+    ('state stats, 'state violation) result =
+  (* BFS storing parent pointers for counterexamples (shortest in the
+     explored graph; a reduced graph may omit shorter interleavings). *)
+  let visited = Table.of_system ?canon sys in
   let parents : (int * 'state) option array ref = ref (Array.make 1024 None) in
   let store id v =
     if id >= Array.length !parents then begin
@@ -175,7 +276,9 @@ let check_invariant ?(max_states = 100_000) (sys : 'state system)
     while not (Queue.is_empty queue) do
       let s, sid, depth = Queue.pop queue in
       max_depth := max !max_depth depth;
-      let succs = sys.successors s in
+      let succs =
+        expansion sys ~por ~require_invisible:(not stable) visited s
+      in
       transitions := !transitions + List.length succs;
       if succs = [] then terminal := s :: !terminal;
       List.iter
@@ -205,6 +308,31 @@ let check_invariant ?(max_states = 100_000) (sys : 'state system)
     | None -> assert false)
 
 (* ------------------------------------------------------------------ *)
+(* Counterexample replay: check a claimed trace against the system
+   itself.  Reduced searches must produce traces of real transitions —
+   a trace of canonical representatives (whose steps need not be
+   edges) would pass the verdict but fail here. *)
+
+let validate_trace (sys : ('state, 'action) sys) (trace : 'state list) :
+    (unit, string) result =
+  match trace with
+  | [] -> Error "empty trace"
+  | s0 :: _ ->
+    if not (List.exists (sys.equal s0) sys.initial) then
+      Error "trace does not start at an initial state"
+    else
+      let rec steps i = function
+        | s :: (s' :: _ as rest) ->
+          if List.exists (sys.equal s') (sys.successors s) then
+            steps (i + 1) rest
+          else
+            Error
+              (Printf.sprintf "step %d is not an enabled successor" (i + 1))
+        | _ -> Ok ()
+      in
+      steps 0 trace
+
+(* ------------------------------------------------------------------ *)
 (* Lasso detection. *)
 
 type 'state lasso = {
@@ -215,7 +343,7 @@ type 'state lasso = {
 (* Find a reachable cycle whose states all satisfy [within] (default:
    everything).  DFS with an explicit on-stack marker. *)
 let find_lasso ?(max_states = 100_000) ?(within = fun _ -> true)
-    (sys : 'state system) : 'state lasso option =
+    (sys : ('state, 'action) sys) : 'state lasso option =
   let visited = Table.of_system sys in
   let result = ref None in
   let exception Found in
@@ -243,8 +371,44 @@ let find_lasso ?(max_states = 100_000) ?(within = fun _ -> true)
   (try List.iter (dfs []) sys.initial with Found -> ());
   !result
 
+let validate_lasso (sys : ('state, 'action) sys) (l : 'state lasso) :
+    (unit, string) result =
+  match l.cycle with
+  | [] -> Error "empty cycle"
+  | first :: _ ->
+    let chain label ss =
+      let rec steps i = function
+        | s :: (s' :: _ as rest) ->
+          if List.exists (sys.equal s') (sys.successors s) then
+            steps (i + 1) rest
+          else
+            Error
+              (Printf.sprintf "%s step %d is not an enabled successor" label
+                 (i + 1))
+        | _ -> Ok ()
+      in
+      steps 0 ss
+    in
+    let stem_ok =
+      match l.stem with
+      | [] -> Ok () (* empty stem: cycle reachability is not re-checked *)
+      | s0 :: _ ->
+        if not (List.exists (sys.equal s0) sys.initial) then
+          Error "stem does not start at an initial state"
+        else
+          Result.bind (chain "stem" l.stem) (fun () ->
+              let last = List.nth l.stem (List.length l.stem - 1) in
+              if List.exists (sys.equal first) (sys.successors last) then Ok ()
+              else Error "cycle entry is not a successor of the stem")
+    in
+    Result.bind stem_ok (fun () ->
+        Result.bind (chain "cycle" l.cycle) (fun () ->
+            let last = List.nth l.cycle (List.length l.cycle - 1) in
+            if List.exists (sys.equal first) (sys.successors last) then Ok ()
+            else Error "cycle does not close"))
+
 (* Can the system run forever while avoiding [good] states?  True iff a
    reachable cycle exists entirely within the bad region. *)
-let can_avoid ?(max_states = 100_000) (sys : 'state system)
+let can_avoid ?(max_states = 100_000) (sys : ('state, 'action) sys)
     ~(good : 'state -> bool) : 'state lasso option =
   find_lasso ~max_states ~within:(fun s -> not (good s)) sys

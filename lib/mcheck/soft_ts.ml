@@ -28,7 +28,20 @@ type state = {
   leases : lease list;  (* sorted, canonical *)
 }
 
-let canonical_leases (l : lease list) : lease list = List.sort compare l
+(* Leases are ordered by the engine's value comparison — polymorphic
+   [compare] would be an independent structural notion of tuple order
+   (the Kmap/enabled_insertions bug class). *)
+let lease_compare (((p, t), d) : lease) (((p', t'), d') : lease) =
+  let c = String.compare p p' in
+  if c <> 0 then c
+  else
+    let c = Store.Tuple.compare t t' in
+    if c <> 0 then c else Int.compare d d'
+
+let lease_equal (((p, t), d) : lease) (((p', t'), d') : lease) =
+  d = d' && String.equal p p' && Store.Tuple.equal t t'
+
+let canonical_leases (l : lease list) : lease list = List.sort lease_compare l
 
 let initial_state = { clock = 0; db = Store.empty; leases = [] }
 
@@ -60,10 +73,10 @@ let insert cfg (s : state) pred tuple : state =
   match lifetime_of cfg pred with
   | None -> { s with db }
   | Some life ->
-    let key = (pred, tuple) in
+    let key_equal (p, t) = String.equal p pred && Store.Tuple.equal t tuple in
     let leases =
-      ((key, s.clock + life))
-      :: List.filter (fun (k, _) -> k <> key) s.leases
+      ((pred, tuple), s.clock + life)
+      :: List.filter (fun (k, _) -> not (key_equal k)) s.leases
     in
     { s with db; leases = canonical_leases leases }
 
@@ -77,13 +90,36 @@ let tick cfg (s : state) : state =
   let s' = { clock; db; leases = canonical_leases alive } in
   List.fold_left (fun s (p, t) -> insert cfg s p t) s' (cfg.inject clock)
 
+(* State identity goes through [Store.equal]/[Store.hash] for the
+   database component (the index cache is not part of the state) and
+   the canonical lease list; structural defaults would distinguish
+   cache-warm from cache-cold databases. *)
+let state_equal a b =
+  a.clock = b.clock
+  && Store.equal a.db b.db
+  && List.equal lease_equal a.leases b.leases
+
+let state_compare a b =
+  let c = Int.compare a.clock b.clock in
+  if c <> 0 then c
+  else
+    let c = Store.compare a.db b.db in
+    if c <> 0 then c else List.compare lease_compare a.leases b.leases
+
+let state_hash s =
+  List.fold_left
+    (fun acc ((p, t), d) ->
+      (((acc * 31) + Hashtbl.hash (p, d)) * 31) + Store.Tuple.hash t)
+    ((s.clock * 31) + Store.hash s.db)
+    s.leases
+
+let pp_state ppf s = Fmt.pf ppf "clock=%d@.%a" s.clock Store.pp s.db
+
+let initial_of cfg =
+  [ List.fold_left (fun s (p, t) -> insert cfg s p t) initial_state
+      (cfg.inject 0) ]
+
 let system (cfg : config) : state Explore.system =
-  let initial =
-    [ List.fold_left
-        (fun s (p, t) -> insert cfg s p t)
-        initial_state
-        (cfg.inject 0) ]
-  in
   let successors (s : state) : state list =
     let derivations =
       Ndlog_ts.enabled_insertions cfg.program s.db
@@ -92,31 +128,88 @@ let system (cfg : config) : state Explore.system =
     let ticks = if s.clock >= cfg.horizon then [] else [ tick cfg s ] in
     derivations @ ticks
   in
-  let pp ppf s =
-    Fmt.pf ppf "clock=%d@.%a" s.clock Store.pp s.db
+  Explore.make ~pp:pp_state ~equal:state_equal ~hash:state_hash
+    ~initial:(initial_of cfg) ~successors ()
+
+(* ------------------------------------------------------------------ *)
+(* Labeled actions.
+
+   A tick commutes with nothing: it shifts the lease a subsequent
+   insertion would take (clock + lifetime differs across the tick) and
+   can disable derivations outright by expiring their premises.  So
+   derivations are independent only of each other — by the same
+   monotone/footprint argument as {!Ndlog_ts}, valid within one clock
+   instant — and POR reduces the derivation interleavings between
+   ticks, most visibly at the horizon (where no tick competes).
+   Symmetry is the effective reduction for soft systems. *)
+
+type action =
+  | Derive of Ndlog_ts.action
+  | Tick
+
+let labeled_system ?(independence = `Monotone) ?observed (cfg : config) :
+    (state, action) Explore.sys =
+  let actions (s : state) =
+    let derivations =
+      Ndlog_ts.enabled_actions cfg.program s.db
+      |> List.map (fun (a : Ndlog_ts.action) ->
+             (Derive a, insert cfg s a.Ndlog_ts.pred a.Ndlog_ts.tuple))
+    in
+    let ticks =
+      if s.clock >= cfg.horizon then [] else [ (Tick, tick cfg s) ]
+    in
+    derivations @ ticks
   in
-  (* State identity goes through [Store.equal]/[Store.hash] for the
-     database component (the index cache is not part of the state) and
-     the canonical lease list; structural defaults would distinguish
-     cache-warm from cache-cold databases. *)
-  let lease_equal (((p, t), d) : lease) (((p', t'), d') : lease) =
-    d = d' && String.equal p p' && Store.Tuple.equal t t'
+  let negation_free = not (Ndlog_ts.has_negation cfg.program) in
+  let independent _s a b =
+    match (a, b) with
+    | Derive x, Derive y ->
+      Ndlog_ts.action_independent ~mode:independence ~negation_free x y
+    | _ -> false
   in
-  let equal a b =
-    a.clock = b.clock
-    && Store.equal a.db b.db
-    && List.equal lease_equal a.leases b.leases
+  let visible =
+    match observed with
+    | None -> fun _ _ -> true
+    | Some preds -> (
+      fun _ -> function
+        | Tick -> true (* the clock is always observable *)
+        | Derive (x : Ndlog_ts.action) -> List.mem x.Ndlog_ts.pred preds)
   in
-  let hash s =
-    List.fold_left
-      (fun acc ((p, t), d) ->
-        (((acc * 31) + Hashtbl.hash (p, d)) * 31) + Store.Tuple.hash t)
-      ((s.clock * 31) + Store.hash s.db)
-      s.leases
-  in
-  Explore.make ~pp ~equal ~hash ~initial ~successors ()
+  Explore.make_labeled ~pp:pp_state ~equal:state_equal ~hash:state_hash
+    ~independent ~visible ~initial:(initial_of cfg) ~actions ()
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry: node permutations act on the database and the leases
+   jointly (a lease names its tuple, so it permutes with the tuple's
+   node; the clock is fixed). *)
+
+let apply_perm (p : Symmetry.perm) (s : state) : state =
+  {
+    clock = s.clock;
+    db = Symmetry.apply_store p s.db;
+    leases =
+      canonical_leases
+        (List.map
+           (fun ((pred, t), d) -> ((pred, Symmetry.apply_tuple p t), d))
+           s.leases);
+  }
+
+let canon_state (sym : Symmetry.t) (s : state) : state =
+  Symmetry.canonicalize sym ~apply:apply_perm ~compare:state_compare
+    ~hash:state_hash ~equal:state_equal s
+
+(* ------------------------------------------------------------------ *)
+(* Entry points. *)
+
+let explore ?max_states ?(por = false) ?symmetry ?independence (cfg : config)
+    : state Explore.stats =
+  let sys = labeled_system ?independence cfg in
+  let canon = Option.map canon_state symmetry in
+  Explore.explore ?max_states ~por ?canon sys
 
 (* Check a clock-indexed safety property over all reachable states. *)
-let check ?(max_states = 100_000) (cfg : config)
-    (inv : state -> bool) =
-  Explore.check_invariant ~max_states (system cfg) inv
+let check ?(max_states = 100_000) ?(por = false) ?symmetry ?independence
+    ?observed ?stable (cfg : config) (inv : state -> bool) =
+  let sys = labeled_system ?independence ?observed cfg in
+  let canon = Option.map canon_state symmetry in
+  Explore.check_invariant ~max_states ~por ?canon ?stable sys inv

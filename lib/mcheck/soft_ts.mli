@@ -7,7 +7,15 @@
     soft tuples; transitions are single rule-consequence insertions and
     clock ticks (which expire leases and apply the environment's
     injections).  The clock horizon keeps the space finite, so safety
-    properties can quantify over time. *)
+    properties can quantify over time.
+
+    Both checker reductions are wired in: symmetry permutes lease
+    states jointly with their nodes ({!canon_state}), and the labeled
+    system carries derivation footprints for partial-order reduction —
+    though a tick commutes with nothing (it shifts the lease a
+    subsequent insertion would take, and can expire premises), so POR
+    only reduces the derivation interleavings between ticks; symmetry
+    is the effective reduction here. *)
 
 type lease = (string * Ndlog.Store.Tuple.t) * int
 (** A leased tuple and its expiry instant. *)
@@ -19,6 +27,14 @@ type state = {
 }
 
 val initial_state : state
+
+val lease_compare : lease -> lease -> int
+(** Engine-canonical: predicate, {!Ndlog.Store.Tuple.compare}, expiry
+    — never polymorphic [compare]. *)
+
+val state_equal : state -> state -> bool
+val state_compare : state -> state -> int
+val state_hash : state -> int
 
 type config = {
   program : Ndlog.Ast.program;
@@ -44,9 +60,50 @@ val tick : config -> state -> state
 
 val system : config -> state Explore.system
 
+(** A labeled transition: one derivation (with its {!Ndlog_ts}
+    footprint) or the clock tick. *)
+type action =
+  | Derive of Ndlog_ts.action
+  | Tick
+
+val labeled_system :
+  ?independence:Ndlog_ts.independence ->
+  ?observed:string list ->
+  config ->
+  (state, action) Explore.sys
+(** Derivations are independent of each other per
+    {!Ndlog_ts.action_independent}; ticks of nothing.  [observed] is
+    the POR visibility hook: the caller asserts its invariant reads
+    only the clock, the observed predicates, and their leases (ticks
+    are always visible). *)
+
+val apply_perm : Symmetry.perm -> state -> state
+(** A node permutation acting on the database and leases jointly (the
+    clock is fixed). *)
+
+val canon_state : Symmetry.t -> state -> state
+(** Orbit representative of a state under {!apply_perm}. *)
+
+val explore :
+  ?max_states:int ->
+  ?por:bool ->
+  ?symmetry:Symmetry.t ->
+  ?independence:Ndlog_ts.independence ->
+  config ->
+  state Explore.stats
+(** Exploration with both reductions switchable (default off). *)
+
 val check :
   ?max_states:int ->
+  ?por:bool ->
+  ?symmetry:Symmetry.t ->
+  ?independence:Ndlog_ts.independence ->
+  ?observed:string list ->
+  ?stable:bool ->
   config ->
   (state -> bool) ->
   (state Explore.stats, state Explore.violation) result
-(** Clock-indexed safety over all reachable states. *)
+(** Clock-indexed safety over all reachable states.  Reductions as in
+    {!Ndlog_ts.check_fine_invariant}: a symmetric invariant for
+    [?symmetry], visibility via [?observed] or stability via [?stable]
+    for [?por]. *)

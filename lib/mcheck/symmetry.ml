@@ -1,0 +1,135 @@
+(* Symmetry reduction: quotient the checker's visited table by the
+   automorphism group of the network topology.
+
+   A protocol running on a symmetric topology produces symmetric state
+   spaces — rotating a ring rotates every reachable database with it —
+   so the checker need only visit one member of each orbit.  The
+   quotient is implemented as key canonicalization ({!Explore.Table}'s
+   [canon]): each state is minimized over its node-permutation orbit
+   before hashing, giving an alternative equal/hash pair on the table
+   without touching exploration itself (real states, real traces).
+
+   The group is given by generators (from
+   {!Netsim.Topology.automorphism_generators}), never enumerated: the
+   orbit of a state is closed breadth-first under the generators, with
+   a cap.  Small groups — a ring's dihedral group has 2k elements, a
+   grid's D4 eight — close well under the cap, making the minimum
+   exact and the quotient maximal.  Groups that are huge (a star's
+   leaves carry the full symmetric group) hit the cap; we then finish
+   with greedy single-generator descent.  Either way the result stays
+   inside the orbit, so the quotient is sound — capping merely splits
+   some orbits and costs reduction, never correctness.
+
+   Node identity is the [Value.Addr] sort: permutations rename
+   addresses (deeply, through list values — path vectors permute with
+   their nodes) and leave integers, strings, and booleans alone. *)
+
+module Store = Ndlog.Store
+module Value = Ndlog.Value
+
+type perm = (string * string) list
+
+type t = {
+  generators : perm list;
+  cap : int;
+}
+
+let identity_perm p = List.for_all (fun (a, b) -> String.equal a b) p
+
+let of_generators ?(cap = 4096) generators =
+  { generators = List.filter (fun p -> not (identity_perm p)) generators; cap }
+
+let of_topology ?cap topo =
+  of_generators ?cap (Netsim.Topology.automorphism_generators topo)
+
+let generators t = t.generators
+let trivial t = t.generators = []
+
+let apply_name (p : perm) n =
+  match List.assoc_opt n p with Some m -> m | None -> n
+
+let rec apply_value p (v : Value.t) : Value.t =
+  match v with
+  | Value.Addr a -> Value.Addr (apply_name p a)
+  | Value.List vs -> Value.List (List.map (apply_value p) vs)
+  | Value.Int _ | Value.Str _ | Value.Bool _ -> v
+
+let apply_tuple p (t : Store.Tuple.t) : Store.Tuple.t =
+  Array.map (apply_value p) t
+
+let apply_store p (db : Store.t) : Store.t =
+  List.fold_left
+    (fun acc (pred, t) -> Store.add pred (apply_tuple p t) acc)
+    Store.empty (Store.to_list db)
+
+(* Generic orbit minimization, so state types wrapping a store (e.g.
+   {!Soft_ts.state}, where leases permute jointly with the database)
+   canonicalize with the same machinery. *)
+let canonicalize (type a) t ~(apply : perm -> a -> a)
+    ~(compare : a -> a -> int) ~(hash : a -> int) ~(equal : a -> a -> bool)
+    (x : a) : a =
+  if t.generators = [] then x
+  else begin
+    let seen : (int, a list ref) Hashtbl.t = Hashtbl.create 64 in
+    let mem y =
+      match Hashtbl.find_opt seen (hash y) with
+      | None -> false
+      | Some b -> List.exists (equal y) !b
+    in
+    let record y =
+      let h = hash y in
+      match Hashtbl.find_opt seen h with
+      | None -> Hashtbl.add seen h (ref [ y ])
+      | Some b -> b := y :: !b
+    in
+    let best = ref x in
+    let q = Queue.create () in
+    record x;
+    Queue.push x q;
+    let expanded = ref 0 in
+    let capped = ref false in
+    while not (Queue.is_empty q) do
+      if !expanded >= t.cap then begin
+        capped := true;
+        Queue.clear q
+      end
+      else begin
+        let y = Queue.pop q in
+        incr expanded;
+        List.iter
+          (fun g ->
+            let y' = apply g y in
+            if not (mem y') then begin
+              record y';
+              if compare y' !best < 0 then best := y';
+              Queue.push y' q
+            end)
+          t.generators
+      end
+    done;
+    if !capped then begin
+      (* greedy descent: keep applying whichever generator improves *)
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        List.iter
+          (fun g ->
+            let y' = apply g !best in
+            if compare y' !best < 0 then begin
+              best := y';
+              improved := true
+            end)
+          t.generators
+      done
+    end;
+    !best
+  end
+
+let canon_store t db =
+  canonicalize t ~apply:apply_store ~compare:Store.compare ~hash:Store.hash
+    ~equal:Store.equal db
+
+(* The quotient as an equal/hash pair (what the visited table uses
+   through its [canon]; exposed for direct use and tests). *)
+let store_equal t a b = Store.equal (canon_store t a) (canon_store t b)
+let store_hash t db = Store.hash (canon_store t db)

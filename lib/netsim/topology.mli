@@ -51,8 +51,33 @@ val line : ?delay:float -> ?cost:(int -> int) -> int -> t
 val ring : ?delay:float -> ?cost:(int -> int) -> int -> t
 val star : ?delay:float -> ?cost:(int -> int) -> int -> t
 
+val grid : ?delay:float -> ?cost:(int -> int) -> int -> t
+(** A [k x k] 4-neighbour mesh, node [n(r*k+c)] at row [r], column [c]
+    (the naming convention of [Ndlog.Programs.grid_links]). *)
+
 val random : ?seed:int -> ?extra:int -> ?delay:float -> ?max_cost:int -> int -> t
 (** Random spanning tree plus [extra] chords; connected; deterministic
     in [seed]. *)
+
+(** {1 Automorphisms}
+
+    Node permutations preserving the labeled link structure, consumed
+    by the model checker's symmetry reduction ([Mcheck.Symmetry]). *)
+
+val is_automorphism : t -> (string * string) list -> bool
+(** Is the permutation (an association list; unlisted nodes are fixed)
+    an automorphism?  It must be a bijection on the node set and map
+    every link onto a link with the same cost, delay, loss, and up
+    flag — a failed link breaks the symmetry that would map it onto a
+    live one. *)
+
+val automorphism_generators : t -> (string * string) list list
+(** Generators (not the full group): ring rotation and reflection,
+    grid transpose and flip (spanning the dihedral groups), and twin
+    transpositions of structurally identical nodes (spanning the
+    symmetric group on a star's leaves).  Candidates are proposed
+    structurally and validated with {!is_automorphism}, so every
+    returned permutation is an automorphism; asymmetric topologies
+    (e.g. distinct per-link costs) yield [[]]. *)
 
 val pp : t Fmt.t

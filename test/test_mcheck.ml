@@ -1,0 +1,602 @@
+(* The model checker's reduction layer (partial-order + symmetry)
+   behind a differential exploration harness: reduced searches must
+   agree with the plain checker on invariant verdicts and terminal
+   fixpoints while visiting fewer (or equal) states, and every
+   counterexample they produce must replay as a real execution
+   (Explore.validate_trace).
+
+   Directed tests pin the unreduced baseline (A2's 175 states), the
+   canonicalized hash's bucket distribution, the Soft_ts
+   lease-permutation identity, and the Value-aware insertion order
+   (the Kmap bug class). *)
+
+module Ast = Ndlog.Ast
+module Store = Ndlog.Store
+module V = Ndlog.Value
+module Programs = Ndlog.Programs
+module Explore = Mcheck.Explore
+module NT = Mcheck.Ndlog_ts
+module ST = Mcheck.Soft_ts
+module Sym = Mcheck.Symmetry
+module Topology = Netsim.Topology
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let ok_or_fail label = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+(* ------------------------------------------------------------------ *)
+(* Explore core: POR on a synthetic commuting system, trace replay. *)
+
+(* Two independent bounded counters: every interleaving of the [`A]
+   and [`B] increments commutes, so POR must collapse the (bound+1)^2
+   grid to a single staircase while preserving the unique terminal. *)
+let counters_system bound =
+  let actions (x, y) =
+    (if x < bound then [ (`A, (x + 1, y)) ] else [])
+    @ if y < bound then [ (`B, (x, y + 1)) ] else []
+  in
+  Explore.make_labeled
+    ~independent:(fun _ a b -> a <> b)
+    ~initial:[ (0, 0) ]
+    ~actions ()
+
+let test_por_counters () =
+  let sys = counters_system 3 in
+  let plain = Explore.explore sys in
+  let por = Explore.explore ~por:true sys in
+  checki "plain grid" 16 plain.Explore.states;
+  checki "por staircase" 7 por.Explore.states;
+  checkb "same terminal" true
+    (plain.Explore.terminal = [ (3, 3) ] && por.Explore.terminal = [ (3, 3) ])
+
+let test_por_needs_labels () =
+  (* An unlabeled system silently falls back to full expansion. *)
+  let sys =
+    Explore.make ~initial:[ 0 ]
+      ~successors:(fun n -> if n < 5 then [ n + 1 ] else [])
+      ()
+  in
+  let plain = Explore.explore sys in
+  let por = Explore.explore ~por:true sys in
+  checki "same states" plain.Explore.states por.Explore.states
+
+let test_validate_trace () =
+  let sys = counters_system 2 in
+  ok_or_fail "valid trace" (Explore.validate_trace sys [ (0, 0); (1, 0); (1, 1) ]);
+  checkb "wrong start rejected" true
+    (Result.is_error (Explore.validate_trace sys [ (1, 0); (1, 1) ]));
+  checkb "bad step rejected" true
+    (Result.is_error (Explore.validate_trace sys [ (0, 0); (1, 1) ]));
+  checkb "empty rejected" true (Result.is_error (Explore.validate_trace sys []))
+
+let test_validate_lasso () =
+  (* A mod-3 counter: the cycle 0 -> 1 -> 2 -> 0 is a real lasso. *)
+  let sys =
+    Explore.make ~initial:[ 0 ] ~successors:(fun n -> [ (n + 1) mod 3 ]) ()
+  in
+  (match Explore.find_lasso sys with
+  | None -> Alcotest.fail "expected a lasso"
+  | Some l -> ok_or_fail "found lasso replays" (Explore.validate_lasso sys l));
+  checkb "broken cycle rejected" true
+    (Result.is_error
+       (Explore.validate_lasso sys { Explore.stem = []; cycle = [ 0; 2 ] }));
+  ok_or_fail "stem + cycle"
+    (Explore.validate_lasso sys { Explore.stem = [ 0 ]; cycle = [ 1; 2; 0 ] });
+  checkb "bad stem rejected" true
+    (Result.is_error
+       (Explore.validate_lasso sys { Explore.stem = [ 2 ]; cycle = [ 0; 1; 2 ] }))
+
+(* ------------------------------------------------------------------ *)
+(* Topology automorphisms. *)
+
+let test_automorphism_generators () =
+  let ring = Topology.ring 6 in
+  let gens = Topology.automorphism_generators ring in
+  checkb "ring has generators" true (List.length gens >= 2);
+  List.iter
+    (fun g -> checkb "ring generator validates" true (Topology.is_automorphism ring g))
+    gens;
+  (* the rotation by one must be among them *)
+  checkb "rotation present" true
+    (List.exists
+       (fun g -> List.assoc_opt "n0" g = Some "n1" && List.assoc_opt "n5" g = Some "n0")
+       gens);
+  let star = Topology.star 5 in
+  let sgens = Topology.automorphism_generators star in
+  (* adjacent leaf transpositions generate the symmetric group on leaves *)
+  checkb "star twin swaps" true (List.length sgens >= 3);
+  List.iter
+    (fun g ->
+      checkb "star generator validates" true (Topology.is_automorphism star g);
+      checkb "center fixed" true (List.assoc_opt "n0" g = Some "n0" || List.assoc_opt "n0" g = None))
+    sgens;
+  let grid = Topology.grid 3 in
+  let ggens = Topology.automorphism_generators grid in
+  checkb "grid transpose/flip" true (List.length ggens >= 2);
+  List.iter
+    (fun g -> checkb "grid generator validates" true (Topology.is_automorphism grid g))
+    ggens;
+  (* distinct per-link costs break every symmetry *)
+  let asym = Topology.ring ~cost:(fun i -> i + 1) 5 in
+  checki "asymmetric ring" 0 (List.length (Topology.automorphism_generators asym));
+  (* a failed link breaks the symmetry that would map it onto a live one *)
+  let broken = Topology.ring 6 in
+  Topology.fail_duplex broken "n0" "n1";
+  checkb "failure filters rotation" true
+    (not
+       (List.exists
+          (fun g -> List.assoc_opt "n0" g = Some "n1")
+          (Topology.automorphism_generators broken)))
+
+let test_is_automorphism_rejects () =
+  let ring = Topology.ring 5 in
+  checkb "non-bijection rejected" false
+    (Topology.is_automorphism ring [ ("n0", "n1"); ("n1", "n1") ]);
+  (* on a 5-ring the transposition n0 <-> n2 maps the edge n2-n3 to the
+     non-edge n0-n3 (on a 4-ring it would be the n1-n3 reflection!) *)
+  checkb "structure-breaking map rejected" false
+    (Topology.is_automorphism ring [ ("n0", "n2"); ("n2", "n0") ]);
+  checkb "identity accepted" true (Topology.is_automorphism ring [])
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry canonicalization. *)
+
+let rotate_store k db =
+  (* the ring rotation i -> i+1 as a raw permutation *)
+  let p = List.init k (fun i -> (Programs.node i, Programs.node ((i + 1) mod k))) in
+  Sym.apply_store p db
+
+let reach_db n =
+  Store.of_facts (Programs.ring_links n)
+  |> Store.add "reachable" [| V.Addr "n0"; V.Addr "n1" |]
+
+let test_canon_store_identifies_orbit () =
+  let sym = Sym.of_topology (Topology.ring 5) in
+  checkb "nontrivial group" false (Sym.trivial sym);
+  let db = reach_db 5 in
+  let db' = rotate_store 5 db in
+  checkb "rotation changes the raw store" false (Store.equal db db');
+  checkb "same canonical form" true
+    (Store.equal (Sym.canon_store sym db) (Sym.canon_store sym db'));
+  checkb "store_equal agrees" true (Sym.store_equal sym db db');
+  checki "store_hash agrees" (Sym.store_hash sym db) (Sym.store_hash sym db');
+  (* canonicalization stays inside the orbit: permutation-invariant
+     observables are untouched *)
+  let c = Sym.canon_store sym db in
+  checki "tuple count preserved" (Store.total_tuples db) (Store.total_tuples c);
+  checkb "predicates preserved" true (Store.preds db = Store.preds c)
+
+let test_canon_distinguishes_orbits () =
+  (* reachable(n0,n1) and reachable(n0,n2) lie in different orbits of a
+     5-ring (adjacent vs two-apart) and must not be merged. *)
+  let sym = Sym.of_topology (Topology.ring 5) in
+  let base = Store.of_facts (Programs.ring_links 5) in
+  let a = Store.add "reachable" [| V.Addr "n0"; V.Addr "n1" |] base in
+  let b = Store.add "reachable" [| V.Addr "n0"; V.Addr "n2" |] base in
+  checkb "different orbits stay apart" false (Sym.store_equal sym a b)
+
+let test_canon_table_buckets () =
+  (* All rotations of a state share one table entry under ~canon, and
+     the canonical hash must keep spreading distinct orbits across
+     buckets instead of collapsing them into a few chains. *)
+  let k = 6 in
+  let sym = Sym.of_topology (Topology.ring k) in
+  let tbl =
+    Explore.Table.create ~equal:Store.equal ~hash:Store.hash
+      ~canon:(Sym.canon_store sym) ()
+  in
+  let base = Store.of_facts (Programs.ring_links k) in
+  let orbits = ref 0 in
+  (* distinct orbits: reachable sets of increasing size *)
+  for d = 1 to k - 1 do
+    for len = 1 to 40 do
+      let db =
+        List.fold_left
+          (fun db i ->
+            Store.add "reachable"
+              [| V.Addr (Programs.node (i mod k));
+                 V.Addr (Programs.node ((i + d) mod k));
+                 V.Int (len + (100 * d) + i) |]
+              db)
+          base
+          (List.init len Fun.id)
+      in
+      incr orbits;
+      (* enter every rotation of the state; they must all collapse *)
+      let db' = rotate_store k db in
+      let db'' = rotate_store k db' in
+      Explore.Table.add tbl db !orbits;
+      if not (Explore.Table.mem tbl db') then
+        Alcotest.fail "rotation not identified";
+      Explore.Table.add tbl db'' 0 |> ignore
+    done
+  done;
+  checki "one entry per orbit (size counts duplicates)" (2 * !orbits)
+    (Explore.Table.size tbl);
+  checkb "orbits spread over buckets" true
+    (Explore.Table.buckets tbl >= !orbits / 2);
+  checkb "no degenerate chain" true (Explore.Table.max_bucket tbl <= 8)
+
+let test_soft_lease_permutation_identity () =
+  (* Permuting a soft state's nodes permutes its database and leases
+     jointly: the two states canonicalize identically. *)
+  let prog =
+    Programs.parse_exn
+      {|
+materialize(ping, 2).
+materialize(alive, 2).
+a1 alive(@X,Y) :- ping(@X,Y).
+|}
+  in
+  let cfg = ST.make_config ~horizon:6 prog in
+  let ping leaf = [| V.Addr (Programs.node 0); V.Addr (Programs.node leaf) |] in
+  let s1 =
+    ST.insert cfg (ST.tick cfg (ST.insert cfg ST.initial_state "ping" (ping 1)))
+      "ping" (ping 2)
+  in
+  let s2 =
+    ST.insert cfg (ST.tick cfg (ST.insert cfg ST.initial_state "ping" (ping 3)))
+      "ping" (ping 1)
+  in
+  checkb "raw states differ" false (ST.state_equal s1 s2);
+  let sym = Sym.of_topology (Topology.star 4) in
+  let c1 = ST.canon_state sym s1 and c2 = ST.canon_state sym s2 in
+  checkb "lease states identified up to leaf permutation" true
+    (ST.state_equal c1 c2);
+  checki "clock preserved" s1.ST.clock c1.ST.clock;
+  checki "lease count preserved" (List.length s1.ST.leases)
+    (List.length c1.ST.leases);
+  (* directly: applying a twin swap is state-identical after canon *)
+  let swap = [ (Programs.node 1, Programs.node 2); (Programs.node 2, Programs.node 1) ] in
+  checkb "explicit swap identified" true
+    (ST.state_equal (ST.canon_state sym (ST.apply_perm swap s1)) c1)
+
+(* ------------------------------------------------------------------ *)
+(* Value-aware insertion order (the aggregate-Kmap bug class). *)
+
+let test_insertion_order_value_aware () =
+  (* The engine's tuple order is length-first, then Value.compare
+     element-wise; a naive element-wise lexicographic order (what a
+     future Stdlib.compare regression would approximate on nested
+     values) would sort [p(1,9)] before [p(2)].  Pin the contract. *)
+  let short = ("p", [| V.Int 2 |]) in
+  let long = ("p", [| V.Int 1; V.Int 9 |]) in
+  checkb "length-first" true (NT.insertion_compare short long < 0);
+  checkb "pred-first" true
+    (NT.insertion_compare ("a", [| V.Int 9 |]) ("b", [| V.Int 0 |]) < 0);
+  checkb "value order within arity" true
+    (NT.insertion_compare ("p", [| V.Int 2 |]) ("p", [| V.Str "x" |]) < 0);
+  (* enabled_insertions emits exactly that order, deduplicated across
+     the two rules deriving the same tuple *)
+  let p =
+    Programs.parse_exn
+      {|
+materialize(link, infinity).
+materialize(short, infinity).
+materialize(pair, infinity).
+s1 short(@S) :- link(@S,D,C).
+s2 short(@S) :- link(@S,D,C), C>0.
+p1 pair(@S,C) :- link(@S,D,C).
+|}
+  in
+  let db = Store.of_facts (Programs.line_links 3) in
+  let ins = NT.enabled_insertions p db in
+  let sorted =
+    List.sort_uniq NT.insertion_compare ins
+  in
+  checkb "sorted and deduplicated" true (ins = sorted);
+  (* s1/s2 both derive short(n0) etc.: dedup must keep one each *)
+  let shorts = List.filter (fun (p, _) -> p = "short") ins in
+  checki "one short per node" 3 (List.length shorts)
+
+(* ------------------------------------------------------------------ *)
+(* A2 pin: the fine-grained baseline is untouched by the refactor. *)
+
+let test_a2_pin_175 () =
+  let p = Programs.with_links (Programs.reachability ()) (Programs.line_links 3) in
+  let plain = Explore.explore ~max_states:20_000 (NT.system p) in
+  checki "A2 fine-grained baseline" 175 plain.Explore.states;
+  (* the labeled system with both reductions off explores the same space *)
+  let labeled = NT.explore ~max_states:20_000 p in
+  checki "labeled = unlabeled" 175 labeled.Explore.states;
+  checki "same transitions" plain.Explore.transitions labeled.Explore.transitions
+
+(* ------------------------------------------------------------------ *)
+(* E2 (count-to-infinity) and E3 (Disagree) counterexample replay. *)
+
+let test_e2_count_to_infinity_trace () =
+  (* Unbounded distance-vector on a ring derives ever-growing costs;
+     the safety bound is violated and the (reduced and unreduced)
+     counterexamples must replay. *)
+  let p =
+    Programs.with_links (Programs.distance_vector ()) (Programs.ring_links 3)
+  in
+  let bound db =
+    Store.fold_rel "cost"
+      (fun t ok -> ok && (match t.(2) with V.Int c -> c <= 4 | _ -> true))
+      db true
+  in
+  let sys = NT.labeled_system p in
+  let sym = Sym.of_topology (Topology.ring 3) in
+  let run name res =
+    match res with
+    | Ok _ -> Alcotest.failf "%s: expected count-to-infinity violation" name
+    | Error (v : Store.t Explore.violation) ->
+      ok_or_fail (name ^ " trace replays") (Explore.validate_trace sys v.Explore.trace);
+      checkb (name ^ " endpoint violates") true (not (bound v.Explore.violating))
+  in
+  run "plain" (NT.check_fine_invariant ~max_states:50_000 p bound);
+  run "por"
+    (NT.check_fine_invariant ~max_states:50_000 ~por:true ~stable:true p bound);
+  run "both"
+    (NT.check_fine_invariant ~max_states:50_000 ~por:true ~stable:true
+       ~symmetry:sym p bound)
+
+let test_e3_disagree_trace () =
+  (* Disagree reaches a stable assignment under interleaved activation:
+     flip it into a "violation" to obtain a trace, and replay it.  The
+     synchronous schedule oscillates: replay the lasso too. *)
+  let t = Spp.Gadgets.disagree in
+  let sys = Spp.Ts.interleaved t in
+  (match Explore.check_invariant sys (fun s -> not (Spp.Ts.is_stable t s)) with
+  | Ok _ -> Alcotest.fail "Disagree has reachable stable states"
+  | Error v ->
+    ok_or_fail "stable-state trace replays" (Explore.validate_trace sys v.Explore.trace));
+  let sync = Spp.Ts.synchronous t in
+  match Explore.can_avoid sync ~good:(Spp.Ts.is_stable t) with
+  | None -> Alcotest.fail "Disagree must oscillate synchronously"
+  | Some l -> ok_or_fail "oscillation lasso replays" (Explore.validate_lasso sync l)
+
+(* ------------------------------------------------------------------ *)
+(* The differential property: {plain, POR, symmetry, both} agree. *)
+
+(* The set (not multiset) of canonical terminal states: plain
+   exploration may reach several terminals in one orbit where the
+   reduced search keeps a single representative. *)
+let terminal_fingerprint sym (stats : Store.t Explore.stats) =
+  List.map (Sym.canon_store sym) stats.Explore.terminal
+  |> List.sort_uniq Store.compare
+
+let prop_reduction_sound =
+  QCheck.Test.make ~name:"reduced exploration = plain (verdict, fixpoint)"
+    ~count:12
+    QCheck.(triple (int_range 0 2) (int_range 0 3) (int_range 3 4))
+    (fun (prog_i, topo_i, n) ->
+      let links, topo =
+        match topo_i with
+        | 0 -> (Programs.ring_links n, Topology.ring n)
+        | 1 -> (Programs.star_links n, Topology.star n)
+        | 2 -> (Programs.grid_links 2, Topology.grid 2)
+        | _ -> (Programs.line_links n, Topology.line n)
+      in
+      (* Plain exploration must stay tractable (seconds, measured):
+         reachability on ring4/grid2 and bounded DV at 2 hops there
+         already exceed 28k states, so those cells drop to 1 hop or
+         out; path_vector blows up beyond 3-node graphs. *)
+      let ring = topo_i = 0 and grid = topo_i = 2 in
+      let case =
+        match prog_i with
+        | 0 when (ring && n > 3) || grid -> None
+        | 0 ->
+          (* no node reaches itself — violated on rings, holds on the
+             others; stable either way (tuples are never removed) *)
+          Some
+            ( Programs.with_links (Programs.reachability ()) links,
+              [ "reachable" ],
+              fun db ->
+                Store.fold_rel "reachable"
+                  (fun t ok -> ok && not (V.equal t.(0) t.(1)))
+                  db true )
+        | 1 ->
+          let max_hops = if grid || (ring && n > 3) then 1 else 2 in
+          Some
+            ( Programs.with_links
+                (Programs.bounded_distance_vector ~max_hops)
+                links,
+              [ "cost" ],
+              fun db ->
+                Store.fold_rel "cost"
+                  (fun t ok ->
+                    ok
+                    && (match t.(2) with
+                       | V.Int c -> c <= max_hops
+                       | _ -> true))
+                  db true )
+        | _ when n > 3 || grid -> None
+        | _ ->
+          Some
+            ( Programs.with_links (Programs.path_vector ()) links,
+              [ "path" ],
+              fun db ->
+                Store.fold_rel "path"
+                  (fun t ok ->
+                    ok && (match t.(3) with V.Int c -> c <= 2 | _ -> true))
+                  db true )
+      in
+      match case with
+      | None -> true
+      | Some (p, observed, inv) ->
+        let max_states = 30_000 in
+        let sym = Sym.of_topology topo in
+        let plain = Explore.explore ~max_states (NT.system p) in
+        if plain.Explore.truncated then true
+        else begin
+        let por = NT.explore ~max_states ~por:true p in
+        let symr = NT.explore ~max_states ~symmetry:sym p in
+        let both = NT.explore ~max_states ~por:true ~symmetry:sym p in
+        (* visited-state counts: reduced <= plain *)
+        if not (por.Explore.states <= plain.Explore.states) then
+          QCheck.Test.fail_reportf "POR grew the space: %d > %d"
+            por.Explore.states plain.Explore.states;
+        if not (symr.Explore.states <= plain.Explore.states) then
+          QCheck.Test.fail_reportf "symmetry grew the space: %d > %d"
+            symr.Explore.states plain.Explore.states;
+        if not (both.Explore.states <= min por.Explore.states symr.Explore.states)
+        then
+          QCheck.Test.fail_reportf "both exceeds its components: %d"
+            both.Explore.states;
+        (* terminal fixpoints agree up to the symmetry quotient *)
+        let fp = terminal_fingerprint sym in
+        let fp_plain = fp plain in
+        List.iter
+          (fun (name, stats) ->
+            if not (List.equal Store.equal fp_plain (fp stats)) then
+              QCheck.Test.fail_reportf "%s changed the terminal fixpoint" name)
+          [ ("por", por); ("sym", symr); ("both", both) ];
+        (* invariant verdicts agree across all four modes; every
+           counterexample replays against the labeled system *)
+        let sys = NT.labeled_system p in
+        let verdict name res =
+          match res with
+          | Ok _ -> true
+          | Error (v : Store.t Explore.violation) ->
+            (match Explore.validate_trace sys v.Explore.trace with
+            | Ok () -> ()
+            | Error e ->
+              QCheck.Test.fail_reportf "%s produced an invalid trace: %s" name e);
+            if inv v.Explore.violating then
+              QCheck.Test.fail_reportf "%s endpoint satisfies the invariant" name;
+            false
+        in
+        let v_plain =
+          verdict "plain" (NT.check_fine_invariant ~max_states p inv)
+        in
+        let modes =
+          [
+            ( "por",
+              NT.check_fine_invariant ~max_states ~por:true ~stable:true p inv );
+            ( "por/observed",
+              NT.check_fine_invariant ~max_states ~por:true ~observed p inv );
+            ( "sym",
+              NT.check_fine_invariant ~max_states ~symmetry:sym p inv );
+            ( "both",
+              NT.check_fine_invariant ~max_states ~por:true ~stable:true
+                ~symmetry:sym p inv );
+          ]
+        in
+        List.iter
+          (fun (name, res) ->
+            if verdict name res <> v_plain then
+              QCheck.Test.fail_reportf "%s verdict differs from plain" name)
+          modes;
+        true
+      end)
+
+(* Soft-state differential: symmetry preserves verdicts and fixpoints;
+   POR (inert while ticks compete) must never grow the space. *)
+let prop_soft_reduction_sound =
+  QCheck.Test.make ~name:"soft-state reduced exploration = plain" ~count:12
+    QCheck.(triple (int_range 3 5) (int_range 2 4) (int_range 1 2))
+    (fun (k, horizon, stop) ->
+      let prog =
+        Programs.parse_exn
+          {|
+materialize(ping, 2).
+materialize(alive, 2).
+a1 alive(@X,Y) :- ping(@X,Y).
+|}
+      in
+      let pings =
+        List.init (k - 1) (fun i ->
+            ( "ping",
+              [| V.Addr (Programs.node 0); V.Addr (Programs.node (i + 1)) |] ))
+      in
+      let cfg =
+        ST.make_config ~horizon
+          ~inject:(fun t -> if t <= stop then pings else [])
+          prog
+      in
+      let sym = Sym.of_topology (Topology.star k) in
+      let plain = Explore.explore (ST.system cfg) in
+      let por = ST.explore ~por:true cfg in
+      let symr = ST.explore ~symmetry:sym cfg in
+      let both = ST.explore ~por:true ~symmetry:sym cfg in
+      if por.Explore.states > plain.Explore.states then
+        QCheck.Test.fail_reportf "POR grew the soft space";
+      if symr.Explore.states > plain.Explore.states then
+        QCheck.Test.fail_reportf "symmetry grew the soft space";
+      if both.Explore.states > min por.Explore.states symr.Explore.states then
+        QCheck.Test.fail_reportf "both exceeds its components";
+      let fp (stats : ST.state Explore.stats) =
+        List.map (ST.canon_state sym) stats.Explore.terminal
+        |> List.sort_uniq ST.state_compare
+      in
+      if not (List.equal ST.state_equal (fp plain) (fp symr)) then
+        QCheck.Test.fail_reportf "symmetry changed the soft fixpoint";
+      if not (List.equal ST.state_equal (fp plain) (fp both)) then
+        QCheck.Test.fail_reportf "both changed the soft fixpoint";
+      (* verdict equality for a clock-indexed safety property: alive
+         tuples vanish after refreshes stop plus slack *)
+      let deadline = stop + 4 in
+      let inv (s : ST.state) =
+        s.ST.clock < deadline || Store.is_empty (Store.restrict [ "alive" ] s.ST.db)
+      in
+      let sys = ST.labeled_system cfg in
+      let verdict name res =
+        match res with
+        | Ok _ -> true
+        | Error (v : ST.state Explore.violation) ->
+          (match Explore.validate_trace sys v.Explore.trace with
+          | Ok () -> ()
+          | Error e ->
+            QCheck.Test.fail_reportf "%s: invalid soft trace: %s" name e);
+          false
+      in
+      let v_plain = verdict "plain" (ST.check cfg inv) in
+      List.iter
+        (fun (name, res) ->
+          if verdict name res <> v_plain then
+            QCheck.Test.fail_reportf "%s soft verdict differs" name)
+        [
+          ("sym", ST.check ~symmetry:sym cfg inv);
+          ("por/observed", ST.check ~por:true ~observed:[ "alive" ] cfg inv);
+          ("both", ST.check ~por:true ~observed:[ "alive" ] ~symmetry:sym cfg inv);
+        ];
+      true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mcheck"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "por collapses commuting counters" `Quick
+            test_por_counters;
+          Alcotest.test_case "por needs labels" `Quick test_por_needs_labels;
+          Alcotest.test_case "validate_trace" `Quick test_validate_trace;
+          Alcotest.test_case "validate_lasso" `Quick test_validate_lasso;
+        ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "automorphism generators" `Quick
+            test_automorphism_generators;
+          Alcotest.test_case "is_automorphism rejects" `Quick
+            test_is_automorphism_rejects;
+          Alcotest.test_case "canon identifies orbits" `Quick
+            test_canon_store_identifies_orbit;
+          Alcotest.test_case "canon distinguishes orbits" `Quick
+            test_canon_distinguishes_orbits;
+          Alcotest.test_case "canonical hash buckets" `Quick
+            test_canon_table_buckets;
+          Alcotest.test_case "lease permutation identity" `Quick
+            test_soft_lease_permutation_identity;
+        ] );
+      ( "ndlog_ts",
+        [
+          Alcotest.test_case "value-aware insertion order" `Quick
+            test_insertion_order_value_aware;
+          Alcotest.test_case "A2 pinned at 175" `Quick test_a2_pin_175;
+          Alcotest.test_case "E2 counterexamples replay" `Quick
+            test_e2_count_to_infinity_trace;
+          Alcotest.test_case "E3 Disagree replay" `Quick test_e3_disagree_trace;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_reduction_sound;
+          QCheck_alcotest.to_alcotest prop_soft_reduction_sound;
+        ] );
+    ]
